@@ -1,0 +1,184 @@
+// Ablations of Solros' individual design choices (DESIGN.md §5).
+//
+// Each row toggles exactly one mechanism and reports its contribution:
+//  A1  NVMe I/O-vector coalescing (one doorbell/interrupt per vector, §5)
+//  A2  Peer-to-peer data path vs forced host staging (§4.3.2)
+//  A3  Host-side shared buffer cache for re-read working sets (§4.3.2)
+//  A4  Ring-buffer combining vs plain lock serialization (§4.2.3, sim side)
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "bench/fs_workload.h"
+#include "src/transport/sim_ring.h"
+
+using namespace solros;
+
+namespace {
+
+constexpr uint64_t kFile = MiB(128);
+
+struct FsAblationOptions {
+  uint64_t file_bytes = kFile;
+  bool coalesce = true;
+  bool allow_p2p = true;
+  size_t cache_blocks = 0;
+  bool buffered_mode = false;  // O_BUFFER on the stub
+  bool fragment_file = false;  // interleave allocation to split extents
+  bool warm_pass = false;      // run the workload once before measuring
+  uint64_t block_size = MiB(1);
+  int threads = 8;
+};
+
+double MeasureFs(const FsAblationOptions& options) {
+  MachineConfig mc;
+  mc.num_phis = 1;
+  mc.nvme_capacity = MiB(512);
+  mc.enable_network = false;
+  mc.fs_options.coalesce_nvme = options.coalesce;
+  mc.fs_options.allow_p2p = options.allow_p2p;
+  mc.fs_options.cache_blocks = options.cache_blocks;
+  Machine machine(std::move(mc));
+  CHECK_OK(RunSim(machine.sim(), machine.FormatFs()));
+
+  Result<uint64_t> ino = Status(ErrorCode::kInternal);
+  if (options.fragment_file) {
+    // Interleave two files' growth at 64 KiB so /work's extents are short
+    // and every 1 MiB read becomes a multi-command NVMe vector.
+    auto a = RunSim(machine.sim(), machine.fs().Create("/work"));
+    CHECK_OK(a);
+    auto b = RunSim(machine.sim(), machine.fs().Create("/filler"));
+    CHECK_OK(b);
+    // 128 KiB interleave keeps the file under the 268-extent limit while
+    // splitting every 1 MiB read across ~8 NVMe commands.
+    std::vector<uint8_t> chunk(KiB(128), 0x5a);
+    for (uint64_t off = 0; off < options.file_bytes; off += chunk.size()) {
+      CHECK_OK(RunSim(machine.sim(),
+                      machine.fs().WriteAt(*a, off, chunk)));
+      CHECK_OK(RunSim(machine.sim(),
+                      machine.fs().WriteAt(*b, off, chunk)));
+    }
+    ino = *a;
+  } else {
+    ino = RunSim(machine.sim(),
+                 PrepareWorkloadFile(&machine.fs(), "/work",
+                                     options.file_bytes));
+    CHECK_OK(ino);
+  }
+
+  machine.fs_stub(0).set_buffered(options.buffered_mode);
+  FsWorkloadConfig config;
+  config.file_bytes = options.file_bytes;
+  config.block_size = options.block_size;
+  config.threads = options.threads;
+  config.ops_per_thread = 8;
+  if (options.warm_pass) {
+    RunFsWorkload(&machine.sim(), &machine.fs_stub(0), *ino,
+                  machine.phi_device(0), config);
+  }
+  return RunFsWorkload(&machine.sim(), &machine.fs_stub(0), *ino,
+                       machine.phi_device(0), config)
+      .bandwidth();
+}
+
+double MeasureTransport(bool lazy) {
+  Simulator sim;
+  HwParams params;
+  PcieFabric fabric(&sim, params);
+  DeviceId host = fabric.HostDevice(0);
+  DeviceId phi = fabric.AddDevice(DeviceType::kPhi, 0, "mic0");
+  Processor host_cpu(&sim, host, 96, 1.0, "host");
+  Processor phi_cpu(&sim, phi, 244, 0.125, "phi");
+  SimRingConfig config;
+  config.capacity = MiB(1);
+  config.lazy_update = lazy;
+  config.master_device = phi;
+  config.producer_device = phi;
+  config.consumer_device = host;
+  config.producer_cpu = &phi_cpu;
+  config.consumer_cpu = &host_cpu;
+  SimRing ring(&sim, &fabric, params, config);
+  const int kTasks = 32;
+  const int kMsgs = 300;
+  WaitGroup wg(&sim);
+  for (int t = 0; t < kTasks; ++t) {
+    wg.Add(2);
+    Spawn(sim, [](SimRing* r, int n, WaitGroup* w) -> Task<void> {
+      std::vector<uint8_t> payload(64, 1);
+      for (int i = 0; i < n; ++i) {
+        CHECK_OK(co_await r->Send(payload));
+      }
+      w->Done();
+    }(&ring, kMsgs, &wg));
+    Spawn(sim, [](SimRing* r, int n, WaitGroup* w) -> Task<void> {
+      for (int i = 0; i < n; ++i) {
+        CHECK_OK(co_await r->Receive());
+      }
+      w->Done();
+    }(&ring, kMsgs, &wg));
+  }
+  sim.RunUntilIdle();
+  return uint64_t{kTasks} * kMsgs / ToSeconds(sim.now()) / 1e3;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Ablations — per-mechanism contribution",
+              "EuroSys'18 Solros §4.2.3 / §4.3.2 / §5");
+  TablePrinter table({"ablation", "off", "on", "gain"});
+
+  // A1: fragmented file => each 1 MiB read is a multi-command vector;
+  // coalescing collapses its doorbells/interrupts (§5).
+  FsAblationOptions a1;
+  a1.file_bytes = MiB(32);  // 256 extents at 128 KiB interleave
+  a1.fragment_file = true;
+  a1.threads = 32;
+  a1.coalesce = false;
+  double no_coalesce = MeasureFs(a1);
+  a1.coalesce = true;
+  double coalesce = MeasureFs(a1);
+  table.AddRow({"A1 NVMe vector coalescing (GB/s, fragmented reads)",
+                GBps3(no_coalesce), GBps3(coalesce),
+                TablePrinter::Num(coalesce / no_coalesce, 2) + "x"});
+
+  // A2: single-stream small reads expose the staging hop's latency.
+  FsAblationOptions a2;
+  a2.block_size = KiB(64);
+  a2.threads = 1;
+  a2.allow_p2p = false;
+  double staged = MeasureFs(a2);
+  a2.allow_p2p = true;
+  double p2p = MeasureFs(a2);
+  table.AddRow({"A2 peer-to-peer data path (GB/s, 64KB single stream)",
+                GBps3(staged), GBps3(p2p),
+                TablePrinter::Num(p2p / staged, 2) + "x"});
+
+  // A3: buffered (O_BUFFER) re-reads served from the host cache beat the
+  // SSD ceiling (host DRAM + host DMA instead of flash).
+  FsAblationOptions a3;
+  a3.buffered_mode = true;
+  a3.warm_pass = true;
+  a3.cache_blocks = 0;
+  double uncached = MeasureFs(a3);
+  a3.cache_blocks = 65536;  // 256 MiB cache > 128 MiB working set
+  double cached = MeasureFs(a3);
+  table.AddRow({"A3 shared buffer cache (GB/s, buffered re-read)",
+                GBps3(uncached), GBps3(cached),
+                TablePrinter::Num(cached / uncached, 2) + "x"});
+
+  // A4: lazy replicated control variables (Fig. 9's mechanism).
+  double eager = MeasureTransport(false);
+  double lazy = MeasureTransport(true);
+  table.AddRow({"A4 lazy head/tail replication (kops/s, 64B)",
+                TablePrinter::Num(eager, 0), TablePrinter::Num(lazy, 0),
+                TablePrinter::Num(lazy / eager, 2) + "x"});
+
+  table.Print(std::cout);
+  std::cout << "\nNotes: A1's gain shows up in doorbell/interrupt counts "
+               "(see NvmeDeviceTest.Coalescing*), not in bandwidth — at "
+               "2.4 GB/s the host absorbs the extra interrupts. A2 compares "
+               "P2P against the policy's own buffered fallback (already "
+               "DMA-based), so its gain is the staging overhead only — the "
+               "full stock-path gap is Figs. 1/11.\n";
+  return 0;
+}

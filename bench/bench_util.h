@@ -1,0 +1,46 @@
+// Shared helpers for the benchmark binaries.
+//
+// Every bench prints paper-style tables via solros::TablePrinter and labels
+// rows exactly as the corresponding figure does, so EXPERIMENTS.md can
+// paste outputs directly. Simulated-time benches compute rates from
+// Simulator::now() deltas; the only wall-clock bench is Fig. 8 (real
+// threads).
+#ifndef SOLROS_BENCH_BENCH_UTIL_H_
+#define SOLROS_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/base/stats.h"
+#include "src/base/units.h"
+
+namespace solros {
+
+inline std::string HumanSize(uint64_t bytes) {
+  if (bytes >= MiB(1) && bytes % MiB(1) == 0) {
+    return std::to_string(bytes / MiB(1)) + "MB";
+  }
+  if (bytes >= KiB(1) && bytes % KiB(1) == 0) {
+    return std::to_string(bytes / KiB(1)) + "KB";
+  }
+  return std::to_string(bytes) + "B";
+}
+
+inline std::string GBps3(double bytes_per_sec) {
+  return TablePrinter::Num(bytes_per_sec / 1e9, 3);
+}
+
+inline std::string Usec1(Nanos t) {
+  return TablePrinter::Num(ToMicros(t), 1);
+}
+
+inline void PrintHeader(const std::string& title, const std::string& paper) {
+  std::cout << "\n=== " << title << " ===\n";
+  std::cout << "paper reference: " << paper << "\n\n";
+}
+
+}  // namespace solros
+
+#endif  // SOLROS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,92 @@
+// E01a — Fig. 1(a): the motivating file-I/O comparison.
+//
+// "file random read on NVMe SSD": GB/s vs block size for
+//   Host <-> SSD                       (upper bound)
+//   Phi-Solros <-> SSD                 (P2P, same NUMA)
+//   Phi-Solros <-> SSD (cross NUMA)    (proxy routes buffered; P2P would
+//                                       collapse to 300 MB/s)
+//   Phi-Linux <-> Host (NFS) <-> SSD
+//   Phi-Linux <-> Host (virtio) <-> SSD
+//
+// Paper anchors: Solros ~19x over Phi-Linux at large blocks; Solros can
+// even beat the host thanks to I/O-vector coalescing (§5); cross-NUMA P2P
+// capped at ~300 MB/s, which the control plane avoids by host-staging.
+#include <iostream>
+
+#include "bench/fs_configs.h"
+
+using namespace solros;
+
+namespace {
+
+double MeasureSolrosCrossNuma(uint64_t block, int threads, bool allow_p2p) {
+  MachineConfig mc = BenchMachine();
+  mc.phi_sockets = {1};  // SSD stays on socket 0
+  if (!allow_p2p) {
+    // Default policy: proxy detects the NUMA crossing and stages via host.
+  } else {
+    mc.fs_options.allow_p2p = true;  // (it is by default)
+  }
+  Machine machine(std::move(mc));
+  CHECK_OK(RunSim(machine.sim(), machine.FormatFs()));
+  auto ino = RunSim(machine.sim(),
+                    PrepareWorkloadFile(&machine.fs(), "/work", kFileBytes));
+  CHECK_OK(ino);
+  FsWorkloadConfig config;
+  config.file_bytes = kFileBytes;
+  config.block_size = block;
+  config.threads = threads;
+  config.ops_per_thread = std::max<int>(4, 64 / threads);
+  return RunFsWorkload(&machine.sim(), &machine.fs_stub(0), *ino,
+                       machine.phi_device(0), config)
+      .bandwidth();
+}
+
+// Forced cross-NUMA P2P (disable the policy's buffered fallback) to expose
+// the raw relay collapse the paper measured.
+double MeasureForcedCrossNumaP2p(uint64_t block) {
+  Simulator sim;
+  HwParams params;
+  PcieFabric fabric(&sim, params);
+  DeviceId phi = fabric.AddDevice(DeviceType::kPhi, 1, "mic-far");
+  DeviceId nvme_id = fabric.AddDevice(DeviceType::kNvme, 0, "nvme0");
+  Processor host_cpu(&sim, fabric.HostDevice(0), 96, 1.0, "host");
+  NvmeDevice nvme(&sim, &fabric, params, nvme_id, MiB(256), &host_cpu);
+  DeviceBuffer target(phi, block);
+  uint32_t nblocks = static_cast<uint32_t>(block / 4096);
+  SimTime t0 = sim.now();
+  const int kOps = 8;
+  for (int i = 0; i < kOps; ++i) {
+    NvmeCommand command{NvmeCommand::Op::kRead, 0, nblocks,
+                        MemRef::Of(target)};
+    CHECK_OK(RunSim(sim, nvme.SubmitOne(command, &host_cpu)));
+  }
+  return RateBps(uint64_t{kOps} * block, sim.now() - t0);
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Fig. 1(a) — motivating random-read comparison",
+              "EuroSys'18 Solros, Figure 1(a); 8 threads, file 512MB");
+  const int kThreads = 8;
+  TablePrinter table({"block", "Host", "Phi-Solros", "Phi-Solros xNUMA",
+                      "xNUMA raw-P2P", "Phi-NFS", "Phi-virtio"});
+  for (uint64_t block : {KiB(32), KiB(64), KiB(128), KiB(256), KiB(512),
+                         MiB(1), MiB(2), MiB(4)}) {
+    table.AddRow({HumanSize(block),
+                  GBps3(MeasureHost(block, kThreads, false)),
+                  GBps3(MeasureSolros(block, kThreads, false)),
+                  GBps3(MeasureSolrosCrossNuma(block, kThreads, true)),
+                  GBps3(MeasureForcedCrossNumaP2p(block)),
+                  GBps3(MeasureNfs(block, kThreads, false)),
+                  GBps3(MeasureVirtio(block, kThreads, false))});
+  }
+  table.Print(std::cout);
+  std::cout << "\n(GB/s) shape: Solros tracks/exceeds Host; forced "
+               "cross-NUMA P2P caps at ~0.3 GB/s (the paper's relay "
+               "observation) while the Solros policy's host-staging "
+               "recovers most of the bandwidth; Phi-Linux paths sit an "
+               "order of magnitude below.\n";
+  return 0;
+}

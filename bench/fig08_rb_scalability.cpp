@@ -1,0 +1,136 @@
+// E08 — Fig. 8: ring-buffer scalability on real threads.
+//
+// "Scalability of Solros ring buffer for the enqueue-dequeue pair benchmark
+// with 64-byte elements ... At 61 cores, Solros provides 1.5x and 4.1x
+// higher performance than the ticket and the MCS-queue lock version for
+// two-lock queues."
+//
+// Each thread alternates enqueue and dequeue on one shared structure and we
+// report pair-operations/second. This is the repository's only wall-clock
+// benchmark: it exercises the real combining/MCS/ticket code under real
+// contention. NOTE: the measured curve depends on the host's core count —
+// on the paper's 61-core Phi the gaps are 1.5x/4.1x; on a small machine
+// the structures converge because there is no real parallelism (the
+// combining win comes from cross-core cache-line traffic that a single
+// core never pays). The binary prints the detected hardware concurrency so
+// results are interpretable.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/transport/ring_buffer.h"
+#include "src/transport/two_lock_queue.h"
+
+using namespace solros;
+
+namespace {
+
+constexpr uint32_t kElement = 64;
+constexpr uint32_t kPairsPerThread = 20000;
+
+// Runs `threads` workers doing enqueue/dequeue pairs; returns pairs/sec.
+template <typename EnqueueFn, typename DequeueFn>
+double RunPairs(int threads, EnqueueFn enqueue, DequeueFn dequeue) {
+  std::atomic<bool> go{false};
+  std::vector<std::thread> pool;
+  auto t0 = std::chrono::steady_clock::now();
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      while (!go.load(std::memory_order_acquire)) {
+        CpuRelax();
+      }
+      uint8_t payload[kElement] = {static_cast<uint8_t>(t)};
+      uint8_t out[kElement];
+      uint32_t size;
+      SpinWait spin;
+      for (uint32_t i = 0; i < kPairsPerThread; ++i) {
+        while (enqueue(payload) == kRbWouldBlock) {
+          spin.Pause();
+        }
+        while (dequeue(out, &size) == kRbWouldBlock) {
+          spin.Pause();
+        }
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& th : pool) {
+    th.join();
+  }
+  auto elapsed = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+  return static_cast<double>(threads) * kPairsPerThread / elapsed;
+}
+
+double RunSolros(int threads) {
+  RingBufferConfig config;
+  config.capacity = MiB(1);
+  RingBuffer rb(config);
+  return RunPairs(
+      threads,
+      [&rb](const uint8_t* p) { return rb.EnqueueCopy(p, kElement); },
+      [&rb](uint8_t* out, uint32_t* size) {
+        return rb.DequeueCopy(out, kElement, size);
+      });
+}
+
+double RunTicket(int threads) {
+  TicketTwoLockQueue queue;
+  return RunPairs(
+      threads,
+      [&queue](const uint8_t* p) { return queue.Enqueue(p, kElement); },
+      [&queue](uint8_t* out, uint32_t* size) {
+        return queue.Dequeue(out, kElement, size);
+      });
+}
+
+double RunMcs(int threads) {
+  McsTwoLockQueue queue;
+  return RunPairs(
+      threads,
+      [&queue](const uint8_t* p) { return queue.Enqueue(p, kElement); },
+      [&queue](uint8_t* out, uint32_t* size) {
+        return queue.Dequeue(out, kElement, size);
+      });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);  // accepted for flag compatibility
+
+  unsigned hw = std::thread::hardware_concurrency();
+  PrintHeader("Fig. 8 — ring buffer vs two-lock queues (real threads)",
+              "EuroSys'18 Solros, Figure 8");
+  std::cout << "hardware_concurrency=" << hw
+            << " (paper: 61-core Xeon Phi; expect converged curves when "
+               "threads >> cores)\n\n";
+
+  std::vector<int> thread_counts = {1, 2, 4, 8};
+  if (hw >= 16) {
+    thread_counts.push_back(16);
+  }
+  if (hw >= 32) {
+    thread_counts.push_back(32);
+  }
+
+  TablePrinter table({"threads", "solros kpairs/s", "two-lock(ticket)",
+                      "two-lock(mcs)"});
+  for (int threads : thread_counts) {
+    table.AddRow({std::to_string(threads),
+                  TablePrinter::Num(RunSolros(threads) / 1e3, 0),
+                  TablePrinter::Num(RunTicket(threads) / 1e3, 0),
+                  TablePrinter::Num(RunMcs(threads) / 1e3, 0)});
+  }
+  table.Print(std::cout);
+  std::cout << "\npaper shape: combining stays flat-to-rising with core "
+               "count; ticket collapses; MCS plateaus (4.1x and 1.5x below "
+               "Solros at 61 cores).\n";
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Shared measurement configurations for Figs. 1(a), 11 and 12: the four
+// server-side file-service setups of the paper's evaluation, measured with
+// the common random-I/O driver.
+#ifndef SOLROS_BENCH_FS_CONFIGS_H_
+#define SOLROS_BENCH_FS_CONFIGS_H_
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "bench/fs_workload.h"
+
+namespace solros {
+
+
+constexpr uint64_t kFileBytes = MiB(512);
+
+MachineConfig BenchMachine() {
+  MachineConfig config;
+  config.num_phis = 1;
+  config.nvme_capacity = GiB(1);
+  config.enable_network = false;
+  // Cold-cache runs: a modest cache that cannot hold the working set.
+  config.fs_options.cache_blocks = 8192;  // 32 MiB
+  return config;
+}
+
+double MeasureSolros(uint64_t block, int threads, bool is_write) {
+  Machine machine(BenchMachine());
+  CHECK_OK(RunSim(machine.sim(), machine.FormatFs()));
+  auto ino = RunSim(machine.sim(),
+                    PrepareWorkloadFile(&machine.fs(), "/work", kFileBytes));
+  CHECK_OK(ino);
+  FsWorkloadConfig config;
+  config.file_bytes = kFileBytes;
+  config.block_size = block;
+  config.threads = threads;
+  config.ops_per_thread = std::max<int>(4, 64 / threads);
+  config.is_write = is_write;
+  return RunFsWorkload(&machine.sim(), &machine.fs_stub(0), *ino,
+                       machine.phi_device(0), config)
+      .bandwidth();
+}
+
+double MeasureHost(uint64_t block, int threads, bool is_write) {
+  Machine machine(BenchMachine());
+  CHECK_OK(RunSim(machine.sim(), machine.FormatFs()));
+  auto ino = RunSim(machine.sim(),
+                    PrepareWorkloadFile(&machine.fs(), "/work", kFileBytes));
+  CHECK_OK(ino);
+  LocalFsService service(machine.params(), &machine.fs(),
+                         &machine.host_cpu());
+  FsWorkloadConfig config;
+  config.file_bytes = kFileBytes;
+  config.block_size = block;
+  config.threads = threads;
+  config.ops_per_thread = std::max<int>(4, 64 / threads);
+  config.is_write = is_write;
+  return RunFsWorkload(&machine.sim(), &service, *ino,
+                       machine.host_device(), config)
+      .bandwidth();
+}
+
+double MeasureVirtio(uint64_t block, int threads, bool is_write) {
+  Machine machine(BenchMachine());
+  VirtioBlockStore virtio(&machine.sim(), machine.params(), &machine.nvme(),
+                          &machine.host_cpu(), &machine.phi_cpu(0));
+  SolrosFs phi_fs(&virtio, &machine.sim());
+  CHECK_OK(RunSim(machine.sim(), phi_fs.Format(1024)));
+  auto ino = RunSim(machine.sim(),
+                    PrepareWorkloadFile(&phi_fs, "/work", kFileBytes));
+  CHECK_OK(ino);
+  LocalFsService service(machine.params(), &phi_fs, &machine.phi_cpu(0));
+  FsWorkloadConfig config;
+  config.file_bytes = kFileBytes;
+  config.block_size = block;
+  config.threads = threads;
+  config.ops_per_thread = std::max<int>(2, 16 / threads);
+  config.is_write = is_write;
+  return RunFsWorkload(&machine.sim(), &service, *ino,
+                       machine.phi_device(0), config)
+      .bandwidth();
+}
+
+double MeasureNfs(uint64_t block, int threads, bool is_write) {
+  Machine machine(BenchMachine());
+  CHECK_OK(RunSim(machine.sim(), machine.FormatFs()));
+  auto ino = RunSim(machine.sim(),
+                    PrepareWorkloadFile(&machine.fs(), "/work", kFileBytes));
+  CHECK_OK(ino);
+  NfsClientFs service(&machine.sim(), &machine.fabric(), machine.params(),
+                      &machine.fs(), &machine.host_cpu(),
+                      &machine.phi_cpu(0), machine.phi_device(0));
+  FsWorkloadConfig config;
+  config.file_bytes = kFileBytes;
+  config.block_size = block;
+  config.threads = threads;
+  config.ops_per_thread = std::max<int>(2, 16 / threads);
+  config.is_write = is_write;
+  return RunFsWorkload(&machine.sim(), &service, *ino,
+                       machine.phi_device(0), config)
+      .bandwidth();
+}
+
+void RunFsFigure(bool is_write) {
+  for (int threads : {1, 4, 8, 32, 61}) {
+    std::cout << "\n--- " << threads << " thread(s) ---\n";
+    TablePrinter table({"block", "Host GB/s", "Phi-Solros GB/s",
+                        "Phi-virtio GB/s", "Phi-NFS GB/s"});
+    for (uint64_t block : {KiB(32), KiB(64), KiB(128), KiB(256), KiB(512),
+                           MiB(1), MiB(2), MiB(4)}) {
+      table.AddRow({HumanSize(block),
+                    GBps3(MeasureHost(block, threads, is_write)),
+                    GBps3(MeasureSolros(block, threads, is_write)),
+                    GBps3(MeasureVirtio(block, threads, is_write)),
+                    GBps3(MeasureNfs(block, threads, is_write))});
+    }
+    table.Print(std::cout);
+  }
+}
+
+
+}  // namespace solros
+
+#endif  // SOLROS_BENCH_FS_CONFIGS_H_

@@ -1,0 +1,127 @@
+// Shared random-I/O workload driver for the file-system benchmarks
+// (Figs. 1(a), 11, 12): N worker tasks issue block-aligned random reads or
+// writes of one block size against a preallocated file, through any
+// FileService configuration.
+#ifndef SOLROS_BENCH_FS_WORKLOAD_H_
+#define SOLROS_BENCH_FS_WORKLOAD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/prng.h"
+#include "src/core/machine.h"
+#include "src/fs/baseline_fs.h"
+#include "src/fs/file_service.h"
+#include "src/sim/sync.h"
+
+namespace solros {
+
+struct FsWorkloadConfig {
+  uint64_t file_bytes = MiB(512);  // paper: 4 GB (scaled; ceilings identical)
+  uint64_t block_size = MiB(1);
+  int threads = 8;
+  int ops_per_thread = 16;
+  bool is_write = false;
+  uint64_t seed = 1234;
+};
+
+struct FsWorkloadResult {
+  uint64_t bytes = 0;
+  Nanos elapsed = 0;
+  double bandwidth() const { return RateBps(bytes, elapsed); }
+};
+
+namespace bench_internal {
+
+inline Task<void> IoWorker(FileService* service, uint64_t ino,
+                           DeviceId buffer_device,
+                           const FsWorkloadConfig* config, uint64_t seed,
+                           uint64_t* bytes_done, Status* first_error,
+                           WaitGroup* wg) {
+  Prng prng(seed);
+  DeviceBuffer buffer(buffer_device, config->block_size);
+  // Deterministic content so writes are verifiable if needed.
+  for (auto& b : buffer.Span(0, config->block_size)) {
+    b = static_cast<uint8_t>(prng.Next());
+  }
+  uint64_t blocks = config->file_bytes / config->block_size;
+  for (int i = 0; i < config->ops_per_thread; ++i) {
+    uint64_t offset = prng.NextBelow(blocks) * config->block_size;
+    if (config->is_write) {
+      auto n = co_await service->Write(ino, offset, MemRef::Of(buffer));
+      if (!n.ok()) {
+        if (first_error->ok()) {
+          *first_error = n.status();
+        }
+        break;
+      }
+      *bytes_done += *n;
+    } else {
+      auto n = co_await service->Read(ino, offset, MemRef::Of(buffer));
+      if (!n.ok()) {
+        if (first_error->ok()) {
+          *first_error = n.status();
+        }
+        break;
+      }
+      *bytes_done += *n;
+    }
+  }
+  wg->Done();
+}
+
+}  // namespace bench_internal
+
+// Creates and fills the working file through `setup_fs` (host-side), so the
+// measurement phase sees a fully allocated, contiguous-ish file.
+inline Task<Result<uint64_t>> PrepareWorkloadFile(SolrosFs* fs,
+                                                  const std::string& path,
+                                                  uint64_t file_bytes) {
+  SOLROS_CO_ASSIGN_OR_RETURN(uint64_t ino, co_await fs->Create(path));
+  // Fill in 8 MiB chunks with deterministic bytes.
+  std::vector<uint8_t> chunk(MiB(8));
+  Prng prng(7);
+  for (auto& b : chunk) {
+    b = static_cast<uint8_t>(prng.Next());
+  }
+  uint64_t written = 0;
+  while (written < file_bytes) {
+    uint64_t n = std::min<uint64_t>(chunk.size(), file_bytes - written);
+    SOLROS_CO_ASSIGN_OR_RETURN(
+        uint64_t w,
+        co_await fs->WriteAt(ino, written, {chunk.data(), n}));
+    written += w;
+  }
+  co_return ino;
+}
+
+// Runs the workload and returns aggregate bandwidth. The file must exist
+// with inode `ino`.
+inline FsWorkloadResult RunFsWorkload(Simulator* sim, FileService* service,
+                                      uint64_t ino, DeviceId buffer_device,
+                                      const FsWorkloadConfig& config) {
+  WaitGroup wg(sim);
+  std::vector<uint64_t> bytes(config.threads, 0);
+  Status first_error;
+  SimTime t0 = sim->now();
+  for (int t = 0; t < config.threads; ++t) {
+    wg.Add(1);
+    Spawn(*sim, bench_internal::IoWorker(service, ino, buffer_device,
+                                         &config, config.seed + t,
+                                         &bytes[t], &first_error, &wg));
+  }
+  sim->RunUntilIdle();
+  CHECK_EQ(wg.outstanding(), 0u);
+  CHECK_OK(first_error);
+  FsWorkloadResult result;
+  result.elapsed = sim->now() - t0;
+  for (uint64_t b : bytes) {
+    result.bytes += b;
+  }
+  return result;
+}
+
+}  // namespace solros
+
+#endif  // SOLROS_BENCH_FS_WORKLOAD_H_

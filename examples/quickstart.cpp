@@ -1,0 +1,73 @@
+// Quickstart: build a Solros machine, do file I/O from a co-processor.
+//
+// Walks the core API end to end:
+//  1. assemble a simulated heterogeneous machine (host + Xeon Phi-class
+//     co-processor + NVMe SSD on a PCIe fabric);
+//  2. format/mount SolrosFS on the control plane;
+//  3. from the data plane, create a file and write/read it through the
+//     thin stub — the proxy picks the peer-to-peer NVMe path;
+//  4. show what the control plane decided and what it cost.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstring>
+#include <iostream>
+
+#include "src/base/prng.h"
+#include "src/core/machine.h"
+
+using namespace solros;  // examples favour brevity
+
+int main() {
+  MachineConfig config;
+  config.num_phis = 1;
+  config.nvme_capacity = MiB(512);
+  Machine machine(std::move(config));
+
+  // --- control plane: make the file system.
+  CHECK_OK(RunSim(machine.sim(), machine.FormatFs()));
+  std::cout << "SolrosFS formatted: " << machine.fs().total_blocks()
+            << " blocks, " << machine.fs().free_blocks() << " free\n";
+
+  FsStub& stub = machine.fs_stub(0);
+
+  // --- data plane: create a file and write 16 MiB from Phi memory.
+  auto ino = RunSim(machine.sim(), stub.Create("/hello.bin"));
+  CHECK_OK(ino);
+
+  const uint64_t kBytes = MiB(16);
+  DeviceBuffer phi_out(machine.phi_device(0), kBytes);
+  Prng prng(2026);
+  for (auto& b : phi_out.Span(0, kBytes)) {
+    b = static_cast<uint8_t>(prng.Next());
+  }
+
+  SimTime t0 = machine.sim().now();
+  auto written = RunSim(machine.sim(), stub.Write(*ino, 0,
+                                                  MemRef::Of(phi_out)));
+  CHECK_OK(written);
+  Nanos write_time = machine.sim().now() - t0;
+
+  // --- read it back into a different Phi buffer.
+  DeviceBuffer phi_in(machine.phi_device(0), kBytes);
+  t0 = machine.sim().now();
+  auto read = RunSim(machine.sim(), stub.Read(*ino, 0, MemRef::Of(phi_in)));
+  CHECK_OK(read);
+  Nanos read_time = machine.sim().now() - t0;
+
+  CHECK_EQ(std::memcmp(phi_in.data(), phi_out.data(), kBytes), 0);
+  std::cout << "wrote+read " << kBytes / MiB(1) << " MiB, data verified\n";
+
+  const FsProxyStats& stats = machine.fs_proxy().stats();
+  std::cout << "control-plane decisions: " << stats.p2p_writes
+            << " P2P write(s), " << stats.p2p_reads << " P2P read(s), "
+            << stats.buffered_reads + stats.buffered_writes
+            << " buffered op(s)\n";
+  std::cout << "write: " << ToMillis(write_time) << " ms ("
+            << RateBps(kBytes, write_time) / 1e9 << " GB/s; SSD limit 1.2)\n";
+  std::cout << "read:  " << ToMillis(read_time) << " ms ("
+            << RateBps(kBytes, read_time) / 1e9 << " GB/s; SSD limit 2.4)\n";
+  std::cout << "NVMe doorbells=" << machine.nvme().doorbells_rung()
+            << " interrupts=" << machine.nvme().interrupts_raised()
+            << " (I/O vectors coalesce both)\n";
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Text indexing (§6.2) on two architectures.
+//
+// Builds the same corpus twice and indexes it from the co-processor via
+// (a) the Solros stub (P2P reads, host file system) and (b) the stock
+// co-processor-centric path (file system on the Phi over a virtio block
+// relay) — then prints the end-to-end times and the speedup. The paper
+// reports ~19x for this workload.
+//
+// Build & run:  ./build/examples/text_indexing
+#include <iostream>
+
+#include "src/apps/text_index.h"
+#include "src/core/machine.h"
+#include "src/fs/baseline_fs.h"
+
+using namespace solros;
+
+namespace {
+
+MachineConfig BaseConfig() {
+  MachineConfig config;
+  config.num_phis = 1;
+  config.nvme_capacity = GiB(1);
+  config.enable_network = false;
+  return config;
+}
+
+CorpusConfig Corpus() {
+  CorpusConfig corpus;
+  corpus.num_documents = 48;
+  corpus.document_bytes = MiB(2);
+  return corpus;
+}
+
+TextIndexConfig IndexConfig(std::vector<std::string> files) {
+  TextIndexConfig config;
+  config.files = std::move(files);
+  config.workers = 61;  // one per Phi core
+  config.read_chunk = MiB(2);
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  // --- Solros configuration.
+  Nanos solros_time = 0;
+  TextIndexResult solros_result;
+  {
+    Machine machine(BaseConfig());
+    CHECK_OK(RunSim(machine.sim(), machine.FormatFs()));
+    auto files = RunSim(machine.sim(),
+                        GenerateCorpus(&machine.fs(), Corpus()));
+    CHECK_OK(files);
+    SimTime t0 = machine.sim().now();
+    auto result = RunSim(
+        machine.sim(),
+        RunTextIndex(&machine.sim(), &machine.fs_stub(0),
+                     &machine.phi_cpu(0), machine.phi_device(0),
+                     IndexConfig(*files)));
+    CHECK_OK(result);
+    solros_result = *result;
+    solros_time = machine.sim().now() - t0;
+  }
+
+  // --- stock Phi-Linux (virtio) configuration.
+  Nanos virtio_time = 0;
+  TextIndexResult virtio_result;
+  {
+    Machine machine(BaseConfig());
+    VirtioBlockStore virtio(&machine.sim(), machine.params(),
+                            &machine.nvme(), &machine.host_cpu(),
+                            &machine.phi_cpu(0));
+    SolrosFs phi_fs(&virtio, &machine.sim());
+    CHECK_OK(RunSim(machine.sim(), phi_fs.Format(4096)));
+    auto files = RunSim(machine.sim(), GenerateCorpus(&phi_fs, Corpus()));
+    CHECK_OK(files);
+    LocalFsService service(machine.params(), &phi_fs, &machine.phi_cpu(0));
+    SimTime t0 = machine.sim().now();
+    auto result = RunSim(
+        machine.sim(),
+        RunTextIndex(&machine.sim(), &service, &machine.phi_cpu(0),
+                     machine.phi_device(0), IndexConfig(*files)));
+    CHECK_OK(result);
+    virtio_result = *result;
+    virtio_time = machine.sim().now() - t0;
+  }
+
+  CHECK_EQ(solros_result.tokens, virtio_result.tokens);
+  CHECK_EQ(solros_result.unique_terms, virtio_result.unique_terms);
+
+  std::cout << "corpus: " << solros_result.files_indexed << " documents, "
+            << solros_result.bytes_indexed / MiB(1) << " MiB\n";
+  std::cout << "index:  " << solros_result.tokens << " tokens, "
+            << solros_result.unique_terms << " unique terms, "
+            << solros_result.postings << " postings\n\n";
+  std::cout << "Phi-Solros: " << ToMillis(solros_time) << " ms\n";
+  std::cout << "Phi-Linux (virtio): " << ToMillis(virtio_time) << " ms\n";
+  std::cout << "speedup: "
+            << static_cast<double>(virtio_time) /
+                   static_cast<double>(solros_time)
+            << "x (paper: ~19x)\n";
+  return 0;
+}

@@ -1,0 +1,201 @@
+#include "src/apps/image_search.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/base/logging.h"
+#include "src/base/prng.h"
+#include "src/hw/memory.h"
+#include "src/sim/sync.h"
+
+namespace solros {
+namespace {
+
+struct ImageHeader {
+  uint32_t magic = 0x146e5u;  // "IMG"
+  uint32_t descriptor_count = 0;
+};
+
+// The header occupies a full 4 KiB block so the descriptor payload (and
+// the file as a whole) stays block-aligned — whole-file reads then qualify
+// for the proxy's zero-copy P2P path.
+constexpr uint64_t kImageHeaderBytes = 4096;
+
+uint64_t ImageFileBytes(uint32_t descriptors) {
+  return kImageHeaderBytes + uint64_t{descriptors} * kDescriptorDim;
+}
+
+}  // namespace
+
+Task<Result<std::vector<std::string>>> GenerateImageDb(
+    SolrosFs* fs, const ImageDbConfig& config) {
+  Status mk = co_await fs->Mkdir(config.directory);
+  if (!mk.ok() && mk.code() != ErrorCode::kAlreadyExists) {
+    co_return mk;
+  }
+  Prng prng(config.seed);
+  std::vector<std::string> paths;
+  std::vector<uint8_t> blob(ImageFileBytes(config.descriptors_per_image));
+  for (int i = 0; i < config.num_images; ++i) {
+    ImageHeader header;
+    header.descriptor_count = config.descriptors_per_image;
+    std::memset(blob.data(), 0, kImageHeaderBytes);
+    std::memcpy(blob.data(), &header, sizeof(header));
+    for (size_t b = kImageHeaderBytes; b < blob.size(); ++b) {
+      blob[b] = static_cast<uint8_t>(prng.Next());
+    }
+    std::string path =
+        config.directory + "/img" + std::to_string(i) + ".feat";
+    SOLROS_CO_ASSIGN_OR_RETURN(uint64_t ino, co_await fs->Create(path));
+    SOLROS_CO_ASSIGN_OR_RETURN(uint64_t n,
+                               co_await fs->WriteAt(ino, 0, blob));
+    if (n != blob.size()) {
+      co_return IoError("short image write");
+    }
+    paths.push_back(std::move(path));
+  }
+  co_return paths;
+}
+
+namespace {
+
+// Sum over query descriptors of the min L1 distance to any db descriptor
+// (a real, exact nearest-descriptor scan).
+uint64_t MatchScore(std::span<const uint8_t> query, uint32_t query_count,
+                    std::span<const uint8_t> db, uint32_t db_count) {
+  uint64_t total = 0;
+  for (uint32_t q = 0; q < query_count; ++q) {
+    const uint8_t* qd = query.data() + uint64_t{q} * kDescriptorDim;
+    uint64_t best = ~0ull;
+    for (uint32_t d = 0; d < db_count; ++d) {
+      const uint8_t* dd = db.data() + uint64_t{d} * kDescriptorDim;
+      uint64_t dist = 0;
+      for (uint32_t k = 0; k < kDescriptorDim; ++k) {
+        dist += static_cast<uint64_t>(
+            qd[k] > dd[k] ? qd[k] - dd[k] : dd[k] - qd[k]);
+      }
+      if (dist < best) {
+        best = dist;
+      }
+    }
+    total += best;
+  }
+  return total;
+}
+
+struct SearchWork {
+  const ImageSearchConfig* config;
+  FileService* service;
+  Processor* cpu;
+  DeviceId buffer_device;
+  std::vector<uint8_t> query;
+  size_t next_file = 0;
+  Status first_error;
+  std::vector<ImageMatch> matches;
+  uint64_t bytes = 0;
+  uint64_t pairs = 0;
+};
+
+Task<void> SearchWorker(SearchWork* work, WaitGroup* wg) {
+  const ImageSearchConfig& config = *work->config;
+  while (true) {
+    if (work->next_file >= config.files.size()) {
+      break;
+    }
+    const std::string& path = config.files[work->next_file];
+    ++work->next_file;
+
+    auto ino = co_await work->service->Open(path);
+    if (!ino.ok()) {
+      if (work->first_error.ok()) {
+        work->first_error = ino.status();
+      }
+      break;
+    }
+    auto stat_size = co_await work->service->Stat(path);
+    if (!stat_size.ok()) {
+      if (work->first_error.ok()) {
+        work->first_error = stat_size.status();
+      }
+      break;
+    }
+    DeviceBuffer buffer(work->buffer_device, stat_size->size);
+    auto n = co_await work->service->Read(*ino, 0, MemRef::Of(buffer));
+    if (!n.ok() || *n != stat_size->size) {
+      if (work->first_error.ok()) {
+        work->first_error =
+            n.ok() ? IoError("short image read") : n.status();
+      }
+      break;
+    }
+    work->bytes += *n;
+
+    ImageHeader header;
+    std::memcpy(&header, buffer.data(), sizeof(header));
+    uint64_t feature_bytes =
+        uint64_t{header.descriptor_count} * kDescriptorDim;
+    if (kImageHeaderBytes + feature_bytes > *n) {
+      if (work->first_error.ok()) {
+        work->first_error = IoError("corrupt image file: " + path);
+      }
+      break;
+    }
+    uint64_t pair_count =
+        uint64_t{header.descriptor_count} * config.query_descriptors;
+    // Charge the matching kernel to this processor, then actually run it.
+    co_await work->cpu->Compute(static_cast<Nanos>(
+        static_cast<double>(pair_count) * config.match_ns_per_pair));
+    uint64_t score = MatchScore(
+        {work->query.data(), work->query.size()}, config.query_descriptors,
+        buffer.Span(kImageHeaderBytes, feature_bytes),
+        header.descriptor_count);
+    work->pairs += pair_count;
+    work->matches.push_back(ImageMatch{path, score});
+  }
+  wg->Done();
+}
+
+}  // namespace
+
+Task<Result<ImageSearchResult>> RunImageSearch(Simulator* sim,
+                                               FileService* service,
+                                               Processor* cpu,
+                                               DeviceId buffer_device,
+                                               const ImageSearchConfig&
+                                                   config) {
+  SearchWork work;
+  work.config = &config;
+  work.service = service;
+  work.cpu = cpu;
+  work.buffer_device = buffer_device;
+  // Deterministic query descriptors.
+  Prng prng(config.query_seed);
+  work.query.resize(uint64_t{config.query_descriptors} * kDescriptorDim);
+  for (auto& b : work.query) {
+    b = static_cast<uint8_t>(prng.Next());
+  }
+
+  WaitGroup wg(sim);
+  for (int w = 0; w < config.workers; ++w) {
+    wg.Add(1);
+    Spawn(*sim, SearchWorker(&work, &wg));
+  }
+  co_await wg.Wait();
+  if (!work.first_error.ok()) {
+    co_return work.first_error;
+  }
+
+  ImageSearchResult result;
+  result.images_scanned = work.matches.size();
+  result.bytes_read = work.bytes;
+  result.descriptor_pairs = work.pairs;
+  std::sort(work.matches.begin(), work.matches.end(),
+            [](const ImageMatch& a, const ImageMatch& b) {
+              return a.score < b.score;
+            });
+  size_t k = std::min<size_t>(config.top_k, work.matches.size());
+  result.top.assign(work.matches.begin(), work.matches.begin() + k);
+  co_return result;
+}
+
+}  // namespace solros

@@ -1,0 +1,291 @@
+#include "src/apps/kv_store.h"
+
+#include <cstring>
+
+#include "src/base/logging.h"
+
+namespace solros {
+namespace {
+
+struct DecodedRequest {
+  KvOp op;
+  std::string key;
+  std::vector<uint8_t> value;
+};
+
+bool DecodeRequest(std::span<const uint8_t> bytes, DecodedRequest* out) {
+  if (bytes.size() < 7) {
+    return false;
+  }
+  out->op = static_cast<KvOp>(bytes[0]);
+  uint16_t key_len;
+  uint32_t val_len;
+  std::memcpy(&key_len, bytes.data() + 1, 2);
+  std::memcpy(&val_len, bytes.data() + 3, 4);
+  if (bytes.size() != 7u + key_len + val_len) {
+    return false;
+  }
+  out->key.assign(reinterpret_cast<const char*>(bytes.data() + 7), key_len);
+  out->value.assign(bytes.begin() + 7 + key_len, bytes.end());
+  return true;
+}
+
+struct DecodedReply {
+  KvStatus status;
+  std::vector<uint8_t> value;
+};
+
+bool DecodeReply(std::span<const uint8_t> bytes, DecodedReply* out) {
+  if (bytes.size() < 5) {
+    return false;
+  }
+  out->status = static_cast<KvStatus>(bytes[0]);
+  uint32_t val_len;
+  std::memcpy(&val_len, bytes.data() + 1, 4);
+  if (bytes.size() != 5u + val_len) {
+    return false;
+  }
+  out->value.assign(bytes.begin() + 5, bytes.end());
+  return true;
+}
+
+// FNV-1a over the key; must match on client and (potentially) a
+// content-based forwarding rule in the proxy.
+uint64_t KeyHash(const std::string& key) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : key) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeKvRequest(KvOp op, const std::string& key,
+                                     std::span<const uint8_t> value) {
+  CHECK_LE(key.size(), 65535u);
+  std::vector<uint8_t> out(7 + key.size() + value.size());
+  out[0] = static_cast<uint8_t>(op);
+  uint16_t key_len = static_cast<uint16_t>(key.size());
+  uint32_t val_len = static_cast<uint32_t>(value.size());
+  std::memcpy(out.data() + 1, &key_len, 2);
+  std::memcpy(out.data() + 3, &val_len, 4);
+  std::memcpy(out.data() + 7, key.data(), key.size());
+  if (!value.empty()) {
+    std::memcpy(out.data() + 7 + key.size(), value.data(), value.size());
+  }
+  return out;
+}
+
+std::vector<uint8_t> EncodeKvReply(KvStatus status,
+                                   std::span<const uint8_t> value) {
+  std::vector<uint8_t> out(5 + value.size());
+  out[0] = static_cast<uint8_t>(status);
+  uint32_t val_len = static_cast<uint32_t>(value.size());
+  std::memcpy(out.data() + 1, &val_len, 4);
+  if (!value.empty()) {
+    std::memcpy(out.data() + 5, value.data(), value.size());
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// KvServer
+// ---------------------------------------------------------------------------
+
+KvServer::KvServer(Simulator* sim, ServerSocketApi* api, uint32_t shard_id)
+    : sim_(sim), api_(api), shard_id_(shard_id) {}
+
+void KvServer::Start(uint16_t port, int max_connections) {
+  Spawn(*sim_, AcceptLoop(this, port, max_connections));
+}
+
+Task<void> KvServer::AcceptLoop(KvServer* self, uint16_t port,
+                                int max_connections) {
+  auto listener = co_await self->api_->Listen(port, 256);
+  CHECK_OK(listener);
+  for (int c = 0; c < max_connections; ++c) {
+    auto sock = co_await self->api_->Accept(*listener);
+    if (!sock.ok()) {
+      break;
+    }
+    Spawn(*self->sim_, ServeConnection(self, *sock));
+  }
+}
+
+Task<void> KvServer::ServeConnection(KvServer* self, int64_t sock) {
+  while (true) {
+    auto message = co_await self->api_->Recv(sock);
+    if (!message.ok()) {
+      break;  // peer closed
+    }
+    DecodedRequest request;
+    std::vector<uint8_t> reply;
+    if (!DecodeRequest(*message, &request)) {
+      reply = EncodeKvReply(KvStatus::kError, {});
+    } else {
+      switch (request.op) {
+        case KvOp::kGet: {
+          ++self->stats_.gets;
+          auto it = self->table_.find(request.key);
+          if (it == self->table_.end()) {
+            ++self->stats_.misses;
+            reply = EncodeKvReply(KvStatus::kNotFound, {});
+          } else {
+            ++self->stats_.hits;
+            reply = EncodeKvReply(KvStatus::kOk, it->second);
+          }
+          break;
+        }
+        case KvOp::kPut: {
+          ++self->stats_.puts;
+          self->table_[request.key] = std::move(request.value);
+          reply = EncodeKvReply(KvStatus::kOk, {});
+          break;
+        }
+        case KvOp::kDelete: {
+          ++self->stats_.deletes;
+          bool erased = self->table_.erase(request.key) != 0;
+          reply = EncodeKvReply(
+              erased ? KvStatus::kOk : KvStatus::kNotFound, {});
+          break;
+        }
+        case KvOp::kWhoAmI: {
+          uint32_t id = self->shard_id_;
+          reply = EncodeKvReply(
+              KvStatus::kOk,
+              {reinterpret_cast<const uint8_t*>(&id), sizeof(id)});
+          break;
+        }
+      }
+    }
+    if (!(co_await self->api_->Send(sock, reply)).ok()) {
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// KvClient
+// ---------------------------------------------------------------------------
+
+KvClient::KvClient(Simulator* sim, EthernetFabric* ethernet, Processor* cpu,
+                   uint32_t base_addr)
+    : sim_(sim), ethernet_(ethernet), cpu_(cpu), base_addr_(base_addr) {}
+
+uint32_t KvClient::ShardOf(const std::string& key) const {
+  DCHECK(num_shards_ > 0);
+  return static_cast<uint32_t>(KeyHash(key) % num_shards_);
+}
+
+Task<Result<std::vector<uint8_t>>> KvClient::Call(
+    uint64_t conn, KvOp op, const std::string& key,
+    std::span<const uint8_t> value, KvStatus* status_out) {
+  std::vector<uint8_t> request = EncodeKvRequest(op, key, value);
+  SOLROS_CO_RETURN_IF_ERROR(
+      co_await ethernet_->ClientSend(conn, request, cpu_));
+  SOLROS_CO_ASSIGN_OR_RETURN(std::vector<uint8_t> raw,
+                             co_await ethernet_->ClientRecv(conn));
+  DecodedReply reply;
+  if (!DecodeReply(raw, &reply)) {
+    co_return IoError("malformed kv reply");
+  }
+  *status_out = reply.status;
+  co_return std::move(reply.value);
+}
+
+Task<Status> KvClient::Connect(uint16_t port, uint32_t num_shards,
+                               int max_attempts) {
+  num_shards_ = num_shards;
+  uint32_t next_addr = base_addr_;
+  for (int attempt = 0;
+       attempt < max_attempts && shard_conns_.size() < num_shards;
+       ++attempt) {
+    SOLROS_CO_ASSIGN_OR_RETURN(
+        uint64_t conn,
+        co_await ethernet_->ClientConnect(next_addr++, port, cpu_));
+    KvStatus status = KvStatus::kError;
+    SOLROS_CO_ASSIGN_OR_RETURN(std::vector<uint8_t> id_bytes,
+                               co_await Call(conn, KvOp::kWhoAmI, "", {},
+                                             &status));
+    if (status != KvStatus::kOk || id_bytes.size() != sizeof(uint32_t)) {
+      co_return IoError("bad WHOAMI reply");
+    }
+    uint32_t shard;
+    std::memcpy(&shard, id_bytes.data(), sizeof(shard));
+    if (shard_conns_.emplace(shard, conn).second) {
+      continue;  // new shard discovered
+    }
+    extra_conns_.push_back(conn);  // duplicate; keep open, close later
+  }
+  if (shard_conns_.size() < num_shards) {
+    co_return Status(ErrorCode::kTimedOut,
+                     "could not reach every shard via the load balancer");
+  }
+  co_return OkStatus();
+}
+
+Task<Status> KvClient::Put(const std::string& key,
+                           std::span<const uint8_t> value) {
+  auto it = shard_conns_.find(ShardOf(key));
+  if (it == shard_conns_.end()) {
+    co_return Status(ErrorCode::kNotConnected);
+  }
+  KvStatus status = KvStatus::kError;
+  SOLROS_CO_ASSIGN_OR_RETURN(std::vector<uint8_t> ignored,
+                             co_await Call(it->second, KvOp::kPut, key,
+                                           value, &status));
+  (void)ignored;
+  co_return status == KvStatus::kOk
+      ? OkStatus()
+      : IoError("kv put failed");
+}
+
+Task<Result<std::vector<uint8_t>>> KvClient::Get(const std::string& key) {
+  auto it = shard_conns_.find(ShardOf(key));
+  if (it == shard_conns_.end()) {
+    co_return Status(ErrorCode::kNotConnected);
+  }
+  KvStatus status = KvStatus::kError;
+  SOLROS_CO_ASSIGN_OR_RETURN(std::vector<uint8_t> value,
+                             co_await Call(it->second, KvOp::kGet, key, {},
+                                           &status));
+  if (status == KvStatus::kNotFound) {
+    co_return NotFoundError(key);
+  }
+  if (status != KvStatus::kOk) {
+    co_return IoError("kv get failed");
+  }
+  co_return std::move(value);
+}
+
+Task<Status> KvClient::Delete(const std::string& key) {
+  auto it = shard_conns_.find(ShardOf(key));
+  if (it == shard_conns_.end()) {
+    co_return Status(ErrorCode::kNotConnected);
+  }
+  KvStatus status = KvStatus::kError;
+  SOLROS_CO_ASSIGN_OR_RETURN(std::vector<uint8_t> ignored,
+                             co_await Call(it->second, KvOp::kDelete, key,
+                                           {}, &status));
+  (void)ignored;
+  if (status == KvStatus::kNotFound) {
+    co_return NotFoundError(key);
+  }
+  co_return status == KvStatus::kOk ? OkStatus()
+                                    : IoError("kv delete failed");
+}
+
+Task<void> KvClient::Close() {
+  for (auto& [shard, conn] : shard_conns_) {
+    co_await ethernet_->ClientClose(conn, cpu_);
+  }
+  for (uint64_t conn : extra_conns_) {
+    co_await ethernet_->ClientClose(conn, cpu_);
+  }
+  shard_conns_.clear();
+  extra_conns_.clear();
+}
+
+}  // namespace solros

@@ -1,0 +1,112 @@
+// Sharded key-value store over the Solros network service.
+//
+// §4.4.3 motivates content-based forwarding with "each request of
+// key/value store": this app runs one KV shard per co-processor, all
+// listening on the same shared port. A client discovers the shard behind
+// each of its connections (WHOAMI), then routes every key to the right
+// shard — the memcached-style pattern the paper's pluggable forwarding
+// rules are designed for.
+//
+// Wire protocol (binary, little-endian, one message per request/reply):
+//   request : op u8 | key_len u16 | val_len u32 | key bytes | value bytes
+//   reply   : status u8 | val_len u32 | value bytes
+#ifndef SOLROS_SRC_APPS_KV_STORE_H_
+#define SOLROS_SRC_APPS_KV_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/hw/processor.h"
+#include "src/net/ethernet.h"
+#include "src/net/server_api.h"
+#include "src/sim/task.h"
+
+namespace solros {
+
+enum class KvOp : uint8_t { kGet, kPut, kDelete, kWhoAmI };
+enum class KvStatus : uint8_t { kOk, kNotFound, kError };
+
+struct KvServerStats {
+  uint64_t gets = 0;
+  uint64_t puts = 0;
+  uint64_t deletes = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+};
+
+// One shard: accepts connections on `port` forever (until the listener
+// fails), serving each connection on its own task.
+class KvServer {
+ public:
+  KvServer(Simulator* sim, ServerSocketApi* api, uint32_t shard_id);
+
+  // Starts listening; serves up to `max_connections` then stops accepting.
+  void Start(uint16_t port, int max_connections);
+
+  const KvServerStats& stats() const { return stats_; }
+  size_t size() const { return table_.size(); }
+  uint32_t shard_id() const { return shard_id_; }
+
+ private:
+  static Task<void> AcceptLoop(KvServer* self, uint16_t port,
+                               int max_connections);
+  static Task<void> ServeConnection(KvServer* self, int64_t sock);
+
+  Simulator* sim_;
+  ServerSocketApi* api_;
+  uint32_t shard_id_;
+  std::unordered_map<std::string, std::vector<uint8_t>> table_;
+  KvServerStats stats_;
+};
+
+// Client with shard-affinity routing: opens `connections_per_shard *
+// num_shards` connections through the shared listening socket, discovers
+// which shard each landed on, and routes keys by hash.
+class KvClient {
+ public:
+  KvClient(Simulator* sim, EthernetFabric* ethernet, Processor* cpu,
+           uint32_t base_addr);
+
+  // Establishes connections until every shard in [0, num_shards) is
+  // reachable (requires the proxy's policy to eventually cover all
+  // shards; round-robin does).
+  Task<Status> Connect(uint16_t port, uint32_t num_shards,
+                       int max_attempts = 64);
+
+  Task<Status> Put(const std::string& key, std::span<const uint8_t> value);
+  Task<Result<std::vector<uint8_t>>> Get(const std::string& key);
+  Task<Status> Delete(const std::string& key);
+  Task<void> Close();
+
+  // Which shard a key routes to (exposed for tests).
+  uint32_t ShardOf(const std::string& key) const;
+  size_t connected_shards() const { return shard_conns_.size(); }
+
+ private:
+  Task<Result<std::vector<uint8_t>>> Call(uint64_t conn, KvOp op,
+                                          const std::string& key,
+                                          std::span<const uint8_t> value,
+                                          KvStatus* status_out);
+
+  Simulator* sim_;
+  EthernetFabric* ethernet_;
+  Processor* cpu_;
+  uint32_t base_addr_;
+  uint32_t num_shards_ = 0;
+  std::map<uint32_t, uint64_t> shard_conns_;  // shard id -> conn id
+  std::vector<uint64_t> extra_conns_;         // duplicates to close
+};
+
+// Encoding helpers (exposed for tests).
+std::vector<uint8_t> EncodeKvRequest(KvOp op, const std::string& key,
+                                     std::span<const uint8_t> value);
+std::vector<uint8_t> EncodeKvReply(KvStatus status,
+                                   std::span<const uint8_t> value);
+
+}  // namespace solros
+
+#endif  // SOLROS_SRC_APPS_KV_STORE_H_

@@ -1,0 +1,194 @@
+#include "src/apps/text_index.h"
+
+#include <cctype>
+#include <cstring>
+#include <unordered_map>
+
+#include "src/base/logging.h"
+#include "src/base/prng.h"
+#include "src/hw/memory.h"
+#include "src/sim/sync.h"
+
+namespace solros {
+namespace {
+
+// Deterministic word from a vocabulary id ("w" + base-26 digits).
+void AppendWord(std::string* out, uint64_t id) {
+  out->push_back('w');
+  do {
+    out->push_back(static_cast<char>('a' + id % 26));
+    id /= 26;
+  } while (id != 0);
+}
+
+}  // namespace
+
+Task<Result<std::vector<std::string>>> GenerateCorpus(
+    SolrosFs* fs, const CorpusConfig& config) {
+  Status mk = co_await fs->Mkdir(config.directory);
+  if (!mk.ok() && mk.code() != ErrorCode::kAlreadyExists) {
+    co_return mk;
+  }
+  Prng prng(config.seed);
+  std::vector<std::string> paths;
+  std::string content;
+  content.reserve(config.document_bytes + 64);
+  for (int d = 0; d < config.num_documents; ++d) {
+    content.clear();
+    while (content.size() < config.document_bytes) {
+      // Zipf-ish skew: square a uniform draw so low ids are frequent.
+      double u = prng.NextDouble();
+      uint64_t id = static_cast<uint64_t>(u * u *
+                                          static_cast<double>(
+                                              config.vocabulary));
+      AppendWord(&content, id);
+      content.push_back(prng.NextBool(0.05) ? '\n' : ' ');
+    }
+    content.resize(config.document_bytes);
+    std::string path =
+        config.directory + "/doc" + std::to_string(d) + ".txt";
+    SOLROS_CO_ASSIGN_OR_RETURN(uint64_t ino, co_await fs->Create(path));
+    SOLROS_CO_ASSIGN_OR_RETURN(
+        uint64_t n,
+        co_await fs->WriteAt(
+            ino, 0,
+            {reinterpret_cast<const uint8_t*>(content.data()),
+             content.size()}));
+    if (n != content.size()) {
+      co_return IoError("short corpus write");
+    }
+    paths.push_back(std::move(path));
+  }
+  co_return paths;
+}
+
+namespace {
+
+struct IndexShard {
+  // term -> postings (doc ids); a real in-memory inverted index.
+  std::unordered_map<std::string, std::vector<uint32_t>> terms;
+  uint64_t tokens = 0;
+};
+
+// Tokenizes `text` and inserts postings for document `doc`.
+void TokenizeInto(IndexShard* shard, std::span<const uint8_t> text,
+                  uint32_t doc) {
+  size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && !std::isalnum(text[i])) {
+      ++i;
+    }
+    size_t start = i;
+    while (i < text.size() && std::isalnum(text[i])) {
+      ++i;
+    }
+    if (i > start) {
+      std::string term(reinterpret_cast<const char*>(text.data() + start),
+                       i - start);
+      auto& postings = shard->terms[term];
+      if (postings.empty() || postings.back() != doc) {
+        postings.push_back(doc);
+      }
+      ++shard->tokens;
+    }
+  }
+}
+
+struct SharedWork {
+  const TextIndexConfig* config;
+  FileService* service;
+  Processor* cpu;
+  DeviceId buffer_device;
+  size_t next_file = 0;
+  Status first_error;
+  uint64_t bytes = 0;
+  uint64_t files = 0;
+};
+
+Task<void> IndexWorker(SharedWork* work, IndexShard* shard, WaitGroup* wg) {
+  const TextIndexConfig& config = *work->config;
+  DeviceBuffer buffer(work->buffer_device, config.read_chunk);
+  while (true) {
+    if (work->next_file >= config.files.size()) {
+      break;
+    }
+    const std::string& path = config.files[work->next_file];
+    uint32_t doc = static_cast<uint32_t>(work->next_file);
+    ++work->next_file;
+
+    auto ino = co_await work->service->Open(path);
+    if (!ino.ok()) {
+      if (work->first_error.ok()) {
+        work->first_error = ino.status();
+      }
+      break;
+    }
+    uint64_t offset = 0;
+    while (true) {
+      auto n = co_await work->service->Read(*ino, offset, MemRef::Of(buffer));
+      if (!n.ok()) {
+        if (work->first_error.ok()) {
+          work->first_error = n.status();
+        }
+        break;
+      }
+      if (*n == 0) {
+        break;
+      }
+      // Real tokenization of the actual bytes, plus the modeled CPU cost
+      // of doing it on this processor.
+      co_await work->cpu->Compute(static_cast<Nanos>(
+          static_cast<double>(*n) * config.tokenize_ns_per_byte));
+      TokenizeInto(shard, buffer.Span(0, *n), doc);
+      work->bytes += *n;
+      offset += *n;
+      if (*n < config.read_chunk) {
+        break;
+      }
+    }
+    ++work->files;
+  }
+  wg->Done();
+}
+
+}  // namespace
+
+Task<Result<TextIndexResult>> RunTextIndex(Simulator* sim,
+                                           FileService* service,
+                                           Processor* cpu,
+                                           DeviceId buffer_device,
+                                           const TextIndexConfig& config) {
+  SharedWork work;
+  work.config = &config;
+  work.service = service;
+  work.cpu = cpu;
+  work.buffer_device = buffer_device;
+
+  std::vector<IndexShard> shards(config.workers);
+  WaitGroup wg(sim);
+  for (int w = 0; w < config.workers; ++w) {
+    wg.Add(1);
+    Spawn(*sim, IndexWorker(&work, &shards[w], &wg));
+  }
+  co_await wg.Wait();
+  if (!work.first_error.ok()) {
+    co_return work.first_error;
+  }
+
+  // Merge shards into the global index.
+  std::unordered_map<std::string, uint64_t> merged;
+  TextIndexResult result;
+  result.files_indexed = work.files;
+  result.bytes_indexed = work.bytes;
+  for (const IndexShard& shard : shards) {
+    result.tokens += shard.tokens;
+    for (const auto& [term, postings] : shard.terms) {
+      merged[term] += postings.size();
+      result.postings += postings.size();
+    }
+  }
+  result.unique_terms = merged.size();
+  co_return result;
+}
+
+}  // namespace solros

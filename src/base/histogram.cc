@@ -1,0 +1,136 @@
+#include "src/base/histogram.h"
+
+#include <bit>
+
+#include "src/base/logging.h"
+
+namespace solros {
+
+// Log-linear bucketing with k = sub_bucket_bits_:
+//  * values in [0, 2^k) are recorded exactly (index == value);
+//  * a value with most-significant bit e >= k is first reduced to its top
+//    k+1 bits, top = value >> (e - k), which lies in [2^k, 2^(k+1)); the
+//    bucket is then (g, top - 2^k) with group g = e - k + 1.
+// Group g >= 1 occupies indices [g * 2^k, (g + 1) * 2^k), disjoint from the
+// exact region [0, 2^k) and from every other group. Relative bucket width is
+// 2^-k (~1.5% for the default k = 6).
+
+Histogram::Histogram(int sub_bucket_bits) : sub_bucket_bits_(sub_bucket_bits) {
+  CHECK(sub_bucket_bits >= 1 && sub_bucket_bits <= 16);
+  sub_bucket_count_ = 1ull << sub_bucket_bits_;
+  // Groups 0 (exact) through 64 - k inclusive.
+  size_t groups = static_cast<size_t>(64 - sub_bucket_bits_) + 1;
+  counts_.assign((groups + 1) << sub_bucket_bits_, 0);
+}
+
+size_t Histogram::BucketIndex(uint64_t value) const {
+  if (value < sub_bucket_count_) {
+    return static_cast<size_t>(value);
+  }
+  int e = 63 - std::countl_zero(value);
+  int g = e - sub_bucket_bits_ + 1;
+  uint64_t top = value >> (e - sub_bucket_bits_);  // in [2^k, 2^(k+1))
+  size_t index = (static_cast<size_t>(g) << sub_bucket_bits_) +
+                 static_cast<size_t>(top - sub_bucket_count_);
+  DCHECK_LT(index, counts_.size());
+  return index;
+}
+
+uint64_t Histogram::BucketUpperBound(size_t index) const {
+  if (index < sub_bucket_count_) {
+    return index;
+  }
+  uint64_t g = index >> sub_bucket_bits_;
+  uint64_t sub = index & (sub_bucket_count_ - 1);
+  // Inverse of BucketIndex: e = g + k - 1, shift = e - k = g - 1.
+  int shift = static_cast<int>(g) - 1;
+  return ((sub + sub_bucket_count_ + 1) << shift) - 1;
+}
+
+void Histogram::Record(uint64_t value) { RecordN(value, 1); }
+
+void Histogram::RecordN(uint64_t value, uint64_t count) {
+  if (count == 0) {
+    return;
+  }
+  counts_[BucketIndex(value)] += count;
+  total_count_ += count;
+  if (value < min_) {
+    min_ = value;
+  }
+  if (value > max_) {
+    max_ = value;
+  }
+  sum_ += static_cast<double>(value) * static_cast<double>(count);
+}
+
+double Histogram::Mean() const {
+  if (total_count_ == 0) {
+    return 0.0;
+  }
+  return sum_ / static_cast<double>(total_count_);
+}
+
+uint64_t Histogram::ValueAtQuantile(double q) const {
+  if (total_count_ == 0) {
+    return 0;
+  }
+  if (q < 0.0) {
+    q = 0.0;
+  }
+  if (q > 1.0) {
+    q = 1.0;
+  }
+  auto target = static_cast<uint64_t>(q * static_cast<double>(total_count_));
+  if (target == 0) {
+    target = 1;
+  }
+  uint64_t running = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    running += counts_[i];
+    if (running >= target) {
+      uint64_t upper = BucketUpperBound(i);
+      return upper < max_ ? upper : max_;
+    }
+  }
+  return max_;
+}
+
+double Histogram::QuantileOfValue(uint64_t value) const {
+  if (total_count_ == 0) {
+    return 0.0;
+  }
+  size_t limit = BucketIndex(value);
+  uint64_t running = 0;
+  for (size_t i = 0; i <= limit && i < counts_.size(); ++i) {
+    running += counts_[i];
+  }
+  return static_cast<double>(running) / static_cast<double>(total_count_);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  CHECK_EQ(sub_bucket_bits_, other.sub_bucket_bits_);
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_count_ += other.total_count_;
+  if (other.total_count_ != 0) {
+    if (other.min_ < min_) {
+      min_ = other.min_;
+    }
+    if (other.max_ > max_) {
+      max_ = other.max_;
+    }
+  }
+  sum_ += other.sum_;
+}
+
+void Histogram::Reset() {
+  counts_.assign(counts_.size(), 0);
+  total_count_ = 0;
+  min_ = ~0ull;
+  max_ = 0;
+  sum_ = 0.0;
+}
+
+}  // namespace solros

@@ -1,0 +1,54 @@
+// Latency histogram with percentile queries.
+//
+// Used to produce the latency CDFs of Fig. 1(b) and the percentile rows of
+// the network benchmarks. Log-bucketed (HdrHistogram-style: power-of-two
+// major buckets, linear sub-buckets) so it covers nanoseconds to minutes with
+// bounded error and O(1) recording.
+#ifndef SOLROS_SRC_BASE_HISTOGRAM_H_
+#define SOLROS_SRC_BASE_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace solros {
+
+class Histogram {
+ public:
+  // `sub_bucket_bits` controls relative error: 2^-bits (default ~1.5%).
+  explicit Histogram(int sub_bucket_bits = 6);
+
+  void Record(uint64_t value);
+  void RecordN(uint64_t value, uint64_t count);
+
+  uint64_t count() const { return total_count_; }
+  uint64_t min() const { return total_count_ != 0 ? min_ : 0; }
+  uint64_t max() const { return max_; }
+  double Mean() const;
+
+  // Value at quantile q in [0, 1]; e.g. ValueAtQuantile(0.99) is p99.
+  // Returns 0 on an empty histogram.
+  uint64_t ValueAtQuantile(double q) const;
+
+  // Fraction of samples <= value, in [0, 1]. (CDF evaluation.)
+  double QuantileOfValue(uint64_t value) const;
+
+  void Merge(const Histogram& other);
+  void Reset();
+
+ private:
+  size_t BucketIndex(uint64_t value) const;
+  uint64_t BucketUpperBound(size_t index) const;
+
+  int sub_bucket_bits_;
+  uint64_t sub_bucket_count_;  // 2^sub_bucket_bits
+  std::vector<uint64_t> counts_;
+  uint64_t total_count_ = 0;
+  uint64_t min_ = ~0ull;
+  uint64_t max_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace solros
+
+#endif  // SOLROS_SRC_BASE_HISTOGRAM_H_

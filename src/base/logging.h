@@ -1,0 +1,143 @@
+// Minimal logging and assertion macros.
+//
+// LOG(level) << ...;          -- streams to stderr with a severity tag.
+// CHECK(cond) << ...;         -- aborts with a message when cond is false.
+// CHECK_EQ/NE/LT/LE/GT/GE     -- comparison forms that print both operands.
+// DCHECK*                     -- compiled out in NDEBUG builds.
+#ifndef SOLROS_SRC_BASE_LOGGING_H_
+#define SOLROS_SRC_BASE_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace solros {
+
+enum class LogSeverity { kDebug, kInfo, kWarning, kError, kFatal };
+
+// Messages below this severity are discarded. Defaults to kInfo.
+LogSeverity GetMinLogSeverity();
+void SetMinLogSeverity(LogSeverity severity);
+
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when a log statement is disabled.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+// Turns a streamed expression into void so CHECK can live in a ternary.
+// operator& binds looser than operator<<, so trailing streams attach first.
+class LogMessageVoidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+template <typename T>
+concept Streamable = requires(std::ostream& os, const T& v) { os << v; };
+
+// Returns nullptr when the comparison holds; otherwise a heap string with
+// both operand values (leaked deliberately — the caller aborts).
+template <typename A, typename B, typename Cmp>
+std::string* CheckOpHelper(const A& a, const B& b, const char* expr,
+                           Cmp cmp) {
+  if (cmp(a, b)) {
+    return nullptr;
+  }
+  std::ostringstream os;
+  os << "Check failed: " << expr << " (";
+  if constexpr (Streamable<A>) {
+    os << a;
+  } else {
+    os << "?";
+  }
+  os << " vs ";
+  if constexpr (Streamable<B>) {
+    os << b;
+  } else {
+    os << "?";
+  }
+  os << ") ";
+  return new std::string(os.str());
+}
+
+}  // namespace solros
+
+#define SOLROS_LOG_DEBUG ::solros::LogSeverity::kDebug
+#define SOLROS_LOG_INFO ::solros::LogSeverity::kInfo
+#define SOLROS_LOG_WARNING ::solros::LogSeverity::kWarning
+#define SOLROS_LOG_ERROR ::solros::LogSeverity::kError
+#define SOLROS_LOG_FATAL ::solros::LogSeverity::kFatal
+
+#define LOG(severity) \
+  ::solros::LogMessage(SOLROS_LOG_##severity, __FILE__, __LINE__).stream()
+
+#define CHECK(cond)                                                          \
+  (cond) ? (void)0                                                           \
+         : ::solros::LogMessageVoidify() &                                   \
+               ::solros::LogMessage(::solros::LogSeverity::kFatal, __FILE__, \
+                                    __LINE__)                                \
+                       .stream()                                             \
+                   << "Check failed: " #cond " "
+
+// The while-form (glog's trick) lets callers append streams:
+//   CHECK_EQ(a, b) << "context";
+#define SOLROS_CHECK_OP(op, a, b)                                            \
+  while (std::string* _solros_check_msg = ::solros::CheckOpHelper(           \
+             (a), (b), #a " " #op " " #b,                                    \
+             [](const auto& x, const auto& y) { return x op y; }))           \
+  ::solros::LogMessage(::solros::LogSeverity::kFatal, __FILE__, __LINE__)    \
+          .stream()                                                          \
+      << *_solros_check_msg
+
+#define CHECK_EQ(a, b) SOLROS_CHECK_OP(==, a, b)
+#define CHECK_NE(a, b) SOLROS_CHECK_OP(!=, a, b)
+#define CHECK_LT(a, b) SOLROS_CHECK_OP(<, a, b)
+#define CHECK_LE(a, b) SOLROS_CHECK_OP(<=, a, b)
+#define CHECK_GT(a, b) SOLROS_CHECK_OP(>, a, b)
+#define CHECK_GE(a, b) SOLROS_CHECK_OP(>=, a, b)
+
+// Works for both Status and Result<T> via solros::GetStatus (status.h).
+#define CHECK_OK(expr)                                                       \
+  do {                                                                       \
+    const auto& _st = (expr);                                                \
+    if (!_st.ok()) {                                                         \
+      ::solros::LogMessage(::solros::LogSeverity::kFatal, __FILE__,          \
+                           __LINE__)                                         \
+              .stream()                                                      \
+          << "Check failed, status not OK: "                                 \
+          << ::solros::GetStatus(_st).ToString();                            \
+    }                                                                        \
+  } while (0)
+
+#ifdef NDEBUG
+#define DCHECK(cond) \
+  while (false) CHECK(cond)
+#define DCHECK_EQ(a, b) \
+  while (false) CHECK_EQ(a, b)
+#define DCHECK_LT(a, b) \
+  while (false) CHECK_LT(a, b)
+#define DCHECK_LE(a, b) \
+  while (false) CHECK_LE(a, b)
+#else
+#define DCHECK(cond) CHECK(cond)
+#define DCHECK_EQ(a, b) CHECK_EQ(a, b)
+#define DCHECK_LT(a, b) CHECK_LT(a, b)
+#define DCHECK_LE(a, b) CHECK_LE(a, b)
+#endif
+
+#endif  // SOLROS_SRC_BASE_LOGGING_H_

@@ -1,0 +1,73 @@
+// Deterministic pseudo-random number generation.
+//
+// All workload generators take an explicit seed so every experiment in
+// EXPERIMENTS.md is bit-for-bit reproducible. The engine is xoshiro256**,
+// seeded through SplitMix64 (the reference seeding procedure).
+#ifndef SOLROS_SRC_BASE_PRNG_H_
+#define SOLROS_SRC_BASE_PRNG_H_
+
+#include <cstdint>
+
+namespace solros {
+
+class Prng {
+ public:
+  explicit Prng(uint64_t seed = 0x501205d00d5ull) {
+    // SplitMix64 expansion of the seed into the four state words.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  // Uniform over [0, 2^64).
+  uint64_t Next() {
+    uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform over [0, bound). bound == 0 returns 0.
+  uint64_t NextBelow(uint64_t bound) {
+    if (bound == 0) {
+      return 0;
+    }
+    // Debiased multiply-shift (Lemire).
+    unsigned __int128 m = static_cast<unsigned __int128>(Next()) * bound;
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  // Uniform over [lo, hi] inclusive.
+  uint64_t NextInRange(uint64_t lo, uint64_t hi) {
+    return lo + NextBelow(hi - lo + 1);
+  }
+
+  // Uniform over [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  // True with probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace solros
+
+#endif  // SOLROS_SRC_BASE_PRNG_H_

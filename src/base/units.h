@@ -1,0 +1,56 @@
+// Size and time unit helpers used across the simulator and the benches.
+//
+// Simulated time is an unsigned 64-bit count of nanoseconds (~584 years of
+// range); rates are expressed in bytes per second.
+#ifndef SOLROS_SRC_BASE_UNITS_H_
+#define SOLROS_SRC_BASE_UNITS_H_
+
+#include <cstdint>
+
+namespace solros {
+
+// -- Sizes ------------------------------------------------------------------
+constexpr uint64_t KiB(uint64_t n) { return n << 10; }
+constexpr uint64_t MiB(uint64_t n) { return n << 20; }
+constexpr uint64_t GiB(uint64_t n) { return n << 30; }
+
+// -- Time (nanoseconds) -----------------------------------------------------
+using Nanos = uint64_t;
+
+constexpr Nanos Nanoseconds(uint64_t n) { return n; }
+constexpr Nanos Microseconds(uint64_t n) { return n * 1000ull; }
+constexpr Nanos Milliseconds(uint64_t n) { return n * 1000'000ull; }
+constexpr Nanos Seconds(uint64_t n) { return n * 1000'000'000ull; }
+
+constexpr double ToSeconds(Nanos t) { return static_cast<double>(t) * 1e-9; }
+constexpr double ToMicros(Nanos t) { return static_cast<double>(t) * 1e-3; }
+constexpr double ToMillis(Nanos t) { return static_cast<double>(t) * 1e-6; }
+
+// -- Rates ------------------------------------------------------------------
+// Bytes/second helpers; MB/GB here are decimal (device datasheet convention,
+// matching the paper's "2.4GB/sec" style numbers).
+constexpr double MBps(double n) { return n * 1e6; }
+constexpr double GBps(double n) { return n * 1e9; }
+constexpr double Gbps(double n) { return n * 1e9 / 8.0; }
+
+// Time to move `bytes` at `bytes_per_sec`, rounded up to a whole nanosecond.
+constexpr Nanos TransferTime(uint64_t bytes, double bytes_per_sec) {
+  if (bytes == 0 || bytes_per_sec <= 0) {
+    return 0;
+  }
+  double ns = static_cast<double>(bytes) / bytes_per_sec * 1e9;
+  auto whole = static_cast<Nanos>(ns);
+  return (static_cast<double>(whole) < ns) ? whole + 1 : whole;
+}
+
+// Observed rate in bytes/second for `bytes` moved in `elapsed` sim-time.
+constexpr double RateBps(uint64_t bytes, Nanos elapsed) {
+  if (elapsed == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(bytes) / ToSeconds(elapsed);
+}
+
+}  // namespace solros
+
+#endif  // SOLROS_SRC_BASE_UNITS_H_

@@ -1,0 +1,165 @@
+#include "src/core/machine.h"
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "src/base/logging.h"
+
+namespace solros {
+
+Machine::Machine(MachineConfig config) : config_(std::move(config)) {
+  const HwParams& params = config_.params;
+  fabric_ = std::make_unique<PcieFabric>(&sim_, params);
+  host_device_ = fabric_->HostDevice(0);
+
+  if (config_.phi_sockets.empty()) {
+    config_.phi_sockets.assign(config_.num_phis, 0);
+  }
+  CHECK_EQ(static_cast<int>(config_.phi_sockets.size()), config_.num_phis);
+
+  // Host processor: both sockets' cores as one pool (the control plane may
+  // run anywhere on the host).
+  int host_threads = params.host_sockets * params.host_cores_per_socket * 2;
+  host_cpu_ = std::make_unique<Processor>(&sim_, host_device_, host_threads,
+                                          params.host_core_speed, "host-cpu");
+
+  for (int i = 0; i < config_.num_phis; ++i) {
+    DeviceId dev = fabric_->AddDevice(DeviceType::kPhi,
+                                      config_.phi_sockets[i],
+                                      "mic" + std::to_string(i));
+    phi_devices_.push_back(dev);
+    phi_cpus_.push_back(std::make_unique<Processor>(
+        &sim_, dev, params.phi_cores * params.phi_threads_per_core,
+        params.phi_core_speed, "phi-cpu" + std::to_string(i)));
+  }
+
+  nvme_device_ = fabric_->AddDevice(DeviceType::kNvme, config_.nvme_socket,
+                                    "nvme0");
+  nvme_ = std::make_unique<NvmeDevice>(&sim_, fabric_.get(), params,
+                                       nvme_device_, config_.nvme_capacity,
+                                       host_cpu_.get());
+  store_ = std::make_unique<NvmeBlockStore>(nvme_.get(), host_cpu_.get());
+  fs_ = std::make_unique<SolrosFs>(store_.get(), &sim_);
+  fs_proxy_ = std::make_unique<FsProxy>(&sim_, fabric_.get(), params,
+                                        host_cpu_.get(), store_.get(),
+                                        fs_.get(), config_.fs_options);
+
+  if (config_.enable_network) {
+    nic_device_ = fabric_->AddDevice(DeviceType::kNic, config_.nic_socket,
+                                     "nic0");
+    ethernet_ = std::make_unique<EthernetFabric>(&sim_, params);
+    std::unique_ptr<ForwardingPolicy> policy = std::move(config_.policy);
+    if (policy == nullptr) {
+      policy = std::make_unique<RoundRobinPolicy>();
+    }
+    tcp_proxy_ = std::make_unique<TcpProxy>(&sim_, params, host_cpu_.get(),
+                                            ethernet_.get(),
+                                            std::move(policy));
+  }
+
+  rings_.resize(config_.num_phis);
+  for (int i = 0; i < config_.num_phis; ++i) {
+    DataPlaneRings& rings = rings_[i];
+    DeviceId phi = phi_devices_[i];
+    Processor* phi_cpu = phi_cpus_[i].get();
+
+    auto make_ring = [&](size_t capacity, DeviceId master, bool phi_produces)
+        -> std::unique_ptr<SimRing> {
+      SimRingConfig rc;
+      rc.capacity = capacity;
+      rc.master_device = master;
+      rc.producer_device = phi_produces ? phi : host_device_;
+      rc.consumer_device = phi_produces ? host_device_ : phi;
+      rc.producer_cpu = phi_produces ? phi_cpu : host_cpu_.get();
+      rc.consumer_cpu = phi_produces ? host_cpu_.get() : phi_cpu;
+      return std::make_unique<SimRing>(&sim_, fabric_.get(), params, rc);
+    };
+
+    // FS RPC rings: masters at the co-processor (§4.3.1).
+    rings.fs_request = make_ring(config_.rpc_ring_capacity, phi, true);
+    rings.fs_response = make_ring(config_.rpc_ring_capacity, phi, false);
+    fs_stubs_.push_back(std::make_unique<FsStub>(
+        &sim_, params, phi_cpu, rings.fs_request.get(),
+        rings.fs_response.get(), static_cast<uint32_t>(i)));
+    fs_proxy_->Serve(rings.fs_request.get(), rings.fs_response.get());
+
+    if (config_.enable_network) {
+      rings.net_request = make_ring(config_.rpc_ring_capacity, phi, true);
+      rings.net_response = make_ring(config_.rpc_ring_capacity, phi, false);
+      // Outbound master at the Phi; inbound master at the host (§4.4.1).
+      rings.outbound =
+          make_ring(config_.outbound_ring_capacity, phi, true);
+      rings.inbound =
+          make_ring(config_.inbound_ring_capacity, host_device_, false);
+      tcp_proxy_->AttachDataPlane(static_cast<uint32_t>(i),
+                                  rings.net_request.get(),
+                                  rings.net_response.get(),
+                                  rings.inbound.get(), rings.outbound.get());
+      net_stubs_.push_back(std::make_unique<NetStub>(
+          &sim_, params, phi_cpu, rings.net_request.get(),
+          rings.net_response.get(), rings.inbound.get(),
+          rings.outbound.get()));
+    }
+  }
+}
+
+Machine::~Machine() {
+  // Close rings so pump tasks can observe shutdown if the simulator is run
+  // again; detached frames still parked at process exit are reclaimed by
+  // the OS.
+  for (DataPlaneRings& rings : rings_) {
+    for (SimRing* ring :
+         {rings.fs_request.get(), rings.fs_response.get(),
+          rings.net_request.get(), rings.net_response.get(),
+          rings.inbound.get(), rings.outbound.get()}) {
+      if (ring != nullptr) {
+        ring->Close();
+      }
+    }
+  }
+}
+
+Task<Status> Machine::FormatFs(uint64_t inode_count) {
+  co_return co_await fs_->Format(inode_count);
+}
+
+void Machine::DumpStats(std::ostream& os) {
+  os << "=== machine stats @ " << ToMillis(sim_.now()) << " ms sim time\n";
+  const FsProxyStats& fs = fs_proxy_->stats();
+  os << "fs-proxy: " << fs.requests << " rpcs; reads p2p/buffered "
+     << fs.p2p_reads << "/" << fs.buffered_reads << "; writes p2p/buffered "
+     << fs.p2p_writes << "/" << fs.buffered_writes << "\n";
+  if (fs_proxy_->cache() != nullptr) {
+    BufferCache* cache = fs_proxy_->cache();
+    os << "buffer-cache: " << cache->hits() << " hits, " << cache->misses()
+       << " misses, " << cache->evictions() << " evictions, "
+       << cache->size() << "/" << cache->capacity() << " pages\n";
+  }
+  os << "nvme: " << nvme_->commands_completed() << " commands, "
+     << nvme_->doorbells_rung() << " doorbells, "
+     << nvme_->interrupts_raised() << " interrupts, "
+     << nvme_->bytes_read() / MiB(1) << " MiB read, "
+     << nvme_->bytes_written() / MiB(1) << " MiB written\n";
+  if (tcp_proxy_ != nullptr) {
+    const TcpProxyStats& net = tcp_proxy_->stats();
+    os << "tcp-proxy: " << net.rpcs << " rpcs, "
+       << net.connections_forwarded << " connections, in/out messages "
+       << net.inbound_messages << "/" << net.outbound_messages
+       << ", in/out bytes " << net.inbound_bytes << "/"
+       << net.outbound_bytes << "\n";
+  }
+  for (int i = 0; i < config_.num_phis; ++i) {
+    const DataPlaneRings& rings = rings_[i];
+    os << "dataplane " << i << ": fs-rpc "
+       << rings.fs_request->messages_sent() << " reqs";
+    if (rings.inbound != nullptr) {
+      os << "; net inbound/outbound msgs "
+         << rings.inbound->messages_received() << "/"
+         << rings.outbound->messages_received();
+    }
+    os << "\n";
+  }
+}
+
+}  // namespace solros

@@ -1,0 +1,167 @@
+#include "src/fs/buffer_cache.h"
+
+#include <cstring>
+
+#include "src/base/logging.h"
+
+namespace solros {
+
+BufferCache::BufferCache(BlockStore* backing, DeviceId arena_device,
+                         size_t capacity_blocks)
+    : backing_(backing),
+      capacity_(capacity_blocks),
+      block_size_(backing->block_size()),
+      arena_(arena_device, capacity_blocks * backing->block_size()) {
+  CHECK_GT(capacity_blocks, 0u);
+  free_slots_.reserve(capacity_blocks);
+  for (size_t i = 0; i < capacity_blocks; ++i) {
+    free_slots_.push_back(capacity_blocks - 1 - i);
+  }
+}
+
+MemRef BufferCache::SlotRef(size_t slot) {
+  return MemRef::Of(arena_, slot * block_size_, block_size_);
+}
+
+Task<Status> BufferCache::EvictOne() {
+  CHECK(!lru_.empty());
+  uint64_t victim = lru_.back();
+  auto it = map_.find(victim);
+  CHECK(it != map_.end());
+  if (it->second.dirty) {
+    SOLROS_CO_RETURN_IF_ERROR(
+        co_await backing_->Write(victim, 1, SlotRef(it->second.slot).span()));
+  }
+  free_slots_.push_back(it->second.slot);
+  lru_.pop_back();
+  map_.erase(it);
+  ++evictions_;
+  co_return OkStatus();
+}
+
+Task<Result<MemRef>> BufferCache::GetBlock(uint64_t lba) {
+  auto it = map_.find(lba);
+  if (it != map_.end()) {
+    ++hits_;
+    lru_.erase(it->second.lru_it);
+    lru_.push_front(lba);
+    it->second.lru_it = lru_.begin();
+    co_return SlotRef(it->second.slot);
+  }
+  ++misses_;
+  if (free_slots_.empty()) {
+    SOLROS_CO_RETURN_IF_ERROR(co_await EvictOne());
+  }
+  size_t slot = free_slots_.back();
+  free_slots_.pop_back();
+  MemRef ref = SlotRef(slot);
+  SOLROS_CO_RETURN_IF_ERROR(co_await backing_->Read(lba, 1, ref.span()));
+  // Another task may have faulted the same block while we were reading
+  // (the backing Read suspends); keep the established page and return our
+  // slot to the free list.
+  auto raced = map_.find(lba);
+  if (raced != map_.end()) {
+    free_slots_.push_back(slot);
+    co_return SlotRef(raced->second.slot);
+  }
+  lru_.push_front(lba);
+  Page page;
+  page.lba = lba;
+  page.slot = slot;
+  page.lru_it = lru_.begin();
+  map_.emplace(lba, page);
+  co_return ref;
+}
+
+Task<Status> BufferCache::InsertClean(uint64_t lba,
+                                      std::span<const uint8_t> content) {
+  if (content.size() < block_size_) {
+    co_return InvalidArgumentError("short page content");
+  }
+  if (map_.find(lba) != map_.end()) {
+    co_return OkStatus();
+  }
+  if (free_slots_.empty()) {
+    SOLROS_CO_RETURN_IF_ERROR(co_await EvictOne());
+  }
+  // EvictOne may suspend (dirty writeback); re-check for a racing insert.
+  if (map_.find(lba) != map_.end()) {
+    co_return OkStatus();
+  }
+  size_t slot = free_slots_.back();
+  free_slots_.pop_back();
+  std::memcpy(SlotRef(slot).span().data(), content.data(), block_size_);
+  lru_.push_front(lba);
+  Page page;
+  page.lba = lba;
+  page.slot = slot;
+  page.lru_it = lru_.begin();
+  map_.emplace(lba, page);
+  co_return OkStatus();
+}
+
+void BufferCache::MarkDirty(uint64_t lba) {
+  auto it = map_.find(lba);
+  CHECK(it != map_.end()) << "MarkDirty on uncached block " << lba;
+  it->second.dirty = true;
+}
+
+Task<Status> BufferCache::ReadThrough(uint64_t lba, uint32_t nblocks,
+                                      std::span<uint8_t> out) {
+  if (out.size() < uint64_t{nblocks} * block_size_) {
+    co_return InvalidArgumentError("span too short");
+  }
+  for (uint32_t i = 0; i < nblocks; ++i) {
+    SOLROS_CO_ASSIGN_OR_RETURN(MemRef page, co_await GetBlock(lba + i));
+    std::memcpy(out.data() + uint64_t{i} * block_size_, page.span().data(),
+                block_size_);
+  }
+  co_return OkStatus();
+}
+
+Task<Status> BufferCache::WriteThrough(uint64_t lba, uint32_t nblocks,
+                                       std::span<const uint8_t> in) {
+  if (in.size() < uint64_t{nblocks} * block_size_) {
+    co_return InvalidArgumentError("span too short");
+  }
+  for (uint32_t i = 0; i < nblocks; ++i) {
+    SOLROS_CO_ASSIGN_OR_RETURN(MemRef page, co_await GetBlock(lba + i));
+    std::memcpy(page.span().data(), in.data() + uint64_t{i} * block_size_,
+                block_size_);
+    MarkDirty(lba + i);
+  }
+  co_return OkStatus();
+}
+
+void BufferCache::Invalidate(uint64_t lba) {
+  auto it = map_.find(lba);
+  if (it == map_.end()) {
+    return;
+  }
+  free_slots_.push_back(it->second.slot);
+  lru_.erase(it->second.lru_it);
+  map_.erase(it);
+}
+
+void BufferCache::InvalidateRange(uint64_t lba, uint64_t nblocks) {
+  for (uint64_t i = 0; i < nblocks; ++i) {
+    Invalidate(lba + i);
+  }
+}
+
+bool BufferCache::Contains(uint64_t lba) const {
+  return map_.find(lba) != map_.end();
+}
+
+Task<Status> BufferCache::Flush() {
+  for (auto& [lba, page] : map_) {
+    if (page.dirty) {
+      SOLROS_CO_RETURN_IF_ERROR(
+          co_await backing_->Write(lba, 1, SlotRef(page.slot).span()));
+      page.dirty = false;
+    }
+  }
+  co_return co_await backing_->Flush();
+}
+
+}  // namespace solros

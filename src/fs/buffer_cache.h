@@ -1,0 +1,90 @@
+// Host-side shared buffer cache (§4.3.2).
+//
+// The control-plane proxy keeps an LRU cache of file-system blocks in host
+// DRAM, shared by all data-plane OSes ("Solros is a shared-something
+// architecture"). Pages live in a host DeviceBuffer arena so a hit can be
+// served to a co-processor with a host-initiated DMA directly out of the
+// cache — no disk access and no staging copy.
+//
+// Write policy is write-back: dirty pages are flushed on eviction and on
+// Flush().
+#ifndef SOLROS_SRC_FS_BUFFER_CACHE_H_
+#define SOLROS_SRC_FS_BUFFER_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/fs/block_store.h"
+#include "src/hw/memory.h"
+#include "src/sim/task.h"
+
+namespace solros {
+
+class BufferCache {
+ public:
+  // `arena_device` is where pages live (the host socket device).
+  BufferCache(BlockStore* backing, DeviceId arena_device,
+              size_t capacity_blocks);
+
+  // Returns a reference to the cached page for `lba`, faulting it in from
+  // the backing store on a miss (possibly evicting). The MemRef stays valid
+  // until the page is evicted — use it immediately (single-threaded sim).
+  Task<Result<MemRef>> GetBlock(uint64_t lba);
+
+  // Marks a cached page dirty after the caller mutated it through GetBlock.
+  void MarkDirty(uint64_t lba);
+
+  // Installs a clean page from caller-provided content without touching the
+  // backing store (the caller just read it, e.g. into a bounce buffer).
+  // No-op if the block is already cached.
+  Task<Status> InsertClean(uint64_t lba, std::span<const uint8_t> content);
+
+  // Convenience byte-span access through the cache.
+  Task<Status> ReadThrough(uint64_t lba, uint32_t nblocks,
+                           std::span<uint8_t> out);
+  Task<Status> WriteThrough(uint64_t lba, uint32_t nblocks,
+                            std::span<const uint8_t> in);
+
+  // Drops a page without writeback (used when P2P bypasses the cache and
+  // the cached copy would go stale).
+  void Invalidate(uint64_t lba);
+  void InvalidateRange(uint64_t lba, uint64_t nblocks);
+  bool Contains(uint64_t lba) const;
+
+  Task<Status> Flush();
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+  size_t size() const { return map_.size(); }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Page {
+    uint64_t lba;
+    size_t slot;
+    bool dirty = false;
+    std::list<uint64_t>::iterator lru_it;
+  };
+
+  Task<Status> EvictOne();
+  MemRef SlotRef(size_t slot);
+
+  BlockStore* backing_;
+  size_t capacity_;
+  uint32_t block_size_;
+  DeviceBuffer arena_;
+  std::vector<size_t> free_slots_;
+  std::unordered_map<uint64_t, Page> map_;
+  std::list<uint64_t> lru_;  // front = most recent
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace solros
+
+#endif  // SOLROS_SRC_FS_BUFFER_CACHE_H_

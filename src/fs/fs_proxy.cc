@@ -1,0 +1,471 @@
+#include "src/fs/fs_proxy.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/base/logging.h"
+
+namespace solros {
+namespace {
+
+// How many leading blocks of a range the cache-hit probe inspects.
+constexpr uint64_t kCacheProbeBlocks = 8;
+
+}  // namespace
+
+FsProxy::FsProxy(Simulator* sim, PcieFabric* fabric, const HwParams& params,
+                 Processor* host_cpu, NvmeBlockStore* store, SolrosFs* fs,
+                 const Options& options)
+    : sim_(sim),
+      fabric_(fabric),
+      params_(params),
+      host_cpu_(host_cpu),
+      store_(store),
+      fs_(fs),
+      options_(options),
+      host_dma_(sim, fabric, params, host_cpu->device()) {
+  if (options_.cache_blocks > 0) {
+    cache_ = std::make_unique<BufferCache>(store, host_cpu->device(),
+                                           options_.cache_blocks);
+  }
+}
+
+void FsProxy::Serve(SimRing* request_ring, SimRing* response_ring) {
+  // One server (and pump) per data-plane ring pair; the proxy state they
+  // share is what makes Solros "shared-something" (§4).
+  servers_.push_back(std::make_unique<RpcServer<FsRequest, FsResponse>>(
+      sim_, request_ring, response_ring,
+      [this](FsRequest request) { return Handle(std::move(request)); }));
+  servers_.back()->Start();
+}
+
+FsResponse FsProxy::ErrorResponse(const Status& status) {
+  FsResponse response;
+  response.error = status.code();
+  return response;
+}
+
+Task<FsResponse> FsProxy::Handle(FsRequest request) {
+  ++stats_.requests;
+  // Per-request proxy CPU: RPC handling plus the full file-system stack,
+  // both on fast host cores (this is the asymmetry Solros exploits).
+  co_await host_cpu_->Compute(params_.fs_proxy_cpu + params_.fs_full_call_cpu);
+  switch (request.op) {
+    case FsOp::kRead:
+      co_return co_await HandleRead(request);
+    case FsOp::kWrite:
+      co_return co_await HandleWrite(request);
+    case FsOp::kReaddir:
+      co_return co_await HandleReaddir(request);
+    default:
+      co_return co_await HandleMeta(request);
+  }
+}
+
+Task<Status> FsProxy::Prefetch(const std::string& path) {
+  if (cache_ == nullptr) {
+    co_return FailedPreconditionError("no buffer cache configured");
+  }
+  SOLROS_CO_ASSIGN_OR_RETURN(uint64_t ino, co_await fs_->Lookup(path));
+  SOLROS_CO_ASSIGN_OR_RETURN(FileStat stat, co_await fs_->StatInode(ino));
+  SOLROS_CO_ASSIGN_OR_RETURN(std::vector<FsExtent> extents,
+                             co_await fs_->Fiemap(ino, 0, stat.size));
+  // Fetch extent-by-extent with coalesced vectors into a bounce buffer,
+  // installing clean pages.
+  for (const FsExtent& extent : extents) {
+    uint64_t bytes = uint64_t{extent.len} * kFsBlockSize;
+    DeviceBuffer bounce(host_cpu_->device(), bytes);
+    std::vector<FsExtent> one = {extent};
+    SOLROS_CO_RETURN_IF_ERROR(co_await store_->ReadExtents(
+        one, MemRef::Of(bounce), options_.coalesce_nvme));
+    for (uint64_t b = 0; b < extent.len; ++b) {
+      SOLROS_CO_RETURN_IF_ERROR(co_await cache_->InsertClean(
+          extent.start + b,
+          {bounce.data() + b * kFsBlockSize, kFsBlockSize}));
+    }
+  }
+  co_return OkStatus();
+}
+
+Task<FsResponse> FsProxy::HandleMeta(const FsRequest& request) {
+  FsResponse response;
+  switch (request.op) {
+    case FsOp::kOpen: {
+      auto ino = co_await fs_->Lookup(request.Path());
+      if (!ino.ok()) {
+        co_return ErrorResponse(ino.status());
+      }
+      response.value = *ino;
+      break;
+    }
+    case FsOp::kCreate: {
+      auto ino = co_await fs_->Create(request.Path());
+      if (!ino.ok()) {
+        co_return ErrorResponse(ino.status());
+      }
+      response.value = *ino;
+      break;
+    }
+    case FsOp::kStat: {
+      // NOTE: never co_await inside a conditional expression — GCC 12
+      // miscompiles the temporary lifetimes (double-destroy in the frame).
+      Result<FileStat> stat = Status(ErrorCode::kInternal);
+      if (request.path[0] != '\0') {
+        stat = co_await fs_->Stat(request.Path());
+      } else {
+        stat = co_await fs_->StatInode(request.ino);
+      }
+      if (!stat.ok()) {
+        co_return ErrorResponse(stat.status());
+      }
+      response.stat = *stat;
+      response.value = stat->size;
+      break;
+    }
+    case FsOp::kUnlink: {
+      // Freed blocks may be reallocated to another file; drop any cached
+      // copies first so later reads cannot hit stale pages.
+      if (cache_ != nullptr) {
+        auto ino = co_await fs_->Lookup(request.Path());
+        if (ino.ok()) {
+          auto stat = co_await fs_->StatInode(*ino);
+          if (stat.ok()) {
+            auto extents = co_await fs_->Fiemap(*ino, 0, stat->size);
+            if (extents.ok()) {
+              for (const FsExtent& e : *extents) {
+                cache_->InvalidateRange(e.start, e.len);
+              }
+            }
+          }
+        }
+      }
+      Status status = co_await fs_->Unlink(request.Path());
+      if (!status.ok()) {
+        co_return ErrorResponse(status);
+      }
+      break;
+    }
+    case FsOp::kMkdir: {
+      Status status = co_await fs_->Mkdir(request.Path());
+      if (!status.ok()) {
+        co_return ErrorResponse(status);
+      }
+      break;
+    }
+    case FsOp::kRmdir: {
+      Status status = co_await fs_->Rmdir(request.Path());
+      if (!status.ok()) {
+        co_return ErrorResponse(status);
+      }
+      break;
+    }
+    case FsOp::kRename: {
+      Status status = co_await fs_->Rename(request.Path(), request.Path2());
+      if (!status.ok()) {
+        co_return ErrorResponse(status);
+      }
+      break;
+    }
+    case FsOp::kTruncate: {
+      // Invalidate cached pages of any region a shrink is about to free.
+      if (cache_ != nullptr) {
+        auto stat = co_await fs_->StatInode(request.ino);
+        if (stat.ok() && request.length < stat->size) {
+          auto extents = co_await fs_->Fiemap(
+              request.ino, request.length, stat->size - request.length);
+          if (extents.ok()) {
+            for (const FsExtent& e : *extents) {
+              cache_->InvalidateRange(e.start, e.len);
+            }
+          }
+        }
+      }
+      Status status = co_await fs_->Truncate(request.ino, request.length);
+      if (!status.ok()) {
+        co_return ErrorResponse(status);
+      }
+      break;
+    }
+    case FsOp::kFsync: {
+      Status status = co_await fs_->Sync();
+      if (!status.ok()) {
+        co_return ErrorResponse(status);
+      }
+      if (cache_ != nullptr) {
+        Status flushed = co_await cache_->Flush();
+        if (!flushed.ok()) {
+          co_return ErrorResponse(flushed);
+        }
+      }
+      break;
+    }
+    default:
+      co_return ErrorResponse(NotSupportedError("bad fs op"));
+  }
+  co_return response;
+}
+
+Task<Result<bool>> FsProxy::ShouldUseP2p(const FsRequest& request,
+                                         uint64_t length) {
+  if (!options_.allow_p2p) {
+    co_return false;
+  }
+  // O_BUFFER forces buffered mode.
+  if ((request.flags & kFsFlagBuffered) != 0) {
+    co_return false;
+  }
+  // Host-memory targets have no P2P meaning.
+  if (fabric_->TypeOf(request.memory.device()) == DeviceType::kHost) {
+    co_return false;
+  }
+  // Crossing a NUMA boundary collapses P2P throughput (Fig. 1(a)).
+  if (fabric_->CrossesNuma(store_->device()->device_id(),
+                           request.memory.device())) {
+    co_return false;
+  }
+  // Unaligned transfers take the buffered path (P2P is block-granular).
+  if (request.offset % kFsBlockSize != 0 || length % kFsBlockSize != 0) {
+    co_return false;
+  }
+  // Cache-hot data is served from the host cache. Probe the first few
+  // blocks of the range.
+  if (cache_ != nullptr) {
+    auto extents = co_await fs_->Fiemap(request.ino, request.offset,
+                                        std::min<uint64_t>(
+                                            length,
+                                            kCacheProbeBlocks * kFsBlockSize));
+    if (extents.ok()) {
+      for (const FsExtent& e : *extents) {
+        for (uint64_t b = 0; b < e.len; ++b) {
+          if (cache_->Contains(e.start + b)) {
+            co_return false;
+          }
+        }
+      }
+    }
+  }
+  co_return true;
+}
+
+Task<FsResponse> FsProxy::HandleRead(const FsRequest& request) {
+  FsResponse response;
+  auto stat = co_await fs_->StatInode(request.ino);
+  if (!stat.ok()) {
+    co_return ErrorResponse(stat.status());
+  }
+  if (request.offset >= stat->size) {
+    response.value = 0;
+    co_return response;
+  }
+  uint64_t length = std::min({request.length, request.memory.length,
+                              stat->size - request.offset});
+  if (length == 0) {
+    response.value = 0;
+    co_return response;
+  }
+
+  auto p2p = co_await ShouldUseP2p(request, length);
+  if (!p2p.ok()) {
+    co_return ErrorResponse(p2p.status());
+  }
+  if (*p2p) {
+    ++stats_.p2p_reads;
+    auto extents = co_await fs_->Fiemap(request.ino, request.offset, length);
+    if (!extents.ok()) {
+      co_return ErrorResponse(extents.status());
+    }
+    Status status = co_await store_->ReadExtents(
+        *extents, request.memory.Sub(0, length), options_.coalesce_nvme);
+    if (!status.ok()) {
+      co_return ErrorResponse(status);
+    }
+  } else {
+    ++stats_.buffered_reads;
+    Status status = co_await BufferedRead(request.ino, request.offset,
+                                          length, request.memory);
+    if (!status.ok()) {
+      co_return ErrorResponse(status);
+    }
+  }
+  response.value = length;
+  co_return response;
+}
+
+Task<FsResponse> FsProxy::HandleWrite(const FsRequest& request) {
+  FsResponse response;
+  uint64_t length = std::min(request.length, request.memory.length);
+  if (length == 0) {
+    response.value = 0;
+    co_return response;
+  }
+  auto p2p = co_await ShouldUseP2p(request, length);
+  if (!p2p.ok()) {
+    co_return ErrorResponse(p2p.status());
+  }
+  if (*p2p) {
+    auto extents = co_await fs_->PrepareWrite(request.ino, request.offset,
+                                              length);
+    if (extents.ok()) {
+      ++stats_.p2p_writes;
+      // The data on disk is about to change under any cached copies.
+      if (cache_ != nullptr) {
+        for (const FsExtent& e : *extents) {
+          cache_->InvalidateRange(e.start, e.len);
+        }
+      }
+      Status status = co_await store_->WriteExtents(
+          *extents, request.memory.Sub(0, length), options_.coalesce_nvme);
+      if (!status.ok()) {
+        co_return ErrorResponse(status);
+      }
+      response.value = length;
+      co_return response;
+    }
+    if (extents.code() != ErrorCode::kFailedPrecondition) {
+      co_return ErrorResponse(extents.status());
+    }
+    // Gap past EOF: fall through to the buffered path.
+  }
+  ++stats_.buffered_writes;
+  Status status = co_await BufferedWrite(request.ino, request.offset, length,
+                                         request.memory);
+  if (!status.ok()) {
+    co_return ErrorResponse(status);
+  }
+  response.value = length;
+  co_return response;
+}
+
+Task<Status> FsProxy::BufferedRead(uint64_t ino, uint64_t offset,
+                                   uint64_t length, MemRef target) {
+  // Stage the byte range in a host bounce buffer. Cached blocks come from
+  // the cache; missing runs are fetched with one coalesced NVMe vector and
+  // then populate the cache.
+  uint64_t first_block = offset / kFsBlockSize;
+  uint64_t last_block = (offset + length + kFsBlockSize - 1) / kFsBlockSize;
+  uint64_t nblocks = last_block - first_block;
+  DeviceBuffer bounce(host_cpu_->device(), nblocks * kFsBlockSize);
+
+  SOLROS_CO_ASSIGN_OR_RETURN(
+      std::vector<FsExtent> extents,
+      co_await fs_->Fiemap(ino, first_block * kFsBlockSize,
+                           nblocks * kFsBlockSize));
+
+  uint64_t cursor = 0;  // block index within the range
+  for (const FsExtent& extent : extents) {
+    for (uint64_t i = 0; i < extent.len;) {
+      uint64_t lba = extent.start + i;
+      uint64_t bounce_off = (cursor + i) * kFsBlockSize;
+      if (cache_ != nullptr && cache_->Contains(lba)) {
+        SOLROS_CO_ASSIGN_OR_RETURN(MemRef page, co_await cache_->GetBlock(lba));
+        std::memcpy(bounce.data() + bounce_off, page.span().data(),
+                    kFsBlockSize);
+        ++i;
+        continue;
+      }
+      // Extend a miss run.
+      uint64_t run = 1;
+      while (i + run < extent.len &&
+             (cache_ == nullptr || !cache_->Contains(extent.start + i + run))) {
+        ++run;
+      }
+      std::vector<FsExtent> miss = {{lba, static_cast<uint32_t>(run), 0}};
+      SOLROS_CO_RETURN_IF_ERROR(co_await store_->ReadExtents(
+          miss, MemRef::Of(bounce, bounce_off, run * kFsBlockSize),
+          options_.coalesce_nvme));
+      // Populate the cache with the fetched blocks (clean pages, no
+      // second device read — the bytes are in the bounce buffer).
+      if (cache_ != nullptr) {
+        for (uint64_t b = 0; b < run; ++b) {
+          Status inserted = co_await cache_->InsertClean(
+              lba + b,
+              {bounce.data() + bounce_off + b * kFsBlockSize, kFsBlockSize});
+          if (!inserted.ok()) {
+            co_return inserted;
+          }
+        }
+      }
+      i += run;
+    }
+    cursor += extent.len;
+  }
+
+  // One host-initiated DMA moves the requested bytes to the target.
+  uint64_t in_off = offset % kFsBlockSize;
+  if (target.device() == host_cpu_->device()) {
+    std::memcpy(target.span().data(), bounce.data() + in_off, length);
+    co_await Delay(TransferTime(length, params_.host_mem_bw));
+  } else {
+    co_await host_dma_.Copy(target.Sub(0, length),
+                            MemRef::Of(bounce, in_off, length));
+  }
+  co_return OkStatus();
+}
+
+Task<Status> FsProxy::BufferedWrite(uint64_t ino, uint64_t offset,
+                                    uint64_t length, MemRef source) {
+  // Pull the data to a host bounce buffer with one DMA, then write through
+  // the file system (which handles allocation, gaps, and partial blocks).
+  DeviceBuffer bounce(host_cpu_->device(), length);
+  if (source.device() == host_cpu_->device()) {
+    std::memcpy(bounce.data(), source.span().data(), length);
+    co_await Delay(TransferTime(length, params_.host_mem_bw));
+  } else {
+    co_await host_dma_.Copy(MemRef::Of(bounce), source.Sub(0, length));
+  }
+  SOLROS_CO_ASSIGN_OR_RETURN(
+      uint64_t written,
+      co_await fs_->WriteAt(ino, offset,
+                            {bounce.data(), static_cast<size_t>(length)}));
+  if (written != length) {
+    co_return IoError("short write");
+  }
+  // Keep the cache coherent with the freshly written disk blocks.
+  if (cache_ != nullptr) {
+    auto extents = co_await fs_->Fiemap(ino, offset, length);
+    if (extents.ok()) {
+      for (const FsExtent& e : *extents) {
+        cache_->InvalidateRange(e.start, e.len);
+      }
+    }
+  }
+  co_return OkStatus();
+}
+
+Task<FsResponse> FsProxy::HandleReaddir(const FsRequest& request) {
+  FsResponse response;
+  auto entries = co_await fs_->Readdir(request.Path());
+  if (!entries.ok()) {
+    co_return ErrorResponse(entries.status());
+  }
+  // Zero-copy: serialize Dirent rows into the caller's memory window.
+  uint64_t max_rows = request.memory.length / sizeof(Dirent);
+  uint64_t skip = request.offset;  // row offset for chunked listings
+  uint64_t produced = 0;
+  std::vector<uint8_t> staged;
+  for (uint64_t i = skip; i < entries->size() && produced < max_rows; ++i) {
+    const DirEntry& row = (*entries)[i];
+    Dirent ent;
+    ent.ino = row.ino;
+    ent.type = row.is_dir ? (kModeDir >> 12) : (kModeFile >> 12);
+    ent.SetName(row.name);
+    staged.resize(staged.size() + sizeof(Dirent));
+    std::memcpy(staged.data() + produced * sizeof(Dirent), &ent,
+                sizeof(Dirent));
+    ++produced;
+  }
+  if (!staged.empty()) {
+    DeviceBuffer bounce(host_cpu_->device(), staged.size());
+    std::memcpy(bounce.data(), staged.data(), staged.size());
+    if (request.memory.device() == host_cpu_->device()) {
+      std::memcpy(request.memory.span().data(), bounce.data(), staged.size());
+    } else {
+      co_await host_dma_.Copy(request.memory.Sub(0, staged.size()),
+                              MemRef::Of(bounce));
+    }
+  }
+  response.value = produced;
+  co_return response;
+}
+
+}  // namespace solros

@@ -1,0 +1,113 @@
+// Control-plane file-system proxy (§4.3.2).
+//
+// The proxy runs on the host, owns the only path to the NVMe device, and
+// serves file-system RPCs from data-plane stubs. Its defining behaviour is
+// the *data-path decision* per read/write:
+//
+//   peer-to-peer  — translate the file offset to disk extents (fiemap),
+//                   translate the target address to the co-processor's
+//                   system-mapped window, and issue ONE coalesced NVMe I/O
+//                   vector whose DMA lands directly in co-processor memory
+//                   (one doorbell, one interrupt — §5);
+//   buffered      — stage through the host's shared buffer cache and move
+//                   the bytes with a host-initiated DMA.
+//
+// Buffered is chosen when (§4.3.2): the data is cache-hot; the path would
+// cross a NUMA boundary (Fig. 1(a)'s relay collapse); the file was opened
+// with O_BUFFER; the transfer is not block-aligned; or the target is host
+// memory anyway.
+#ifndef SOLROS_SRC_FS_FS_PROXY_H_
+#define SOLROS_SRC_FS_FS_PROXY_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/fs/buffer_cache.h"
+#include "src/fs/nvme_block_store.h"
+#include "src/fs/solros_fs.h"
+#include "src/hw/dma.h"
+#include "src/hw/fabric.h"
+#include "src/hw/params.h"
+#include "src/hw/processor.h"
+#include "src/rpc/messages.h"
+#include "src/rpc/rpc.h"
+#include "src/sim/task.h"
+#include "src/transport/sim_ring.h"
+
+namespace solros {
+
+// Statistics that benchmarks assert on (path decisions, cache behaviour).
+struct FsProxyStats {
+  uint64_t requests = 0;
+  uint64_t p2p_reads = 0;
+  uint64_t p2p_writes = 0;
+  uint64_t buffered_reads = 0;
+  uint64_t buffered_writes = 0;
+};
+
+class FsProxy {
+ public:
+  struct Options {
+    // Buffer cache capacity in fs blocks (0 disables the cache).
+    size_t cache_blocks = 32768;  // 128 MiB
+    // Coalesce NVMe vectors into one doorbell/interrupt (the §5
+    // optimization; ablatable).
+    bool coalesce_nvme = true;
+    // Allow P2P at all (ablation: force host-staging).
+    bool allow_p2p = true;
+  };
+
+  FsProxy(Simulator* sim, PcieFabric* fabric, const HwParams& params,
+          Processor* host_cpu, NvmeBlockStore* store, SolrosFs* fs,
+          const Options& options);
+
+  // Binds an RPC server on the given ring pair and starts serving.
+  void Serve(SimRing* request_ring, SimRing* response_ring);
+
+  // Handles one request (also callable directly, e.g. by HostLocalFs).
+  Task<FsResponse> Handle(FsRequest request);
+
+  // Pulls a whole file into the shared buffer cache (§4.3: the control
+  // plane "prefetches frequently accessed files ... to the host memory");
+  // subsequent buffered reads from any data plane are served from DRAM.
+  // No-op without a cache.
+  Task<Status> Prefetch(const std::string& path);
+
+  const FsProxyStats& stats() const { return stats_; }
+  BufferCache* cache() { return cache_.get(); }
+  SolrosFs* fs() { return fs_; }
+
+ private:
+  Task<FsResponse> HandleRead(const FsRequest& request);
+  Task<FsResponse> HandleWrite(const FsRequest& request);
+  Task<FsResponse> HandleReaddir(const FsRequest& request);
+  Task<FsResponse> HandleMeta(const FsRequest& request);
+
+  // §4.3.2's four buffered-mode triggers.
+  Task<Result<bool>> ShouldUseP2p(const FsRequest& request, uint64_t length);
+
+  // Buffered helpers (cache-aware staging + one host DMA).
+  Task<Status> BufferedRead(uint64_t ino, uint64_t offset, uint64_t length,
+                            MemRef target);
+  Task<Status> BufferedWrite(uint64_t ino, uint64_t offset, uint64_t length,
+                             MemRef source);
+
+  static FsResponse ErrorResponse(const Status& status);
+
+  Simulator* sim_;
+  PcieFabric* fabric_;
+  HwParams params_;
+  Processor* host_cpu_;
+  NvmeBlockStore* store_;
+  SolrosFs* fs_;
+  Options options_;
+  DmaEngine host_dma_;
+  std::unique_ptr<BufferCache> cache_;
+  std::vector<std::unique_ptr<RpcServer<FsRequest, FsResponse>>> servers_;
+  FsProxyStats stats_;
+};
+
+}  // namespace solros
+
+#endif  // SOLROS_SRC_FS_FS_PROXY_H_

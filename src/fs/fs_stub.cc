@@ -1,0 +1,167 @@
+#include "src/fs/fs_stub.h"
+
+namespace solros {
+
+FsStub::FsStub(Simulator* sim, const HwParams& params, Processor* phi_cpu,
+               SimRing* request_ring, SimRing* response_ring,
+               uint32_t client_id)
+    : sim_(sim),
+      params_(params),
+      phi_cpu_(phi_cpu),
+      client_(sim, request_ring, response_ring),
+      client_id_(client_id) {
+  client_.Start();
+}
+
+Task<Result<FsResponse>> FsStub::Call(FsRequest request) {
+  ++calls_;
+  request.client = client_id_;
+  if (buffered_ || buffered_inos_.contains(request.ino)) {
+    request.flags |= kFsFlagBuffered;
+  }
+  // The thin stub cost: syscall entry + RPC marshalling on a lean core.
+  co_await phi_cpu_->Compute(params_.fs_stub_cpu);
+  SOLROS_CO_ASSIGN_OR_RETURN(FsResponse response,
+                             co_await client_.Call(request));
+  if (response.error != ErrorCode::kOk) {
+    co_return Status(response.error);
+  }
+  co_return response;
+}
+
+Task<Result<uint64_t>> FsStub::Open(const std::string& path) {
+  FsRequest request;
+  request.op = FsOp::kOpen;
+  request.SetPath(path);
+  SOLROS_CO_ASSIGN_OR_RETURN(FsResponse r, co_await Call(request));
+  co_return r.value;
+}
+
+Task<Result<uint64_t>> FsStub::OpenBuffered(const std::string& path) {
+  SOLROS_CO_ASSIGN_OR_RETURN(uint64_t ino, co_await Open(path));
+  buffered_inos_.insert(ino);
+  co_return ino;
+}
+
+Task<Result<uint64_t>> FsStub::Create(const std::string& path) {
+  FsRequest request;
+  request.op = FsOp::kCreate;
+  request.SetPath(path);
+  SOLROS_CO_ASSIGN_OR_RETURN(FsResponse r, co_await Call(request));
+  co_return r.value;
+}
+
+Task<Result<uint64_t>> FsStub::Read(uint64_t ino, uint64_t offset,
+                                    MemRef target) {
+  FsRequest request;
+  request.op = FsOp::kRead;
+  request.ino = ino;
+  request.offset = offset;
+  request.length = target.length;
+  request.memory = target;
+  SOLROS_CO_ASSIGN_OR_RETURN(FsResponse r, co_await Call(request));
+  co_return r.value;
+}
+
+Task<Result<uint64_t>> FsStub::Write(uint64_t ino, uint64_t offset,
+                                     MemRef source) {
+  FsRequest request;
+  request.op = FsOp::kWrite;
+  request.ino = ino;
+  request.offset = offset;
+  request.length = source.length;
+  request.memory = source;
+  SOLROS_CO_ASSIGN_OR_RETURN(FsResponse r, co_await Call(request));
+  co_return r.value;
+}
+
+Task<Result<FileStat>> FsStub::Stat(const std::string& path) {
+  FsRequest request;
+  request.op = FsOp::kStat;
+  request.SetPath(path);
+  SOLROS_CO_ASSIGN_OR_RETURN(FsResponse r, co_await Call(request));
+  co_return r.stat;
+}
+
+Task<Status> FsStub::Unlink(const std::string& path) {
+  FsRequest request;
+  request.op = FsOp::kUnlink;
+  request.SetPath(path);
+  auto r = co_await Call(request);
+  co_return r.status();
+}
+
+Task<Status> FsStub::Mkdir(const std::string& path) {
+  FsRequest request;
+  request.op = FsOp::kMkdir;
+  request.SetPath(path);
+  auto r = co_await Call(request);
+  co_return r.status();
+}
+
+Task<Status> FsStub::Rmdir(const std::string& path) {
+  FsRequest request;
+  request.op = FsOp::kRmdir;
+  request.SetPath(path);
+  auto r = co_await Call(request);
+  co_return r.status();
+}
+
+Task<Status> FsStub::Rename(const std::string& from, const std::string& to) {
+  FsRequest request;
+  request.op = FsOp::kRename;
+  request.SetPath(from);
+  request.SetPath2(to);
+  auto r = co_await Call(request);
+  co_return r.status();
+}
+
+Task<Result<std::vector<DirEntry>>> FsStub::Readdir(const std::string& path) {
+  // Chunked zero-copy listing through a co-processor staging buffer.
+  constexpr uint64_t kChunkRows = 64;
+  DeviceBuffer staging(phi_cpu_->device(), kChunkRows * sizeof(Dirent));
+  std::vector<DirEntry> out;
+  uint64_t row = 0;
+  while (true) {
+    FsRequest request;
+    request.op = FsOp::kReaddir;
+    request.SetPath(path);
+    request.offset = row;
+    request.memory = MemRef::Of(staging);
+    SOLROS_CO_ASSIGN_OR_RETURN(FsResponse r, co_await Call(request));
+    uint64_t rows = r.value;
+    for (uint64_t i = 0; i < rows; ++i) {
+      Dirent ent;
+      std::memcpy(&ent, staging.data() + i * sizeof(Dirent), sizeof(Dirent));
+      DirEntry entry;
+      entry.ino = ent.ino;
+      entry.name = ent.Name();
+      entry.is_dir = ent.type == (kModeDir >> 12);
+      out.push_back(std::move(entry));
+    }
+    if (rows < kChunkRows) {
+      break;
+    }
+    row += rows;
+  }
+  co_return out;
+}
+
+Task<Status> FsStub::Truncate(uint64_t ino, uint64_t size) {
+  FsRequest request;
+  request.op = FsOp::kTruncate;
+  request.ino = ino;
+  request.length = size;
+  auto r = co_await Call(request);
+  co_return r.status();
+}
+
+Task<Status> FsStub::Fsync(uint64_t ino) {
+  FsRequest request;
+  request.op = FsOp::kFsync;
+  request.ino = ino;
+  auto r = co_await Call(request);
+  co_return r.status();
+}
+
+}  // namespace solros

@@ -1,0 +1,141 @@
+// On-disk layout of SolrosFS.
+//
+// SolrosFS is the extent-based, in-place-update file system that backs the
+// control-plane file-system proxy. The paper runs its proxy over ext4/XFS
+// and requires exactly two properties of the backing file system (§5):
+// in-place updates (disk block addresses are stable under overwrite, so P2P
+// is safe) and a fiemap-style offset -> disk-extent query. SolrosFS
+// provides both from scratch.
+//
+// Disk layout (4 KiB blocks):
+//
+//   [ superblock | block bitmap | inode bitmap | inode table | data ... ]
+//
+// Inodes are 256 bytes: 12 direct extents plus one indirect extent block
+// (256 further extents), i.e. up to 268 extents per file. The allocator
+// favours large contiguous extents, which keeps fiemap vectors short — the
+// property that lets the proxy coalesce a whole read into one NVMe I/O
+// vector (§5, "Optimized NVMe device driver").
+#ifndef SOLROS_SRC_FS_LAYOUT_H_
+#define SOLROS_SRC_FS_LAYOUT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace solros {
+
+inline constexpr uint32_t kFsMagic = 0x501f05f5;  // "SOLrOSFS"
+inline constexpr uint32_t kFsVersion = 1;
+inline constexpr uint32_t kFsBlockSize = 4096;
+inline constexpr uint32_t kInodeSize = 256;
+inline constexpr uint32_t kInodesPerBlock = kFsBlockSize / kInodeSize;
+inline constexpr int kDirectExtents = 12;
+inline constexpr uint32_t kMaxFileName = 53;
+inline constexpr uint64_t kRootInode = 1;
+// Allocator cap on a single extent (1M blocks = 4 GiB), so one extent can
+// cover the benchmarks' whole working file.
+inline constexpr uint32_t kMaxExtentBlocks = 1u << 20;
+
+// File type bits in DiskInode::mode.
+inline constexpr uint32_t kModeFile = 0x8000;
+inline constexpr uint32_t kModeDir = 0x4000;
+
+struct SuperBlock {
+  uint32_t magic;
+  uint32_t version;
+  uint32_t block_size;
+  uint32_t reserved0;
+  uint64_t total_blocks;
+  uint64_t inode_count;
+  uint64_t block_bitmap_start;
+  uint64_t block_bitmap_blocks;
+  uint64_t inode_bitmap_start;
+  uint64_t inode_bitmap_blocks;
+  uint64_t inode_table_start;
+  uint64_t inode_table_blocks;
+  uint64_t data_start;
+  uint64_t free_blocks;
+  uint64_t free_inodes;
+};
+static_assert(sizeof(SuperBlock) <= kFsBlockSize);
+
+// A run of physically contiguous blocks.
+struct FsExtent {
+  uint64_t start = 0;  // first block (absolute LBA in fs blocks)
+  uint32_t len = 0;    // number of blocks
+  uint32_t pad = 0;
+
+  bool operator==(const FsExtent&) const = default;
+};
+static_assert(sizeof(FsExtent) == 16);
+
+inline constexpr uint32_t kIndirectExtents = kFsBlockSize / sizeof(FsExtent);
+inline constexpr uint32_t kMaxExtentsPerFile =
+    kDirectExtents + kIndirectExtents;
+
+struct DiskInode {
+  uint32_t mode = 0;   // kModeFile / kModeDir (0 = free slot)
+  uint32_t nlink = 0;
+  uint64_t size = 0;   // bytes
+  uint64_t mtime = 0;  // simulated nanoseconds
+  uint32_t extent_count = 0;
+  uint32_t flags = 0;
+  FsExtent direct[kDirectExtents];
+  uint64_t indirect_block = 0;  // 0 = none
+  uint8_t reserved[24] = {};
+
+  bool IsDir() const { return (mode & kModeDir) != 0; }
+  bool IsFile() const { return (mode & kModeFile) != 0; }
+  bool InUse() const { return mode != 0; }
+
+  // Blocks covered by the inode's extents.
+  uint64_t allocated_blocks() const {
+    return allocated_blocks_cache;
+  }
+  // Kept on disk as padding-compatible cache would complicate things;
+  // computed on load instead.
+  uint64_t allocated_blocks_cache = 0;
+};
+// The in-memory struct carries one extra cached field; only the first
+// kInodeSize bytes are (de)serialized.
+static_assert(offsetof(DiskInode, allocated_blocks_cache) == kInodeSize);
+static_assert(sizeof(DiskInode) > kInodeSize);
+
+struct Dirent {
+  uint64_t ino = 0;  // 0 = free slot
+  uint8_t name_len = 0;
+  uint8_t type = 0;  // kModeFile/kModeDir >> 12
+  char name[kMaxFileName + 1] = {};
+
+  std::string Name() const { return std::string(name, name_len); }
+  void SetName(const std::string& n) {
+    name_len = static_cast<uint8_t>(n.size());
+    std::memset(name, 0, sizeof(name));
+    std::memcpy(name, n.data(), n.size());
+  }
+};
+static_assert(sizeof(Dirent) == 64);
+inline constexpr uint32_t kDirentsPerBlock = kFsBlockSize / sizeof(Dirent);
+
+// Result row of a Stat call.
+struct FileStat {
+  uint64_t ino = 0;
+  uint64_t size = 0;
+  uint64_t mtime = 0;
+  uint32_t mode = 0;
+  uint32_t nlink = 0;
+  uint32_t extent_count = 0;
+};
+
+// Row of a Readdir listing.
+struct DirEntry {
+  uint64_t ino = 0;
+  std::string name;
+  bool is_dir = false;
+};
+
+}  // namespace solros
+
+#endif  // SOLROS_SRC_FS_LAYOUT_H_

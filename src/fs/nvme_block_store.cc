@@ -1,0 +1,82 @@
+#include "src/fs/nvme_block_store.h"
+
+#include <cstring>
+
+#include "src/base/logging.h"
+
+namespace solros {
+
+NvmeBlockStore::NvmeBlockStore(NvmeDevice* nvme, Processor* cpu)
+    : nvme_(nvme), cpu_(cpu) {
+  CHECK(nvme != nullptr);
+  CHECK(cpu != nullptr);
+}
+
+uint32_t NvmeBlockStore::block_size() const { return nvme_->block_size(); }
+uint64_t NvmeBlockStore::block_count() const { return nvme_->block_count(); }
+
+Task<Status> NvmeBlockStore::Read(uint64_t lba, uint32_t nblocks,
+                                  std::span<uint8_t> out) {
+  uint64_t bytes = uint64_t{nblocks} * block_size();
+  if (out.size() < bytes) {
+    co_return InvalidArgumentError("read span too short");
+  }
+  // Stage through host memory (the host FS page path).
+  DeviceBuffer staging(cpu_->device(), bytes);
+  NvmeCommand command{NvmeCommand::Op::kRead, lba, nblocks,
+                      MemRef::Of(staging)};
+  SOLROS_CO_RETURN_IF_ERROR(co_await nvme_->SubmitOne(command, cpu_));
+  std::memcpy(out.data(), staging.data(), bytes);
+  co_return OkStatus();
+}
+
+Task<Status> NvmeBlockStore::Write(uint64_t lba, uint32_t nblocks,
+                                   std::span<const uint8_t> in) {
+  uint64_t bytes = uint64_t{nblocks} * block_size();
+  if (in.size() < bytes) {
+    co_return InvalidArgumentError("write span too short");
+  }
+  DeviceBuffer staging(cpu_->device(), bytes);
+  std::memcpy(staging.data(), in.data(), bytes);
+  NvmeCommand command{NvmeCommand::Op::kWrite, lba, nblocks,
+                      MemRef::Of(staging)};
+  co_return co_await nvme_->SubmitOne(command, cpu_);
+}
+
+Task<Status> NvmeBlockStore::Flush() { co_return OkStatus(); }
+
+Task<Status> NvmeBlockStore::SubmitExtents(
+    const std::vector<FsExtent>& extents, MemRef memory, NvmeCommand::Op op,
+    bool coalesce) {
+  uint64_t total = 0;
+  for (const FsExtent& e : extents) {
+    total += uint64_t{e.len} * block_size();
+  }
+  if (memory.length != total) {
+    co_return InvalidArgumentError("extent/target length mismatch");
+  }
+  std::vector<NvmeCommand> commands;
+  commands.reserve(extents.size());
+  uint64_t offset = 0;
+  for (const FsExtent& e : extents) {
+    uint64_t bytes = uint64_t{e.len} * block_size();
+    commands.push_back(
+        NvmeCommand{op, e.start, e.len, memory.Sub(offset, bytes)});
+    offset += bytes;
+  }
+  co_return co_await nvme_->Submit(std::move(commands), coalesce, cpu_);
+}
+
+Task<Status> NvmeBlockStore::ReadExtents(const std::vector<FsExtent>& extents,
+                                         MemRef target, bool coalesce) {
+  co_return co_await SubmitExtents(extents, target, NvmeCommand::Op::kRead,
+                                   coalesce);
+}
+
+Task<Status> NvmeBlockStore::WriteExtents(
+    const std::vector<FsExtent>& extents, MemRef source, bool coalesce) {
+  co_return co_await SubmitExtents(extents, source, NvmeCommand::Op::kWrite,
+                                   coalesce);
+}
+
+}  // namespace solros

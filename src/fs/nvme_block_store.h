@@ -1,0 +1,58 @@
+// BlockStore backed by the simulated NVMe device.
+//
+// Byte-span reads/writes (metadata, buffered data) stage through a host
+// DeviceBuffer — that is the real data path of a host-side file system. The
+// vectorized MemRef methods are the zero-copy path: the caller supplies the
+// target memory (co-processor or host buffer-cache pages) and the NVMe DMA
+// engine moves data directly, optionally coalescing the whole vector into
+// one doorbell + one interrupt (§5's p2p_read/p2p_write ioctls).
+#ifndef SOLROS_SRC_FS_NVME_BLOCK_STORE_H_
+#define SOLROS_SRC_FS_NVME_BLOCK_STORE_H_
+
+#include <vector>
+
+#include "src/fs/block_store.h"
+#include "src/fs/layout.h"
+#include "src/hw/memory.h"
+#include "src/hw/processor.h"
+#include "src/nvme/nvme_device.h"
+
+namespace solros {
+
+class NvmeBlockStore : public BlockStore {
+ public:
+  // `cpu` is the processor that submits commands (the control-plane host
+  // CPU in Solros; only it may touch the device, §4).
+  NvmeBlockStore(NvmeDevice* nvme, Processor* cpu);
+
+  uint32_t block_size() const override;
+  uint64_t block_count() const override;
+
+  Task<Status> Read(uint64_t lba, uint32_t nblocks,
+                    std::span<uint8_t> out) override;
+  Task<Status> Write(uint64_t lba, uint32_t nblocks,
+                     std::span<const uint8_t> in) override;
+  Task<Status> Flush() override;
+
+  // Zero-copy vectorized I/O: one (extent -> target sub-range) command per
+  // extent; `coalesce` batches them under a single doorbell/interrupt.
+  // `target.length` must equal the total extent bytes.
+  Task<Status> ReadExtents(const std::vector<FsExtent>& extents,
+                           MemRef target, bool coalesce);
+  Task<Status> WriteExtents(const std::vector<FsExtent>& extents,
+                            MemRef source, bool coalesce);
+
+  NvmeDevice* device() { return nvme_; }
+
+ private:
+  Task<Status> SubmitExtents(const std::vector<FsExtent>& extents,
+                             MemRef memory, NvmeCommand::Op op,
+                             bool coalesce);
+
+  NvmeDevice* nvme_;
+  Processor* cpu_;
+};
+
+}  // namespace solros
+
+#endif  // SOLROS_SRC_FS_NVME_BLOCK_STORE_H_

@@ -1,0 +1,1026 @@
+#include "src/fs/solros_fs.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/base/logging.h"
+
+namespace solros {
+namespace {
+
+uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+// Bits per bitmap block.
+constexpr uint64_t kBitsPerBlock = uint64_t{kFsBlockSize} * 8;
+
+}  // namespace
+
+SolrosFs::SolrosFs(BlockStore* store, Simulator* sim)
+    : store_(store), sim_(sim) {
+  CHECK(store != nullptr);
+  CHECK_EQ(store->block_size(), kFsBlockSize);
+}
+
+uint64_t SolrosFs::NowNs() const { return sim_ != nullptr ? sim_->now() : 0; }
+
+Status SolrosFs::CheckMounted() const {
+  if (!mounted_) {
+    return FailedPreconditionError("file system not mounted");
+  }
+  return OkStatus();
+}
+
+bool SolrosFs::BitGet(const std::vector<uint8_t>& bits, uint64_t index) {
+  return (bits[index >> 3] >> (index & 7)) & 1;
+}
+
+void SolrosFs::BitSet(std::vector<uint8_t>& bits, uint64_t index,
+                      bool value) {
+  if (value) {
+    bits[index >> 3] |= static_cast<uint8_t>(1u << (index & 7));
+  } else {
+    bits[index >> 3] &= static_cast<uint8_t>(~(1u << (index & 7)));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+// ---------------------------------------------------------------------------
+
+Task<Status> SolrosFs::Format(uint64_t inode_count) {
+  CHECK_GE(inode_count, 2u);
+  uint64_t total = store_->block_count();
+
+  SuperBlock sb = {};
+  sb.magic = kFsMagic;
+  sb.version = kFsVersion;
+  sb.block_size = kFsBlockSize;
+  sb.total_blocks = total;
+  sb.inode_count = inode_count;
+  sb.block_bitmap_start = 1;
+  sb.block_bitmap_blocks = CeilDiv(total, kBitsPerBlock);
+  sb.inode_bitmap_start = sb.block_bitmap_start + sb.block_bitmap_blocks;
+  sb.inode_bitmap_blocks = CeilDiv(inode_count, kBitsPerBlock);
+  sb.inode_table_start = sb.inode_bitmap_start + sb.inode_bitmap_blocks;
+  sb.inode_table_blocks = CeilDiv(inode_count, kInodesPerBlock);
+  sb.data_start = sb.inode_table_start + sb.inode_table_blocks;
+  if (sb.data_start >= total) {
+    co_return InvalidArgumentError("device too small for this inode count");
+  }
+  sb.free_blocks = total - sb.data_start;
+  sb.free_inodes = inode_count - 1;  // root consumes one
+
+  // Superblock.
+  std::vector<uint8_t> block(kFsBlockSize, 0);
+  std::memcpy(block.data(), &sb, sizeof(sb));
+  SOLROS_CO_RETURN_IF_ERROR(co_await store_->Write(0, 1, block));
+
+  // Block bitmap: metadata blocks [0, data_start) are in use.
+  block_bitmap_.assign(sb.block_bitmap_blocks * kFsBlockSize, 0);
+  for (uint64_t b = 0; b < sb.data_start; ++b) {
+    BitSet(block_bitmap_, b, true);
+  }
+  SOLROS_CO_RETURN_IF_ERROR(co_await store_->Write(
+      sb.block_bitmap_start, static_cast<uint32_t>(sb.block_bitmap_blocks),
+      block_bitmap_));
+
+  // Inode bitmap: root (ino 1 -> bit 0) in use.
+  inode_bitmap_.assign(sb.inode_bitmap_blocks * kFsBlockSize, 0);
+  BitSet(inode_bitmap_, 0, true);
+  SOLROS_CO_RETURN_IF_ERROR(co_await store_->Write(
+      sb.inode_bitmap_start, static_cast<uint32_t>(sb.inode_bitmap_blocks),
+      inode_bitmap_));
+
+  // Zeroed inode table with the root directory inode.
+  std::vector<uint8_t> table_block(kFsBlockSize, 0);
+  DiskInode root = {};
+  root.mode = kModeDir;
+  root.nlink = 2;
+  root.mtime = NowNs();
+  std::memcpy(table_block.data(), &root, kInodeSize);
+  SOLROS_CO_RETURN_IF_ERROR(
+      co_await store_->Write(sb.inode_table_start, 1, table_block));
+  std::vector<uint8_t> zero_block(kFsBlockSize, 0);
+  for (uint64_t b = 1; b < sb.inode_table_blocks; ++b) {
+    SOLROS_CO_RETURN_IF_ERROR(
+        co_await store_->Write(sb.inode_table_start + b, 1, zero_block));
+  }
+  SOLROS_CO_RETURN_IF_ERROR(co_await store_->Flush());
+  co_return co_await Mount();
+}
+
+Task<Status> SolrosFs::Mount() {
+  if (mounted_) {
+    co_return FailedPreconditionError("already mounted");
+  }
+  std::vector<uint8_t> block(kFsBlockSize);
+  SOLROS_CO_RETURN_IF_ERROR(co_await store_->Read(0, 1, block));
+  std::memcpy(&super_, block.data(), sizeof(super_));
+  if (super_.magic != kFsMagic || super_.version != kFsVersion ||
+      super_.block_size != kFsBlockSize) {
+    co_return IoError("bad superblock (not a SolrosFS volume?)");
+  }
+  if (super_.total_blocks > store_->block_count()) {
+    co_return IoError("superblock larger than backing device");
+  }
+
+  block_bitmap_.assign(super_.block_bitmap_blocks * kFsBlockSize, 0);
+  SOLROS_CO_RETURN_IF_ERROR(co_await store_->Read(
+      super_.block_bitmap_start,
+      static_cast<uint32_t>(super_.block_bitmap_blocks), block_bitmap_));
+  inode_bitmap_.assign(super_.inode_bitmap_blocks * kFsBlockSize, 0);
+  SOLROS_CO_RETURN_IF_ERROR(co_await store_->Read(
+      super_.inode_bitmap_start,
+      static_cast<uint32_t>(super_.inode_bitmap_blocks), inode_bitmap_));
+
+  alloc_cursor_ = super_.data_start;
+  block_bitmap_dirty_ = false;
+  inode_bitmap_dirty_ = false;
+  super_dirty_ = false;
+  inode_cache_.clear();
+  mounted_ = true;
+  co_return OkStatus();
+}
+
+Task<Status> SolrosFs::Unmount() {
+  SOLROS_CO_RETURN_IF_ERROR(CheckMounted());
+  SOLROS_CO_RETURN_IF_ERROR(co_await Sync());
+  inode_cache_.clear();
+  mounted_ = false;
+  co_return OkStatus();
+}
+
+Task<Status> SolrosFs::Sync() {
+  SOLROS_CO_RETURN_IF_ERROR(CheckMounted());
+  SOLROS_CO_RETURN_IF_ERROR(co_await FlushMetadata());
+  co_return co_await store_->Flush();
+}
+
+// ---------------------------------------------------------------------------
+// Inode & bitmap plumbing
+// ---------------------------------------------------------------------------
+
+Task<Result<DiskInode*>> SolrosFs::GetInode(uint64_t ino) {
+  if (ino == 0 || ino > super_.inode_count) {
+    co_return InvalidArgumentError("bad inode number");
+  }
+  auto it = inode_cache_.find(ino);
+  if (it != inode_cache_.end()) {
+    co_return &it->second.inode;
+  }
+  if (!BitGet(inode_bitmap_, ino - 1)) {
+    co_return NotFoundError("inode not allocated");
+  }
+  uint64_t block = super_.inode_table_start + (ino - 1) / kInodesPerBlock;
+  uint32_t slot = (ino - 1) % kInodesPerBlock;
+  std::vector<uint8_t> buf(kFsBlockSize);
+  SOLROS_CO_RETURN_IF_ERROR(co_await store_->Read(block, 1, buf));
+  CachedInode entry;
+  std::memcpy(&entry.inode, buf.data() + slot * kInodeSize, kInodeSize);
+  // Recompute the allocation cache.
+  uint64_t blocks = 0;
+  if (entry.inode.extent_count <= kDirectExtents) {
+    for (uint32_t i = 0; i < entry.inode.extent_count; ++i) {
+      blocks += entry.inode.direct[i].len;
+    }
+    entry.inode.allocated_blocks_cache = blocks;
+  } else {
+    auto loaded = co_await LoadExtents(entry.inode);
+    if (!loaded.ok()) {
+      co_return loaded.status();
+    }
+    for (const FsExtent& e : *loaded) {
+      blocks += e.len;
+    }
+    entry.inode.allocated_blocks_cache = blocks;
+  }
+  auto [pos, inserted] = inode_cache_.emplace(ino, entry);
+  co_return &pos->second.inode;
+}
+
+void SolrosFs::MarkInodeDirty(uint64_t ino) {
+  auto it = inode_cache_.find(ino);
+  CHECK(it != inode_cache_.end());
+  it->second.dirty = true;
+}
+
+Task<Status> SolrosFs::FlushMetadata() {
+  if (super_dirty_) {
+    std::vector<uint8_t> block(kFsBlockSize, 0);
+    std::memcpy(block.data(), &super_, sizeof(super_));
+    SOLROS_CO_RETURN_IF_ERROR(co_await store_->Write(0, 1, block));
+    super_dirty_ = false;
+  }
+  if (block_bitmap_dirty_) {
+    SOLROS_CO_RETURN_IF_ERROR(co_await store_->Write(
+        super_.block_bitmap_start,
+        static_cast<uint32_t>(super_.block_bitmap_blocks), block_bitmap_));
+    block_bitmap_dirty_ = false;
+  }
+  if (inode_bitmap_dirty_) {
+    SOLROS_CO_RETURN_IF_ERROR(co_await store_->Write(
+        super_.inode_bitmap_start,
+        static_cast<uint32_t>(super_.inode_bitmap_blocks), inode_bitmap_));
+    inode_bitmap_dirty_ = false;
+  }
+  // Dirty inodes: read-modify-write their table blocks.
+  std::vector<uint8_t> buf(kFsBlockSize);
+  for (auto& [ino, cached] : inode_cache_) {
+    if (!cached.dirty) {
+      continue;
+    }
+    uint64_t block = super_.inode_table_start + (ino - 1) / kInodesPerBlock;
+    uint32_t slot = (ino - 1) % kInodesPerBlock;
+    SOLROS_CO_RETURN_IF_ERROR(co_await store_->Read(block, 1, buf));
+    std::memcpy(buf.data() + slot * kInodeSize, &cached.inode, kInodeSize);
+    SOLROS_CO_RETURN_IF_ERROR(co_await store_->Write(block, 1, buf));
+    cached.dirty = false;
+  }
+  co_return OkStatus();
+}
+
+Result<uint64_t> SolrosFs::AllocInode() {
+  if (super_.free_inodes == 0) {
+    return ResourceExhaustedError("out of inodes");
+  }
+  for (uint64_t i = 0; i < super_.inode_count; ++i) {
+    if (!BitGet(inode_bitmap_, i)) {
+      BitSet(inode_bitmap_, i, true);
+      inode_bitmap_dirty_ = true;
+      --super_.free_inodes;
+      super_dirty_ = true;
+      uint64_t ino = i + 1;
+      CachedInode fresh;
+      fresh.inode = DiskInode{};
+      fresh.dirty = true;
+      inode_cache_[ino] = fresh;
+      return ino;
+    }
+  }
+  return ResourceExhaustedError("inode bitmap full despite free count");
+}
+
+void SolrosFs::FreeInode(uint64_t ino) {
+  BitSet(inode_bitmap_, ino - 1, false);
+  inode_bitmap_dirty_ = true;
+  ++super_.free_inodes;
+  super_dirty_ = true;
+  auto it = inode_cache_.find(ino);
+  if (it != inode_cache_.end()) {
+    // Write back a cleared inode so the slot reads as free.
+    it->second.inode = DiskInode{};
+    it->second.dirty = true;
+  }
+}
+
+Result<FsExtent> SolrosFs::AllocExtent(uint32_t want) {
+  if (super_.free_blocks == 0) {
+    return ResourceExhaustedError("no space left on device");
+  }
+  want = std::min(want, kMaxExtentBlocks);
+  if (want == 0) {
+    want = 1;
+  }
+  // Rotating first-fit scan over the data region (two passes: from the
+  // cursor to the end, then from data_start to the cursor).
+  for (int pass = 0; pass < 2; ++pass) {
+    uint64_t begin = pass == 0 ? alloc_cursor_ : super_.data_start;
+    uint64_t end = pass == 0 ? super_.total_blocks : alloc_cursor_;
+    uint64_t b = begin;
+    while (b < end) {
+      // Skip fully-used bytes quickly.
+      if ((b & 7) == 0 && b + 8 <= end && block_bitmap_[b >> 3] == 0xff) {
+        b += 8;
+        continue;
+      }
+      if (BitGet(block_bitmap_, b)) {
+        ++b;
+        continue;
+      }
+      // Found a free block; extend the run.
+      uint64_t run_end = b + 1;
+      while (run_end < end && run_end - b < want &&
+             !BitGet(block_bitmap_, run_end)) {
+        ++run_end;
+      }
+      FsExtent extent;
+      extent.start = b;
+      extent.len = static_cast<uint32_t>(run_end - b);
+      for (uint64_t x = b; x < run_end; ++x) {
+        BitSet(block_bitmap_, x, true);
+      }
+      block_bitmap_dirty_ = true;
+      super_.free_blocks -= extent.len;
+      super_dirty_ = true;
+      alloc_cursor_ = run_end;
+      return extent;
+    }
+  }
+  return ResourceExhaustedError("no space left on device");
+}
+
+void SolrosFs::FreeBlocks(const FsExtent& extent) {
+  for (uint64_t b = extent.start; b < extent.start + extent.len; ++b) {
+    DCHECK(BitGet(block_bitmap_, b));
+    BitSet(block_bitmap_, b, false);
+  }
+  block_bitmap_dirty_ = true;
+  super_.free_blocks += extent.len;
+  super_dirty_ = true;
+  if (extent.start < alloc_cursor_) {
+    alloc_cursor_ = extent.start;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Extent management
+// ---------------------------------------------------------------------------
+
+Task<Result<std::vector<FsExtent>>> SolrosFs::LoadExtents(
+    const DiskInode& inode) {
+  std::vector<FsExtent> extents;
+  extents.reserve(inode.extent_count);
+  uint32_t direct = std::min<uint32_t>(inode.extent_count, kDirectExtents);
+  for (uint32_t i = 0; i < direct; ++i) {
+    extents.push_back(inode.direct[i]);
+  }
+  if (inode.extent_count > kDirectExtents) {
+    if (inode.indirect_block == 0) {
+      co_return IoError("inode missing indirect extent block");
+    }
+    std::vector<uint8_t> buf(kFsBlockSize);
+    SOLROS_CO_RETURN_IF_ERROR(co_await store_->Read(inode.indirect_block, 1,
+                                                 buf));
+    uint32_t extra = inode.extent_count - kDirectExtents;
+    for (uint32_t i = 0; i < extra; ++i) {
+      FsExtent e;
+      std::memcpy(&e, buf.data() + i * sizeof(FsExtent), sizeof(FsExtent));
+      extents.push_back(e);
+    }
+  }
+  co_return extents;
+}
+
+Task<Status> SolrosFs::StoreExtents(uint64_t ino,
+                                    const std::vector<FsExtent>& extents) {
+  if (extents.size() > kMaxExtentsPerFile) {
+    co_return ResourceExhaustedError("file too fragmented");
+  }
+  SOLROS_CO_ASSIGN_OR_RETURN(DiskInode * inode, co_await GetInode(ino));
+  uint32_t direct = std::min<size_t>(extents.size(), kDirectExtents);
+  for (uint32_t i = 0; i < direct; ++i) {
+    inode->direct[i] = extents[i];
+  }
+  for (uint32_t i = direct; i < kDirectExtents; ++i) {
+    inode->direct[i] = FsExtent{};
+  }
+  if (extents.size() > kDirectExtents) {
+    if (inode->indirect_block == 0) {
+      SOLROS_CO_ASSIGN_OR_RETURN(FsExtent ib, AllocExtent(1));
+      if (ib.len != 1) {
+        // Only need one block; return the surplus.
+        FsExtent surplus{ib.start + 1, ib.len - 1, 0};
+        FreeBlocks(surplus);
+      }
+      inode->indirect_block = ib.start;
+    }
+    std::vector<uint8_t> buf(kFsBlockSize, 0);
+    for (size_t i = kDirectExtents; i < extents.size(); ++i) {
+      std::memcpy(buf.data() + (i - kDirectExtents) * sizeof(FsExtent),
+                  &extents[i], sizeof(FsExtent));
+    }
+    SOLROS_CO_RETURN_IF_ERROR(
+        co_await store_->Write(inode->indirect_block, 1, buf));
+  } else if (inode->indirect_block != 0) {
+    FreeBlocks(FsExtent{inode->indirect_block, 1, 0});
+    inode->indirect_block = 0;
+  }
+  inode->extent_count = static_cast<uint32_t>(extents.size());
+  uint64_t blocks = 0;
+  for (const FsExtent& e : extents) {
+    blocks += e.len;
+  }
+  inode->allocated_blocks_cache = blocks;
+  MarkInodeDirty(ino);
+  co_return OkStatus();
+}
+
+Task<Status> SolrosFs::EnsureAllocated(uint64_t ino, uint64_t blocks) {
+  SOLROS_CO_ASSIGN_OR_RETURN(DiskInode * inode, co_await GetInode(ino));
+  if (inode->allocated_blocks_cache >= blocks) {
+    co_return OkStatus();
+  }
+  SOLROS_CO_ASSIGN_OR_RETURN(std::vector<FsExtent> extents,
+                          co_await LoadExtents(*inode));
+  uint64_t have = inode->allocated_blocks_cache;
+  while (have < blocks) {
+    uint64_t need = blocks - have;
+    SOLROS_CO_ASSIGN_OR_RETURN(
+        FsExtent extent,
+        AllocExtent(static_cast<uint32_t>(
+            std::min<uint64_t>(need, kMaxExtentBlocks))));
+    // Merge into the previous extent when physically contiguous.
+    if (!extents.empty() &&
+        extents.back().start + extents.back().len == extent.start &&
+        uint64_t{extents.back().len} + extent.len <= kMaxExtentBlocks) {
+      extents.back().len += extent.len;
+    } else {
+      extents.push_back(extent);
+    }
+    have += extent.len;
+  }
+  co_return co_await StoreExtents(ino, extents);
+}
+
+// ---------------------------------------------------------------------------
+// Data path
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Maps a logical block to (physical LBA, blocks remaining in this run).
+Result<std::pair<uint64_t, uint64_t>> MapBlock(
+    const std::vector<FsExtent>& extents, uint64_t lblock) {
+  uint64_t cursor = 0;
+  for (const FsExtent& e : extents) {
+    if (lblock < cursor + e.len) {
+      uint64_t within = lblock - cursor;
+      return std::make_pair(e.start + within, uint64_t{e.len} - within);
+    }
+    cursor += e.len;
+  }
+  return OutOfRangeError("logical block beyond allocation");
+}
+
+}  // namespace
+
+Task<Result<uint64_t>> SolrosFs::ReadAt(uint64_t ino, uint64_t offset,
+                                        std::span<uint8_t> out) {
+  SOLROS_CO_RETURN_IF_ERROR(CheckMounted());
+  SOLROS_CO_ASSIGN_OR_RETURN(DiskInode * inode, co_await GetInode(ino));
+  if (offset >= inode->size) {
+    co_return uint64_t{0};
+  }
+  uint64_t len = std::min<uint64_t>(out.size(), inode->size - offset);
+  SOLROS_CO_ASSIGN_OR_RETURN(std::vector<FsExtent> extents,
+                          co_await LoadExtents(*inode));
+
+  std::vector<uint8_t> scratch(kFsBlockSize);
+  uint64_t pos = offset;
+  uint64_t end = offset + len;
+  uint8_t* dst = out.data();
+  while (pos < end) {
+    uint64_t lblock = pos / kFsBlockSize;
+    uint32_t in_off = pos % kFsBlockSize;
+    SOLROS_CO_ASSIGN_OR_RETURN(auto mapping, MapBlock(extents, lblock));
+    auto [lba, run_blocks] = mapping;
+    uint64_t run_bytes = run_blocks * kFsBlockSize - in_off;
+    uint64_t chunk = std::min(end - pos, run_bytes);
+    if (in_off == 0 && chunk >= kFsBlockSize) {
+      chunk = chunk / kFsBlockSize * kFsBlockSize;
+      SOLROS_CO_RETURN_IF_ERROR(co_await store_->Read(
+          lba, static_cast<uint32_t>(chunk / kFsBlockSize), {dst, chunk}));
+    } else {
+      chunk = std::min<uint64_t>(chunk, kFsBlockSize - in_off);
+      SOLROS_CO_RETURN_IF_ERROR(co_await store_->Read(lba, 1, scratch));
+      std::memcpy(dst, scratch.data() + in_off, chunk);
+    }
+    pos += chunk;
+    dst += chunk;
+  }
+  co_return len;
+}
+
+Task<Result<uint64_t>> SolrosFs::WriteAt(uint64_t ino, uint64_t offset,
+                                         std::span<const uint8_t> in) {
+  SOLROS_CO_RETURN_IF_ERROR(CheckMounted());
+  SOLROS_CO_ASSIGN_OR_RETURN(DiskInode * inode, co_await GetInode(ino));
+  uint64_t len = in.size();
+  uint64_t end = offset + len;
+  uint64_t old_size = inode->size;
+  SOLROS_CO_RETURN_IF_ERROR(
+      co_await EnsureAllocated(ino, CeilDiv(end, kFsBlockSize)));
+  // GetInode pointer may still be used: cache entries are stable.
+  SOLROS_CO_ASSIGN_OR_RETURN(std::vector<FsExtent> extents,
+                          co_await LoadExtents(*inode));
+
+  // Zero any gap between old EOF and the write start (no sparse holes).
+  if (offset > old_size) {
+    std::vector<uint8_t> zeros(kFsBlockSize, 0);
+    uint64_t gap_pos = old_size;
+    while (gap_pos < offset) {
+      uint64_t lblock = gap_pos / kFsBlockSize;
+      uint32_t in_off = gap_pos % kFsBlockSize;
+      SOLROS_CO_ASSIGN_OR_RETURN(auto mapping, MapBlock(extents, lblock));
+      auto [lba, run_blocks] = mapping;
+      uint64_t chunk = std::min<uint64_t>(offset - gap_pos,
+                                          kFsBlockSize - in_off);
+      if (in_off == 0 && chunk == kFsBlockSize) {
+        SOLROS_CO_RETURN_IF_ERROR(co_await store_->Write(lba, 1, zeros));
+      } else {
+        std::vector<uint8_t> rmw(kFsBlockSize);
+        SOLROS_CO_RETURN_IF_ERROR(co_await store_->Read(lba, 1, rmw));
+        std::memset(rmw.data() + in_off, 0, chunk);
+        SOLROS_CO_RETURN_IF_ERROR(co_await store_->Write(lba, 1, rmw));
+      }
+      gap_pos += chunk;
+    }
+  }
+
+  std::vector<uint8_t> scratch(kFsBlockSize);
+  uint64_t pos = offset;
+  const uint8_t* src = in.data();
+  while (pos < end) {
+    uint64_t lblock = pos / kFsBlockSize;
+    uint32_t in_off = pos % kFsBlockSize;
+    SOLROS_CO_ASSIGN_OR_RETURN(auto mapping, MapBlock(extents, lblock));
+    auto [lba, run_blocks] = mapping;
+    uint64_t run_bytes = run_blocks * kFsBlockSize - in_off;
+    uint64_t chunk = std::min(end - pos, run_bytes);
+    if (in_off == 0 && chunk >= kFsBlockSize) {
+      chunk = chunk / kFsBlockSize * kFsBlockSize;
+      SOLROS_CO_RETURN_IF_ERROR(co_await store_->Write(
+          lba, static_cast<uint32_t>(chunk / kFsBlockSize), {src, chunk}));
+    } else {
+      chunk = std::min<uint64_t>(chunk, kFsBlockSize - in_off);
+      SOLROS_CO_RETURN_IF_ERROR(co_await store_->Read(lba, 1, scratch));
+      std::memcpy(scratch.data() + in_off, src, chunk);
+      SOLROS_CO_RETURN_IF_ERROR(co_await store_->Write(lba, 1, scratch));
+    }
+    pos += chunk;
+    src += chunk;
+  }
+
+  if (end > inode->size) {
+    inode->size = end;
+  }
+  inode->mtime = NowNs();
+  MarkInodeDirty(ino);
+  SOLROS_CO_RETURN_IF_ERROR(co_await FlushMetadata());
+  co_return len;
+}
+
+Task<Status> SolrosFs::Truncate(uint64_t ino, uint64_t new_size) {
+  SOLROS_CO_RETURN_IF_ERROR(CheckMounted());
+  SOLROS_CO_ASSIGN_OR_RETURN(DiskInode * inode, co_await GetInode(ino));
+  if (!inode->IsFile()) {
+    co_return InvalidArgumentError("truncate on non-file");
+  }
+  if (new_size > inode->size) {
+    // Grow: allocate and zero the new range.
+    uint64_t old_size = inode->size;
+    SOLROS_CO_RETURN_IF_ERROR(
+        co_await EnsureAllocated(ino, CeilDiv(new_size, kFsBlockSize)));
+    SOLROS_CO_ASSIGN_OR_RETURN(std::vector<FsExtent> extents,
+                            co_await LoadExtents(*inode));
+    std::vector<uint8_t> zeros(kFsBlockSize, 0);
+    // Zero the stale tail of the old partial last block (a prior shrink
+    // may have left old data beyond the byte-precise EOF).
+    if (old_size % kFsBlockSize != 0) {
+      uint64_t lblock = old_size / kFsBlockSize;
+      uint32_t in_off = old_size % kFsBlockSize;
+      uint64_t zero_end =
+          std::min<uint64_t>(new_size, (lblock + 1) * kFsBlockSize);
+      SOLROS_CO_ASSIGN_OR_RETURN(auto tail_map, MapBlock(extents, lblock));
+      auto [tail_lba, tail_run] = tail_map;
+      (void)tail_run;
+      std::vector<uint8_t> rmw(kFsBlockSize);
+      SOLROS_CO_RETURN_IF_ERROR(co_await store_->Read(tail_lba, 1, rmw));
+      std::memset(rmw.data() + in_off, 0, zero_end - old_size);
+      SOLROS_CO_RETURN_IF_ERROR(co_await store_->Write(tail_lba, 1, rmw));
+    }
+    uint64_t first_new_block = CeilDiv(old_size, kFsBlockSize);
+    uint64_t last_block = CeilDiv(new_size, kFsBlockSize);
+    for (uint64_t lb = first_new_block; lb < last_block;) {
+      SOLROS_CO_ASSIGN_OR_RETURN(auto mapping, MapBlock(extents, lb));
+      auto [lba, run_blocks] = mapping;
+      uint64_t n = std::min(run_blocks, last_block - lb);
+      // Zero a run block-by-block in bounded chunks.
+      std::vector<uint8_t> zero_run(
+          static_cast<size_t>(std::min<uint64_t>(n, 256) * kFsBlockSize), 0);
+      uint64_t done = 0;
+      while (done < n) {
+        uint64_t batch = std::min<uint64_t>(n - done, 256);
+        SOLROS_CO_RETURN_IF_ERROR(co_await store_->Write(
+            lba + done, static_cast<uint32_t>(batch),
+            {zero_run.data(), static_cast<size_t>(batch * kFsBlockSize)}));
+        done += batch;
+      }
+      lb += n;
+    }
+  } else if (new_size < inode->size) {
+    // Shrink: free whole blocks beyond the new end.
+    uint64_t keep_blocks = CeilDiv(new_size, kFsBlockSize);
+    SOLROS_CO_ASSIGN_OR_RETURN(std::vector<FsExtent> extents,
+                            co_await LoadExtents(*inode));
+    std::vector<FsExtent> kept;
+    uint64_t cursor = 0;
+    for (const FsExtent& e : extents) {
+      if (cursor >= keep_blocks) {
+        FreeBlocks(e);
+      } else if (cursor + e.len <= keep_blocks) {
+        kept.push_back(e);
+      } else {
+        uint32_t keep_len = static_cast<uint32_t>(keep_blocks - cursor);
+        kept.push_back(FsExtent{e.start, keep_len, 0});
+        FreeBlocks(FsExtent{e.start + keep_len, e.len - keep_len, 0});
+      }
+      cursor += e.len;
+    }
+    SOLROS_CO_RETURN_IF_ERROR(co_await StoreExtents(ino, kept));
+  }
+  inode->size = new_size;
+  inode->mtime = NowNs();
+  MarkInodeDirty(ino);
+  co_return co_await FlushMetadata();
+}
+
+Task<Result<std::vector<FsExtent>>> SolrosFs::PrepareWrite(uint64_t ino,
+                                                           uint64_t offset,
+                                                           uint64_t length) {
+  SOLROS_CO_RETURN_IF_ERROR(CheckMounted());
+  SOLROS_CO_ASSIGN_OR_RETURN(DiskInode * inode, co_await GetInode(ino));
+  if (!inode->IsFile()) {
+    co_return InvalidArgumentError("PrepareWrite on non-file");
+  }
+  if (offset > inode->size) {
+    co_return FailedPreconditionError(
+        "write past EOF leaves a gap; use the buffered path");
+  }
+  uint64_t end = offset + length;
+  SOLROS_CO_RETURN_IF_ERROR(
+      co_await EnsureAllocated(ino, CeilDiv(end, kFsBlockSize)));
+  if (end > inode->size) {
+    inode->size = end;
+  }
+  inode->mtime = NowNs();
+  MarkInodeDirty(ino);
+  SOLROS_CO_RETURN_IF_ERROR(co_await FlushMetadata());
+  co_return co_await Fiemap(ino, offset, length);
+}
+
+Task<Result<std::vector<FsExtent>>> SolrosFs::Fiemap(uint64_t ino,
+                                                     uint64_t offset,
+                                                     uint64_t length) {
+  SOLROS_CO_RETURN_IF_ERROR(CheckMounted());
+  SOLROS_CO_ASSIGN_OR_RETURN(DiskInode * inode, co_await GetInode(ino));
+  SOLROS_CO_ASSIGN_OR_RETURN(std::vector<FsExtent> extents,
+                          co_await LoadExtents(*inode));
+  if (length == 0 || offset >= inode->size) {
+    co_return std::vector<FsExtent>{};
+  }
+  length = std::min(length, inode->size - offset);
+  uint64_t first = offset / kFsBlockSize;
+  uint64_t last = CeilDiv(offset + length, kFsBlockSize);  // exclusive
+
+  std::vector<FsExtent> out;
+  uint64_t cursor = 0;
+  for (const FsExtent& e : extents) {
+    uint64_t e_first = cursor;
+    uint64_t e_last = cursor + e.len;
+    uint64_t lo = std::max(first, e_first);
+    uint64_t hi = std::min(last, e_last);
+    if (lo < hi) {
+      out.push_back(FsExtent{e.start + (lo - e_first),
+                             static_cast<uint32_t>(hi - lo), 0});
+    }
+    cursor = e_last;
+    if (cursor >= last) {
+      break;
+    }
+  }
+  co_return out;
+}
+
+// ---------------------------------------------------------------------------
+// Directories
+// ---------------------------------------------------------------------------
+
+Task<Result<uint64_t>> SolrosFs::DirLookup(uint64_t dir_ino,
+                                           std::string_view name) {
+  SOLROS_CO_ASSIGN_OR_RETURN(DiskInode * dir, co_await GetInode(dir_ino));
+  if (!dir->IsDir()) {
+    co_return InvalidArgumentError("not a directory");
+  }
+  std::vector<uint8_t> block(kFsBlockSize);
+  for (uint64_t off = 0; off < dir->size; off += kFsBlockSize) {
+    SOLROS_CO_ASSIGN_OR_RETURN(uint64_t n,
+                            co_await ReadAt(dir_ino, off, block));
+    uint32_t count = static_cast<uint32_t>(n / sizeof(Dirent));
+    for (uint32_t i = 0; i < count; ++i) {
+      Dirent entry;
+      std::memcpy(&entry, block.data() + i * sizeof(Dirent), sizeof(Dirent));
+      if (entry.ino != 0 && entry.Name() == name) {
+        co_return entry.ino;
+      }
+    }
+  }
+  co_return NotFoundError(std::string(name));
+}
+
+Task<Status> SolrosFs::DirAdd(uint64_t dir_ino, std::string_view name,
+                              uint64_t ino, uint8_t type) {
+  SOLROS_CO_ASSIGN_OR_RETURN(DiskInode * dir, co_await GetInode(dir_ino));
+  if (!dir->IsDir()) {
+    co_return InvalidArgumentError("not a directory");
+  }
+  Dirent entry;
+  entry.ino = ino;
+  entry.type = type;
+  entry.SetName(std::string(name));
+
+  // Reuse a free slot if one exists.
+  std::vector<uint8_t> block(kFsBlockSize);
+  for (uint64_t off = 0; off < dir->size; off += kFsBlockSize) {
+    SOLROS_CO_ASSIGN_OR_RETURN(uint64_t n, co_await ReadAt(dir_ino, off, block));
+    uint32_t count = static_cast<uint32_t>(n / sizeof(Dirent));
+    for (uint32_t i = 0; i < count; ++i) {
+      Dirent existing;
+      std::memcpy(&existing, block.data() + i * sizeof(Dirent),
+                  sizeof(Dirent));
+      if (existing.ino == 0) {
+        uint64_t slot_off = off + i * sizeof(Dirent);
+        SOLROS_CO_ASSIGN_OR_RETURN(
+            uint64_t w,
+            co_await WriteAt(dir_ino, slot_off,
+                             {reinterpret_cast<const uint8_t*>(&entry),
+                              sizeof(entry)}));
+        (void)w;
+        co_return OkStatus();
+      }
+    }
+  }
+  // Append at the end.
+  SOLROS_CO_ASSIGN_OR_RETURN(
+      uint64_t w,
+      co_await WriteAt(dir_ino, dir->size,
+                       {reinterpret_cast<const uint8_t*>(&entry),
+                        sizeof(entry)}));
+  (void)w;
+  co_return OkStatus();
+}
+
+Task<Status> SolrosFs::DirRemove(uint64_t dir_ino, std::string_view name) {
+  SOLROS_CO_ASSIGN_OR_RETURN(DiskInode * dir, co_await GetInode(dir_ino));
+  std::vector<uint8_t> block(kFsBlockSize);
+  for (uint64_t off = 0; off < dir->size; off += kFsBlockSize) {
+    SOLROS_CO_ASSIGN_OR_RETURN(uint64_t n, co_await ReadAt(dir_ino, off, block));
+    uint32_t count = static_cast<uint32_t>(n / sizeof(Dirent));
+    for (uint32_t i = 0; i < count; ++i) {
+      Dirent entry;
+      std::memcpy(&entry, block.data() + i * sizeof(Dirent), sizeof(Dirent));
+      if (entry.ino != 0 && entry.Name() == name) {
+        Dirent cleared = {};
+        SOLROS_CO_ASSIGN_OR_RETURN(
+            uint64_t w,
+            co_await WriteAt(dir_ino, off + i * sizeof(Dirent),
+                             {reinterpret_cast<const uint8_t*>(&cleared),
+                              sizeof(cleared)}));
+        (void)w;
+        co_return OkStatus();
+      }
+    }
+  }
+  co_return NotFoundError(std::string(name));
+}
+
+Task<Result<bool>> SolrosFs::DirIsEmpty(uint64_t dir_ino) {
+  SOLROS_CO_ASSIGN_OR_RETURN(DiskInode * dir, co_await GetInode(dir_ino));
+  std::vector<uint8_t> block(kFsBlockSize);
+  for (uint64_t off = 0; off < dir->size; off += kFsBlockSize) {
+    SOLROS_CO_ASSIGN_OR_RETURN(uint64_t n, co_await ReadAt(dir_ino, off, block));
+    uint32_t count = static_cast<uint32_t>(n / sizeof(Dirent));
+    for (uint32_t i = 0; i < count; ++i) {
+      Dirent entry;
+      std::memcpy(&entry, block.data() + i * sizeof(Dirent), sizeof(Dirent));
+      if (entry.ino != 0) {
+        co_return false;
+      }
+    }
+  }
+  co_return true;
+}
+
+// ---------------------------------------------------------------------------
+// Path walking & namespace operations
+// ---------------------------------------------------------------------------
+
+Status SolrosFs::SplitPath(const std::string& path,
+                           std::vector<std::string>* components) {
+  components->clear();
+  if (path.empty() || path[0] != '/') {
+    return InvalidArgumentError("path must be absolute: " + path);
+  }
+  size_t pos = 1;
+  while (pos < path.size()) {
+    size_t next = path.find('/', pos);
+    if (next == std::string::npos) {
+      next = path.size();
+    }
+    if (next != pos) {
+      std::string name = path.substr(pos, next - pos);
+      if (name.size() > kMaxFileName) {
+        return InvalidArgumentError("name too long: " + name);
+      }
+      components->push_back(std::move(name));
+    }
+    pos = next + 1;
+  }
+  return OkStatus();
+}
+
+Task<Result<uint64_t>> SolrosFs::ResolvePath(const std::string& path) {
+  std::vector<std::string> components;
+  SOLROS_CO_RETURN_IF_ERROR(SplitPath(path, &components));
+  uint64_t ino = kRootInode;
+  for (const std::string& name : components) {
+    SOLROS_CO_ASSIGN_OR_RETURN(ino, co_await DirLookup(ino, name));
+  }
+  co_return ino;
+}
+
+Task<Result<SolrosFs::ResolvedParent>> SolrosFs::ResolveParent(
+    const std::string& path) {
+  std::vector<std::string> components;
+  SOLROS_CO_RETURN_IF_ERROR(SplitPath(path, &components));
+  if (components.empty()) {
+    co_return InvalidArgumentError("cannot operate on /");
+  }
+  uint64_t ino = kRootInode;
+  for (size_t i = 0; i + 1 < components.size(); ++i) {
+    SOLROS_CO_ASSIGN_OR_RETURN(ino, co_await DirLookup(ino, components[i]));
+  }
+  ResolvedParent result;
+  result.parent_ino = ino;
+  result.leaf = components.back();
+  co_return result;
+}
+
+Task<Result<uint64_t>> SolrosFs::Create(const std::string& path) {
+  SOLROS_CO_RETURN_IF_ERROR(CheckMounted());
+  SOLROS_CO_ASSIGN_OR_RETURN(ResolvedParent rp, co_await ResolveParent(path));
+  auto existing = co_await DirLookup(rp.parent_ino, rp.leaf);
+  if (existing.ok()) {
+    co_return AlreadyExistsError(path);
+  }
+  if (existing.code() != ErrorCode::kNotFound) {
+    co_return existing.status();
+  }
+  SOLROS_CO_ASSIGN_OR_RETURN(uint64_t ino, AllocInode());
+  SOLROS_CO_ASSIGN_OR_RETURN(DiskInode * inode, co_await GetInode(ino));
+  inode->mode = kModeFile;
+  inode->nlink = 1;
+  inode->mtime = NowNs();
+  MarkInodeDirty(ino);
+  SOLROS_CO_RETURN_IF_ERROR(
+      co_await DirAdd(rp.parent_ino, rp.leaf, ino, kModeFile >> 12));
+  SOLROS_CO_RETURN_IF_ERROR(co_await FlushMetadata());
+  co_return ino;
+}
+
+Task<Result<uint64_t>> SolrosFs::Lookup(const std::string& path) {
+  SOLROS_CO_RETURN_IF_ERROR(CheckMounted());
+  co_return co_await ResolvePath(path);
+}
+
+Task<Status> SolrosFs::Mkdir(const std::string& path) {
+  SOLROS_CO_RETURN_IF_ERROR(CheckMounted());
+  SOLROS_CO_ASSIGN_OR_RETURN(ResolvedParent rp, co_await ResolveParent(path));
+  auto existing = co_await DirLookup(rp.parent_ino, rp.leaf);
+  if (existing.ok()) {
+    co_return AlreadyExistsError(path);
+  }
+  if (existing.code() != ErrorCode::kNotFound) {
+    co_return existing.status();
+  }
+  SOLROS_CO_ASSIGN_OR_RETURN(uint64_t ino, AllocInode());
+  SOLROS_CO_ASSIGN_OR_RETURN(DiskInode * inode, co_await GetInode(ino));
+  inode->mode = kModeDir;
+  inode->nlink = 2;
+  inode->mtime = NowNs();
+  MarkInodeDirty(ino);
+  SOLROS_CO_RETURN_IF_ERROR(
+      co_await DirAdd(rp.parent_ino, rp.leaf, ino, kModeDir >> 12));
+  co_return co_await FlushMetadata();
+}
+
+Task<Status> SolrosFs::Unlink(const std::string& path) {
+  SOLROS_CO_RETURN_IF_ERROR(CheckMounted());
+  SOLROS_CO_ASSIGN_OR_RETURN(ResolvedParent rp, co_await ResolveParent(path));
+  SOLROS_CO_ASSIGN_OR_RETURN(uint64_t ino,
+                          co_await DirLookup(rp.parent_ino, rp.leaf));
+  SOLROS_CO_ASSIGN_OR_RETURN(DiskInode * inode, co_await GetInode(ino));
+  if (inode->IsDir()) {
+    co_return InvalidArgumentError("unlink on directory (use rmdir)");
+  }
+  SOLROS_CO_RETURN_IF_ERROR(co_await DirRemove(rp.parent_ino, rp.leaf));
+  if (--inode->nlink == 0) {
+    SOLROS_CO_ASSIGN_OR_RETURN(std::vector<FsExtent> extents,
+                            co_await LoadExtents(*inode));
+    for (const FsExtent& e : extents) {
+      FreeBlocks(e);
+    }
+    if (inode->indirect_block != 0) {
+      FreeBlocks(FsExtent{inode->indirect_block, 1, 0});
+    }
+    FreeInode(ino);
+  } else {
+    MarkInodeDirty(ino);
+  }
+  co_return co_await FlushMetadata();
+}
+
+Task<Status> SolrosFs::Rmdir(const std::string& path) {
+  SOLROS_CO_RETURN_IF_ERROR(CheckMounted());
+  SOLROS_CO_ASSIGN_OR_RETURN(ResolvedParent rp, co_await ResolveParent(path));
+  SOLROS_CO_ASSIGN_OR_RETURN(uint64_t ino,
+                          co_await DirLookup(rp.parent_ino, rp.leaf));
+  SOLROS_CO_ASSIGN_OR_RETURN(DiskInode * inode, co_await GetInode(ino));
+  if (!inode->IsDir()) {
+    co_return InvalidArgumentError("rmdir on non-directory");
+  }
+  SOLROS_CO_ASSIGN_OR_RETURN(bool empty, co_await DirIsEmpty(ino));
+  if (!empty) {
+    co_return FailedPreconditionError("directory not empty");
+  }
+  SOLROS_CO_RETURN_IF_ERROR(co_await DirRemove(rp.parent_ino, rp.leaf));
+  SOLROS_CO_ASSIGN_OR_RETURN(std::vector<FsExtent> extents,
+                          co_await LoadExtents(*inode));
+  for (const FsExtent& e : extents) {
+    FreeBlocks(e);
+  }
+  if (inode->indirect_block != 0) {
+    FreeBlocks(FsExtent{inode->indirect_block, 1, 0});
+  }
+  FreeInode(ino);
+  co_return co_await FlushMetadata();
+}
+
+Task<Status> SolrosFs::Rename(const std::string& from, const std::string& to) {
+  SOLROS_CO_RETURN_IF_ERROR(CheckMounted());
+  SOLROS_CO_ASSIGN_OR_RETURN(ResolvedParent src, co_await ResolveParent(from));
+  SOLROS_CO_ASSIGN_OR_RETURN(ResolvedParent dst, co_await ResolveParent(to));
+  SOLROS_CO_ASSIGN_OR_RETURN(uint64_t ino,
+                          co_await DirLookup(src.parent_ino, src.leaf));
+  auto existing = co_await DirLookup(dst.parent_ino, dst.leaf);
+  if (existing.ok()) {
+    co_return AlreadyExistsError(to);
+  }
+  if (existing.code() != ErrorCode::kNotFound) {
+    co_return existing.status();
+  }
+  SOLROS_CO_ASSIGN_OR_RETURN(DiskInode * inode, co_await GetInode(ino));
+  uint8_t type = static_cast<uint8_t>(inode->mode >> 12);
+  SOLROS_CO_RETURN_IF_ERROR(co_await DirRemove(src.parent_ino, src.leaf));
+  SOLROS_CO_RETURN_IF_ERROR(co_await DirAdd(dst.parent_ino, dst.leaf, ino, type));
+  co_return co_await FlushMetadata();
+}
+
+Task<Result<std::vector<DirEntry>>> SolrosFs::Readdir(
+    const std::string& path) {
+  SOLROS_CO_RETURN_IF_ERROR(CheckMounted());
+  SOLROS_CO_ASSIGN_OR_RETURN(uint64_t ino, co_await ResolvePath(path));
+  SOLROS_CO_ASSIGN_OR_RETURN(DiskInode * dir, co_await GetInode(ino));
+  if (!dir->IsDir()) {
+    co_return InvalidArgumentError("not a directory: " + path);
+  }
+  std::vector<DirEntry> out;
+  std::vector<uint8_t> block(kFsBlockSize);
+  for (uint64_t off = 0; off < dir->size; off += kFsBlockSize) {
+    SOLROS_CO_ASSIGN_OR_RETURN(uint64_t n, co_await ReadAt(ino, off, block));
+    uint32_t count = static_cast<uint32_t>(n / sizeof(Dirent));
+    for (uint32_t i = 0; i < count; ++i) {
+      Dirent entry;
+      std::memcpy(&entry, block.data() + i * sizeof(Dirent), sizeof(Dirent));
+      if (entry.ino != 0) {
+        DirEntry row;
+        row.ino = entry.ino;
+        row.name = entry.Name();
+        row.is_dir = entry.type == (kModeDir >> 12);
+        out.push_back(std::move(row));
+      }
+    }
+  }
+  co_return out;
+}
+
+Task<Result<FileStat>> SolrosFs::Stat(const std::string& path) {
+  SOLROS_CO_RETURN_IF_ERROR(CheckMounted());
+  SOLROS_CO_ASSIGN_OR_RETURN(uint64_t ino, co_await ResolvePath(path));
+  co_return co_await StatInode(ino);
+}
+
+Task<Result<FileStat>> SolrosFs::StatInode(uint64_t ino) {
+  SOLROS_CO_RETURN_IF_ERROR(CheckMounted());
+  SOLROS_CO_ASSIGN_OR_RETURN(DiskInode * inode, co_await GetInode(ino));
+  FileStat stat;
+  stat.ino = ino;
+  stat.size = inode->size;
+  stat.mtime = inode->mtime;
+  stat.mode = inode->mode;
+  stat.nlink = inode->nlink;
+  stat.extent_count = inode->extent_count;
+  co_return stat;
+}
+
+}  // namespace solros

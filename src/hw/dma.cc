@@ -1,0 +1,54 @@
+#include "src/hw/dma.h"
+
+#include <cstring>
+
+#include "src/base/logging.h"
+
+namespace solros {
+
+DmaEngine::DmaEngine(Simulator* sim, PcieFabric* fabric,
+                     const HwParams& params, DeviceId owner)
+    : sim_(sim),
+      fabric_(fabric),
+      params_(params),
+      owner_(owner),
+      bandwidth_(fabric->TypeOf(owner) == DeviceType::kHost
+                     ? params.dma_bw_host
+                     : params.dma_bw_phi),
+      init_latency_(fabric->TypeOf(owner) == DeviceType::kHost
+                        ? params.dma_init_host
+                        : params.dma_init_phi),
+      channels_(sim, static_cast<size_t>(params.dma_channels),
+                fabric->NameOf(owner) + "-dma") {}
+
+Task<void> DmaEngine::Copy(MemRef dst, MemRef src) {
+  CHECK_EQ(dst.length, src.length);
+  ++copies_;
+  // Channel setup: serialized on one of the engine's channels.
+  co_await channels_.Use(init_latency_);
+  // Peer-to-peer when neither end terminates in host DRAM; those transfers
+  // are subject to the cross-NUMA relay cap (Fig. 1(a)).
+  bool p2p = fabric_->TypeOf(src.device()) != DeviceType::kHost &&
+             fabric_->TypeOf(dst.device()) != DeviceType::kHost;
+  if (src.device() == dst.device()) {
+    // Local copy within one device's memory: charged at memory bandwidth.
+    co_await Delay(TransferTime(src.length, params_.host_mem_bw));
+  } else {
+    co_await fabric_->Transfer(src.device(), dst.device(), src.length,
+                               bandwidth_, p2p);
+  }
+  std::memcpy(dst.span().data(), src.span().data(), src.length);
+}
+
+Nanos DmaEngine::TimeFor(uint64_t bytes) const {
+  return init_latency_ + TransferTime(bytes, bandwidth_);
+}
+
+Task<void> WindowCopier::Copy(MemRef dst, MemRef src,
+                              bool initiator_is_host) {
+  CHECK_EQ(dst.length, src.length);
+  co_await Delay(TimeFor(src.length, initiator_is_host));
+  std::memcpy(dst.span().data(), src.span().data(), src.length);
+}
+
+}  // namespace solros

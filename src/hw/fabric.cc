@@ -1,0 +1,145 @@
+#include "src/hw/fabric.h"
+
+#include <algorithm>
+
+#include "src/base/logging.h"
+
+namespace solros {
+
+std::string_view DeviceTypeName(DeviceType type) {
+  switch (type) {
+    case DeviceType::kHost:
+      return "host";
+    case DeviceType::kPhi:
+      return "phi";
+    case DeviceType::kNvme:
+      return "nvme";
+    case DeviceType::kNic:
+      return "nic";
+  }
+  return "unknown";
+}
+
+PcieFabric::PcieFabric(Simulator* sim, const HwParams& params)
+    : sim_(sim), params_(params) {
+  CHECK(sim != nullptr);
+  qpi_.bw = params_.qpi_bw;
+  host_by_socket_.resize(params_.host_sockets);
+  for (int s = 0; s < params_.host_sockets; ++s) {
+    host_by_socket_[s] =
+        AddDevice(DeviceType::kHost, s, "host-socket" + std::to_string(s));
+  }
+}
+
+DeviceId PcieFabric::AddDevice(DeviceType type, int socket,
+                               std::string name) {
+  CHECK(socket >= 0 && socket < params_.host_sockets)
+      << "bad socket " << socket;
+  Device dev;
+  dev.type = type;
+  dev.socket = socket;
+  dev.name = std::move(name);
+  switch (type) {
+    case DeviceType::kHost:
+      dev.up.bw = params_.host_mem_bw;
+      dev.down.bw = params_.host_mem_bw;
+      break;
+    case DeviceType::kPhi:
+      dev.up.bw = params_.pcie_phi_up_bw;
+      dev.down.bw = params_.pcie_phi_down_bw;
+      break;
+    case DeviceType::kNvme:
+      // The device link carries at most what flash can sustain in each
+      // direction (reads flow up, writes flow down), so command execution
+      // charges one pipelined bottleneck instead of flash + link serially.
+      dev.up.bw = std::min(params_.pcie_nvme_bw, params_.nvme_read_bw);
+      dev.down.bw = std::min(params_.pcie_nvme_bw, params_.nvme_write_bw);
+      break;
+    case DeviceType::kNic:
+      dev.up.bw = params_.pcie_nic_bw;
+      dev.down.bw = params_.pcie_nic_bw;
+      break;
+  }
+  devices_.push_back(std::move(dev));
+  return DeviceId{static_cast<int32_t>(devices_.size() - 1)};
+}
+
+DeviceId PcieFabric::HostDevice(int socket) const {
+  CHECK(socket >= 0 && socket < static_cast<int>(host_by_socket_.size()));
+  return host_by_socket_[socket];
+}
+
+DeviceType PcieFabric::TypeOf(DeviceId id) const {
+  CHECK(id.valid() && id.index < static_cast<int32_t>(devices_.size()));
+  return devices_[id.index].type;
+}
+
+int PcieFabric::SocketOf(DeviceId id) const {
+  CHECK(id.valid() && id.index < static_cast<int32_t>(devices_.size()));
+  return devices_[id.index].socket;
+}
+
+const std::string& PcieFabric::NameOf(DeviceId id) const {
+  CHECK(id.valid() && id.index < static_cast<int32_t>(devices_.size()));
+  return devices_[id.index].name;
+}
+
+bool PcieFabric::CrossesNuma(DeviceId a, DeviceId b) const {
+  return SocketOf(a) != SocketOf(b);
+}
+
+void PcieFabric::PathLinks(DeviceId src, DeviceId dst,
+                           std::vector<Link*>* out) {
+  out->clear();
+  out->push_back(&devices_[src.index].up);
+  if (CrossesNuma(src, dst)) {
+    out->push_back(&qpi_);
+  }
+  out->push_back(&devices_[dst.index].down);
+}
+
+double PcieFabric::PathBandwidth(DeviceId src, DeviceId dst,
+                                 double initiator_rate,
+                                 bool peer_to_peer) const {
+  double bw = devices_[src.index].up.bw;
+  bw = std::min(bw, devices_[dst.index].down.bw);
+  if (CrossesNuma(src, dst)) {
+    bw = std::min(bw, qpi_.bw);
+    if (peer_to_peer) {
+      // Fig. 1(a): a host processor relays P2P PCIe packets across QPI.
+      bw = std::min(bw, params_.cross_numa_p2p_bw);
+    }
+  }
+  if (initiator_rate > 0.0) {
+    bw = std::min(bw, initiator_rate);
+  }
+  return bw;
+}
+
+Task<void> PcieFabric::Transfer(DeviceId src, DeviceId dst, uint64_t bytes,
+                                double initiator_rate, bool peer_to_peer) {
+  CHECK(src.valid() && dst.valid());
+  if (bytes == 0 || src == dst) {
+    co_return;
+  }
+  double bw = PathBandwidth(src, dst, initiator_rate, peer_to_peer);
+  Nanos duration = TransferTime(bytes, bw);
+
+  // Cut-through reservation: every link on the path is held for the same
+  // interval, starting when the most-contended link frees up.
+  std::vector<Link*> links;
+  PathLinks(src, dst, &links);
+  SimTime start = sim_->now();
+  for (Link* link : links) {
+    start = std::max(start, link->busy_until);
+  }
+  SimTime end = start + duration;
+  for (Link* link : links) {
+    link->busy_until = end;
+  }
+  total_bytes_ += bytes;
+  ++transfer_count_;
+  co_await Delay(end + params_.pcie_propagation - sim_->now());
+}
+
+}  // namespace solros

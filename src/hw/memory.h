@@ -1,0 +1,77 @@
+// Device memory: real byte storage tagged with the owning fabric device.
+//
+// This is the analogue of the paper's multiple physical address spaces
+// (§4.1): a buffer lives in exactly one device's memory; moving bytes
+// between buffers on different devices costs fabric time (see DmaEngine and
+// WindowCopier). A MemRef is the (buffer, offset, length) triple that RPC
+// messages carry in place of data for zero-copy I/O (§4.3.1) — the moral
+// equivalent of a physical address in a system-mapped PCIe window.
+#ifndef SOLROS_SRC_HW_MEMORY_H_
+#define SOLROS_SRC_HW_MEMORY_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/base/logging.h"
+#include "src/hw/fabric.h"
+
+namespace solros {
+
+class DeviceBuffer {
+ public:
+  DeviceBuffer(DeviceId device, size_t size)
+      : device_(device), bytes_(size, 0) {}
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+
+  DeviceId device() const { return device_; }
+  size_t size() const { return bytes_.size(); }
+  uint8_t* data() { return bytes_.data(); }
+  const uint8_t* data() const { return bytes_.data(); }
+
+  std::span<uint8_t> Span(uint64_t offset, uint64_t length) {
+    CHECK_LE(offset + length, bytes_.size());
+    return {bytes_.data() + offset, length};
+  }
+  std::span<const uint8_t> Span(uint64_t offset, uint64_t length) const {
+    CHECK_LE(offset + length, bytes_.size());
+    return {bytes_.data() + offset, length};
+  }
+
+ private:
+  DeviceId device_;
+  std::vector<uint8_t> bytes_;
+};
+
+// A non-owning window into a DeviceBuffer.
+struct MemRef {
+  DeviceBuffer* buffer = nullptr;
+  uint64_t offset = 0;
+  uint64_t length = 0;
+
+  static MemRef Of(DeviceBuffer& buf) {
+    return MemRef{&buf, 0, buf.size()};
+  }
+  static MemRef Of(DeviceBuffer& buf, uint64_t offset, uint64_t length) {
+    CHECK_LE(offset + length, buf.size());
+    return MemRef{&buf, offset, length};
+  }
+
+  bool valid() const { return buffer != nullptr; }
+  DeviceId device() const {
+    DCHECK(buffer != nullptr);
+    return buffer->device();
+  }
+  std::span<uint8_t> span() const { return buffer->Span(offset, length); }
+
+  // A sub-window relative to this one.
+  MemRef Sub(uint64_t rel_offset, uint64_t sub_length) const {
+    CHECK_LE(rel_offset + sub_length, length);
+    return MemRef{buffer, offset + rel_offset, sub_length};
+  }
+};
+
+}  // namespace solros
+
+#endif  // SOLROS_SRC_HW_MEMORY_H_

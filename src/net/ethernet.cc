@@ -1,0 +1,122 @@
+#include "src/net/ethernet.h"
+
+#include <utility>
+
+#include "src/base/logging.h"
+
+namespace solros {
+
+EthernetFabric::EthernetFabric(Simulator* sim, const HwParams& params)
+    : sim_(sim),
+      params_(params),
+      wire_up_(sim, params.nic_bw, params.nic_wire_latency, "eth-up"),
+      wire_down_(sim, params.nic_bw, params.nic_wire_latency, "eth-down") {}
+
+void EthernetFabric::RegisterPort(uint16_t port, ServerPort* handler) {
+  CHECK(handler != nullptr);
+  CHECK(ports_.find(port) == ports_.end()) << "port " << port << " in use";
+  ports_[port] = handler;
+}
+
+void EthernetFabric::UnregisterPort(uint16_t port) { ports_.erase(port); }
+
+Task<void> EthernetFabric::WireToServer(uint64_t bytes) {
+  co_await wire_up_.Transfer(bytes);
+}
+
+Task<void> EthernetFabric::WireToClient(uint64_t bytes) {
+  co_await wire_down_.Transfer(bytes);
+}
+
+Task<Result<uint64_t>> EthernetFabric::ClientConnect(uint32_t client_addr,
+                                                     uint16_t port,
+                                                     Processor* client_cpu) {
+  auto it = ports_.find(port);
+  if (it == ports_.end()) {
+    co_return Status(ErrorCode::kConnectionReset, "connection refused");
+  }
+  // Client-side connect() cost + SYN/ACK handshake across the wire.
+  co_await client_cpu->Compute(params_.tcp_segment_cpu);
+  co_await WireToServer(64);
+  uint64_t conn_id = next_conn_++;
+  Conn conn;
+  conn.port = port;
+  conn.client_addr = client_addr;
+  conn.handler = it->second;
+  conn.to_client =
+      std::make_unique<Channel<std::vector<uint8_t>>>(sim_, /*capacity=*/0);
+  conns_.emplace(conn_id, std::move(conn));
+  Status accepted =
+      co_await it->second->OnConnect(conn_id, port, client_addr);
+  if (!accepted.ok()) {
+    conns_.erase(conn_id);
+    co_return accepted;
+  }
+  co_await WireToClient(64);  // SYN-ACK
+  co_return conn_id;
+}
+
+Task<Status> EthernetFabric::ClientSend(uint64_t conn_id,
+                                        std::span<const uint8_t> data,
+                                        Processor* client_cpu) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end() || !it->second.open) {
+    co_return Status(ErrorCode::kNotConnected);
+  }
+  // Client stack cost per segment, then the wire.
+  co_await client_cpu->Compute(TcpSegments(data.size()) *
+                               params_.tcp_segment_cpu);
+  co_await WireToServer(data.size() + 64);
+  std::vector<uint8_t> payload(data.begin(), data.end());
+  co_await it->second.handler->OnClientData(conn_id, std::move(payload));
+  co_return OkStatus();
+}
+
+Task<Result<std::vector<uint8_t>>> EthernetFabric::ClientRecv(
+    uint64_t conn_id) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) {
+    co_return Status(ErrorCode::kNotConnected);
+  }
+  std::optional<std::vector<uint8_t>> message =
+      co_await it->second.to_client->Receive();
+  if (!message.has_value()) {
+    co_return Status(ErrorCode::kConnectionReset, "peer closed");
+  }
+  co_return std::move(*message);
+}
+
+Task<void> EthernetFabric::ClientClose(uint64_t conn_id,
+                                       Processor* client_cpu) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) {
+    co_return;
+  }
+  co_await client_cpu->Compute(params_.tcp_segment_cpu);
+  co_await WireToServer(64);
+  it->second.open = false;
+  co_await it->second.handler->OnClientClose(conn_id);
+  it->second.to_client->Close();
+}
+
+Task<Status> EthernetFabric::DeliverToClient(uint64_t conn_id,
+                                             std::vector<uint8_t> data) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end() || !it->second.open) {
+    co_return Status(ErrorCode::kNotConnected);
+  }
+  co_await WireToClient(data.size() + 64);
+  co_await it->second.to_client->Send(std::move(data));
+  co_return OkStatus();
+}
+
+void EthernetFabric::CloseFromServer(uint64_t conn_id) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) {
+    return;
+  }
+  it->second.open = false;
+  it->second.to_client->Close();
+}
+
+}  // namespace solros

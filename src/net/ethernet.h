@@ -1,0 +1,105 @@
+// External network substrate: client machines, the 100 Gbps wire, and the
+// server's NIC.
+//
+// The paper's network evaluation (§6) runs a client machine over 100 Gbps
+// Ethernet against servers reachable through the host (Solros / host
+// baselines) or bridged through to a Xeon Phi (stock Phi-Linux). This
+// module models that outer loop:
+//
+//   ExternalClient --wire (bw + latency)--> NIC --> registered ServerPort
+//
+// Message-granular TCP: each message charges per-segment stack CPU at both
+// endpoints and bandwidth on the wire; sequencing/retransmission are out of
+// scope (DESIGN.md §6). A ServerPort is whatever terminates connections on
+// the server side — the Solros TCP proxy, a host server, or the bridged
+// Phi-Linux stack.
+#ifndef SOLROS_SRC_NET_ETHERNET_H_
+#define SOLROS_SRC_NET_ETHERNET_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/hw/fabric.h"
+#include "src/hw/params.h"
+#include "src/hw/processor.h"
+#include "src/sim/resource.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+
+namespace solros {
+
+inline constexpr uint64_t kTcpMss = 1448;
+
+inline uint64_t TcpSegments(uint64_t bytes) {
+  return bytes == 0 ? 1 : (bytes + kTcpMss - 1) / kTcpMss;
+}
+
+// Server-side connection termination. Implementations charge their own
+// architecture's costs before delivering to the application.
+class ServerPort {
+ public:
+  virtual ~ServerPort() = default;
+  // A new client connection; returns a status (reject on backlog etc.).
+  // `conn_id` is the fabric-global connection id.
+  virtual Task<Status> OnConnect(uint64_t conn_id, uint16_t port,
+                                 uint32_t client_addr) = 0;
+  // Client payload arriving at the NIC for this connection.
+  virtual Task<void> OnClientData(uint64_t conn_id,
+                                  std::vector<uint8_t> data) = 0;
+  virtual Task<void> OnClientClose(uint64_t conn_id) = 0;
+};
+
+class EthernetFabric {
+ public:
+  EthernetFabric(Simulator* sim, const HwParams& params);
+
+  // Registers `port_handler` as the terminator for TCP port `port`.
+  void RegisterPort(uint16_t port, ServerPort* handler);
+  void UnregisterPort(uint16_t port);
+
+  // -- client side -----------------------------------------------------------
+  // Establishes a connection; returns the connection id.
+  Task<Result<uint64_t>> ClientConnect(uint32_t client_addr, uint16_t port,
+                                       Processor* client_cpu);
+  Task<Status> ClientSend(uint64_t conn_id, std::span<const uint8_t> data,
+                          Processor* client_cpu);
+  // Waits for the next server->client message.
+  Task<Result<std::vector<uint8_t>>> ClientRecv(uint64_t conn_id);
+  Task<void> ClientClose(uint64_t conn_id, Processor* client_cpu);
+
+  // -- server side -----------------------------------------------------------
+  // Delivery back to the client (used by ServerPort implementations); the
+  // caller has already charged its server-side stack costs.
+  Task<Status> DeliverToClient(uint64_t conn_id, std::vector<uint8_t> data);
+  void CloseFromServer(uint64_t conn_id);
+
+  uint64_t connections_opened() const { return next_conn_ - 1; }
+
+ private:
+  struct Conn {
+    uint16_t port;
+    uint32_t client_addr;
+    ServerPort* handler;
+    std::unique_ptr<Channel<std::vector<uint8_t>>> to_client;
+    bool open = true;
+  };
+
+  Task<void> WireToServer(uint64_t bytes);
+  Task<void> WireToClient(uint64_t bytes);
+
+  Simulator* sim_;
+  HwParams params_;
+  BandwidthResource wire_up_;    // client -> server
+  BandwidthResource wire_down_;  // server -> client
+  std::map<uint16_t, ServerPort*> ports_;
+  std::map<uint64_t, Conn> conns_;
+  uint64_t next_conn_ = 1;
+};
+
+}  // namespace solros
+
+#endif  // SOLROS_SRC_NET_ETHERNET_H_

@@ -1,0 +1,150 @@
+#include "src/net/net_stub.h"
+
+#include <utility>
+
+#include "src/base/logging.h"
+
+namespace solros {
+
+NetStub::NetStub(Simulator* sim, const HwParams& params, Processor* phi_cpu,
+                 SimRing* rpc_request, SimRing* rpc_response,
+                 SimRing* inbound, SimRing* outbound)
+    : sim_(sim),
+      params_(params),
+      phi_cpu_(phi_cpu),
+      rpc_(sim, rpc_request, rpc_response),
+      inbound_(inbound),
+      outbound_(outbound) {
+  rpc_.Start();
+  Spawn(*sim_, EventDispatcher(this));
+}
+
+NetStub::SocketState& NetStub::EnsureSocket(int64_t handle) {
+  SocketState& state = sockets_[handle];
+  if (state.accept_queue == nullptr) {
+    state.accept_queue = std::make_unique<Channel<int64_t>>(sim_, 0);
+  }
+  if (state.recv_queue == nullptr) {
+    state.recv_queue =
+        std::make_unique<Channel<std::vector<uint8_t>>>(sim_, 0);
+  }
+  return state;
+}
+
+Task<void> NetStub::EventDispatcher(NetStub* self) {
+  // §4.4.2: one dispatcher dequeues from the inbound ring and feeds
+  // per-socket queues; application threads copy payloads in parallel.
+  while (true) {
+    auto record = co_await self->inbound_->Receive();
+    if (!record.ok()) {
+      break;  // ring closed
+    }
+    ++self->events_;
+    NetEvent event = DecodePod<NetEvent>(*record);
+    switch (event.kind) {
+      case NetEventKind::kAccepted: {
+        // Make the connected socket's queues exist before any data event.
+        self->EnsureSocket(event.new_sock);
+        SocketState& listener = self->EnsureSocket(event.sock);
+        co_await listener.accept_queue->Send(event.new_sock);
+        break;
+      }
+      case NetEventKind::kData: {
+        SocketState& socket = self->EnsureSocket(event.sock);
+        std::vector<uint8_t> payload(record->begin() + sizeof(NetEvent),
+                                     record->end());
+        co_await socket.recv_queue->Send(std::move(payload));
+        break;
+      }
+      case NetEventKind::kPeerClosed: {
+        auto it = self->sockets_.find(event.sock);
+        if (it != self->sockets_.end() &&
+            it->second.recv_queue != nullptr) {
+          it->second.recv_queue->Close();
+        }
+        break;
+      }
+    }
+  }
+}
+
+Task<Result<int64_t>> NetStub::Listen(uint16_t port, int backlog) {
+  co_await phi_cpu_->Compute(params_.net_stub_cpu);
+  NetRequest socket_req;
+  socket_req.op = NetOp::kSocket;
+  SOLROS_CO_ASSIGN_OR_RETURN(NetResponse created,
+                             co_await rpc_.Call(socket_req));
+  if (created.error != ErrorCode::kOk) {
+    co_return Status(created.error);
+  }
+  int64_t handle = created.value;
+  EnsureSocket(handle);
+
+  NetRequest listen_req;
+  listen_req.op = NetOp::kListen;
+  listen_req.sock = handle;
+  listen_req.port = port;
+  listen_req.backlog = static_cast<uint16_t>(backlog);
+  SOLROS_CO_ASSIGN_OR_RETURN(NetResponse listened,
+                             co_await rpc_.Call(listen_req));
+  if (listened.error != ErrorCode::kOk) {
+    co_return Status(listened.error);
+  }
+  co_return handle;
+}
+
+Task<Result<int64_t>> NetStub::Accept(int64_t listener) {
+  co_await phi_cpu_->Compute(params_.net_stub_cpu);
+  SocketState& state = EnsureSocket(listener);
+  std::optional<int64_t> sock = co_await state.accept_queue->Receive();
+  if (!sock.has_value()) {
+    co_return Status(ErrorCode::kConnectionReset, "listener closed");
+  }
+  co_return *sock;
+}
+
+Task<Result<std::vector<uint8_t>>> NetStub::Recv(int64_t sock) {
+  co_await phi_cpu_->Compute(params_.net_stub_cpu);
+  SocketState& state = EnsureSocket(sock);
+  std::optional<std::vector<uint8_t>> data =
+      co_await state.recv_queue->Receive();
+  if (!data.has_value()) {
+    co_return Status(ErrorCode::kConnectionReset, "peer closed");
+  }
+  co_return std::move(*data);
+}
+
+Task<Status> NetStub::Send(int64_t sock, std::span<const uint8_t> data) {
+  co_await phi_cpu_->Compute(params_.net_stub_cpu);
+  NetEvent header;
+  header.kind = NetEventKind::kData;
+  header.sock = sock;
+  header.length = static_cast<uint32_t>(data.size());
+  std::vector<uint8_t> record = EncodePodWithPayload(header, data);
+  co_return co_await outbound_->Send(record);
+}
+
+Task<Status> NetStub::Close(int64_t sock) {
+  co_await phi_cpu_->Compute(params_.net_stub_cpu);
+  auto it = sockets_.find(sock);
+  if (it != sockets_.end()) {
+    if (it->second.recv_queue != nullptr) {
+      it->second.recv_queue->Close();
+    }
+    if (it->second.accept_queue != nullptr) {
+      it->second.accept_queue->Close();
+    }
+    sockets_.erase(it);
+  }
+  NetRequest request;
+  request.op = NetOp::kClose;
+  request.sock = sock;
+  SOLROS_CO_ASSIGN_OR_RETURN(NetResponse response,
+                             co_await rpc_.Call(request));
+  if (response.error != ErrorCode::kOk) {
+    co_return Status(response.error);
+  }
+  co_return OkStatus();
+}
+
+}  // namespace solros

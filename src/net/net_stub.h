@@ -1,0 +1,61 @@
+// Data-plane network stub (§4.4.1–4.4.2).
+//
+// A thin INET-family shim on the co-processor: socket calls become RPCs to
+// the TCP proxy; inbound events (new connections, data arrival) stream over
+// the inbound ring and are routed to per-socket event queues by a single
+// dispatcher task — "this design alleviates contention on the inbound ring
+// buffer by using a single-thread event dispatcher and maximizes parallel
+// access ... from multiple threads" (§4.4.2). Outbound data is enqueued on
+// the outbound ring (master at the co-processor) for the host to pull.
+#ifndef SOLROS_SRC_NET_NET_STUB_H_
+#define SOLROS_SRC_NET_NET_STUB_H_
+
+#include <map>
+#include <memory>
+
+#include "src/hw/params.h"
+#include "src/hw/processor.h"
+#include "src/net/server_api.h"
+#include "src/rpc/messages.h"
+#include "src/rpc/rpc.h"
+#include "src/transport/sim_ring.h"
+
+namespace solros {
+
+class NetStub : public ServerSocketApi {
+ public:
+  NetStub(Simulator* sim, const HwParams& params, Processor* phi_cpu,
+          SimRing* rpc_request, SimRing* rpc_response, SimRing* inbound,
+          SimRing* outbound);
+
+  // -- ServerSocketApi --------------------------------------------------------
+  Task<Result<int64_t>> Listen(uint16_t port, int backlog) override;
+  Task<Result<int64_t>> Accept(int64_t listener) override;
+  Task<Result<std::vector<uint8_t>>> Recv(int64_t sock) override;
+  Task<Status> Send(int64_t sock, std::span<const uint8_t> data) override;
+  Task<Status> Close(int64_t sock) override;
+
+  uint64_t events_dispatched() const { return events_; }
+
+ private:
+  struct SocketState {
+    std::unique_ptr<Channel<int64_t>> accept_queue;             // listeners
+    std::unique_ptr<Channel<std::vector<uint8_t>>> recv_queue;  // conns
+  };
+
+  static Task<void> EventDispatcher(NetStub* self);
+  SocketState& EnsureSocket(int64_t handle);
+
+  Simulator* sim_;
+  HwParams params_;
+  Processor* phi_cpu_;
+  RpcClient<NetRequest, NetResponse> rpc_;
+  SimRing* inbound_;
+  SimRing* outbound_;
+  std::map<int64_t, SocketState> sockets_;
+  uint64_t events_ = 0;
+};
+
+}  // namespace solros
+
+#endif  // SOLROS_SRC_NET_NET_STUB_H_

@@ -1,0 +1,39 @@
+// Server-side socket API shared by all three server configurations.
+//
+// An application (echo server, key-value store, image-search frontend) is
+// written once against ServerSocketApi and runs unchanged on:
+//  * NetStub        — Solros data-plane stub on a co-processor (§4.4)
+//  * PhiLinuxServer — stock co-processor-centric TCP stack on the Phi
+//  * HostServer     — host-resident server (the latency upper bound)
+//
+// Message-granular semantics: Recv returns one message sent by the peer
+// (byte-stream reassembly is out of scope, DESIGN.md §6).
+#ifndef SOLROS_SRC_NET_SERVER_API_H_
+#define SOLROS_SRC_NET_SERVER_API_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/sim/task.h"
+
+namespace solros {
+
+class ServerSocketApi {
+ public:
+  virtual ~ServerSocketApi() = default;
+
+  // socket() + bind() + listen() in one call; returns the listener handle.
+  virtual Task<Result<int64_t>> Listen(uint16_t port, int backlog) = 0;
+  // Waits for a client connection; returns a connected socket handle.
+  virtual Task<Result<int64_t>> Accept(int64_t listener) = 0;
+  // Waits for the next message from the peer; kConnectionReset after close.
+  virtual Task<Result<std::vector<uint8_t>>> Recv(int64_t sock) = 0;
+  virtual Task<Status> Send(int64_t sock, std::span<const uint8_t> data) = 0;
+  virtual Task<Status> Close(int64_t sock) = 0;
+};
+
+}  // namespace solros
+
+#endif  // SOLROS_SRC_NET_SERVER_API_H_

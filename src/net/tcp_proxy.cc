@@ -1,0 +1,207 @@
+#include "src/net/tcp_proxy.h"
+
+#include <utility>
+
+#include "src/base/logging.h"
+
+namespace solros {
+
+TcpProxy::TcpProxy(Simulator* sim, const HwParams& params,
+                   Processor* host_cpu, EthernetFabric* ethernet,
+                   std::unique_ptr<ForwardingPolicy> policy)
+    : sim_(sim),
+      params_(params),
+      host_cpu_(host_cpu),
+      ethernet_(ethernet),
+      policy_(std::move(policy)) {
+  CHECK(policy_ != nullptr);
+}
+
+void TcpProxy::AttachDataPlane(uint32_t dataplane_id, SimRing* rpc_request,
+                               SimRing* rpc_response, SimRing* inbound,
+                               SimRing* outbound) {
+  DataPlane& dataplane = dataplanes_[dataplane_id];
+  dataplane.id = dataplane_id;
+  dataplane.inbound = inbound;
+  dataplane.outbound = outbound;
+  dataplane.rpc = std::make_unique<RpcServer<NetRequest, NetResponse>>(
+      sim_, rpc_request, rpc_response,
+      [this, dataplane_id](NetRequest request) {
+        return HandleRpc(dataplane_id, std::move(request));
+      });
+  dataplane.rpc->Start();
+  Spawn(*sim_, OutboundPump(this, &dataplane));
+}
+
+Task<Status> TcpProxy::SendEvent(uint32_t dataplane_id, const NetEvent& event,
+                                 std::span<const uint8_t> payload) {
+  auto it = dataplanes_.find(dataplane_id);
+  if (it == dataplanes_.end()) {
+    co_return NotFoundError("no such data plane");
+  }
+  std::vector<uint8_t> record = EncodePodWithPayload(event, payload);
+  co_return co_await it->second.inbound->Send(record);
+}
+
+Task<NetResponse> TcpProxy::HandleRpc(uint32_t dataplane_id,
+                                      NetRequest request) {
+  ++stats_.rpcs;
+  co_await host_cpu_->Compute(params_.net_proxy_cpu);
+  NetResponse response;
+  switch (request.op) {
+    case NetOp::kSocket: {
+      int64_t handle = next_handle_++;
+      ProxySocket socket;
+      socket.handle = handle;
+      socket.dataplane = dataplane_id;
+      sockets_.emplace(handle, socket);
+      response.value = handle;
+      break;
+    }
+    case NetOp::kBind:
+      // Port assignment is recorded at listen time in this model.
+      break;
+    case NetOp::kListen: {
+      // Shared listening socket: several data planes may listen on the
+      // same port (§4.4.3).
+      PortListeners& group = listeners_[request.port];
+      if (group.members.empty()) {
+        ethernet_->RegisterPort(request.port, this);
+      }
+      group.members.emplace_back(dataplane_id, request.sock);
+      BalanceTarget target;
+      target.dataplane = dataplane_id;
+      group.targets.push_back(target);
+      break;
+    }
+    case NetOp::kClose: {
+      auto it = sockets_.find(request.sock);
+      if (it == sockets_.end()) {
+        response.error = ErrorCode::kInvalidArgument;
+        break;
+      }
+      if (it->second.open && it->second.conn_id != 0) {
+        ethernet_->CloseFromServer(it->second.conn_id);
+        conn_to_socket_.erase(it->second.conn_id);
+        // Balance bookkeeping.
+        for (auto& [port, group] : listeners_) {
+          for (BalanceTarget& t : group.targets) {
+            if (t.dataplane == it->second.dataplane && t.active_conns > 0) {
+              --t.active_conns;
+              break;
+            }
+          }
+        }
+      }
+      sockets_.erase(it);
+      break;
+    }
+    case NetOp::kShutdown:
+    case NetOp::kSetsockopt:
+      break;  // modeled as no-ops
+    default:
+      response.error = ErrorCode::kNotSupported;
+      break;
+  }
+  co_return response;
+}
+
+Task<Status> TcpProxy::OnConnect(uint64_t conn_id, uint16_t port,
+                                 uint32_t client_addr) {
+  auto it = listeners_.find(port);
+  if (it == listeners_.end() || it->second.members.empty()) {
+    co_return Status(ErrorCode::kConnectionReset, "no listeners");
+  }
+  // Host-side SYN handling.
+  co_await host_cpu_->Compute(params_.tcp_segment_cpu);
+
+  PortListeners& group = it->second;
+  size_t pick = policy_->Pick(client_addr, port, group.targets);
+  CHECK_LT(pick, group.members.size());
+  auto [dataplane_id, stub_listener] = group.members[pick];
+  ++group.targets[pick].active_conns;
+  ++group.targets[pick].total_assigned;
+  ++stats_.connections_forwarded;
+
+  int64_t handle = next_handle_++;
+  ProxySocket socket;
+  socket.handle = handle;
+  socket.conn_id = conn_id;
+  socket.dataplane = dataplane_id;
+  sockets_.emplace(handle, socket);
+  conn_to_socket_[conn_id] = handle;
+
+  NetEvent event;
+  event.kind = NetEventKind::kAccepted;
+  event.sock = stub_listener;  // which stub listener this belongs to
+  event.new_sock = handle;
+  event.peer_addr = client_addr;
+  event.peer_port = port;
+  co_return co_await SendEvent(dataplane_id, event, {});
+}
+
+Task<void> TcpProxy::OnClientData(uint64_t conn_id,
+                                  std::vector<uint8_t> data) {
+  auto it = conn_to_socket_.find(conn_id);
+  if (it == conn_to_socket_.end()) {
+    co_return;
+  }
+  ProxySocket& socket = sockets_.at(it->second);
+  // Full TCP receive processing on host cores (the Solros win: this would
+  // run 8x slower on the Phi).
+  co_await host_cpu_->Compute(params_.tcp_message_cpu +
+                              TcpSegments(data.size()) *
+                                  params_.tcp_segment_cpu);
+  ++stats_.inbound_messages;
+  stats_.inbound_bytes += data.size();
+  NetEvent event;
+  event.kind = NetEventKind::kData;
+  event.sock = socket.handle;
+  event.length = static_cast<uint32_t>(data.size());
+  Status status = co_await SendEvent(socket.dataplane, event, data);
+  if (!status.ok()) {
+    LOG(WARNING) << "inbound event drop: " << status.ToString();
+  }
+}
+
+Task<void> TcpProxy::OnClientClose(uint64_t conn_id) {
+  auto it = conn_to_socket_.find(conn_id);
+  if (it == conn_to_socket_.end()) {
+    co_return;
+  }
+  ProxySocket& socket = sockets_.at(it->second);
+  socket.open = false;
+  NetEvent event;
+  event.kind = NetEventKind::kPeerClosed;
+  event.sock = socket.handle;
+  co_await SendEvent(socket.dataplane, event, {});
+}
+
+Task<void> TcpProxy::OutboundPump(TcpProxy* self, DataPlane* dataplane) {
+  while (true) {
+    auto record = co_await dataplane->outbound->Receive();
+    if (!record.ok()) {
+      break;  // ring closed
+    }
+    NetEvent header = DecodePod<NetEvent>(*record);
+    std::vector<uint8_t> payload(record->begin() + sizeof(NetEvent),
+                                 record->end());
+    auto it = self->sockets_.find(header.sock);
+    if (it == self->sockets_.end() || !it->second.open) {
+      continue;  // stale send after close
+    }
+    // Host TCP transmit processing, then the wire.
+    co_await self->host_cpu_->Compute(
+        self->params_.tcp_message_cpu +
+        TcpSegments(payload.size()) * self->params_.tcp_segment_cpu);
+    ++self->stats_.outbound_messages;
+    self->stats_.outbound_bytes += payload.size();
+    Status status = co_await self->ethernet_->DeliverToClient(
+        it->second.conn_id, std::move(payload));
+    if (!status.ok() && status.code() != ErrorCode::kNotConnected) {
+      LOG(WARNING) << "outbound deliver failed: " << status.ToString();
+    }
+  }
+}
+
+}  // namespace solros

@@ -1,0 +1,103 @@
+// Control-plane TCP proxy (§4.4).
+//
+// The proxy terminates client TCP on fast host cores and exchanges socket
+// *events* and data with data-plane stubs over per-co-processor ring pairs:
+//
+//   inbound ring  (master at the HOST)  — kAccepted / kData / kPeerClosed
+//                                         events; co-processor DMA engines
+//                                         pull incoming data (§4.4.1);
+//   outbound ring (master at the PHI)   — stub send records; host DMA
+//                                         engines pull outgoing data.
+//
+// It also owns the shared listening socket (§4.4.3): multiple co-processors
+// may listen on one port, and a pluggable ForwardingPolicy assigns each new
+// client connection to one of them.
+#ifndef SOLROS_SRC_NET_TCP_PROXY_H_
+#define SOLROS_SRC_NET_TCP_PROXY_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/hw/params.h"
+#include "src/hw/processor.h"
+#include "src/net/ethernet.h"
+#include "src/net/load_balancer.h"
+#include "src/rpc/messages.h"
+#include "src/rpc/rpc.h"
+#include "src/transport/sim_ring.h"
+
+namespace solros {
+
+struct TcpProxyStats {
+  uint64_t rpcs = 0;
+  uint64_t connections_forwarded = 0;
+  uint64_t inbound_messages = 0;
+  uint64_t outbound_messages = 0;
+  uint64_t inbound_bytes = 0;
+  uint64_t outbound_bytes = 0;
+};
+
+class TcpProxy : public ServerPort {
+ public:
+  TcpProxy(Simulator* sim, const HwParams& params, Processor* host_cpu,
+           EthernetFabric* ethernet,
+           std::unique_ptr<ForwardingPolicy> policy);
+
+  // Wires one data-plane OS: its RPC rings (stub -> proxy socket calls) and
+  // the inbound/outbound data rings. Starts the serving pumps.
+  void AttachDataPlane(uint32_t dataplane_id, SimRing* rpc_request,
+                       SimRing* rpc_response, SimRing* inbound,
+                       SimRing* outbound);
+
+  // -- ServerPort (wire side) -------------------------------------------------
+  Task<Status> OnConnect(uint64_t conn_id, uint16_t port,
+                         uint32_t client_addr) override;
+  Task<void> OnClientData(uint64_t conn_id,
+                          std::vector<uint8_t> data) override;
+  Task<void> OnClientClose(uint64_t conn_id) override;
+
+  const TcpProxyStats& stats() const { return stats_; }
+  ForwardingPolicy* policy() { return policy_.get(); }
+
+ private:
+  struct DataPlane {
+    uint32_t id = 0;
+    SimRing* inbound = nullptr;
+    SimRing* outbound = nullptr;
+    std::unique_ptr<RpcServer<NetRequest, NetResponse>> rpc;
+  };
+  // One listener entry on a (shared) port.
+  struct PortListeners {
+    // (dataplane id, stub-side listener handle), plus balance bookkeeping.
+    std::vector<std::pair<uint32_t, int64_t>> members;
+    std::vector<BalanceTarget> targets;
+  };
+  struct ProxySocket {
+    int64_t handle = 0;
+    uint64_t conn_id = 0;
+    uint32_t dataplane = 0;
+    bool open = true;
+  };
+
+  Task<NetResponse> HandleRpc(uint32_t dataplane_id, NetRequest request);
+  static Task<void> OutboundPump(TcpProxy* self, DataPlane* dataplane);
+  Task<Status> SendEvent(uint32_t dataplane_id, const NetEvent& event,
+                         std::span<const uint8_t> payload);
+
+  Simulator* sim_;
+  HwParams params_;
+  Processor* host_cpu_;
+  EthernetFabric* ethernet_;
+  std::unique_ptr<ForwardingPolicy> policy_;
+  std::map<uint32_t, DataPlane> dataplanes_;
+  std::map<uint16_t, PortListeners> listeners_;
+  std::map<int64_t, ProxySocket> sockets_;       // by proxy handle
+  std::map<uint64_t, int64_t> conn_to_socket_;   // wire conn -> handle
+  int64_t next_handle_ = 1;
+  TcpProxyStats stats_;
+};
+
+}  // namespace solros
+
+#endif  // SOLROS_SRC_NET_TCP_PROXY_H_

@@ -1,0 +1,160 @@
+// Request/response RPC over a SimRing pair.
+//
+// The data-plane stub is the client; the control-plane proxy is the server
+// (§4: "the data-plane OS is a minimal RPC stub that calls several OS
+// services present in the control-plane OS"). Master ring placement follows
+// §4.3.1: both RPC rings are created at the co-processor ("RPC operations
+// by a co-processor are local memory operations; meanwhile, the host pulls
+// requests and pushes their corresponding results across the PCIe").
+//
+// Multiple outstanding calls are supported: each call carries a tag; a pump
+// task on the client dispatches responses to per-tag waiters, and the
+// server pump spawns one handler task per request.
+#ifndef SOLROS_SRC_RPC_RPC_H_
+#define SOLROS_SRC_RPC_RPC_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/base/logging.h"
+#include "src/base/status.h"
+#include "src/rpc/messages.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+#include "src/transport/sim_ring.h"
+
+namespace solros {
+
+// Client end: Call() serializes the request, sends it on `request_ring`,
+// and suspends until the matching response arrives on `response_ring`.
+template <typename Request, typename Response>
+class RpcClient {
+ public:
+  RpcClient(Simulator* sim, SimRing* request_ring, SimRing* response_ring)
+      : sim_(sim),
+        request_ring_(request_ring),
+        response_ring_(response_ring) {}
+
+  // Starts the response pump; call once after construction.
+  void Start() { Spawn(*sim_, Pump(this)); }
+
+  void Stop() {
+    stopping_ = true;
+    response_ring_->Close();
+  }
+
+  Task<Result<Response>> Call(Request request) {
+    uint64_t tag = next_tag_++;
+    request.tag = tag;
+    Waiter waiter(sim_);
+    waiters_[tag] = &waiter;
+    Status sent = co_await request_ring_->Send(
+        std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(&request),
+                                 sizeof(request)));
+    if (!sent.ok()) {
+      waiters_.erase(tag);
+      co_return sent;
+    }
+    while (!waiter.ready) {
+      co_await waiter.cond.Wait();
+    }
+    waiters_.erase(tag);
+    co_return waiter.response;
+  }
+
+  uint64_t calls_completed() const { return completed_; }
+
+ private:
+  struct Waiter {
+    explicit Waiter(Simulator* sim) : cond(sim) {}
+    Condition cond;
+    Response response;
+    bool ready = false;
+  };
+
+  static Task<void> Pump(RpcClient* self) {
+    while (true) {
+      auto message = co_await self->response_ring_->Receive();
+      if (!message.ok()) {
+        break;  // ring closed
+      }
+      Response response = DecodePod<Response>(*message);
+      auto it = self->waiters_.find(response.tag);
+      if (it == self->waiters_.end()) {
+        LOG(WARNING) << "rpc response with unknown tag " << response.tag;
+        continue;
+      }
+      it->second->response = response;
+      it->second->ready = true;
+      it->second->cond.NotifyAll();
+      ++self->completed_;
+    }
+  }
+
+  Simulator* sim_;
+  SimRing* request_ring_;
+  SimRing* response_ring_;
+  uint64_t next_tag_ = 1;
+  uint64_t completed_ = 0;
+  bool stopping_ = false;
+  std::map<uint64_t, Waiter*> waiters_;
+};
+
+// Server end: Serve() pumps requests and spawns `handler` per request; the
+// handler returns the response (with .tag already echoed by this layer).
+template <typename Request, typename Response>
+class RpcServer {
+ public:
+  // The handler may suspend (it runs as its own task).
+  using Handler = std::function<Task<Response>(Request)>;
+
+  RpcServer(Simulator* sim, SimRing* request_ring, SimRing* response_ring,
+            Handler handler)
+      : sim_(sim),
+        request_ring_(request_ring),
+        response_ring_(response_ring),
+        handler_(std::move(handler)) {}
+
+  void Start() { Spawn(*sim_, Pump(this)); }
+
+  void Stop() { request_ring_->Close(); }
+
+  uint64_t requests_served() const { return served_; }
+
+ private:
+  static Task<void> HandleOne(RpcServer* self, Request request) {
+    uint64_t tag = request.tag;
+    Response response = co_await self->handler_(std::move(request));
+    response.tag = tag;
+    Status sent = co_await self->response_ring_->Send(
+        std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(&response),
+                                 sizeof(response)));
+    if (!sent.ok()) {
+      LOG(WARNING) << "rpc response send failed: " << sent.ToString();
+    }
+    ++self->served_;
+  }
+
+  static Task<void> Pump(RpcServer* self) {
+    while (true) {
+      auto message = co_await self->request_ring_->Receive();
+      if (!message.ok()) {
+        break;  // ring closed
+      }
+      Request request = DecodePod<Request>(*message);
+      Spawn(*self->sim_, HandleOne(self, std::move(request)));
+    }
+  }
+
+  Simulator* sim_;
+  SimRing* request_ring_;
+  SimRing* response_ring_;
+  Handler handler_;
+  uint64_t served_ = 0;
+};
+
+}  // namespace solros
+
+#endif  // SOLROS_SRC_RPC_RPC_H_

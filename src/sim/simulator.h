@@ -1,0 +1,109 @@
+// Discrete-event simulator core.
+//
+// The simulator is a single-threaded event loop over (time, sequence)-ordered
+// callbacks. All device and OS-service models in this repository run as
+// C++20 coroutines (src/sim/task.h) scheduled on this loop; simulated time
+// only advances between events, so every run is deterministic.
+//
+// Events at equal timestamps execute in FIFO posting order.
+#ifndef SOLROS_SRC_SIM_SIMULATOR_H_
+#define SOLROS_SRC_SIM_SIMULATOR_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/base/units.h"
+
+namespace solros {
+
+// Absolute simulated time in nanoseconds since simulation start.
+using SimTime = Nanos;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+
+  // Schedules `fn` to run `delay` ns from now (0 = end of current event).
+  void Post(Nanos delay, std::function<void()> fn) {
+    PostAt(now_ + delay, std::move(fn));
+  }
+
+  // Schedules `fn` at absolute time `when` (clamped to now).
+  void PostAt(SimTime when, std::function<void()> fn) {
+    if (when < now_) {
+      when = now_;
+    }
+    queue_.push(Event{when, seq_++, std::move(fn)});
+  }
+
+  // Schedules resumption of a suspended coroutine at absolute time `when`.
+  void ResumeAt(SimTime when, std::coroutine_handle<> handle) {
+    PostAt(when, [handle] { handle.resume(); });
+  }
+
+  // Runs until the event queue drains or `max_events` have been processed.
+  // Returns the number of events processed.
+  uint64_t RunUntilIdle(uint64_t max_events = ~0ull) {
+    uint64_t processed = 0;
+    while (!queue_.empty() && processed < max_events) {
+      StepOne();
+      ++processed;
+    }
+    return processed;
+  }
+
+  // Runs events with timestamp <= `deadline`, then advances the clock to
+  // `deadline` (even if idle). Returns the number of events processed.
+  uint64_t RunUntil(SimTime deadline) {
+    uint64_t processed = 0;
+    while (!queue_.empty() && queue_.top().when <= deadline) {
+      StepOne();
+      ++processed;
+    }
+    if (now_ < deadline) {
+      now_ = deadline;
+    }
+    return processed;
+  }
+
+  size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct EventAfter {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  void StepOne() {
+    // Move the event out before running: the callback may push new events
+    // and invalidate the queue top.
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.when;
+    event.fn();
+  }
+
+  SimTime now_ = 0;
+  uint64_t seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventAfter> queue_;
+};
+
+}  // namespace solros
+
+#endif  // SOLROS_SRC_SIM_SIMULATOR_H_

@@ -1,0 +1,47 @@
+#include "src/transport/mirror_buffer.h"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/base/logging.h"
+
+namespace solros {
+
+MirrorBuffer::MirrorBuffer(size_t capacity) : capacity_(capacity) {
+  long page = sysconf(_SC_PAGESIZE);
+  CHECK_GT(capacity, 0u);
+  CHECK_EQ(capacity % static_cast<size_t>(page), 0u)
+      << "capacity must be page-aligned";
+  CHECK_EQ(capacity & (capacity - 1), 0u) << "capacity must be a power of 2";
+
+  int fd = memfd_create("solros-ring", 0);
+  CHECK_GE(fd, 0) << "memfd_create failed: " << std::strerror(errno);
+  CHECK_EQ(ftruncate(fd, static_cast<off_t>(capacity)), 0)
+      << "ftruncate failed: " << std::strerror(errno);
+
+  // Reserve 2x the capacity of contiguous address space, then map the same
+  // file into both halves.
+  void* reserve = mmap(nullptr, capacity * 2, PROT_NONE,
+                       MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  CHECK(reserve != MAP_FAILED) << "reserve mmap failed";
+  auto* base = static_cast<uint8_t*>(reserve);
+  void* first = mmap(base, capacity, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_FIXED, fd, 0);
+  CHECK(first == base) << "first mirror mmap failed";
+  void* second = mmap(base + capacity, capacity, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_FIXED, fd, 0);
+  CHECK(second == base + capacity) << "second mirror mmap failed";
+  close(fd);
+  data_ = base;
+}
+
+MirrorBuffer::~MirrorBuffer() {
+  if (data_ != nullptr) {
+    munmap(data_, capacity_ * 2);
+  }
+}
+
+}  // namespace solros

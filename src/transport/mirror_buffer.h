@@ -1,0 +1,42 @@
+// A "truly circular" buffer mapping.
+//
+// The paper (§5) mmaps the ring array twice into contiguous virtual
+// addresses "so that the data access overrun at the end of the array goes to
+// the beginning" — records never need explicit wrap handling. We reproduce
+// that with memfd_create + two MAP_FIXED mappings: bytes written at
+// [capacity, capacity + k) alias [0, k).
+#ifndef SOLROS_SRC_TRANSPORT_MIRROR_BUFFER_H_
+#define SOLROS_SRC_TRANSPORT_MIRROR_BUFFER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace solros {
+
+class MirrorBuffer {
+ public:
+  // `capacity` must be a multiple of the page size and a power of two.
+  explicit MirrorBuffer(size_t capacity);
+  ~MirrorBuffer();
+  MirrorBuffer(const MirrorBuffer&) = delete;
+  MirrorBuffer& operator=(const MirrorBuffer&) = delete;
+
+  uint8_t* data() { return data_; }
+  const uint8_t* data() const { return data_; }
+  size_t capacity() const { return capacity_; }
+
+  // Pointer valid for contiguous access of up to `capacity` bytes starting
+  // at logical position `pos` (any monotonically increasing offset).
+  uint8_t* At(uint64_t pos) { return data_ + (pos & (capacity_ - 1)); }
+  const uint8_t* At(uint64_t pos) const {
+    return data_ + (pos & (capacity_ - 1));
+  }
+
+ private:
+  size_t capacity_ = 0;
+  uint8_t* data_ = nullptr;
+};
+
+}  // namespace solros
+
+#endif  // SOLROS_SRC_TRANSPORT_MIRROR_BUFFER_H_

@@ -1,0 +1,387 @@
+#include "src/transport/ring_buffer.h"
+
+#include <cstring>
+
+#include "src/base/logging.h"
+
+namespace solros {
+namespace {
+
+constexpr uint64_t kHeaderSize = 8;
+
+// Record states (one byte in the header).
+constexpr uint8_t kFree = 0;
+constexpr uint8_t kReserved = 1;
+constexpr uint8_t kReady = 2;
+constexpr uint8_t kConsuming = 3;
+constexpr uint8_t kDone = 4;
+
+// Combiner-queue phases.
+constexpr uint32_t kPhaseWait = 0;
+constexpr uint32_t kPhaseDone = 1;
+constexpr uint32_t kPhaseCombiner = 2;
+
+uint64_t RoundUp8(uint64_t n) { return (n + 7) & ~uint64_t{7}; }
+
+// Header accessors. The size field is plain (made visible by the state's
+// release/acquire edges); the state byte is accessed atomically.
+uint32_t* SizeField(uint8_t* header) {
+  return reinterpret_cast<uint32_t*>(header);
+}
+std::atomic_ref<uint8_t> StateField(uint8_t* header) {
+  return std::atomic_ref<uint8_t>(header[4]);
+}
+
+uint64_t RecordBytes(uint32_t payload) {
+  return kHeaderSize + RoundUp8(payload);
+}
+
+}  // namespace
+
+struct RingBuffer::ReqNode {
+  uint32_t size = 0;       // in: payload size (enqueue); out: size (dequeue)
+  void* buf = nullptr;     // out: payload pointer inside the ring
+  int result = kRbOk;      // out: kRbOk / kRbWouldBlock / kRbInvalid
+  std::atomic<ReqNode*> next{nullptr};
+  std::atomic<uint32_t> phase{kPhaseWait};
+};
+
+struct RingBuffer::BatchContext {
+  bool refreshed = false;  // replica refreshed during this batch
+  bool dirty = false;      // something reserved/consumed -> publish at end
+};
+
+RingBuffer::RingBuffer(const RingBufferConfig& config)
+    : config_(config), mirror_(config.capacity) {
+  CHECK_GE(config.combine_limit, 1);
+}
+
+uint32_t RingBuffer::MaxPayload(size_t capacity) {
+  return static_cast<uint32_t>(capacity / 4 - kHeaderSize);
+}
+
+uint64_t RingBuffer::used_bytes() const {
+  return tail_pos_.load(std::memory_order_relaxed) -
+         pub_head_.load(std::memory_order_relaxed);
+}
+
+bool RingBuffer::Empty() const {
+  return pub_head_.load(std::memory_order_acquire) ==
+         tail_pos_.load(std::memory_order_acquire);
+}
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+int RingBuffer::Enqueue(uint32_t size, void** rb_buf) {
+  ReqNode node;
+  node.size = size;
+  int result;
+  if (config_.combining) {
+    result = CombiningOp(RingSide::kProducer, &node);
+  } else {
+    TicketGuard guard(enq_lock_);
+    BatchContext batch;
+    ProcessOne(RingSide::kProducer, &node, &batch);
+    FinishBatch(RingSide::kProducer, &batch);
+    result = node.result;
+  }
+  *rb_buf = node.buf;
+  return result;
+}
+
+int RingBuffer::Dequeue(uint32_t* size, void** rb_buf) {
+  ReqNode node;
+  int result;
+  if (config_.combining) {
+    result = CombiningOp(RingSide::kConsumer, &node);
+  } else {
+    TicketGuard guard(deq_lock_);
+    BatchContext batch;
+    ProcessOne(RingSide::kConsumer, &node, &batch);
+    FinishBatch(RingSide::kConsumer, &batch);
+    result = node.result;
+  }
+  *size = node.size;
+  *rb_buf = node.buf;
+  return result;
+}
+
+void RingBuffer::CopyToRbBuf(void* rb_buf, const void* data, uint32_t size) {
+  DCHECK(rb_buf != nullptr);
+  std::memcpy(rb_buf, data, size);
+  producer_stats_.bytes_copied.fetch_add(size, std::memory_order_relaxed);
+}
+
+void RingBuffer::SetReady(void* rb_buf) {
+  uint8_t* header = static_cast<uint8_t*>(rb_buf) - kHeaderSize;
+  DCHECK_EQ(StateField(header).load(std::memory_order_relaxed), kReserved);
+  StateField(header).store(kReady, std::memory_order_release);
+}
+
+void RingBuffer::CopyFromRbBuf(void* data, const void* rb_buf,
+                               uint32_t size) {
+  DCHECK(rb_buf != nullptr);
+  std::memcpy(data, rb_buf, size);
+  consumer_stats_.bytes_copied.fetch_add(size, std::memory_order_relaxed);
+}
+
+void RingBuffer::SetDone(void* rb_buf) {
+  uint8_t* header = static_cast<uint8_t*>(rb_buf) - kHeaderSize;
+  DCHECK_EQ(StateField(header).load(std::memory_order_relaxed), kConsuming);
+  StateField(header).store(kDone, std::memory_order_release);
+  Reclaim();
+}
+
+int RingBuffer::EnqueueCopy(const void* data, uint32_t size) {
+  void* buf = nullptr;
+  int rc = Enqueue(size, &buf);
+  if (rc != kRbOk) {
+    return rc;
+  }
+  CopyToRbBuf(buf, data, size);
+  SetReady(buf);
+  return kRbOk;
+}
+
+int RingBuffer::DequeueCopy(void* data, uint32_t max_size, uint32_t* size) {
+  void* buf = nullptr;
+  int rc = Dequeue(size, &buf);
+  if (rc != kRbOk) {
+    return rc;
+  }
+  CHECK_LE(*size, max_size);
+  CopyFromRbBuf(data, buf, *size);
+  SetDone(buf);
+  return kRbOk;
+}
+
+// ---------------------------------------------------------------------------
+// Combining machinery (§4.2.3)
+// ---------------------------------------------------------------------------
+
+int RingBuffer::CombiningOp(RingSide side, ReqNode* node) {
+  std::atomic<ReqNode*>& queue =
+      side == RingSide::kProducer ? enq_queue_ : deq_queue_;
+  // One atomic_swap appends us to the request queue.
+  ReqNode* prev = queue.exchange(node, std::memory_order_acq_rel);
+  if (prev != nullptr) {
+    prev->next.store(node, std::memory_order_release);
+    uint32_t phase;
+    SpinWait spin;
+    while ((phase = node->phase.load(std::memory_order_acquire)) ==
+           kPhaseWait) {
+      spin.Pause();
+    }
+    if (phase == kPhaseDone) {
+      return node->result;  // a combiner served us
+    }
+    // We were handed the combiner role; fall through.
+  }
+  RunCombiner(side, node);
+  return node->result;
+}
+
+void RingBuffer::RunCombiner(RingSide side, ReqNode* self) {
+  std::atomic<ReqNode*>& queue =
+      side == RingSide::kProducer ? enq_queue_ : deq_queue_;
+  BatchContext batch;
+  ReqNode* cur = self;
+  int combined = 0;
+  while (true) {
+    ProcessOne(side, cur, &batch);
+    ++combined;
+    ReqNode* next = cur->next.load(std::memory_order_acquire);
+    if (next == nullptr) {
+      // Possibly the queue end: try to detach.
+      ReqNode* expected = cur;
+      if (queue.compare_exchange_strong(expected, nullptr,
+                                        std::memory_order_acq_rel)) {
+        FinishBatch(side, &batch);
+        if (cur != self) {
+          cur->phase.store(kPhaseDone, std::memory_order_release);
+        }
+        return;
+      }
+      // An appender is between its exchange and the next-pointer store.
+      SpinWait spin;
+      while ((next = cur->next.load(std::memory_order_acquire)) == nullptr) {
+        spin.Pause();
+      }
+    }
+    if (cur != self) {
+      cur->phase.store(kPhaseDone, std::memory_order_release);
+    }
+    if (combined >= config_.combine_limit) {
+      // Publish our batch, then hand the combiner role to the next waiter.
+      FinishBatch(side, &batch);
+      next->phase.store(kPhaseCombiner, std::memory_order_release);
+      return;
+    }
+    cur = next;
+  }
+}
+
+void RingBuffer::ProcessOne(RingSide side, ReqNode* node,
+                            BatchContext* batch) {
+  StatsFor(side).ops.fetch_add(1, std::memory_order_relaxed);
+  if (side == RingSide::kProducer) {
+    ProcessEnqueue(node, batch);
+  } else {
+    ProcessDequeue(node, batch);
+  }
+  if (node->result == kRbWouldBlock) {
+    StatsFor(side).would_block.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void RingBuffer::ProcessEnqueue(ReqNode* node, BatchContext* batch) {
+  uint64_t need = RecordBytes(node->size);
+  if (node->size > MaxPayload(mirror_.capacity())) {
+    node->result = kRbInvalid;
+    node->buf = nullptr;
+    return;
+  }
+  uint64_t tail = tail_pos_.load(std::memory_order_relaxed);
+  uint64_t head;
+  if (config_.lazy_update) {
+    head = head_replica_.load(std::memory_order_relaxed);
+    if (tail + need > head + mirror_.capacity() && !batch->refreshed) {
+      // Refresh the replica from the consumer's original: one PCIe
+      // transaction, at most once per batch (§4.2.4).
+      head = pub_head_.load(std::memory_order_acquire);
+      head_replica_.store(head, std::memory_order_relaxed);
+      producer_stats_.remote_var_reads.fetch_add(1,
+                                                 std::memory_order_relaxed);
+      batch->refreshed = true;
+    }
+  } else {
+    // Eager: both originals live on the master side; every access from the
+    // shadow port crosses PCIe.
+    head = pub_head_.load(std::memory_order_acquire);
+    if (PortIsRemote(RingSide::kProducer)) {
+      producer_stats_.remote_var_reads.fetch_add(1,
+                                                 std::memory_order_relaxed);
+    }
+  }
+  if (tail + need > head + mirror_.capacity()) {
+    node->result = kRbWouldBlock;
+    node->buf = nullptr;
+    return;
+  }
+
+  uint8_t* header = mirror_.At(tail);
+  *SizeField(header) = node->size;
+  StateField(header).store(kReserved, std::memory_order_release);
+  node->buf = header + kHeaderSize;
+  node->result = kRbOk;
+  tail_pos_.store(tail + need, std::memory_order_relaxed);
+  batch->dirty = true;
+
+  if (!config_.lazy_update) {
+    pub_tail_.store(tail + need, std::memory_order_release);
+    if (PortIsRemote(RingSide::kProducer)) {
+      producer_stats_.remote_var_writes.fetch_add(1,
+                                                  std::memory_order_relaxed);
+    }
+  }
+}
+
+void RingBuffer::ProcessDequeue(ReqNode* node, BatchContext* batch) {
+  uint64_t cursor = dq_cursor_.load(std::memory_order_relaxed);
+  uint64_t tail;
+  if (config_.lazy_update) {
+    tail = tail_replica_.load(std::memory_order_relaxed);
+    if (cursor == tail && !batch->refreshed) {
+      tail = pub_tail_.load(std::memory_order_acquire);
+      tail_replica_.store(tail, std::memory_order_relaxed);
+      consumer_stats_.remote_var_reads.fetch_add(1,
+                                                 std::memory_order_relaxed);
+      batch->refreshed = true;
+    }
+  } else {
+    tail = pub_tail_.load(std::memory_order_acquire);
+    if (PortIsRemote(RingSide::kConsumer)) {
+      consumer_stats_.remote_var_reads.fetch_add(1,
+                                                 std::memory_order_relaxed);
+    }
+  }
+  if (cursor == tail) {
+    node->result = kRbWouldBlock;
+    node->buf = nullptr;
+    node->size = 0;
+    return;
+  }
+
+  uint8_t* header = mirror_.At(cursor);
+  uint8_t state = StateField(header).load(std::memory_order_acquire);
+  if (state != kReady) {
+    // Strict FIFO: the head record's producer is still copying payload.
+    node->result = kRbWouldBlock;
+    node->buf = nullptr;
+    node->size = 0;
+    return;
+  }
+  uint32_t payload = *SizeField(header);
+  StateField(header).store(kConsuming, std::memory_order_relaxed);
+  node->buf = header + kHeaderSize;
+  node->size = payload;
+  node->result = kRbOk;
+  dq_cursor_.store(cursor + RecordBytes(payload), std::memory_order_release);
+  batch->dirty = true;
+}
+
+void RingBuffer::FinishBatch(RingSide side, BatchContext* batch) {
+  StatsFor(side).batches.fetch_add(1, std::memory_order_relaxed);
+  if (!batch->dirty) {
+    return;
+  }
+  if (side == RingSide::kProducer && config_.lazy_update) {
+    // Publish the original tail once per batch (a local store; the
+    // consumer pays the PCIe read when it refreshes).
+    pub_tail_.store(tail_pos_.load(std::memory_order_relaxed),
+                    std::memory_order_release);
+  }
+  // The consumer's original head is published by Reclaim().
+}
+
+void RingBuffer::Reclaim() {
+  while (true) {
+    if (reclaim_lock_.exchange(1, std::memory_order_acquire) == 1) {
+      return;  // another thread is reclaiming; it will see our record
+    }
+    uint64_t head = pub_head_.load(std::memory_order_relaxed);
+    uint64_t limit = dq_cursor_.load(std::memory_order_acquire);
+    uint64_t reclaimed = head;
+    while (reclaimed != limit) {
+      uint8_t* header = mirror_.At(reclaimed);
+      if (StateField(header).load(std::memory_order_acquire) != kDone) {
+        break;
+      }
+      uint32_t payload = *SizeField(header);
+      StateField(header).store(kFree, std::memory_order_relaxed);
+      reclaimed += RecordBytes(payload);
+    }
+    if (reclaimed != head) {
+      pub_head_.store(reclaimed, std::memory_order_release);
+      if (!config_.lazy_update && PortIsRemote(RingSide::kConsumer)) {
+        consumer_stats_.remote_var_writes.fetch_add(
+            1, std::memory_order_relaxed);
+      }
+    }
+    reclaim_lock_.store(0, std::memory_order_release);
+    // Re-check: a record may have become done after our scan but before the
+    // unlock; if so, loop and reclaim it ourselves.
+    uint64_t limit2 = dq_cursor_.load(std::memory_order_acquire);
+    if (reclaimed == limit2) {
+      return;
+    }
+    uint8_t* header = mirror_.At(reclaimed);
+    if (StateField(header).load(std::memory_order_acquire) != kDone) {
+      return;
+    }
+  }
+}
+
+}  // namespace solros

@@ -1,0 +1,183 @@
+// The Solros transport ring buffer (§4.2, Fig. 5).
+//
+// A fixed-size byte ring carrying variable-size records between a producer
+// port and a consumer port on different processors. The four design points
+// of the paper are all here:
+//
+//  1. *Decoupled data transfer* (§4.2.2): Enqueue/Dequeue only reserve or
+//     hand out a record slot and return a pointer into ring memory
+//     (`rb_buf`); callers copy payload in parallel outside the queue
+//     critical path and then flip the record state with SetReady/SetDone.
+//
+//  2. *Combining* (§4.2.3): concurrent callers enqueue request nodes onto an
+//     MCS-style queue (one atomic_swap); the head node's thread becomes the
+//     combiner and serves up to `combine_limit` requests, then hands the
+//     role to the next waiter. Only two atomic instructions are required —
+//     atomic_swap and compare_and_swap — matching the paper's minimal
+//     hardware contract.
+//
+//  3. *Replicated control variables, lazily updated* (§4.2.4): the producer
+//     owns the original `tail` and keeps a replica of `head`; the consumer
+//     owns `head` (advanced by out-of-order SetDone reclamation) and keeps a
+//     replica of `tail`. A replica is refreshed from the peer's original —
+//     one PCIe transaction — at most once per combining batch, and originals
+//     are published once per batch. The eager (non-replicated) ablation for
+//     Fig. 9 keeps both originals on the master side and touches them every
+//     operation.
+//
+//  4. *True circularity* (§5): ring memory is double-mapped
+//     (MirrorBuffer), so a record overrunning the array end transparently
+//     continues at the beginning — no explicit wrap checks.
+//
+// PCIe cost accounting: the structure itself is plain shared memory (it runs
+// on real threads for the Fig. 8 scalability experiment); when one port is
+// designated remote ("shadow" side of the paper's master/shadow pair), its
+// control-variable refreshes/publications increment that port's transaction
+// counters, which the simulator harness converts to time via the calibrated
+// PCIe model.
+//
+// Record lifecycle: kFree -> (Enqueue) kReserved -> (SetReady) kReady ->
+// (Dequeue) kConsuming -> (SetDone) kDone -> (reclaim) kFree. Records are
+// handed out strictly in FIFO order; reclamation advances `head` over the
+// longest done prefix.
+#ifndef SOLROS_SRC_TRANSPORT_RING_BUFFER_H_
+#define SOLROS_SRC_TRANSPORT_RING_BUFFER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "src/transport/mirror_buffer.h"
+#include "src/transport/spinlock.h"
+
+namespace solros {
+
+enum RbResult : int {
+  kRbOk = 0,
+  kRbWouldBlock = -1,  // EWOULDBLOCK: ring empty (dequeue) or full (enqueue)
+  kRbInvalid = -2,     // record too large / malformed argument
+};
+
+enum class RingSide { kProducer, kConsumer };
+
+struct RingBufferConfig {
+  // Ring capacity in bytes; power of two, multiple of the page size.
+  size_t capacity = 1 << 20;
+  // Which port sits on the master (memory-local) side; the other port is
+  // the shadow side and pays PCIe transactions for control-variable access.
+  RingSide master_side = RingSide::kProducer;
+  // Flat combining on/off (off = ticket-lock serialization; ablation).
+  bool combining = true;
+  // Lazy replicated control variables vs eager shared originals (Fig. 9).
+  bool lazy_update = true;
+  // Max requests served per combining batch before handoff.
+  int combine_limit = 64;
+};
+
+// Per-port statistics; PCIe transaction counts feed the Fig. 9/10 benches.
+struct RingPortStats {
+  std::atomic<uint64_t> ops{0};
+  std::atomic<uint64_t> would_block{0};
+  std::atomic<uint64_t> batches{0};
+  std::atomic<uint64_t> remote_var_reads{0};
+  std::atomic<uint64_t> remote_var_writes{0};
+  std::atomic<uint64_t> bytes_copied{0};
+
+  uint64_t remote_transactions() const {
+    return remote_var_reads.load(std::memory_order_relaxed) +
+           remote_var_writes.load(std::memory_order_relaxed);
+  }
+};
+
+class RingBuffer {
+ public:
+  explicit RingBuffer(const RingBufferConfig& config);
+  RingBuffer(const RingBuffer&) = delete;
+  RingBuffer& operator=(const RingBuffer&) = delete;
+
+  // -- Producer port (Fig. 5: rb_enqueue / rb_copy_to_rb_buf / rb_set_ready)
+  // Reserves a record of `size` payload bytes; on kRbOk, *rb_buf points at
+  // writable payload memory inside the ring. Non-blocking: kRbWouldBlock
+  // when the ring is full.
+  int Enqueue(uint32_t size, void** rb_buf);
+  // Copies payload into a reserved record (callable concurrently from many
+  // threads; this is the parallel data phase).
+  void CopyToRbBuf(void* rb_buf, const void* data, uint32_t size);
+  // Marks the record visible to the consumer.
+  void SetReady(void* rb_buf);
+
+  // -- Consumer port (rb_dequeue / rb_copy_from_rb_buf / rb_set_done) ------
+  // Takes the oldest ready record; on kRbOk, *size and *rb_buf describe the
+  // payload. kRbWouldBlock when the ring is empty (or the head record's
+  // producer has not called SetReady yet).
+  int Dequeue(uint32_t* size, void** rb_buf);
+  void CopyFromRbBuf(void* data, const void* rb_buf, uint32_t size);
+  // Releases the record for reuse; reclamation advances head over the
+  // longest contiguous done prefix (out-of-order SetDone is fine).
+  void SetDone(void* rb_buf);
+
+  // Convenience wrappers: reserve+copy+ready / take+copy+done in one call.
+  int EnqueueCopy(const void* data, uint32_t size);
+  int DequeueCopy(void* data, uint32_t max_size, uint32_t* size);
+
+  // -- Introspection ---------------------------------------------------------
+  size_t capacity() const { return mirror_.capacity(); }
+  // Bytes currently reserved-or-in-flight (approximate under concurrency).
+  uint64_t used_bytes() const;
+  bool Empty() const;
+  const RingPortStats& producer_stats() const { return producer_stats_; }
+  const RingPortStats& consumer_stats() const { return consumer_stats_; }
+  const RingBufferConfig& config() const { return config_; }
+
+  // Largest admissible payload for a ring of `capacity`.
+  static uint32_t MaxPayload(size_t capacity);
+
+ private:
+  struct ReqNode;
+  struct BatchContext;
+
+  int CombiningOp(RingSide side, ReqNode* node);
+  void RunCombiner(RingSide side, ReqNode* self);
+  void ProcessOne(RingSide side, ReqNode* node, BatchContext* batch);
+  void ProcessEnqueue(ReqNode* node, BatchContext* batch);
+  void ProcessDequeue(ReqNode* node, BatchContext* batch);
+  void FinishBatch(RingSide side, BatchContext* batch);
+  void Reclaim();
+
+  bool PortIsRemote(RingSide side) const {
+    return config_.master_side != side;
+  }
+  RingPortStats& StatsFor(RingSide side) {
+    return side == RingSide::kProducer ? producer_stats_ : consumer_stats_;
+  }
+
+  RingBufferConfig config_;
+  MirrorBuffer mirror_;
+
+  // Producer-owned.
+  std::atomic<uint64_t> tail_pos_{0};       // working reserve position
+  std::atomic<uint64_t> head_replica_{0};   // lazily refreshed view of head
+  std::atomic<ReqNode*> enq_queue_{nullptr};
+
+  // Consumer-owned.
+  std::atomic<uint64_t> dq_cursor_{0};      // next record to hand out
+  std::atomic<uint64_t> tail_replica_{0};   // lazily refreshed view of tail
+  std::atomic<ReqNode*> deq_queue_{nullptr};
+
+  // Published originals (the "remote-readable" copies).
+  std::atomic<uint64_t> pub_tail_{0};
+  std::atomic<uint64_t> pub_head_{0};
+
+  std::atomic<uint32_t> reclaim_lock_{0};
+
+  // Non-combining ablation locks.
+  TicketLock enq_lock_;
+  TicketLock deq_lock_;
+
+  RingPortStats producer_stats_;
+  RingPortStats consumer_stats_;
+};
+
+}  // namespace solros
+
+#endif  // SOLROS_SRC_TRANSPORT_RING_BUFFER_H_

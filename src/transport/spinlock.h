@@ -1,0 +1,132 @@
+// Spinlock algorithms used by the two-lock queue baselines of Fig. 8.
+//
+//  * TicketLock — FIFO via fetch-and-add; all waiters spin on one cache
+//    line, so it collapses under high core counts (the paper's worst
+//    baseline).
+//  * McsLock — queue lock [Mellor-Crummey & Scott]; each waiter spins on
+//    its own node, avoiding the cache-line storm (the paper's stronger
+//    baseline, still beaten by combining).
+#ifndef SOLROS_SRC_TRANSPORT_SPINLOCK_H_
+#define SOLROS_SRC_TRANSPORT_SPINLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace solros {
+
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+// Escalating spin: PAUSE for a while, then yield the OS thread. The yield
+// matters on machines with fewer cores than spinning threads (including the
+// single-core CI this repository is tested on) — a waiter must let the
+// thread that owns the lock/combiner role actually run.
+class SpinWait {
+ public:
+  void Pause() {
+    if (++spins_ < 64) {
+      CpuRelax();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  void Reset() { spins_ = 0; }
+
+ private:
+  int spins_ = 0;
+};
+
+class TicketLock {
+ public:
+  void Lock() {
+    uint32_t my = next_.fetch_add(1, std::memory_order_relaxed);
+    SpinWait spin;
+    while (serving_.load(std::memory_order_acquire) != my) {
+      spin.Pause();
+    }
+  }
+
+  void Unlock() {
+    serving_.store(serving_.load(std::memory_order_relaxed) + 1,
+                   std::memory_order_release);
+  }
+
+ private:
+  alignas(64) std::atomic<uint32_t> next_{0};
+  alignas(64) std::atomic<uint32_t> serving_{0};
+};
+
+class McsLock {
+ public:
+  struct Node {
+    std::atomic<Node*> next{nullptr};
+    std::atomic<bool> locked{false};
+  };
+
+  void Lock(Node* node) {
+    node->next.store(nullptr, std::memory_order_relaxed);
+    node->locked.store(true, std::memory_order_relaxed);
+    Node* prev = tail_.exchange(node, std::memory_order_acq_rel);
+    if (prev != nullptr) {
+      prev->next.store(node, std::memory_order_release);
+      SpinWait spin;
+      while (node->locked.load(std::memory_order_acquire)) {
+        spin.Pause();
+      }
+    }
+  }
+
+  void Unlock(Node* node) {
+    Node* next = node->next.load(std::memory_order_acquire);
+    if (next == nullptr) {
+      Node* expected = node;
+      if (tail_.compare_exchange_strong(expected, nullptr,
+                                        std::memory_order_acq_rel)) {
+        return;
+      }
+      // A locker is between the exchange and the next-pointer store.
+      SpinWait spin;
+      while ((next = node->next.load(std::memory_order_acquire)) == nullptr) {
+        spin.Pause();
+      }
+    }
+    next->locked.store(false, std::memory_order_release);
+  }
+
+ private:
+  alignas(64) std::atomic<Node*> tail_{nullptr};
+};
+
+// RAII adapters so both locks fit the same template parameter shape.
+class TicketGuard {
+ public:
+  explicit TicketGuard(TicketLock& lock) : lock_(lock) { lock_.Lock(); }
+  ~TicketGuard() { lock_.Unlock(); }
+  TicketGuard(const TicketGuard&) = delete;
+  TicketGuard& operator=(const TicketGuard&) = delete;
+
+ private:
+  TicketLock& lock_;
+};
+
+class McsGuard {
+ public:
+  explicit McsGuard(McsLock& lock) : lock_(lock) { lock_.Lock(&node_); }
+  ~McsGuard() { lock_.Unlock(&node_); }
+  McsGuard(const McsGuard&) = delete;
+  McsGuard& operator=(const McsGuard&) = delete;
+
+ private:
+  McsLock& lock_;
+  McsLock::Node node_;
+};
+
+}  // namespace solros
+
+#endif  // SOLROS_SRC_TRANSPORT_SPINLOCK_H_

@@ -1,0 +1,182 @@
+// The two realistic applications, end-to-end on the Solros machine:
+// correctness of the actual computation (index contents, search results)
+// and configuration-independence of the results (Solros vs host must
+// compute identical answers, only time differs).
+#include <gtest/gtest.h>
+
+#include "src/apps/image_search.h"
+#include "src/apps/text_index.h"
+#include "src/core/machine.h"
+#include "src/base/prng.h"
+#include "src/fs/baseline_fs.h"
+
+namespace solros {
+namespace {
+
+MachineConfig AppConfig() {
+  MachineConfig config;
+  config.num_phis = 1;
+  config.nvme_capacity = MiB(256);
+  config.enable_network = false;
+  return config;
+}
+
+TEST(TextIndexTest, IndexesCorpusThroughSolros) {
+  Machine machine(AppConfig());
+  CHECK_OK(RunSim(machine.sim(), machine.FormatFs()));
+
+  CorpusConfig corpus;
+  corpus.num_documents = 8;
+  corpus.document_bytes = KiB(64);
+  auto files = RunSim(machine.sim(), GenerateCorpus(&machine.fs(), corpus));
+  ASSERT_TRUE(files.ok());
+  ASSERT_EQ(files->size(), 8u);
+
+  TextIndexConfig config;
+  config.files = *files;
+  config.workers = 8;
+  config.read_chunk = KiB(64);
+  auto result = RunSim(
+      machine.sim(),
+      RunTextIndex(&machine.sim(), &machine.fs_stub(0), &machine.phi_cpu(0),
+                   machine.phi_device(0), config));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->files_indexed, 8u);
+  EXPECT_EQ(result->bytes_indexed, 8 * KiB(64));
+  EXPECT_GT(result->tokens, 1000u);
+  EXPECT_GT(result->unique_terms, 100u);
+  EXPECT_GE(result->postings, result->unique_terms);
+  EXPECT_GT(machine.sim().now(), 0u);
+}
+
+TEST(TextIndexTest, SolrosAndHostComputeIdenticalIndexes) {
+  // Same corpus, two service configurations: the index must be identical.
+  auto run = [](bool use_solros_stub, TextIndexResult* out) {
+    Machine machine(AppConfig());
+    CHECK_OK(RunSim(machine.sim(), machine.FormatFs()));
+    CorpusConfig corpus;
+    corpus.num_documents = 4;
+    corpus.document_bytes = KiB(32);
+    auto files =
+        RunSim(machine.sim(), GenerateCorpus(&machine.fs(), corpus));
+    CHECK_OK(files);
+    TextIndexConfig config;
+    config.files = *files;
+    config.workers = 4;
+    config.read_chunk = KiB(32);
+    if (use_solros_stub) {
+      auto result = RunSim(machine.sim(),
+                           RunTextIndex(&machine.sim(), &machine.fs_stub(0),
+                                        &machine.phi_cpu(0),
+                                        machine.phi_device(0), config));
+      CHECK_OK(result);
+      *out = *result;
+    } else {
+      LocalFsService host_service(machine.params(), &machine.fs(),
+                                  &machine.host_cpu());
+      auto result = RunSim(machine.sim(),
+                           RunTextIndex(&machine.sim(), &host_service,
+                                        &machine.host_cpu(),
+                                        machine.host_device(), config));
+      CHECK_OK(result);
+      *out = *result;
+    }
+  };
+  TextIndexResult solros_result;
+  TextIndexResult host_result;
+  run(true, &solros_result);
+  run(false, &host_result);
+  EXPECT_EQ(solros_result.tokens, host_result.tokens);
+  EXPECT_EQ(solros_result.unique_terms, host_result.unique_terms);
+  EXPECT_EQ(solros_result.postings, host_result.postings);
+  EXPECT_EQ(solros_result.bytes_indexed, host_result.bytes_indexed);
+}
+
+TEST(ImageSearchTest, FindsPlantedNearestImage) {
+  Machine machine(AppConfig());
+  CHECK_OK(RunSim(machine.sim(), machine.FormatFs()));
+
+  ImageDbConfig db;
+  db.num_images = 12;
+  db.descriptors_per_image = 256;
+  auto files = RunSim(machine.sim(), GenerateImageDb(&machine.fs(), db));
+  ASSERT_TRUE(files.ok());
+
+  // Plant an exact copy of the query descriptors as image #5: it must win
+  // with score 0.
+  ImageSearchConfig config;
+  config.files = *files;
+  config.workers = 4;
+  config.query_descriptors = 64;
+  {
+    Prng prng(config.query_seed);
+    std::vector<uint8_t> query(uint64_t{config.query_descriptors} *
+                               kDescriptorDim);
+    for (auto& b : query) {
+      b = static_cast<uint8_t>(prng.Next());
+    }
+    // Overwrite the descriptor region of img5 with query descriptors
+    // repeated to fill.
+    auto ino = RunSim(machine.sim(), machine.fs().Lookup((*files)[5]));
+    CHECK_OK(ino);
+    uint64_t off = 4096;  // block-aligned ImageHeader
+    uint64_t remaining = uint64_t{db.descriptors_per_image} * kDescriptorDim;
+    while (remaining > 0) {
+      uint64_t chunk = std::min<uint64_t>(remaining, query.size());
+      auto n = RunSim(machine.sim(),
+                      machine.fs().WriteAt(
+                          *ino, off, {query.data(), static_cast<size_t>(chunk)}));
+      CHECK_OK(n);
+      off += chunk;
+      remaining -= chunk;
+    }
+  }
+
+  auto result = RunSim(
+      machine.sim(),
+      RunImageSearch(&machine.sim(), &machine.fs_stub(0),
+                     &machine.phi_cpu(0), machine.phi_device(0), config));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->images_scanned, 12u);
+  ASSERT_FALSE(result->top.empty());
+  EXPECT_EQ(result->top[0].path, (*files)[5]);
+  EXPECT_EQ(result->top[0].score, 0u);
+  // Scores are sorted ascending.
+  for (size_t i = 1; i < result->top.size(); ++i) {
+    EXPECT_GE(result->top[i].score, result->top[i - 1].score);
+  }
+}
+
+TEST(ImageSearchTest, DeterministicAcrossRuns) {
+  auto run = [](ImageSearchResult* out) {
+    Machine machine(AppConfig());
+    CHECK_OK(RunSim(machine.sim(), machine.FormatFs()));
+    ImageDbConfig db;
+    db.num_images = 6;
+    db.descriptors_per_image = 128;
+    auto files = RunSim(machine.sim(), GenerateImageDb(&machine.fs(), db));
+    CHECK_OK(files);
+    ImageSearchConfig config;
+    config.files = *files;
+    config.workers = 3;
+    config.query_descriptors = 32;
+    auto result = RunSim(
+        machine.sim(),
+        RunImageSearch(&machine.sim(), &machine.fs_stub(0),
+                       &machine.phi_cpu(0), machine.phi_device(0), config));
+    CHECK_OK(result);
+    *out = *result;
+  };
+  ImageSearchResult a;
+  ImageSearchResult b;
+  run(&a);
+  run(&b);
+  ASSERT_EQ(a.top.size(), b.top.size());
+  for (size_t i = 0; i < a.top.size(); ++i) {
+    EXPECT_EQ(a.top[i].path, b.top[i].path);
+    EXPECT_EQ(a.top[i].score, b.top[i].score);
+  }
+}
+
+}  // namespace
+}  // namespace solros

@@ -1,0 +1,171 @@
+// Sharded KV store over the Solros network service: protocol encoding,
+// end-to-end operations across multiple co-processor shards through the
+// shared listening socket, and shard routing invariants.
+#include "src/apps/kv_store.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "src/base/prng.h"
+#include "src/core/machine.h"
+
+namespace solros {
+namespace {
+
+TEST(KvProtocolTest, RequestEncodingRoundtripShape) {
+  std::vector<uint8_t> value = {9, 8, 7};
+  auto encoded = EncodeKvRequest(KvOp::kPut, "abc", value);
+  ASSERT_EQ(encoded.size(), 7u + 3 + 3);
+  EXPECT_EQ(encoded[0], static_cast<uint8_t>(KvOp::kPut));
+  EXPECT_EQ(encoded[7], 'a');
+  EXPECT_EQ(encoded[10], 9);
+}
+
+TEST(KvProtocolTest, ReplyEncoding) {
+  auto ok = EncodeKvReply(KvStatus::kOk, {});
+  ASSERT_EQ(ok.size(), 5u);
+  EXPECT_EQ(ok[0], static_cast<uint8_t>(KvStatus::kOk));
+}
+
+MachineConfig KvMachine(int phis) {
+  MachineConfig config;
+  config.num_phis = phis;
+  config.nvme_capacity = MiB(64);
+  return config;
+}
+
+TEST(KvStoreTest, SingleShardPutGetDelete) {
+  Machine machine(KvMachine(1));
+  KvServer server(&machine.sim(), &machine.net_stub(0), 0);
+  server.Start(9100, 8);
+  machine.sim().RunUntilIdle();
+
+  Processor client_cpu(&machine.sim(), machine.host_device(), 32, 1.0,
+                       "client");
+  KvClient client(&machine.sim(), &machine.ethernet(), &client_cpu,
+                  0x0b000000);
+  CHECK_OK(RunSim(machine.sim(), client.Connect(9100, 1)));
+
+  std::vector<uint8_t> value = {1, 2, 3, 4, 5};
+  CHECK_OK(RunSim(machine.sim(), client.Put("alpha", value)));
+  auto got = RunSim(machine.sim(), client.Get("alpha"));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, value);
+  // Overwrite.
+  std::vector<uint8_t> value2 = {42};
+  CHECK_OK(RunSim(machine.sim(), client.Put("alpha", value2)));
+  got = RunSim(machine.sim(), client.Get("alpha"));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, value2);
+  // Delete, then miss.
+  CHECK_OK(RunSim(machine.sim(), client.Delete("alpha")));
+  EXPECT_EQ(RunSim(machine.sim(), client.Get("alpha")).code(),
+            ErrorCode::kNotFound);
+  EXPECT_EQ(RunSim(machine.sim(), client.Delete("alpha")).code(),
+            ErrorCode::kNotFound);
+  EXPECT_EQ(server.stats().puts, 2u);
+  EXPECT_EQ(server.stats().hits, 2u);
+  EXPECT_EQ(server.stats().misses, 1u);
+  RunSim(machine.sim(), client.Close());
+}
+
+TEST(KvStoreTest, FourShardsThroughSharedListeningSocket) {
+  const int kShards = 4;
+  Machine machine(KvMachine(kShards));
+  std::vector<std::unique_ptr<KvServer>> servers;
+  for (int i = 0; i < kShards; ++i) {
+    servers.push_back(std::make_unique<KvServer>(
+        &machine.sim(), &machine.net_stub(i), static_cast<uint32_t>(i)));
+    servers.back()->Start(9200, 16);
+  }
+  machine.sim().RunUntilIdle();
+
+  Processor client_cpu(&machine.sim(), machine.host_device(), 32, 1.0,
+                       "client");
+  KvClient client(&machine.sim(), &machine.ethernet(), &client_cpu,
+                  0x0c000000);
+  CHECK_OK(RunSim(machine.sim(), client.Connect(9200, kShards)));
+  EXPECT_EQ(client.connected_shards(), static_cast<size_t>(kShards));
+
+  // Write 200 keys; read them all back; verify shard spread.
+  Prng prng(3);
+  std::map<std::string, std::vector<uint8_t>> model;
+  for (int i = 0; i < 200; ++i) {
+    std::string key = "key" + std::to_string(i);
+    std::vector<uint8_t> value(prng.NextInRange(1, 400));
+    for (auto& b : value) {
+      b = static_cast<uint8_t>(prng.Next());
+    }
+    CHECK_OK(RunSim(machine.sim(), client.Put(key, value)));
+    model[key] = std::move(value);
+  }
+  for (const auto& [key, value] : model) {
+    auto got = RunSim(machine.sim(), client.Get(key));
+    ASSERT_TRUE(got.ok()) << key;
+    EXPECT_EQ(*got, value) << key;
+  }
+  // Every shard holds some keys and the totals add up.
+  size_t total = 0;
+  for (const auto& server : servers) {
+    EXPECT_GT(server->size(), 0u);
+    total += server->size();
+  }
+  EXPECT_EQ(total, model.size());
+  RunSim(machine.sim(), client.Close());
+}
+
+TEST(KvStoreTest, ShardRoutingIsStable) {
+  Machine machine(KvMachine(2));
+  std::vector<std::unique_ptr<KvServer>> servers;
+  for (int i = 0; i < 2; ++i) {
+    servers.push_back(std::make_unique<KvServer>(
+        &machine.sim(), &machine.net_stub(i), static_cast<uint32_t>(i)));
+    servers.back()->Start(9300, 8);
+  }
+  machine.sim().RunUntilIdle();
+  Processor client_cpu(&machine.sim(), machine.host_device(), 32, 1.0,
+                       "client");
+  KvClient client(&machine.sim(), &machine.ethernet(), &client_cpu,
+                  0x0d000000);
+  CHECK_OK(RunSim(machine.sim(), client.Connect(9300, 2)));
+  // Same key always routes to the same shard.
+  for (int i = 0; i < 20; ++i) {
+    std::string key = "stable" + std::to_string(i);
+    EXPECT_EQ(client.ShardOf(key), client.ShardOf(key));
+  }
+  // Keys spread across both shards.
+  std::set<uint32_t> seen;
+  for (int i = 0; i < 50; ++i) {
+    seen.insert(client.ShardOf("spread" + std::to_string(i)));
+  }
+  EXPECT_EQ(seen.size(), 2u);
+  RunSim(machine.sim(), client.Close());
+}
+
+TEST(KvStoreTest, LargeValuesCrossTheStack) {
+  Machine machine(KvMachine(1));
+  KvServer server(&machine.sim(), &machine.net_stub(0), 0);
+  server.Start(9400, 4);
+  machine.sim().RunUntilIdle();
+  Processor client_cpu(&machine.sim(), machine.host_device(), 32, 1.0,
+                       "client");
+  KvClient client(&machine.sim(), &machine.ethernet(), &client_cpu,
+                  0x0e000000);
+  CHECK_OK(RunSim(machine.sim(), client.Connect(9400, 1)));
+  Prng prng(9);
+  std::vector<uint8_t> blob(KiB(256));
+  for (auto& b : blob) {
+    b = static_cast<uint8_t>(prng.Next());
+  }
+  CHECK_OK(RunSim(machine.sim(), client.Put("blob", blob)));
+  auto got = RunSim(machine.sim(), client.Get("blob"));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, blob);
+  RunSim(machine.sim(), client.Close());
+}
+
+}  // namespace
+}  // namespace solros

@@ -1,0 +1,124 @@
+#include "src/base/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/base/prng.h"
+
+namespace solros {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+}
+
+TEST(HistogramTest, SmallValuesAreExact) {
+  Histogram h;
+  for (uint64_t v = 0; v < 64; ++v) {
+    h.Record(v);
+  }
+  EXPECT_EQ(h.count(), 64u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 63u);
+  // With exact sub-64 recording, the median of 0..63 is 31 or 32.
+  uint64_t p50 = h.ValueAtQuantile(0.5);
+  EXPECT_GE(p50, 31u);
+  EXPECT_LE(p50, 32u);
+}
+
+TEST(HistogramTest, QuantilesWithinRelativeError) {
+  Histogram h;
+  Prng prng(7);
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 100000; ++i) {
+    uint64_t v = prng.NextInRange(100, 10'000'000);
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.1, 0.5, 0.9, 0.99, 0.999}) {
+    uint64_t exact = values[static_cast<size_t>(q * (values.size() - 1))];
+    uint64_t approx = h.ValueAtQuantile(q);
+    double rel = std::abs(static_cast<double>(approx) -
+                          static_cast<double>(exact)) /
+                 static_cast<double>(exact);
+    EXPECT_LT(rel, 0.05) << "q=" << q << " exact=" << exact
+                         << " approx=" << approx;
+  }
+}
+
+TEST(HistogramTest, MeanMatches) {
+  Histogram h;
+  h.Record(10);
+  h.Record(20);
+  h.Record(30);
+  EXPECT_DOUBLE_EQ(h.Mean(), 20.0);
+}
+
+TEST(HistogramTest, RecordNCounts) {
+  Histogram h;
+  h.RecordN(5, 100);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 5u);
+  h.RecordN(7, 0);  // no-op
+  EXPECT_EQ(h.count(), 100u);
+}
+
+TEST(HistogramTest, ExtremeQuantilesClamp) {
+  Histogram h;
+  h.Record(100);
+  h.Record(200);
+  EXPECT_EQ(h.ValueAtQuantile(-1.0), h.ValueAtQuantile(0.0));
+  EXPECT_EQ(h.ValueAtQuantile(2.0), h.max());
+}
+
+TEST(HistogramTest, CdfEvaluation) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 100; ++v) {
+    h.Record(v * 1000);
+  }
+  double at_half = h.QuantileOfValue(50'000);
+  EXPECT_GT(at_half, 0.40);
+  EXPECT_LT(at_half, 0.60);
+  EXPECT_DOUBLE_EQ(h.QuantileOfValue(1'000'000), 1.0);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a;
+  Histogram b;
+  a.Record(10);
+  a.Record(1000);
+  b.Record(5);
+  b.Record(2000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.min(), 5u);
+  EXPECT_EQ(a.max(), 2000u);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(123456);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(HistogramTest, LargeValuesDoNotCrash) {
+  Histogram h;
+  h.Record(~0ull);
+  h.Record(1ull << 62);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), ~0ull);
+  EXPECT_GE(h.ValueAtQuantile(1.0), 1ull << 62);
+}
+
+}  // namespace
+}  // namespace solros

@@ -1,0 +1,90 @@
+#include "src/base/prng.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace solros {
+namespace {
+
+TEST(PrngTest, DeterministicForSameSeed) {
+  Prng a(12345);
+  Prng b(12345);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(PrngTest, DifferentSeedsDiverge) {
+  Prng a(1);
+  Prng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(PrngTest, NextBelowRespectsBound) {
+  Prng prng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(prng.NextBelow(17), 17u);
+  }
+  EXPECT_EQ(prng.NextBelow(0), 0u);
+  EXPECT_EQ(prng.NextBelow(1), 0u);
+}
+
+TEST(PrngTest, NextInRangeInclusive) {
+  Prng prng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t v = prng.NextInRange(3, 6);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 6u);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 6);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(PrngTest, NextDoubleInUnitInterval) {
+  Prng prng(4);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = prng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  // Mean of U(0,1) should be ~0.5.
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(PrngTest, RoughUniformityOverBuckets) {
+  Prng prng(77);
+  std::vector<int> buckets(16, 0);
+  const int kDraws = 160000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++buckets[prng.NextBelow(16)];
+  }
+  for (int count : buckets) {
+    EXPECT_NEAR(count, kDraws / 16, kDraws / 16 / 5);
+  }
+}
+
+TEST(PrngTest, NextBoolProbability) {
+  Prng prng(5);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) {
+    hits += prng.NextBool(0.25) ? 1 : 0;
+  }
+  EXPECT_NEAR(hits / 100000.0, 0.25, 0.01);
+}
+
+}  // namespace
+}  // namespace solros

@@ -1,0 +1,77 @@
+#include "src/base/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/base/units.h"
+
+namespace solros {
+namespace {
+
+TEST(RunningStatTest, BasicMoments) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(x);
+  }
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.Stddev(), 2.138, 0.001);  // sample stddev
+}
+
+TEST(RunningStatTest, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Variance(), 0.0);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"longer-name", "22"});
+  std::ostringstream os;
+  table.Print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  // Header separator line exists.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumFormatsPrecision) {
+  EXPECT_EQ(TablePrinter::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Num(2.0, 0), "2");
+}
+
+TEST(UnitsTest, SizeHelpers) {
+  EXPECT_EQ(KiB(4), 4096u);
+  EXPECT_EQ(MiB(1), 1048576u);
+  EXPECT_EQ(GiB(2), 2147483648u);
+}
+
+TEST(UnitsTest, TimeHelpers) {
+  EXPECT_EQ(Microseconds(3), 3000u);
+  EXPECT_EQ(Milliseconds(2), 2'000'000u);
+  EXPECT_EQ(Seconds(1), 1'000'000'000u);
+  EXPECT_DOUBLE_EQ(ToSeconds(Seconds(5)), 5.0);
+  EXPECT_DOUBLE_EQ(ToMicros(Microseconds(7)), 7.0);
+}
+
+TEST(UnitsTest, TransferTimeRoundsUp) {
+  // 1000 bytes at 1 GB/s = 1000 ns exactly.
+  EXPECT_EQ(TransferTime(1000, GBps(1)), 1000u);
+  // 1 byte at 3 bytes/sec = 333333333.3 ns -> rounds up.
+  EXPECT_EQ(TransferTime(1, 3.0), 333333334u);
+  EXPECT_EQ(TransferTime(0, GBps(1)), 0u);
+}
+
+TEST(UnitsTest, RateBps) {
+  EXPECT_DOUBLE_EQ(RateBps(1'000'000, Milliseconds(1)), 1e9);
+  EXPECT_DOUBLE_EQ(RateBps(100, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace solros

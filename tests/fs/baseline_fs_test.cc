@@ -1,0 +1,156 @@
+// Baseline file services: correctness and the paper's expected orderings
+// (Solros >> virtio/NFS in throughput; host is the ceiling).
+#include "src/fs/baseline_fs.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/base/prng.h"
+#include "src/base/units.h"
+#include "src/core/machine.h"
+
+namespace solros {
+namespace {
+
+MachineConfig SmallConfig() {
+  MachineConfig config;
+  config.nvme_capacity = MiB(256);
+  config.enable_network = false;
+  return config;
+}
+
+std::vector<uint8_t> RandomBytes(size_t n, uint64_t seed) {
+  Prng prng(seed);
+  std::vector<uint8_t> out(n);
+  for (auto& b : out) {
+    b = static_cast<uint8_t>(prng.Next());
+  }
+  return out;
+}
+
+TEST(VirtioBaselineTest, FsOverVirtioRoundtrips) {
+  Machine machine(SmallConfig());
+  // A separate SolrosFs instance running *on the Phi* over the virtio
+  // relay, against the same NVMe device.
+  VirtioBlockStore virtio(&machine.sim(), machine.params(), &machine.nvme(),
+                          &machine.host_cpu(), &machine.phi_cpu(0));
+  SolrosFs phi_fs(&virtio, &machine.sim());
+  CHECK_OK(RunSim(machine.sim(), phi_fs.Format(256)));
+  LocalFsService service(machine.params(), &phi_fs, &machine.phi_cpu(0));
+
+  auto ino = RunSim(machine.sim(), service.Create("/v.bin"));
+  ASSERT_TRUE(ino.ok());
+  auto data = RandomBytes(MiB(1), 1);
+  DeviceBuffer buf(machine.phi_device(0), data.size());
+  std::memcpy(buf.data(), data.data(), data.size());
+  auto written = RunSim(machine.sim(), service.Write(*ino, 0, MemRef::Of(buf)));
+  ASSERT_TRUE(written.ok());
+  EXPECT_EQ(*written, data.size());
+
+  DeviceBuffer out(machine.phi_device(0), data.size());
+  auto read = RunSim(machine.sim(), service.Read(*ino, 0, MemRef::Of(out)));
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(std::memcmp(out.data(), data.data(), data.size()), 0);
+  EXPECT_GT(virtio.requests(), 0u);
+}
+
+TEST(NfsBaselineTest, RoundtripsThroughHostFs) {
+  Machine machine(SmallConfig());
+  CHECK_OK(RunSim(machine.sim(), machine.FormatFs()));
+  NfsClientFs nfs(&machine.sim(), &machine.fabric(), machine.params(),
+                  &machine.fs(), &machine.host_cpu(), &machine.phi_cpu(0),
+                  machine.phi_device(0));
+  auto ino = RunSim(machine.sim(), nfs.Create("/n.bin"));
+  ASSERT_TRUE(ino.ok());
+  auto data = RandomBytes(MiB(1) + 333, 2);
+  DeviceBuffer buf(machine.phi_device(0), data.size());
+  std::memcpy(buf.data(), data.data(), data.size());
+  auto written = RunSim(machine.sim(), nfs.Write(*ino, 0, MemRef::Of(buf)));
+  ASSERT_TRUE(written.ok());
+  EXPECT_EQ(*written, data.size());
+  DeviceBuffer out(machine.phi_device(0), data.size());
+  auto read = RunSim(machine.sim(), nfs.Read(*ino, 0, MemRef::Of(out)));
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, data.size());
+  EXPECT_EQ(std::memcmp(out.data(), data.data(), data.size()), 0);
+}
+
+TEST(BaselineOrderingTest, SolrosBeatsVirtioAndNfsOnBulkReads) {
+  // One 16 MiB sequential read per configuration; expect the Fig. 11
+  // ordering: Solros ~ host >> virtio / NFS.
+  const uint64_t kSize = MiB(16);
+  auto data = RandomBytes(kSize, 3);
+
+  auto measure_solros = [&]() -> Nanos {
+    Machine machine(SmallConfig());
+    CHECK_OK(RunSim(machine.sim(), machine.FormatFs()));
+    auto ino = RunSim(machine.sim(), machine.fs_stub(0).Create("/f"));
+    CHECK_OK(ino);
+    DeviceBuffer buf(machine.phi_device(0), kSize);
+    std::memcpy(buf.data(), data.data(), kSize);
+    CHECK_OK(RunSim(machine.sim(),
+                    machine.fs_stub(0).Write(*ino, 0, MemRef::Of(buf))));
+    // Cold cache: P2P read.
+    DeviceBuffer out(machine.phi_device(0), kSize);
+    SimTime t0 = machine.sim().now();
+    CHECK_OK(RunSim(machine.sim(),
+                    machine.fs_stub(0).Read(*ino, 0, MemRef::Of(out))));
+    CHECK_EQ(std::memcmp(out.data(), data.data(), kSize), 0);
+    return machine.sim().now() - t0;
+  };
+
+  auto measure_virtio = [&]() -> Nanos {
+    Machine machine(SmallConfig());
+    VirtioBlockStore virtio(&machine.sim(), machine.params(),
+                            &machine.nvme(), &machine.host_cpu(),
+                            &machine.phi_cpu(0));
+    SolrosFs phi_fs(&virtio, &machine.sim());
+    CHECK_OK(RunSim(machine.sim(), phi_fs.Format(256)));
+    LocalFsService service(machine.params(), &phi_fs, &machine.phi_cpu(0));
+    auto ino = RunSim(machine.sim(), service.Create("/f"));
+    CHECK_OK(ino);
+    DeviceBuffer buf(machine.phi_device(0), kSize);
+    std::memcpy(buf.data(), data.data(), kSize);
+    CHECK_OK(RunSim(machine.sim(), service.Write(*ino, 0, MemRef::Of(buf))));
+    DeviceBuffer out(machine.phi_device(0), kSize);
+    SimTime t0 = machine.sim().now();
+    CHECK_OK(RunSim(machine.sim(), service.Read(*ino, 0, MemRef::Of(out))));
+    CHECK_EQ(std::memcmp(out.data(), data.data(), kSize), 0);
+    return machine.sim().now() - t0;
+  };
+
+  auto measure_nfs = [&]() -> Nanos {
+    Machine machine(SmallConfig());
+    CHECK_OK(RunSim(machine.sim(), machine.FormatFs()));
+    NfsClientFs nfs(&machine.sim(), &machine.fabric(), machine.params(),
+                    &machine.fs(), &machine.host_cpu(), &machine.phi_cpu(0),
+                    machine.phi_device(0));
+    auto ino = RunSim(machine.sim(), nfs.Create("/f"));
+    CHECK_OK(ino);
+    DeviceBuffer buf(machine.phi_device(0), kSize);
+    std::memcpy(buf.data(), data.data(), kSize);
+    CHECK_OK(RunSim(machine.sim(), nfs.Write(*ino, 0, MemRef::Of(buf))));
+    DeviceBuffer out(machine.phi_device(0), kSize);
+    SimTime t0 = machine.sim().now();
+    CHECK_OK(RunSim(machine.sim(), nfs.Read(*ino, 0, MemRef::Of(out))));
+    return machine.sim().now() - t0;
+  };
+
+  Nanos solros_time = measure_solros();
+  Nanos virtio_time = measure_virtio();
+  Nanos nfs_time = measure_nfs();
+
+  double virtio_ratio =
+      static_cast<double>(virtio_time) / static_cast<double>(solros_time);
+  double nfs_ratio =
+      static_cast<double>(nfs_time) / static_cast<double>(solros_time);
+  // Fig. 11: Solros sustains ~2.4 GB/s; virtio/NFS are around 0.1-0.2 GB/s.
+  EXPECT_GT(virtio_ratio, 8.0) << "virtio " << virtio_time << " vs solros "
+                               << solros_time;
+  EXPECT_GT(nfs_ratio, 4.0) << "nfs " << nfs_time << " vs solros "
+                            << solros_time;
+}
+
+}  // namespace
+}  // namespace solros

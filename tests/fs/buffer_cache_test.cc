@@ -1,0 +1,122 @@
+#include "src/fs/buffer_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/base/prng.h"
+#include "src/base/units.h"
+#include "src/fs/block_store.h"
+#include "src/hw/fabric.h"
+#include "src/hw/params.h"
+#include "src/sim/simulator.h"
+#include "src/sim/task.h"
+
+namespace solros {
+namespace {
+
+class BufferCacheTest : public ::testing::Test {
+ protected:
+  BufferCacheTest()
+      : fabric_(&sim_, params_),
+        store_(4096, 1024),
+        cache_(&store_, fabric_.HostDevice(0), /*capacity_blocks=*/8) {
+    // Seed the store with recognizable block contents.
+    Prng prng(1);
+    auto raw = store_.raw();
+    for (auto& b : raw) {
+      b = static_cast<uint8_t>(prng.Next());
+    }
+  }
+
+  Simulator sim_;
+  HwParams params_;
+  PcieFabric fabric_;
+  MemBlockStore store_;
+  BufferCache cache_;
+};
+
+TEST_F(BufferCacheTest, MissThenHit) {
+  auto ref1 = RunSim(sim_, cache_.GetBlock(5));
+  ASSERT_TRUE(ref1.ok());
+  EXPECT_EQ(cache_.misses(), 1u);
+  EXPECT_EQ(cache_.hits(), 0u);
+  EXPECT_EQ(std::memcmp(ref1->span().data(), store_.raw().data() + 5 * 4096,
+                        4096),
+            0);
+  auto ref2 = RunSim(sim_, cache_.GetBlock(5));
+  ASSERT_TRUE(ref2.ok());
+  EXPECT_EQ(cache_.hits(), 1u);
+}
+
+TEST_F(BufferCacheTest, LruEviction) {
+  for (uint64_t lba = 0; lba < 8; ++lba) {
+    ASSERT_TRUE(RunSim(sim_, cache_.GetBlock(lba)).ok());
+  }
+  EXPECT_EQ(cache_.size(), 8u);
+  // Touch block 0 so block 1 becomes LRU.
+  ASSERT_TRUE(RunSim(sim_, cache_.GetBlock(0)).ok());
+  // Insert a 9th block; block 1 must be evicted.
+  ASSERT_TRUE(RunSim(sim_, cache_.GetBlock(100)).ok());
+  EXPECT_EQ(cache_.evictions(), 1u);
+  EXPECT_TRUE(cache_.Contains(0));
+  EXPECT_FALSE(cache_.Contains(1));
+}
+
+TEST_F(BufferCacheTest, DirtyPagesFlushOnEviction) {
+  auto ref = RunSim(sim_, cache_.GetBlock(3));
+  ASSERT_TRUE(ref.ok());
+  std::memset(ref->span().data(), 0x77, 4096);
+  cache_.MarkDirty(3);
+  // Force eviction of block 3 by filling the cache.
+  for (uint64_t lba = 10; lba < 19; ++lba) {
+    ASSERT_TRUE(RunSim(sim_, cache_.GetBlock(lba)).ok());
+  }
+  EXPECT_FALSE(cache_.Contains(3));
+  // The store now holds the dirty content.
+  EXPECT_EQ(store_.raw()[3 * 4096], 0x77);
+}
+
+TEST_F(BufferCacheTest, FlushWritesAllDirty) {
+  auto ref = RunSim(sim_, cache_.GetBlock(7));
+  ASSERT_TRUE(ref.ok());
+  std::memset(ref->span().data(), 0x42, 4096);
+  cache_.MarkDirty(7);
+  CHECK_OK(RunSim(sim_, cache_.Flush()));
+  EXPECT_EQ(store_.raw()[7 * 4096], 0x42);
+}
+
+TEST_F(BufferCacheTest, ReadThroughAndWriteThrough) {
+  std::vector<uint8_t> data(4096 * 2, 0xcd);
+  CHECK_OK(RunSim(sim_, cache_.WriteThrough(20, 2, data)));
+  std::vector<uint8_t> out(4096 * 2);
+  CHECK_OK(RunSim(sim_, cache_.ReadThrough(20, 2, out)));
+  EXPECT_EQ(out, data);
+  // Store not yet updated (write-back).
+  EXPECT_NE(store_.raw()[20 * 4096], 0xcd);
+  CHECK_OK(RunSim(sim_, cache_.Flush()));
+  EXPECT_EQ(store_.raw()[20 * 4096], 0xcd);
+}
+
+TEST_F(BufferCacheTest, InvalidateDropsWithoutWriteback) {
+  auto ref = RunSim(sim_, cache_.GetBlock(9));
+  ASSERT_TRUE(ref.ok());
+  uint8_t original = store_.raw()[9 * 4096];
+  std::memset(ref->span().data(), original + 1, 4096);
+  cache_.MarkDirty(9);
+  cache_.Invalidate(9);
+  CHECK_OK(RunSim(sim_, cache_.Flush()));
+  EXPECT_EQ(store_.raw()[9 * 4096], original);
+  EXPECT_FALSE(cache_.Contains(9));
+}
+
+TEST_F(BufferCacheTest, InvalidateRangeAndMissingBlocksAreNoops) {
+  ASSERT_TRUE(RunSim(sim_, cache_.GetBlock(30)).ok());
+  cache_.InvalidateRange(29, 4);  // covers 30, ignores absent ones
+  EXPECT_FALSE(cache_.Contains(30));
+  cache_.Invalidate(999);  // absent: no-op
+}
+
+}  // namespace
+}  // namespace solros

@@ -1,0 +1,198 @@
+// Property tests for SolrosFS against an in-memory reference model:
+// randomized namespace + data operation sequences, fiemap coverage
+// invariants, allocator accounting, and remount invariance.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/base/prng.h"
+#include "src/base/units.h"
+#include "src/fs/block_store.h"
+#include "src/fs/solros_fs.h"
+#include "src/sim/simulator.h"
+#include "src/sim/task.h"
+
+namespace solros {
+namespace {
+
+struct ModelFile {
+  uint64_t ino = 0;
+  std::vector<uint8_t> content;
+};
+
+class FsPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FsPropertyTest, RandomOpsMatchReferenceModel) {
+  uint64_t seed = GetParam();
+  Simulator sim;
+  MemBlockStore store(kFsBlockSize, 8192);  // 32 MiB volume
+  SolrosFs fs(&store, &sim);
+  CHECK_OK(RunSim(sim, fs.Format(128)));
+
+  Prng prng(seed);
+  std::map<std::string, ModelFile> model;
+  int created = 0;
+
+  for (int step = 0; step < 300; ++step) {
+    double dice = prng.NextDouble();
+    if (dice < 0.25) {
+      // Create a new file.
+      std::string path = "/f" + std::to_string(created++);
+      auto ino = RunSim(sim, fs.Create(path));
+      ASSERT_TRUE(ino.ok()) << path;
+      model[path] = ModelFile{*ino, {}};
+    } else if (dice < 0.55 && !model.empty()) {
+      // Random write (possibly extending).
+      auto it = model.begin();
+      std::advance(it, prng.NextBelow(model.size()));
+      ModelFile& file = it->second;
+      uint64_t offset = prng.NextBelow(KiB(48));
+      uint64_t len = prng.NextInRange(1, KiB(12));
+      std::vector<uint8_t> data(len);
+      for (auto& b : data) {
+        b = static_cast<uint8_t>(prng.Next());
+      }
+      auto written = RunSim(sim, fs.WriteAt(file.ino, offset, data));
+      ASSERT_TRUE(written.ok());
+      ASSERT_EQ(*written, len);
+      if (file.content.size() < offset + len) {
+        file.content.resize(offset + len, 0);
+      }
+      std::copy(data.begin(), data.end(), file.content.begin() + offset);
+    } else if (dice < 0.75 && !model.empty()) {
+      // Random read: must match the model exactly (including EOF clamp).
+      auto it = model.begin();
+      std::advance(it, prng.NextBelow(model.size()));
+      const ModelFile& file = it->second;
+      uint64_t offset = prng.NextBelow(KiB(64));
+      uint64_t len = prng.NextInRange(1, KiB(16));
+      std::vector<uint8_t> out(len);
+      auto n = RunSim(sim, fs.ReadAt(file.ino, offset, out));
+      ASSERT_TRUE(n.ok());
+      uint64_t expect_n =
+          offset >= file.content.size()
+              ? 0
+              : std::min<uint64_t>(len, file.content.size() - offset);
+      ASSERT_EQ(*n, expect_n);
+      if (expect_n > 0) {
+        ASSERT_EQ(std::memcmp(out.data(), file.content.data() + offset,
+                              expect_n),
+                  0)
+            << "step " << step;
+      }
+    } else if (dice < 0.85 && !model.empty()) {
+      // Truncate (shrink or grow).
+      auto it = model.begin();
+      std::advance(it, prng.NextBelow(model.size()));
+      ModelFile& file = it->second;
+      uint64_t new_size = prng.NextBelow(KiB(64));
+      CHECK_OK(RunSim(sim, fs.Truncate(file.ino, new_size)));
+      file.content.resize(new_size, 0);
+    } else if (!model.empty()) {
+      // Unlink.
+      auto it = model.begin();
+      std::advance(it, prng.NextBelow(model.size()));
+      CHECK_OK(RunSim(sim, fs.Unlink(it->first)));
+      model.erase(it);
+    }
+  }
+
+  // Final verification sweep, then remount and verify again.
+  auto verify_all = [&](SolrosFs& target) {
+    for (const auto& [path, file] : model) {
+      auto ino = RunSim(sim, target.Lookup(path));
+      ASSERT_TRUE(ino.ok()) << path;
+      auto stat = RunSim(sim, target.StatInode(*ino));
+      ASSERT_TRUE(stat.ok());
+      ASSERT_EQ(stat->size, file.content.size()) << path;
+      std::vector<uint8_t> out(file.content.size());
+      if (!out.empty()) {
+        auto n = RunSim(sim, target.ReadAt(*ino, 0, out));
+        ASSERT_TRUE(n.ok());
+        ASSERT_EQ(*n, file.content.size());
+        ASSERT_EQ(std::memcmp(out.data(), file.content.data(), out.size()),
+                  0)
+            << path;
+      }
+    }
+  };
+  verify_all(fs);
+  CHECK_OK(RunSim(sim, fs.Unmount()));
+  SolrosFs fs2(&store, &sim);
+  CHECK_OK(RunSim(sim, fs2.Mount()));
+  verify_all(fs2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FsPropertyTest,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 99999u));
+
+TEST(FsInvariantTest, FiemapExtentsExactlyCoverFileBlocks) {
+  Simulator sim;
+  MemBlockStore store(kFsBlockSize, 8192);
+  SolrosFs fs(&store, &sim);
+  CHECK_OK(RunSim(sim, fs.Format(64)));
+  Prng prng(5);
+  // Build a fragmented file by interleaving two files' growth.
+  auto a = RunSim(sim, fs.Create("/a"));
+  auto b = RunSim(sim, fs.Create("/b"));
+  ASSERT_TRUE(a.ok() && b.ok());
+  std::vector<uint8_t> chunk(KiB(16), 0x5a);
+  for (int i = 0; i < 20; ++i) {
+    CHECK_OK(RunSim(sim, fs.WriteAt(*a, i * chunk.size(), chunk)));
+    CHECK_OK(RunSim(sim, fs.WriteAt(*b, i * chunk.size(), chunk)));
+  }
+  auto stat = RunSim(sim, fs.StatInode(*a));
+  ASSERT_TRUE(stat.ok());
+  EXPECT_GT(stat->extent_count, 1u) << "fragmentation expected";
+
+  auto extents = RunSim(sim, fs.Fiemap(*a, 0, stat->size));
+  ASSERT_TRUE(extents.ok());
+  // Invariants: total blocks cover the file; no overlap; all within the
+  // data region.
+  uint64_t covered = 0;
+  std::set<uint64_t> seen;
+  for (const FsExtent& e : *extents) {
+    ASSERT_GT(e.len, 0u);
+    for (uint64_t blk = e.start; blk < e.start + e.len; ++blk) {
+      ASSERT_TRUE(seen.insert(blk).second) << "overlapping extent block";
+      ASSERT_LT(blk, fs.total_blocks());
+    }
+    covered += e.len;
+  }
+  EXPECT_EQ(covered, (stat->size + kFsBlockSize - 1) / kFsBlockSize);
+}
+
+TEST(FsInvariantTest, FreeBlockAccountingIsConserved) {
+  Simulator sim;
+  MemBlockStore store(kFsBlockSize, 4096);
+  SolrosFs fs(&store, &sim);
+  CHECK_OK(RunSim(sim, fs.Format(64)));
+  // Force the root directory block to exist.
+  ASSERT_TRUE(RunSim(sim, fs.Create("/pin")).ok());
+  uint64_t baseline = fs.free_blocks();
+  Prng prng(9);
+  for (int round = 0; round < 10; ++round) {
+    std::vector<std::string> paths;
+    for (int i = 0; i < 5; ++i) {
+      std::string path = "/r" + std::to_string(round) + "_" +
+                         std::to_string(i);
+      auto ino = RunSim(sim, fs.Create(path));
+      ASSERT_TRUE(ino.ok());
+      std::vector<uint8_t> data(prng.NextInRange(1, KiB(64)));
+      CHECK_OK(RunSim(sim, fs.WriteAt(*ino, 0, data)));
+      paths.push_back(path);
+    }
+    for (const std::string& path : paths) {
+      CHECK_OK(RunSim(sim, fs.Unlink(path)));
+    }
+    // All data blocks must come back every round.
+    ASSERT_EQ(fs.free_blocks(), baseline) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace solros

@@ -1,0 +1,404 @@
+// SolrosFS semantics over the instant in-memory block store.
+#include "src/fs/solros_fs.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/base/prng.h"
+#include "src/base/units.h"
+#include "src/fs/block_store.h"
+#include "src/sim/simulator.h"
+#include "src/sim/task.h"
+
+namespace solros {
+namespace {
+
+class FsTest : public ::testing::Test {
+ protected:
+  FsTest() : store_(kFsBlockSize, 16384), fs_(&store_, &sim_) {
+    Status status = RunSim(sim_, fs_.Format(512));
+    CHECK_OK(status);
+  }
+
+  std::vector<uint8_t> RandomBytes(size_t n, uint64_t seed) {
+    Prng prng(seed);
+    std::vector<uint8_t> out(n);
+    for (auto& b : out) {
+      b = static_cast<uint8_t>(prng.Next());
+    }
+    return out;
+  }
+
+  uint64_t MustCreate(const std::string& path) {
+    auto result = RunSim(sim_, fs_.Create(path));
+    CHECK_OK(result);
+    return *result;
+  }
+
+  void WriteAll(uint64_t ino, uint64_t off, std::span<const uint8_t> data) {
+    auto n = RunSim(sim_, fs_.WriteAt(ino, off, data));
+    CHECK_OK(n);
+    CHECK_EQ(*n, data.size());
+  }
+
+  std::vector<uint8_t> ReadAll(uint64_t ino, uint64_t off, size_t len) {
+    std::vector<uint8_t> buf(len);
+    auto n = RunSim(sim_, fs_.ReadAt(ino, off, buf));
+    CHECK_OK(n);
+    buf.resize(*n);
+    return buf;
+  }
+
+  Simulator sim_;
+  MemBlockStore store_;
+  SolrosFs fs_;
+};
+
+TEST_F(FsTest, FormatAndMountProducesEmptyRoot) {
+  auto entries = RunSim(sim_, fs_.Readdir("/"));
+  ASSERT_TRUE(entries.ok());
+  EXPECT_TRUE(entries->empty());
+  EXPECT_GT(fs_.free_blocks(), 0u);
+}
+
+TEST_F(FsTest, CreateLookupStat) {
+  uint64_t ino = MustCreate("/hello.txt");
+  auto looked = RunSim(sim_, fs_.Lookup("/hello.txt"));
+  ASSERT_TRUE(looked.ok());
+  EXPECT_EQ(*looked, ino);
+  auto stat = RunSim(sim_, fs_.Stat("/hello.txt"));
+  ASSERT_TRUE(stat.ok());
+  EXPECT_EQ(stat->size, 0u);
+  EXPECT_TRUE((stat->mode & kModeFile) != 0);
+  EXPECT_EQ(stat->nlink, 1u);
+}
+
+TEST_F(FsTest, CreateDuplicateFails) {
+  MustCreate("/a");
+  auto dup = RunSim(sim_, fs_.Create("/a"));
+  EXPECT_EQ(dup.code(), ErrorCode::kAlreadyExists);
+}
+
+TEST_F(FsTest, LookupMissingFails) {
+  EXPECT_EQ(RunSim(sim_, fs_.Lookup("/nope")).code(), ErrorCode::kNotFound);
+}
+
+TEST_F(FsTest, PathValidation) {
+  EXPECT_EQ(RunSim(sim_, fs_.Create("relative")).code(),
+            ErrorCode::kInvalidArgument);
+  std::string long_name(kMaxFileName + 1, 'x');
+  EXPECT_EQ(RunSim(sim_, fs_.Create("/" + long_name)).code(),
+            ErrorCode::kInvalidArgument);
+  // Root itself cannot be created over.
+  EXPECT_EQ(RunSim(sim_, fs_.Create("/")).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST_F(FsTest, SmallWriteReadRoundtrip) {
+  uint64_t ino = MustCreate("/f");
+  auto data = RandomBytes(100, 1);
+  WriteAll(ino, 0, data);
+  EXPECT_EQ(ReadAll(ino, 0, 100), data);
+  auto stat = RunSim(sim_, fs_.StatInode(ino));
+  EXPECT_EQ(stat->size, 100u);
+}
+
+TEST_F(FsTest, UnalignedWritesAcrossBlockBoundaries) {
+  uint64_t ino = MustCreate("/f");
+  auto data = RandomBytes(3 * kFsBlockSize, 2);
+  // Write at an odd offset spanning several blocks.
+  WriteAll(ino, 1000, data);
+  EXPECT_EQ(ReadAll(ino, 1000, data.size()), data);
+  // The gap [0,1000) reads as zeros.
+  auto head = ReadAll(ino, 0, 1000);
+  EXPECT_TRUE(std::all_of(head.begin(), head.end(),
+                          [](uint8_t b) { return b == 0; }));
+}
+
+TEST_F(FsTest, OverwriteInPlaceKeepsExtents) {
+  uint64_t ino = MustCreate("/f");
+  auto data = RandomBytes(MiB(1), 3);
+  WriteAll(ino, 0, data);
+  auto stat1 = RunSim(sim_, fs_.StatInode(ino));
+  auto data2 = RandomBytes(MiB(1), 4);
+  WriteAll(ino, 0, data2);
+  auto stat2 = RunSim(sim_, fs_.StatInode(ino));
+  // In-place update: same extent count, same size.
+  EXPECT_EQ(stat1->extent_count, stat2->extent_count);
+  EXPECT_EQ(ReadAll(ino, 0, MiB(1)), data2);
+}
+
+TEST_F(FsTest, ReadPastEofClamps) {
+  uint64_t ino = MustCreate("/f");
+  auto data = RandomBytes(10, 5);
+  WriteAll(ino, 0, data);
+  std::vector<uint8_t> buf(100);
+  auto n = RunSim(sim_, fs_.ReadAt(ino, 5, buf));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 5u);
+  auto n2 = RunSim(sim_, fs_.ReadAt(ino, 50, buf));
+  ASSERT_TRUE(n2.ok());
+  EXPECT_EQ(*n2, 0u);
+}
+
+TEST_F(FsTest, LargeFileUsesFewExtents) {
+  uint64_t ino = MustCreate("/big");
+  auto data = RandomBytes(MiB(8), 6);
+  WriteAll(ino, 0, data);
+  auto stat = RunSim(sim_, fs_.StatInode(ino));
+  // A fresh volume should satisfy 8 MiB nearly contiguously.
+  EXPECT_LE(stat->extent_count, 3u);
+  EXPECT_EQ(ReadAll(ino, 0, MiB(8)), data);
+}
+
+TEST_F(FsTest, AppendGrowsFile) {
+  uint64_t ino = MustCreate("/log");
+  std::vector<uint8_t> chunk(1000, 0xaa);
+  for (int i = 0; i < 20; ++i) {
+    WriteAll(ino, uint64_t{1000} * i, chunk);
+  }
+  auto stat = RunSim(sim_, fs_.StatInode(ino));
+  EXPECT_EQ(stat->size, 20000u);
+}
+
+TEST_F(FsTest, MkdirAndNestedPaths) {
+  CHECK_OK(RunSim(sim_, fs_.Mkdir("/dir")));
+  CHECK_OK(RunSim(sim_, fs_.Mkdir("/dir/sub")));
+  uint64_t ino = MustCreate("/dir/sub/file");
+  auto looked = RunSim(sim_, fs_.Lookup("/dir/sub/file"));
+  ASSERT_TRUE(looked.ok());
+  EXPECT_EQ(*looked, ino);
+  auto entries = RunSim(sim_, fs_.Readdir("/dir"));
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 1u);
+  EXPECT_EQ((*entries)[0].name, "sub");
+  EXPECT_TRUE((*entries)[0].is_dir);
+}
+
+TEST_F(FsTest, ReaddirListsAllEntries) {
+  std::set<std::string> names;
+  for (int i = 0; i < 100; ++i) {
+    std::string name = "file" + std::to_string(i);
+    MustCreate("/" + name);
+    names.insert(name);
+  }
+  auto entries = RunSim(sim_, fs_.Readdir("/"));
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 100u);
+  for (const DirEntry& e : *entries) {
+    EXPECT_TRUE(names.count(e.name)) << e.name;
+  }
+}
+
+TEST_F(FsTest, UnlinkFreesSpace) {
+  // Force the root directory's data block to exist first so the baseline
+  // excludes it (directory blocks are not reclaimed by unlink).
+  MustCreate("/placeholder");
+  uint64_t free_before = fs_.free_blocks();
+  uint64_t ino = MustCreate("/f");
+  WriteAll(ino, 0, RandomBytes(MiB(1), 7));
+  EXPECT_LT(fs_.free_blocks(), free_before);
+  CHECK_OK(RunSim(sim_, fs_.Unlink("/f")));
+  EXPECT_EQ(fs_.free_blocks(), free_before);
+  EXPECT_EQ(RunSim(sim_, fs_.Lookup("/f")).code(), ErrorCode::kNotFound);
+}
+
+TEST_F(FsTest, UnlinkDirectoryRejected) {
+  CHECK_OK(RunSim(sim_, fs_.Mkdir("/d")));
+  EXPECT_EQ(RunSim(sim_, fs_.Unlink("/d")).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST_F(FsTest, RmdirOnlyWhenEmpty) {
+  CHECK_OK(RunSim(sim_, fs_.Mkdir("/d")));
+  MustCreate("/d/f");
+  EXPECT_EQ(RunSim(sim_, fs_.Rmdir("/d")).code(),
+            ErrorCode::kFailedPrecondition);
+  CHECK_OK(RunSim(sim_, fs_.Unlink("/d/f")));
+  CHECK_OK(RunSim(sim_, fs_.Rmdir("/d")));
+  EXPECT_EQ(RunSim(sim_, fs_.Lookup("/d")).code(), ErrorCode::kNotFound);
+}
+
+TEST_F(FsTest, RenameMovesAcrossDirectories) {
+  CHECK_OK(RunSim(sim_, fs_.Mkdir("/a")));
+  CHECK_OK(RunSim(sim_, fs_.Mkdir("/b")));
+  uint64_t ino = MustCreate("/a/f");
+  WriteAll(ino, 0, RandomBytes(100, 8));
+  CHECK_OK(RunSim(sim_, fs_.Rename("/a/f", "/b/g")));
+  EXPECT_EQ(RunSim(sim_, fs_.Lookup("/a/f")).code(), ErrorCode::kNotFound);
+  auto moved = RunSim(sim_, fs_.Lookup("/b/g"));
+  ASSERT_TRUE(moved.ok());
+  EXPECT_EQ(*moved, ino);
+  EXPECT_EQ(ReadAll(ino, 0, 100), RandomBytes(100, 8));
+}
+
+TEST_F(FsTest, RenameOntoExistingFails) {
+  MustCreate("/x");
+  MustCreate("/y");
+  EXPECT_EQ(RunSim(sim_, fs_.Rename("/x", "/y")).code(),
+            ErrorCode::kAlreadyExists);
+}
+
+TEST_F(FsTest, TruncateShrinkAndGrow) {
+  uint64_t ino = MustCreate("/f");
+  WriteAll(ino, 0, RandomBytes(MiB(1), 9));
+  uint64_t free_small = fs_.free_blocks();
+  CHECK_OK(RunSim(sim_, fs_.Truncate(ino, KiB(4))));
+  EXPECT_GT(fs_.free_blocks(), free_small);
+  auto stat = RunSim(sim_, fs_.StatInode(ino));
+  EXPECT_EQ(stat->size, KiB(4));
+  // Grow back: new range must read as zeros.
+  CHECK_OK(RunSim(sim_, fs_.Truncate(ino, KiB(64))));
+  auto tail = ReadAll(ino, KiB(4), KiB(60));
+  ASSERT_EQ(tail.size(), KiB(60));
+  EXPECT_TRUE(std::all_of(tail.begin(), tail.end(),
+                          [](uint8_t b) { return b == 0; }));
+}
+
+TEST_F(FsTest, FiemapCoversWrittenRange) {
+  uint64_t ino = MustCreate("/f");
+  WriteAll(ino, 0, RandomBytes(MiB(2), 10));
+  auto extents = RunSim(sim_, fs_.Fiemap(ino, 0, MiB(2)));
+  ASSERT_TRUE(extents.ok());
+  uint64_t blocks = 0;
+  for (const FsExtent& e : *extents) {
+    blocks += e.len;
+  }
+  EXPECT_EQ(blocks, MiB(2) / kFsBlockSize);
+}
+
+TEST_F(FsTest, FiemapSubRangeTrimsExtents) {
+  uint64_t ino = MustCreate("/f");
+  WriteAll(ino, 0, RandomBytes(MiB(1), 11));
+  // One block in the middle.
+  auto extents =
+      RunSim(sim_, fs_.Fiemap(ino, 7 * kFsBlockSize, kFsBlockSize));
+  ASSERT_TRUE(extents.ok());
+  ASSERT_EQ(extents->size(), 1u);
+  EXPECT_EQ((*extents)[0].len, 1u);
+  // Unaligned sub-range still covers its blocks.
+  auto unaligned = RunSim(sim_, fs_.Fiemap(ino, 100, kFsBlockSize));
+  ASSERT_TRUE(unaligned.ok());
+  uint64_t blocks = 0;
+  for (const FsExtent& e : *unaligned) {
+    blocks += e.len;
+  }
+  EXPECT_EQ(blocks, 2u);  // spans two blocks
+}
+
+TEST_F(FsTest, FiemapBeyondEofIsEmpty) {
+  uint64_t ino = MustCreate("/f");
+  WriteAll(ino, 0, RandomBytes(100, 12));
+  auto extents = RunSim(sim_, fs_.Fiemap(ino, KiB(64), KiB(4)));
+  ASSERT_TRUE(extents.ok());
+  EXPECT_TRUE(extents->empty());
+}
+
+TEST_F(FsTest, RemountPreservesEverything) {
+  uint64_t ino = MustCreate("/persist");
+  auto data = RandomBytes(MiB(1) + 137, 13);
+  WriteAll(ino, 0, data);
+  CHECK_OK(RunSim(sim_, fs_.Mkdir("/d")));
+  MustCreate("/d/child");
+  CHECK_OK(RunSim(sim_, fs_.Unmount()));
+
+  SolrosFs fs2(&store_, &sim_);
+  CHECK_OK(RunSim(sim_, fs2.Mount()));
+  auto looked = RunSim(sim_, fs2.Lookup("/persist"));
+  ASSERT_TRUE(looked.ok());
+  std::vector<uint8_t> buf(data.size());
+  auto n = RunSim(sim_, fs2.ReadAt(*looked, 0, buf));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, data.size());
+  EXPECT_EQ(buf, data);
+  EXPECT_TRUE(RunSim(sim_, fs2.Lookup("/d/child")).ok());
+}
+
+TEST_F(FsTest, MountRejectsGarbage) {
+  MemBlockStore garbage(kFsBlockSize, 64);
+  SolrosFs fs2(&garbage);
+  EXPECT_EQ(RunSim(sim_, fs2.Mount()).code(), ErrorCode::kIoError);
+}
+
+TEST_F(FsTest, OperationsRequireMount) {
+  CHECK_OK(RunSim(sim_, fs_.Unmount()));
+  EXPECT_EQ(RunSim(sim_, fs_.Create("/x")).code(),
+            ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(RunSim(sim_, fs_.Lookup("/x")).code(),
+            ErrorCode::kFailedPrecondition);
+}
+
+TEST_F(FsTest, OutOfSpaceSurfacesCleanly) {
+  // The store has 16384 blocks (~64 MiB); fill until failure.
+  uint64_t ino = MustCreate("/hog");
+  std::vector<uint8_t> chunk(MiB(8), 0x11);
+  Status last;
+  uint64_t written = 0;
+  for (int i = 0; i < 32; ++i) {
+    auto n = RunSim(sim_, fs_.WriteAt(ino, written, chunk));
+    if (!n.ok()) {
+      last = n.status();
+      break;
+    }
+    written += *n;
+  }
+  EXPECT_EQ(last.code(), ErrorCode::kResourceExhausted);
+  // The file system must still function after ENOSPC.
+  CHECK_OK(RunSim(sim_, fs_.Unlink("/hog")));
+  uint64_t ino2 = MustCreate("/after");
+  WriteAll(ino2, 0, RandomBytes(1000, 14));
+}
+
+TEST_F(FsTest, OutOfInodesSurfacesCleanly) {
+  // Formatted with 512 inodes; root takes one.
+  Status last;
+  int created = 0;
+  for (int i = 0; i < 600; ++i) {
+    auto r = RunSim(sim_, fs_.Create("/i" + std::to_string(i)));
+    if (!r.ok()) {
+      last = r.status();
+      break;
+    }
+    ++created;
+  }
+  EXPECT_EQ(created, 511);
+  EXPECT_EQ(last.code(), ErrorCode::kResourceExhausted);
+}
+
+TEST_F(FsTest, ManyFilesRandomizedRoundtrip) {
+  Prng prng(42);
+  struct FileInfo {
+    uint64_t ino;
+    std::vector<uint8_t> content;
+  };
+  std::vector<FileInfo> files;
+  for (int i = 0; i < 40; ++i) {
+    FileInfo info;
+    info.ino = MustCreate("/rand" + std::to_string(i));
+    info.content = RandomBytes(prng.NextInRange(1, KiB(128)), 100 + i);
+    WriteAll(info.ino, 0, info.content);
+    files.push_back(std::move(info));
+  }
+  // Interleaved partial overwrites.
+  for (int round = 0; round < 100; ++round) {
+    auto& f = files[prng.NextBelow(files.size())];
+    uint64_t off = prng.NextBelow(f.content.size());
+    uint64_t len =
+        std::min<uint64_t>(f.content.size() - off,
+                           prng.NextInRange(1, KiB(8)));
+    auto patch = RandomBytes(len, 1000 + round);
+    WriteAll(f.ino, off, patch);
+    std::copy(patch.begin(), patch.end(), f.content.begin() + off);
+  }
+  for (const auto& f : files) {
+    EXPECT_EQ(ReadAll(f.ino, 0, f.content.size()), f.content);
+  }
+}
+
+}  // namespace
+}  // namespace solros

@@ -1,0 +1,103 @@
+// Parameterized sweeps over the calibrated cost model: monotonicity,
+// crossover placement, and internal consistency of the copy-policy math —
+// the invariants the paper's §4.2 design decisions rest on.
+#include <gtest/gtest.h>
+
+#include "src/base/units.h"
+#include "src/hw/params.h"
+#include "src/transport/adaptive_copy.h"
+
+namespace solros {
+namespace {
+
+class CopyCostSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CopyCostSweep, CostsAreMonotonicInSize) {
+  HwParams params;
+  uint64_t size = GetParam();
+  uint64_t larger = size * 2;
+  for (bool host : {true, false}) {
+    EXPECT_LE(DmaCopyTime(params, size, host),
+              DmaCopyTime(params, larger, host))
+        << "dma host=" << host << " size=" << size;
+    EXPECT_LE(MemcpyCopyTime(params, size, host),
+              MemcpyCopyTime(params, larger, host))
+        << "memcpy host=" << host << " size=" << size;
+    for (CopyPolicy policy :
+         {CopyPolicy::kMemcpy, CopyPolicy::kDma, CopyPolicy::kAdaptive}) {
+      EXPECT_LE(CopyTime(params, size, host, policy),
+                CopyTime(params, larger, host, policy));
+    }
+  }
+}
+
+TEST_P(CopyCostSweep, AdaptiveNeverWorseThanBothAtExtremes) {
+  HwParams params;
+  uint64_t size = GetParam();
+  for (bool host : {true, false}) {
+    Nanos adaptive = CopyTime(params, size, host, CopyPolicy::kAdaptive);
+    Nanos memcpy_cost = CopyTime(params, size, host, CopyPolicy::kMemcpy);
+    Nanos dma_cost = CopyTime(params, size, host, CopyPolicy::kDma);
+    // Adaptive always equals one of the two...
+    EXPECT_TRUE(adaptive == memcpy_cost || adaptive == dma_cost);
+    // ...and far from the threshold it equals the better one.
+    uint64_t threshold = host ? params.adaptive_threshold_host
+                              : params.adaptive_threshold_phi;
+    if (size <= threshold / 4 || size >= threshold * 4) {
+      EXPECT_EQ(adaptive, std::min(memcpy_cost, dma_cost))
+          << "host=" << host << " size=" << size;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CopyCostSweep,
+                         ::testing::Values(uint64_t{1}, uint64_t{64},
+                                           uint64_t{256}, KiB(1), KiB(4),
+                                           KiB(16), KiB(64), KiB(256),
+                                           MiB(1), MiB(4), MiB(8)));
+
+TEST(CopyCostTest, ThresholdsSitAtTheCrossovers) {
+  // §4.2.4: the adaptive thresholds approximate where DMA starts winning.
+  HwParams params;
+  // Host: memcpy wins at half the threshold, loses at 4x the threshold.
+  EXPECT_LT(MemcpyCopyTime(params, params.adaptive_threshold_host / 2, true),
+            DmaCopyTime(params, params.adaptive_threshold_host / 2, true));
+  EXPECT_GT(MemcpyCopyTime(params, params.adaptive_threshold_host * 4, true),
+            DmaCopyTime(params, params.adaptive_threshold_host * 4, true));
+  // Phi: same around 16 KB.
+  EXPECT_LT(MemcpyCopyTime(params, params.adaptive_threshold_phi / 2, false),
+            DmaCopyTime(params, params.adaptive_threshold_phi / 2, false));
+  EXPECT_GT(MemcpyCopyTime(params, params.adaptive_threshold_phi * 4, false),
+            DmaCopyTime(params, params.adaptive_threshold_phi * 4, false));
+}
+
+TEST(CopyCostTest, HostAlwaysAtLeastAsFastAsPhi) {
+  HwParams params;
+  for (uint64_t size : {uint64_t{64}, KiB(4), KiB(64), MiB(1), MiB(8)}) {
+    EXPECT_LE(DmaCopyTime(params, size, true),
+              DmaCopyTime(params, size, false));
+    EXPECT_LE(MemcpyCopyTime(params, size, true),
+              MemcpyCopyTime(params, size, false));
+  }
+}
+
+TEST(CopyCostTest, PaperAnchorRatiosFromTheRawModel) {
+  HwParams params;
+  // §4.2.1 64 B: memcpy 2.9x (host) / 12.6x (Phi) faster than DMA.
+  EXPECT_NEAR(static_cast<double>(DmaCopyTime(params, 64, true)) /
+                  MemcpyCopyTime(params, 64, true),
+              2.9, 0.3);
+  EXPECT_NEAR(static_cast<double>(DmaCopyTime(params, 64, false)) /
+                  MemcpyCopyTime(params, 64, false),
+              12.6, 1.0);
+  // §4.2.1 8 MB: DMA 150x / 116x faster than memcpy.
+  EXPECT_NEAR(static_cast<double>(MemcpyCopyTime(params, MiB(8), true)) /
+                  DmaCopyTime(params, MiB(8), true),
+              150.0, 25.0);
+  EXPECT_NEAR(static_cast<double>(MemcpyCopyTime(params, MiB(8), false)) /
+                  DmaCopyTime(params, MiB(8), false),
+              116.0, 20.0);
+}
+
+}  // namespace
+}  // namespace solros

@@ -1,0 +1,209 @@
+// Whole-system integration: file system and network services active
+// concurrently on a multi-co-processor machine, plus performance-shape
+// regression anchors (cheap versions of the headline figures, asserted so
+// refactors cannot silently destroy the reproduced results).
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/apps/kv_store.h"
+#include "src/base/prng.h"
+#include "src/core/machine.h"
+#include "src/sim/sync.h"
+
+namespace solros {
+namespace {
+
+std::vector<uint8_t> RandomBytes(size_t n, uint64_t seed) {
+  Prng prng(seed);
+  std::vector<uint8_t> out(n);
+  for (auto& b : out) {
+    b = static_cast<uint8_t>(prng.Next());
+  }
+  return out;
+}
+
+// A data-plane worker mixing file I/O with network echo traffic.
+Task<void> MixedWorker(Machine* machine, int phi, int rounds,
+                       Status* first_error, WaitGroup* wg) {
+  FsStub& fs = machine->fs_stub(phi);
+  std::string path = "/mixed" + std::to_string(phi);
+  auto ino = co_await fs.Create(path);
+  if (!ino.ok()) {
+    *first_error = ino.status();
+    wg->Done();
+    co_return;
+  }
+  DeviceBuffer buffer(machine->phi_device(phi), KiB(256));
+  Prng prng(phi + 100);
+  for (auto& b : buffer.Span(0, buffer.size())) {
+    b = static_cast<uint8_t>(prng.Next());
+  }
+  for (int r = 0; r < rounds; ++r) {
+    auto written = co_await fs.Write(*ino, r * buffer.size(),
+                                     MemRef::Of(buffer));
+    if (!written.ok()) {
+      *first_error = written.status();
+      break;
+    }
+    DeviceBuffer readback(machine->phi_device(phi), buffer.size());
+    auto n = co_await fs.Read(*ino, r * buffer.size(), MemRef::Of(readback));
+    if (!n.ok() || *n != buffer.size() ||
+        std::memcmp(readback.data(), buffer.data(), buffer.size()) != 0) {
+      *first_error = IoError("fs mixed readback mismatch");
+      break;
+    }
+  }
+  wg->Done();
+}
+
+TEST(FullSystemTest, FsAndKvTrafficCoexistOnFourDataPlanes) {
+  const int kPhis = 4;
+  MachineConfig config;
+  config.num_phis = kPhis;
+  config.nvme_capacity = MiB(256);
+  Machine machine(std::move(config));
+  CHECK_OK(RunSim(machine.sim(), machine.FormatFs()));
+
+  // KV shards on every data plane (network service)...
+  std::vector<std::unique_ptr<KvServer>> shards;
+  for (int i = 0; i < kPhis; ++i) {
+    shards.push_back(std::make_unique<KvServer>(
+        &machine.sim(), &machine.net_stub(i), static_cast<uint32_t>(i)));
+    shards.back()->Start(7100, 8);
+  }
+  machine.sim().RunUntilIdle();
+
+  // ...file workers on every data plane (file-system service)...
+  Status first_error;
+  WaitGroup wg(&machine.sim());
+  for (int i = 0; i < kPhis; ++i) {
+    wg.Add(1);
+    Spawn(machine.sim(), MixedWorker(&machine, i, 6, &first_error, &wg));
+  }
+
+  // ...and an external KV client hammering the shared port concurrently.
+  Processor client_cpu(&machine.sim(), machine.host_device(), 32, 1.0,
+                       "client");
+  KvClient client(&machine.sim(), &machine.ethernet(), &client_cpu,
+                  0x0f000000);
+  bool kv_ok = true;
+  WaitGroup kv_wg(&machine.sim());
+  kv_wg.Add(1);
+  Spawn(machine.sim(),
+        [](KvClient* c, bool* ok, WaitGroup* w) -> Task<void> {
+          Status connected = co_await c->Connect(7100, 4);
+          if (!connected.ok()) {
+            *ok = false;
+            w->Done();
+            co_return;
+          }
+          for (int i = 0; i < 50; ++i) {
+            std::string key = "k" + std::to_string(i);
+            std::vector<uint8_t> value(64, static_cast<uint8_t>(i));
+            if (!(co_await c->Put(key, value)).ok()) {
+              *ok = false;
+              break;
+            }
+            auto got = co_await c->Get(key);
+            if (!got.ok() || *got != value) {
+              *ok = false;
+              break;
+            }
+          }
+          co_await c->Close();
+          w->Done();
+        }(&client, &kv_ok, &kv_wg));
+
+  machine.sim().RunUntilIdle();
+  EXPECT_EQ(wg.outstanding(), 0u);
+  EXPECT_EQ(kv_wg.outstanding(), 0u);
+  CHECK_OK(first_error);
+  EXPECT_TRUE(kv_ok);
+  // Both services actually ran.
+  EXPECT_GT(machine.fs_proxy().stats().requests, 0u);
+  EXPECT_GT(machine.tcp_proxy().stats().inbound_messages, 0u);
+}
+
+TEST(PerformanceAnchorTest, SolrosLargeReadApproachesSsdCeiling) {
+  // Cheap Fig. 11 anchor: one 4 MB P2P read must exceed 2.0 GB/s.
+  MachineConfig config;
+  config.num_phis = 1;
+  config.nvme_capacity = MiB(128);
+  config.enable_network = false;
+  Machine machine(std::move(config));
+  CHECK_OK(RunSim(machine.sim(), machine.FormatFs()));
+  FsStub& stub = machine.fs_stub(0);
+  auto ino = RunSim(machine.sim(), stub.Create("/anchor"));
+  ASSERT_TRUE(ino.ok());
+  auto data = RandomBytes(MiB(16), 1);
+  DeviceBuffer src(machine.phi_device(0), data.size());
+  std::memcpy(src.data(), data.data(), data.size());
+  CHECK_OK(RunSim(machine.sim(), stub.Write(*ino, 0, MemRef::Of(src))));
+
+  DeviceBuffer dst(machine.phi_device(0), MiB(4));
+  SimTime t0 = machine.sim().now();
+  for (int i = 0; i < 4; ++i) {
+    auto n = RunSim(machine.sim(),
+                    stub.Read(*ino, uint64_t{static_cast<uint64_t>(i)} *
+                                        MiB(4),
+                              MemRef::Of(dst)));
+    ASSERT_TRUE(n.ok());
+    ASSERT_EQ(*n, MiB(4));
+  }
+  double bw = RateBps(MiB(16), machine.sim().now() - t0);
+  EXPECT_GT(bw, 2.0e9) << "Fig. 11 anchor regressed: " << bw / 1e9
+                       << " GB/s";
+  EXPECT_LE(bw, 2.4e9 + 1e8);
+}
+
+TEST(PerformanceAnchorTest, SolrosWriteApproachesWriteCeiling) {
+  // Cheap Fig. 12 anchor: bulk P2P writes above 1.0 GB/s.
+  MachineConfig config;
+  config.num_phis = 1;
+  config.nvme_capacity = MiB(128);
+  config.enable_network = false;
+  Machine machine(std::move(config));
+  CHECK_OK(RunSim(machine.sim(), machine.FormatFs()));
+  FsStub& stub = machine.fs_stub(0);
+  auto ino = RunSim(machine.sim(), stub.Create("/anchor"));
+  ASSERT_TRUE(ino.ok());
+  DeviceBuffer src(machine.phi_device(0), MiB(4));
+  SimTime t0 = machine.sim().now();
+  for (int i = 0; i < 4; ++i) {
+    auto n = RunSim(machine.sim(),
+                    stub.Write(*ino, uint64_t{static_cast<uint64_t>(i)} *
+                                         MiB(4),
+                               MemRef::Of(src)));
+    ASSERT_TRUE(n.ok());
+  }
+  double bw = RateBps(MiB(16), machine.sim().now() - t0);
+  EXPECT_GT(bw, 1.0e9) << bw / 1e9 << " GB/s";
+  EXPECT_LE(bw, 1.2e9 + 1e8);
+}
+
+TEST(FullSystemTest, StubErrorsPropagateCleanly) {
+  MachineConfig config;
+  config.num_phis = 1;
+  config.nvme_capacity = MiB(64);
+  config.enable_network = false;
+  Machine machine(std::move(config));
+  CHECK_OK(RunSim(machine.sim(), machine.FormatFs()));
+  FsStub& stub = machine.fs_stub(0);
+  EXPECT_EQ(RunSim(machine.sim(), stub.Open("/missing")).code(),
+            ErrorCode::kNotFound);
+  EXPECT_EQ(RunSim(machine.sim(), stub.Unlink("/missing")).code(),
+            ErrorCode::kNotFound);
+  EXPECT_EQ(RunSim(machine.sim(), stub.Rmdir("/missing")).code(),
+            ErrorCode::kNotFound);
+  ASSERT_TRUE(RunSim(machine.sim(), stub.Create("/a")).ok());
+  EXPECT_EQ(RunSim(machine.sim(), stub.Create("/a")).code(),
+            ErrorCode::kAlreadyExists);
+  // Reading a bad inode number.
+  DeviceBuffer buf(machine.phi_device(0), KiB(4));
+  EXPECT_FALSE(RunSim(machine.sim(), stub.Read(999, 0, MemRef::Of(buf)))
+                   .ok());
+}
+
+}  // namespace
+}  // namespace solros

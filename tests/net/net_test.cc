@@ -1,0 +1,203 @@
+// Network substrate tests: ethernet fabric semantics, the direct server
+// stacks (host and bridged Phi-Linux), and the expected latency ordering
+// between configurations.
+#include <gtest/gtest.h>
+
+#include "src/base/histogram.h"
+#include "src/core/machine.h"
+#include "src/net/direct_server.h"
+#include "src/net/ethernet.h"
+#include "src/sim/sync.h"
+
+namespace solros {
+namespace {
+
+struct Rig {
+  Simulator sim;
+  HwParams params = HwParams::Default();
+  PcieFabric fabric{&sim, params};
+  DeviceId host = fabric.HostDevice(0);
+  DeviceId phi = fabric.AddDevice(DeviceType::kPhi, 0, "mic0");
+  Processor host_cpu{&sim, host, 96, 1.0, "host"};
+  Processor phi_cpu{&sim, phi, 244, 0.125, "phi"};
+  Processor client_cpu{&sim, host, 32, 1.0, "client"};
+  EthernetFabric ethernet{&sim, params};
+
+  DirectServer::Config HostConfig() {
+    DirectServer::Config config;
+    config.stack_cpu = &host_cpu;
+    config.stack_device = host;
+    return config;
+  }
+  DirectServer::Config PhiLinuxConfig() {
+    DirectServer::Config config;
+    config.stack_cpu = &phi_cpu;
+    config.stack_device = phi;
+    config.bridge_cpu = &host_cpu;
+    config.bridge_device = host;
+    return config;
+  }
+};
+
+Task<void> OneShotEcho(ServerSocketApi* api, uint16_t port) {
+  auto listener = co_await api->Listen(port, 8);
+  CHECK_OK(listener);
+  auto sock = co_await api->Accept(*listener);
+  CHECK_OK(sock);
+  while (true) {
+    auto message = co_await api->Recv(*sock);
+    if (!message.ok()) {
+      break;
+    }
+    CHECK_OK(co_await api->Send(*sock, *message));
+  }
+}
+
+TEST(EthernetTest, ConnectToUnregisteredPortIsRefused) {
+  Rig rig;
+  auto conn = RunSim(rig.sim,
+                     rig.ethernet.ClientConnect(1, 1234, &rig.client_cpu));
+  EXPECT_EQ(conn.code(), ErrorCode::kConnectionReset);
+}
+
+TEST(DirectServerTest, HostEchoRoundtrip) {
+  Rig rig;
+  DirectServer server(&rig.sim, &rig.fabric, rig.params, &rig.ethernet,
+                      rig.HostConfig());
+  Spawn(rig.sim, OneShotEcho(&server, 5000));
+  rig.sim.RunUntilIdle();
+
+  auto conn = RunSim(rig.sim,
+                     rig.ethernet.ClientConnect(1, 5000, &rig.client_cpu));
+  ASSERT_TRUE(conn.ok());
+  std::vector<uint8_t> message = {1, 2, 3, 4};
+  CHECK_OK(RunSim(rig.sim, rig.ethernet.ClientSend(*conn, message,
+                                                   &rig.client_cpu)));
+  auto echoed = RunSim(rig.sim, rig.ethernet.ClientRecv(*conn));
+  ASSERT_TRUE(echoed.ok());
+  EXPECT_EQ(*echoed, message);
+  RunSim(rig.sim, rig.ethernet.ClientClose(*conn, &rig.client_cpu));
+}
+
+TEST(DirectServerTest, DuplicateListenRejected) {
+  Rig rig;
+  DirectServer server(&rig.sim, &rig.fabric, rig.params, &rig.ethernet,
+                      rig.HostConfig());
+  auto first = RunSim(rig.sim, server.Listen(6000, 4));
+  ASSERT_TRUE(first.ok());
+  auto second = RunSim(rig.sim, server.Listen(6000, 4));
+  EXPECT_EQ(second.code(), ErrorCode::kAlreadyExists);
+}
+
+TEST(DirectServerTest, BacklogOverflowResetsConnection) {
+  Rig rig;
+  DirectServer server(&rig.sim, &rig.fabric, rig.params, &rig.ethernet,
+                      rig.HostConfig());
+  auto listener = RunSim(rig.sim, server.Listen(6100, 2));
+  ASSERT_TRUE(listener.ok());
+  // Nobody accepts; the third connection must be refused.
+  auto c1 = RunSim(rig.sim,
+                   rig.ethernet.ClientConnect(1, 6100, &rig.client_cpu));
+  auto c2 = RunSim(rig.sim,
+                   rig.ethernet.ClientConnect(2, 6100, &rig.client_cpu));
+  auto c3 = RunSim(rig.sim,
+                   rig.ethernet.ClientConnect(3, 6100, &rig.client_cpu));
+  EXPECT_TRUE(c1.ok());
+  EXPECT_TRUE(c2.ok());
+  EXPECT_EQ(c3.code(), ErrorCode::kConnectionReset);
+}
+
+TEST(DirectServerTest, ServerCloseResetsClientRecv) {
+  Rig rig;
+  DirectServer server(&rig.sim, &rig.fabric, rig.params, &rig.ethernet,
+                      rig.HostConfig());
+  auto listener = RunSim(rig.sim, server.Listen(6200, 4));
+  ASSERT_TRUE(listener.ok());
+  auto conn = RunSim(rig.sim,
+                     rig.ethernet.ClientConnect(1, 6200, &rig.client_cpu));
+  ASSERT_TRUE(conn.ok());
+  auto sock = RunSim(rig.sim, server.Accept(*listener));
+  ASSERT_TRUE(sock.ok());
+  CHECK_OK(RunSim(rig.sim, server.Close(*sock)));
+  auto recv = RunSim(rig.sim, rig.ethernet.ClientRecv(*conn));
+  EXPECT_EQ(recv.code(), ErrorCode::kConnectionReset);
+}
+
+Task<void> MeasurePing(EthernetFabric* eth, Processor* cpu, uint16_t port,
+                       int pings, Simulator* sim, Histogram* out,
+                       WaitGroup* wg) {
+  auto conn = co_await eth->ClientConnect(7, port, cpu);
+  CHECK_OK(conn);
+  std::vector<uint8_t> payload(64, 1);
+  for (int i = 0; i < pings; ++i) {
+    SimTime t0 = sim->now();
+    CHECK_OK(co_await eth->ClientSend(*conn, payload, cpu));
+    auto echoed = co_await eth->ClientRecv(*conn);
+    CHECK_OK(echoed);
+    out->Record(sim->now() - t0);
+  }
+  co_await eth->ClientClose(*conn, cpu);
+  wg->Done();
+}
+
+TEST(LatencyOrderingTest, PhiLinuxIsMuchSlowerThanHostStack) {
+  // The Fig. 1(b) mechanism at the substrate level: the same echo on the
+  // bridged Phi stack vs the host stack.
+  auto measure = [](bool phi_linux) -> uint64_t {
+    Rig rig;
+    DirectServer server(&rig.sim, &rig.fabric, rig.params, &rig.ethernet,
+                        phi_linux ? rig.PhiLinuxConfig() : rig.HostConfig());
+    Spawn(rig.sim, OneShotEcho(&server, 5000));
+    rig.sim.RunUntilIdle();
+    Histogram latencies;
+    WaitGroup wg(&rig.sim);
+    wg.Add(1);
+    Spawn(rig.sim, MeasurePing(&rig.ethernet, &rig.client_cpu, 5000, 100,
+                               &rig.sim, &latencies, &wg));
+    rig.sim.RunUntilIdle();
+    return latencies.ValueAtQuantile(0.5);
+  };
+  uint64_t host_p50 = measure(false);
+  uint64_t phi_p50 = measure(true);
+  EXPECT_GT(static_cast<double>(phi_p50) / host_p50, 2.5)
+      << "host=" << host_p50 << " phi=" << phi_p50;
+}
+
+TEST(MachineNetTest, SolrosLatencyTracksHostNotPhiLinux) {
+  // End-to-end ordering: Solros ~ Host << Phi-Linux (Fig. 1(b)).
+  auto solros_p50 = [] {
+    MachineConfig config;
+    config.num_phis = 1;
+    config.nvme_capacity = MiB(64);
+    Machine machine(std::move(config));
+    Spawn(machine.sim(), OneShotEcho(&machine.net_stub(0), 5000));
+    machine.sim().RunUntilIdle();
+    Processor client(&machine.sim(), machine.host_device(), 32, 1.0, "cl");
+    Histogram latencies;
+    WaitGroup wg(&machine.sim());
+    wg.Add(1);
+    Spawn(machine.sim(), MeasurePing(&machine.ethernet(), &client, 5000,
+                                     100, &machine.sim(), &latencies, &wg));
+    machine.sim().RunUntilIdle();
+    return latencies.ValueAtQuantile(0.5);
+  }();
+
+  Rig rig;
+  DirectServer phi_server(&rig.sim, &rig.fabric, rig.params, &rig.ethernet,
+                          rig.PhiLinuxConfig());
+  Spawn(rig.sim, OneShotEcho(&phi_server, 5000));
+  rig.sim.RunUntilIdle();
+  Histogram phi_lat;
+  WaitGroup wg(&rig.sim);
+  wg.Add(1);
+  Spawn(rig.sim, MeasurePing(&rig.ethernet, &rig.client_cpu, 5000, 100,
+                             &rig.sim, &phi_lat, &wg));
+  rig.sim.RunUntilIdle();
+  uint64_t phi_p50 = phi_lat.ValueAtQuantile(0.5);
+
+  EXPECT_LT(static_cast<double>(solros_p50) * 2.0, phi_p50)
+      << "solros=" << solros_p50 << " phi-linux=" << phi_p50;
+}
+
+}  // namespace
+}  // namespace solros

@@ -1,0 +1,105 @@
+#include "src/sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/base/units.h"
+
+namespace solros {
+namespace {
+
+TEST(SimulatorTest, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0u);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Post(Microseconds(30), [&] { order.push_back(3); });
+  sim.Post(Microseconds(10), [&] { order.push_back(1); });
+  sim.Post(Microseconds(20), [&] { order.push_back(2); });
+  EXPECT_EQ(sim.RunUntilIdle(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), Microseconds(30));
+}
+
+TEST(SimulatorTest, SameTimeEventsAreFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.Post(Microseconds(5), [&order, i] { order.push_back(i); });
+  }
+  sim.RunUntilIdle();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(SimulatorTest, EventsCanScheduleEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.Post(10, [&] {
+    ++fired;
+    sim.Post(10, [&] { ++fired; });
+  });
+  sim.RunUntilIdle();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 20u);
+}
+
+TEST(SimulatorTest, PostAtInPastClampsToNow) {
+  Simulator sim;
+  SimTime seen = ~0ull;
+  sim.Post(100, [&] {
+    sim.PostAt(5, [&] { seen = sim.now(); });  // 5 < now (100)
+  });
+  sim.RunUntilIdle();
+  EXPECT_EQ(seen, 100u);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.Post(10, [&] { ++fired; });
+  sim.Post(20, [&] { ++fired; });
+  sim.Post(30, [&] { ++fired; });
+  EXPECT_EQ(sim.RunUntil(20), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 20u);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.RunUntilIdle();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockWhenIdle) {
+  Simulator sim;
+  sim.RunUntil(Seconds(1));
+  EXPECT_EQ(sim.now(), Seconds(1));
+}
+
+TEST(SimulatorTest, MaxEventsBoundsRunUntilIdle) {
+  Simulator sim;
+  // A self-perpetuating event chain.
+  std::function<void()> tick = [&] { sim.Post(1, tick); };
+  sim.Post(1, tick);
+  EXPECT_EQ(sim.RunUntilIdle(1000), 1000u);
+  EXPECT_GT(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, ZeroDelayPostRunsAfterCurrentEvent) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Post(10, [&] {
+    order.push_back(1);
+    sim.Post(0, [&] { order.push_back(2); });
+    order.push_back(3);
+  });
+  sim.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+}
+
+}  // namespace
+}  // namespace solros

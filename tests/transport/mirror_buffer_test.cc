@@ -1,0 +1,51 @@
+#include "src/transport/mirror_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/base/units.h"
+
+namespace solros {
+namespace {
+
+TEST(MirrorBufferTest, BasicReadWrite) {
+  MirrorBuffer buf(KiB(64));
+  EXPECT_EQ(buf.capacity(), KiB(64));
+  buf.data()[0] = 0xab;
+  EXPECT_EQ(buf.data()[0], 0xab);
+}
+
+TEST(MirrorBufferTest, SecondMappingAliasesFirst) {
+  MirrorBuffer buf(KiB(64));
+  // Write through the mirror, read through the base.
+  buf.data()[buf.capacity() + 10] = 0x5a;
+  EXPECT_EQ(buf.data()[10], 0x5a);
+  // And the other way.
+  buf.data()[20] = 0xc3;
+  EXPECT_EQ(buf.data()[buf.capacity() + 20], 0xc3);
+}
+
+TEST(MirrorBufferTest, RecordSpanningWrapIsContiguous) {
+  MirrorBuffer buf(KiB(64));
+  // Write 256 bytes starting 128 bytes before the end.
+  uint64_t pos = buf.capacity() - 128;
+  uint8_t pattern[256];
+  for (int i = 0; i < 256; ++i) {
+    pattern[i] = static_cast<uint8_t>(i);
+  }
+  std::memcpy(buf.At(pos), pattern, 256);
+  // First 128 bytes are at the end, next 128 wrapped to the start.
+  EXPECT_EQ(std::memcmp(buf.data() + buf.capacity() - 128, pattern, 128), 0);
+  EXPECT_EQ(std::memcmp(buf.data(), pattern + 128, 128), 0);
+}
+
+TEST(MirrorBufferTest, AtWrapsLogicalPositions) {
+  MirrorBuffer buf(KiB(64));
+  EXPECT_EQ(buf.At(0), buf.data());
+  EXPECT_EQ(buf.At(buf.capacity()), buf.data());
+  EXPECT_EQ(buf.At(3 * buf.capacity() + 5), buf.data() + 5);
+}
+
+}  // namespace
+}  // namespace solros

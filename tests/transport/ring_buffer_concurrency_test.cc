@@ -1,0 +1,198 @@
+// Real-thread stress tests for the combining ring buffer and the two-lock
+// queue baselines: data integrity under concurrent producers/consumers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "src/base/units.h"
+#include "src/transport/ring_buffer.h"
+#include "src/transport/two_lock_queue.h"
+
+namespace solros {
+namespace {
+
+// Each message carries (producer id, sequence, checksum filler); consumers
+// verify per-producer sequence monotonicity and content integrity.
+struct Message {
+  uint32_t producer;
+  uint32_t seq;
+  uint64_t fill[6];
+
+  void Fill() {
+    for (size_t i = 0; i < 6; ++i) {
+      fill[i] = (uint64_t{producer} << 32 | seq) * (i + 1);
+    }
+  }
+  bool Check() const {
+    for (size_t i = 0; i < 6; ++i) {
+      if (fill[i] != (uint64_t{producer} << 32 | seq) * (i + 1)) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+void RunRingBufferStress(RingBufferConfig config, int producers,
+                         int consumers, uint32_t msgs_per_producer) {
+  RingBuffer rb(config);
+  std::atomic<uint64_t> consumed{0};
+  std::atomic<bool> corrupt{false};
+  const uint64_t total = uint64_t{msgs_per_producer} * producers;
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      for (uint32_t s = 0; s < msgs_per_producer; ++s) {
+        Message msg{static_cast<uint32_t>(p), s, {}};
+        msg.Fill();
+        SpinWait spin;
+        while (rb.EnqueueCopy(&msg, sizeof(msg)) == kRbWouldBlock) {
+          spin.Pause();
+        }
+      }
+    });
+  }
+  std::vector<std::vector<uint32_t>> last_seq(
+      consumers, std::vector<uint32_t>(producers, 0));
+  for (int c = 0; c < consumers; ++c) {
+    threads.emplace_back([&, c] {
+      Message msg;
+      uint32_t size;
+      SpinWait spin;
+      while (consumed.load(std::memory_order_relaxed) < total) {
+        int rc = rb.DequeueCopy(&msg, sizeof(msg), &size);
+        if (rc == kRbWouldBlock) {
+          spin.Pause();
+          continue;
+        }
+        if (size != sizeof(msg) || !msg.Check()) {
+          corrupt.store(true);
+          break;
+        }
+        consumed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_FALSE(corrupt.load());
+  EXPECT_EQ(consumed.load(), total);
+  EXPECT_TRUE(rb.Empty());
+}
+
+RingBufferConfig StressConfig() {
+  RingBufferConfig config;
+  config.capacity = KiB(256);
+  return config;
+}
+
+TEST(RingBufferConcurrencyTest, SingleProducerSingleConsumer) {
+  RunRingBufferStress(StressConfig(), 1, 1, 20000);
+}
+
+TEST(RingBufferConcurrencyTest, ManyProducersOneConsumer) {
+  RunRingBufferStress(StressConfig(), 6, 1, 5000);
+}
+
+TEST(RingBufferConcurrencyTest, OneProducerManyConsumers) {
+  RunRingBufferStress(StressConfig(), 1, 6, 30000);
+}
+
+TEST(RingBufferConcurrencyTest, ManyProducersManyConsumers) {
+  RunRingBufferStress(StressConfig(), 4, 4, 8000);
+}
+
+TEST(RingBufferConcurrencyTest, SmallCombineLimitForcesHandoffs) {
+  RingBufferConfig config = StressConfig();
+  config.combine_limit = 2;  // exercise the combiner handoff path hard
+  RunRingBufferStress(config, 4, 4, 5000);
+}
+
+TEST(RingBufferConcurrencyTest, NonCombiningMode) {
+  RingBufferConfig config = StressConfig();
+  config.combining = false;
+  RunRingBufferStress(config, 4, 4, 5000);
+}
+
+TEST(RingBufferConcurrencyTest, EagerUpdateMode) {
+  RingBufferConfig config = StressConfig();
+  config.lazy_update = false;
+  RunRingBufferStress(config, 4, 4, 5000);
+}
+
+TEST(RingBufferConcurrencyTest, TinyRingHighContention) {
+  RingBufferConfig config;
+  config.capacity = KiB(4);
+  RunRingBufferStress(config, 4, 4, 5000);
+}
+
+template <typename Queue>
+void RunTwoLockStress(int producers, int consumers,
+                      uint32_t msgs_per_producer) {
+  Queue queue;
+  std::atomic<uint64_t> consumed{0};
+  std::atomic<bool> corrupt{false};
+  const uint64_t total = uint64_t{msgs_per_producer} * producers;
+  std::vector<std::thread> threads;
+  for (int p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      for (uint32_t s = 0; s < msgs_per_producer; ++s) {
+        Message msg{static_cast<uint32_t>(p), s, {}};
+        msg.Fill();
+        queue.Enqueue(&msg, sizeof(msg));
+      }
+    });
+  }
+  for (int c = 0; c < consumers; ++c) {
+    threads.emplace_back([&] {
+      Message msg;
+      uint32_t size;
+      SpinWait spin;
+      while (consumed.load(std::memory_order_relaxed) < total) {
+        if (queue.Dequeue(&msg, sizeof(msg), &size) == kRbWouldBlock) {
+          spin.Pause();
+          continue;
+        }
+        if (size != sizeof(msg) || !msg.Check()) {
+          corrupt.store(true);
+          break;
+        }
+        consumed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_FALSE(corrupt.load());
+  EXPECT_EQ(consumed.load(), total);
+}
+
+TEST(TwoLockQueueTest, TicketLockStress) {
+  RunTwoLockStress<TicketTwoLockQueue>(4, 4, 5000);
+}
+
+TEST(TwoLockQueueTest, McsLockStress) {
+  RunTwoLockStress<McsTwoLockQueue>(4, 4, 5000);
+}
+
+TEST(TwoLockQueueTest, SingleThreadedRoundtrip) {
+  McsTwoLockQueue queue;
+  EXPECT_TRUE(queue.Empty());
+  uint32_t value = 0xdeadbeef;
+  queue.Enqueue(&value, sizeof(value));
+  EXPECT_FALSE(queue.Empty());
+  uint32_t out = 0;
+  uint32_t size = 0;
+  ASSERT_EQ(queue.Dequeue(&out, sizeof(out), &size), kRbOk);
+  EXPECT_EQ(out, value);
+  EXPECT_EQ(queue.Dequeue(&out, sizeof(out), &size), kRbWouldBlock);
+}
+
+}  // namespace
+}  // namespace solros

@@ -1,0 +1,129 @@
+// Property tests: the ring buffer must behave exactly like a FIFO deque
+// of byte strings under every configuration (capacity, combining mode,
+// replication mode, combine limit) and any single-threaded op sequence.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <deque>
+#include <tuple>
+#include <vector>
+
+#include "src/base/prng.h"
+#include "src/base/units.h"
+#include "src/transport/ring_buffer.h"
+
+namespace solros {
+namespace {
+
+using PropertyParams =
+    std::tuple<size_t /*capacity*/, bool /*combining*/, bool /*lazy*/,
+               int /*combine_limit*/>;
+
+class RingBufferPropertyTest
+    : public ::testing::TestWithParam<PropertyParams> {};
+
+TEST_P(RingBufferPropertyTest, MatchesReferenceDequeModel) {
+  auto [capacity, combining, lazy, combine_limit] = GetParam();
+  RingBufferConfig config;
+  config.capacity = capacity;
+  config.combining = combining;
+  config.lazy_update = lazy;
+  config.combine_limit = combine_limit;
+  RingBuffer rb(config);
+
+  std::deque<std::vector<uint8_t>> model;
+  Prng prng(capacity * 31 + combine_limit);
+  uint32_t max_payload = RingBuffer::MaxPayload(capacity);
+
+  for (int step = 0; step < 4000; ++step) {
+    bool do_enqueue = prng.NextBool(0.55);
+    if (do_enqueue) {
+      uint32_t size = static_cast<uint32_t>(
+          prng.NextBelow(std::min<uint32_t>(max_payload, 700) + 1));
+      std::vector<uint8_t> payload(size);
+      for (auto& b : payload) {
+        b = static_cast<uint8_t>(prng.Next());
+      }
+      int rc = rb.EnqueueCopy(payload.data(), size);
+      if (rc == kRbOk) {
+        model.push_back(std::move(payload));
+      } else {
+        ASSERT_EQ(rc, kRbWouldBlock);
+        // Full is only allowed if the model holds data (the ring may be
+        // "more full" than the model due to headers, never less).
+        ASSERT_FALSE(model.empty());
+      }
+    } else {
+      uint8_t out[1024];
+      uint32_t size = 0;
+      int rc = rb.DequeueCopy(out, sizeof(out), &size);
+      if (model.empty()) {
+        ASSERT_EQ(rc, kRbWouldBlock);
+      } else {
+        ASSERT_EQ(rc, kRbOk);
+        const std::vector<uint8_t>& expected = model.front();
+        ASSERT_EQ(size, expected.size());
+        ASSERT_EQ(std::memcmp(out, expected.data(), size), 0) << "step "
+                                                              << step;
+        model.pop_front();
+      }
+    }
+  }
+  // Drain and verify the remainder.
+  while (!model.empty()) {
+    uint8_t out[1024];
+    uint32_t size = 0;
+    ASSERT_EQ(rb.DequeueCopy(out, sizeof(out), &size), kRbOk);
+    ASSERT_EQ(size, model.front().size());
+    ASSERT_EQ(std::memcmp(out, model.front().data(), size), 0);
+    model.pop_front();
+  }
+  EXPECT_TRUE(rb.Empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, RingBufferPropertyTest,
+    ::testing::Combine(
+        ::testing::Values(size_t{KiB(4)}, size_t{KiB(16)}, size_t{KiB(64)}),
+        ::testing::Bool(),                      // combining
+        ::testing::Bool(),                      // lazy_update
+        ::testing::Values(1, 4, 64)),           // combine_limit
+    [](const ::testing::TestParamInfo<PropertyParams>& info) {
+      return "cap" + std::to_string(std::get<0>(info.param) / 1024) + "k_" +
+             (std::get<1>(info.param) ? "comb" : "lock") + "_" +
+             (std::get<2>(info.param) ? "lazy" : "eager") + "_lim" +
+             std::to_string(std::get<3>(info.param));
+    });
+
+// Payload sizes around alignment boundaries keep record packing honest.
+class RingBufferSizeSweepTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(RingBufferSizeSweepTest, RoundtripsExactSize) {
+  uint32_t size = GetParam();
+  RingBufferConfig config;
+  config.capacity = KiB(64);
+  RingBuffer rb(config);
+  std::vector<uint8_t> payload(size);
+  Prng prng(size);
+  for (auto& b : payload) {
+    b = static_cast<uint8_t>(prng.Next());
+  }
+  for (int round = 0; round < 50; ++round) {
+    ASSERT_EQ(rb.EnqueueCopy(payload.data(), size), kRbOk);
+    std::vector<uint8_t> out(size + 8);
+    uint32_t got = 0;
+    ASSERT_EQ(rb.DequeueCopy(out.data(), static_cast<uint32_t>(out.size()),
+                             &got),
+              kRbOk);
+    ASSERT_EQ(got, size);
+    ASSERT_EQ(std::memcmp(out.data(), payload.data(), size), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RingBufferSizeSweepTest,
+                         ::testing::Values(0u, 1u, 7u, 8u, 9u, 63u, 64u,
+                                           65u, 255u, 256u, 1000u, 4095u,
+                                           4096u));
+
+}  // namespace
+}  // namespace solros

@@ -1,0 +1,234 @@
+// Single-threaded semantic tests of the Solros ring buffer. Concurrency is
+// covered separately in ring_buffer_concurrency_test.cc.
+#include "src/transport/ring_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/base/prng.h"
+#include "src/base/units.h"
+
+namespace solros {
+namespace {
+
+RingBufferConfig SmallConfig() {
+  RingBufferConfig config;
+  config.capacity = KiB(64);
+  return config;
+}
+
+TEST(RingBufferTest, EnqueueDequeueRoundtrip) {
+  RingBuffer rb(SmallConfig());
+  const std::string msg = "hello solros";
+  ASSERT_EQ(rb.EnqueueCopy(msg.data(), msg.size()), kRbOk);
+  char out[64];
+  uint32_t size = 0;
+  ASSERT_EQ(rb.DequeueCopy(out, sizeof(out), &size), kRbOk);
+  ASSERT_EQ(size, msg.size());
+  EXPECT_EQ(std::string(out, size), msg);
+}
+
+TEST(RingBufferTest, DequeueOnEmptyWouldBlock) {
+  RingBuffer rb(SmallConfig());
+  uint32_t size;
+  void* buf;
+  EXPECT_EQ(rb.Dequeue(&size, &buf), kRbWouldBlock);
+  EXPECT_EQ(buf, nullptr);
+  EXPECT_TRUE(rb.Empty());
+}
+
+TEST(RingBufferTest, FifoOrderAcrossManyRecords) {
+  RingBuffer rb(SmallConfig());
+  for (uint32_t i = 0; i < 100; ++i) {
+    ASSERT_EQ(rb.EnqueueCopy(&i, sizeof(i)), kRbOk);
+  }
+  for (uint32_t i = 0; i < 100; ++i) {
+    uint32_t v = 0;
+    uint32_t size = 0;
+    ASSERT_EQ(rb.DequeueCopy(&v, sizeof(v), &size), kRbOk);
+    EXPECT_EQ(size, sizeof(v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_TRUE(rb.Empty());
+}
+
+TEST(RingBufferTest, VariableSizeRecords) {
+  RingBuffer rb(SmallConfig());
+  Prng prng(3);
+  std::vector<std::vector<uint8_t>> sent;
+  for (int i = 0; i < 50; ++i) {
+    std::vector<uint8_t> payload(prng.NextInRange(1, 400));
+    for (auto& b : payload) {
+      b = static_cast<uint8_t>(prng.Next());
+    }
+    ASSERT_EQ(rb.EnqueueCopy(payload.data(),
+                             static_cast<uint32_t>(payload.size())),
+              kRbOk);
+    sent.push_back(std::move(payload));
+  }
+  for (const auto& expected : sent) {
+    uint8_t out[512];
+    uint32_t size = 0;
+    ASSERT_EQ(rb.DequeueCopy(out, sizeof(out), &size), kRbOk);
+    ASSERT_EQ(size, expected.size());
+    EXPECT_EQ(std::memcmp(out, expected.data(), size), 0);
+  }
+}
+
+TEST(RingBufferTest, FillUntilWouldBlockThenDrain) {
+  RingBuffer rb(SmallConfig());
+  uint8_t payload[1000] = {};
+  int enqueued = 0;
+  while (rb.EnqueueCopy(payload, sizeof(payload)) == kRbOk) {
+    ++enqueued;
+  }
+  // 64 KiB / (8 + 1000 rounded to 1008) ~ 64 records.
+  EXPECT_GT(enqueued, 50);
+  EXPECT_EQ(rb.EnqueueCopy(payload, sizeof(payload)), kRbWouldBlock);
+  // Drain one; space opens up.
+  uint8_t out[1000];
+  uint32_t size;
+  ASSERT_EQ(rb.DequeueCopy(out, sizeof(out), &size), kRbOk);
+  EXPECT_EQ(rb.EnqueueCopy(payload, sizeof(payload)), kRbOk);
+}
+
+TEST(RingBufferTest, WrapAroundPreservesData) {
+  RingBufferConfig config;
+  config.capacity = KiB(4);  // page-size ring wraps quickly
+  RingBuffer rb(config);
+  Prng prng(11);
+  // Push/pop enough volume to wrap the ring dozens of times.
+  for (int round = 0; round < 500; ++round) {
+    uint32_t n = static_cast<uint32_t>(prng.NextInRange(1, 700));
+    std::vector<uint8_t> payload(n);
+    for (auto& b : payload) {
+      b = static_cast<uint8_t>(prng.Next());
+    }
+    ASSERT_EQ(rb.EnqueueCopy(payload.data(), n), kRbOk);
+    std::vector<uint8_t> out(n);
+    uint32_t size = 0;
+    ASSERT_EQ(rb.DequeueCopy(out.data(), n, &size), kRbOk);
+    ASSERT_EQ(size, n);
+    ASSERT_EQ(std::memcmp(out.data(), payload.data(), n), 0) << round;
+  }
+}
+
+TEST(RingBufferTest, OversizedRecordRejected) {
+  RingBuffer rb(SmallConfig());
+  void* buf;
+  uint32_t too_big = RingBuffer::MaxPayload(KiB(64)) + 1;
+  EXPECT_EQ(rb.Enqueue(too_big, &buf), kRbInvalid);
+  // Max payload itself is accepted.
+  EXPECT_EQ(rb.Enqueue(RingBuffer::MaxPayload(KiB(64)), &buf), kRbOk);
+}
+
+TEST(RingBufferTest, DequeueBlocksOnReservedButNotReadyRecord) {
+  RingBuffer rb(SmallConfig());
+  void* first;
+  ASSERT_EQ(rb.Enqueue(16, &first), kRbOk);  // reserved, not ready
+  ASSERT_EQ(rb.EnqueueCopy("x", 1), kRbOk);  // second record IS ready
+  uint32_t size;
+  void* buf;
+  // FIFO: the head record is mid-copy, so nothing can be dequeued.
+  EXPECT_EQ(rb.Dequeue(&size, &buf), kRbWouldBlock);
+  rb.CopyToRbBuf(first, "0123456789abcdef", 16);
+  rb.SetReady(first);
+  EXPECT_EQ(rb.Dequeue(&size, &buf), kRbOk);
+  EXPECT_EQ(size, 16u);
+  rb.SetDone(buf);
+}
+
+TEST(RingBufferTest, OutOfOrderSetDoneReclaimsPrefix) {
+  RingBuffer rb(SmallConfig());
+  ASSERT_EQ(rb.EnqueueCopy("aaaa", 4), kRbOk);
+  ASSERT_EQ(rb.EnqueueCopy("bbbb", 4), kRbOk);
+  uint32_t size;
+  void* rec_a;
+  void* rec_b;
+  ASSERT_EQ(rb.Dequeue(&size, &rec_a), kRbOk);
+  ASSERT_EQ(rb.Dequeue(&size, &rec_b), kRbOk);
+  uint64_t used_before = rb.used_bytes();
+  // Completing b first must NOT move head (a still in flight).
+  rb.SetDone(rec_b);
+  EXPECT_EQ(rb.used_bytes(), used_before);
+  // Completing a reclaims both.
+  rb.SetDone(rec_a);
+  EXPECT_EQ(rb.used_bytes(), 0u);
+  EXPECT_TRUE(rb.Empty());
+}
+
+TEST(RingBufferTest, NonCombiningModeBehavesTheSame) {
+  RingBufferConfig config = SmallConfig();
+  config.combining = false;
+  RingBuffer rb(config);
+  for (uint32_t i = 0; i < 200; ++i) {
+    ASSERT_EQ(rb.EnqueueCopy(&i, sizeof(i)), kRbOk);
+  }
+  for (uint32_t i = 0; i < 200; ++i) {
+    uint32_t v;
+    uint32_t size;
+    ASSERT_EQ(rb.DequeueCopy(&v, sizeof(v), &size), kRbOk);
+    EXPECT_EQ(v, i);
+  }
+}
+
+TEST(RingBufferTest, LazyModeAmortizesRemoteTransactions) {
+  // Lazy: the consumer refreshes its tail replica only when it looks empty.
+  RingBufferConfig lazy_config = SmallConfig();
+  lazy_config.master_side = RingSide::kProducer;
+  RingBuffer lazy_rb(lazy_config);
+
+  RingBufferConfig eager_config = lazy_config;
+  eager_config.lazy_update = false;
+  RingBuffer eager_rb(eager_config);
+
+  uint8_t payload[64] = {};
+  uint8_t out[64];
+  uint32_t size;
+  const int kOps = 1000;
+  for (int i = 0; i < kOps; ++i) {
+    ASSERT_EQ(lazy_rb.EnqueueCopy(payload, 64), kRbOk);
+    ASSERT_EQ(lazy_rb.DequeueCopy(out, 64, &size), kRbOk);
+    ASSERT_EQ(eager_rb.EnqueueCopy(payload, 64), kRbOk);
+    ASSERT_EQ(eager_rb.DequeueCopy(out, 64, &size), kRbOk);
+  }
+  // The shadow (consumer) side: eager touches master-resident head+tail on
+  // every op; lazy only refreshes when it perceives empty.
+  uint64_t lazy_txns = lazy_rb.consumer_stats().remote_transactions() +
+                       lazy_rb.producer_stats().remote_transactions();
+  uint64_t eager_txns = eager_rb.consumer_stats().remote_transactions() +
+                        eager_rb.producer_stats().remote_transactions();
+  EXPECT_LT(lazy_txns, eager_txns);
+  EXPECT_GE(eager_txns, static_cast<uint64_t>(2 * kOps));
+}
+
+TEST(RingBufferTest, StatsCountOpsAndBytes) {
+  RingBuffer rb(SmallConfig());
+  uint8_t payload[100] = {};
+  ASSERT_EQ(rb.EnqueueCopy(payload, 100), kRbOk);
+  uint8_t out[100];
+  uint32_t size;
+  ASSERT_EQ(rb.DequeueCopy(out, 100, &size), kRbOk);
+  EXPECT_EQ(rb.producer_stats().ops.load(), 1u);
+  EXPECT_EQ(rb.consumer_stats().ops.load(), 1u);
+  EXPECT_EQ(rb.producer_stats().bytes_copied.load(), 100u);
+  EXPECT_EQ(rb.consumer_stats().bytes_copied.load(), 100u);
+}
+
+TEST(RingBufferTest, ZeroLengthPayloadAllowed) {
+  RingBuffer rb(SmallConfig());
+  void* buf;
+  ASSERT_EQ(rb.Enqueue(0, &buf), kRbOk);
+  rb.SetReady(buf);
+  uint32_t size = 99;
+  void* out;
+  ASSERT_EQ(rb.Dequeue(&size, &out), kRbOk);
+  EXPECT_EQ(size, 0u);
+  rb.SetDone(out);
+}
+
+}  // namespace
+}  // namespace solros

@@ -1,0 +1,69 @@
+#include "src/transport/spinlock.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace solros {
+namespace {
+
+TEST(TicketLockTest, MutualExclusion) {
+  TicketLock lock;
+  int64_t counter = 0;
+  const int kThreads = 8;
+  const int kIters = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        TicketGuard guard(lock);
+        ++counter;
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(counter, int64_t{kThreads} * kIters);
+}
+
+TEST(McsLockTest, MutualExclusion) {
+  McsLock lock;
+  int64_t counter = 0;
+  const int kThreads = 8;
+  const int kIters = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        McsGuard guard(lock);
+        ++counter;
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(counter, int64_t{kThreads} * kIters);
+}
+
+TEST(McsLockTest, UncontendedLockUnlock) {
+  McsLock lock;
+  for (int i = 0; i < 100; ++i) {
+    McsGuard guard(lock);
+  }
+  SUCCEED();
+}
+
+TEST(TicketLockTest, FifoOrderSingleThreadReentry) {
+  TicketLock lock;
+  lock.Lock();
+  lock.Unlock();
+  lock.Lock();
+  lock.Unlock();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace solros
