@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01a_motivation_fs.dir/fig01a_motivation_fs.cpp.o"
+  "CMakeFiles/fig01a_motivation_fs.dir/fig01a_motivation_fs.cpp.o.d"
+  "fig01a_motivation_fs"
+  "fig01a_motivation_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01a_motivation_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig01a_motivation_fs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01b_motivation_net.dir/fig01b_motivation_net.cpp.o"
+  "CMakeFiles/fig01b_motivation_net.dir/fig01b_motivation_net.cpp.o.d"
+  "fig01b_motivation_net"
+  "fig01b_motivation_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01b_motivation_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

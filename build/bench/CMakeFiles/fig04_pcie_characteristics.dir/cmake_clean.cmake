@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_pcie_characteristics.dir/fig04_pcie_characteristics.cpp.o"
+  "CMakeFiles/fig04_pcie_characteristics.dir/fig04_pcie_characteristics.cpp.o.d"
+  "fig04_pcie_characteristics"
+  "fig04_pcie_characteristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_pcie_characteristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_rb_lazy_update.dir/fig09_rb_lazy_update.cpp.o"
+  "CMakeFiles/fig09_rb_lazy_update.dir/fig09_rb_lazy_update.cpp.o.d"
+  "fig09_rb_lazy_update"
+  "fig09_rb_lazy_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_rb_lazy_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

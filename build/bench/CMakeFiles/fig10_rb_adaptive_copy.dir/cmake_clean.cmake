@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_rb_adaptive_copy.dir/fig10_rb_adaptive_copy.cpp.o"
+  "CMakeFiles/fig10_rb_adaptive_copy.dir/fig10_rb_adaptive_copy.cpp.o.d"
+  "fig10_rb_adaptive_copy"
+  "fig10_rb_adaptive_copy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_rb_adaptive_copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

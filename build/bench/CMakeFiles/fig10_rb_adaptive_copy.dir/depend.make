@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_rb_adaptive_copy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_fs_random_read.dir/fig11_fs_random_read.cpp.o"
+  "CMakeFiles/fig11_fs_random_read.dir/fig11_fs_random_read.cpp.o.d"
+  "fig11_fs_random_read"
+  "fig11_fs_random_read.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_fs_random_read.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

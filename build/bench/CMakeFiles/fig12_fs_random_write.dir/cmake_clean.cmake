@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_fs_random_write.dir/fig12_fs_random_write.cpp.o"
+  "CMakeFiles/fig12_fs_random_write.dir/fig12_fs_random_write.cpp.o.d"
+  "fig12_fs_random_write"
+  "fig12_fs_random_write.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_fs_random_write.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_fs_random_write.
+# This may be replaced when dependencies are built.

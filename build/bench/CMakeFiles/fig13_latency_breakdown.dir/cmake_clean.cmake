@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_latency_breakdown.dir/fig13_latency_breakdown.cpp.o"
+  "CMakeFiles/fig13_latency_breakdown.dir/fig13_latency_breakdown.cpp.o.d"
+  "fig13_latency_breakdown"
+  "fig13_latency_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_latency_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_shared_listen_scaling.dir/fig16_shared_listen_scaling.cpp.o"
+  "CMakeFiles/fig16_shared_listen_scaling.dir/fig16_shared_listen_scaling.cpp.o.d"
+  "fig16_shared_listen_scaling"
+  "fig16_shared_listen_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_shared_listen_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_applications.dir/fig17_applications.cpp.o"
+  "CMakeFiles/fig17_applications.dir/fig17_applications.cpp.o.d"
+  "fig17_applications"
+  "fig17_applications.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_applications.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

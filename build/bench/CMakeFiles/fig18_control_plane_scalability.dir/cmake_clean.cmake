@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_control_plane_scalability.dir/fig18_control_plane_scalability.cpp.o"
+  "CMakeFiles/fig18_control_plane_scalability.dir/fig18_control_plane_scalability.cpp.o.d"
+  "fig18_control_plane_scalability"
+  "fig18_control_plane_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_control_plane_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

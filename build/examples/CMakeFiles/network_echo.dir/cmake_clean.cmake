@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_echo.dir/network_echo.cpp.o"
+  "CMakeFiles/network_echo.dir/network_echo.cpp.o.d"
+  "network_echo"
+  "network_echo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_echo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

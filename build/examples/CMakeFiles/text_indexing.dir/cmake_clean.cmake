@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_indexing.dir/text_indexing.cpp.o"
+  "CMakeFiles/text_indexing.dir/text_indexing.cpp.o.d"
+  "text_indexing"
+  "text_indexing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_indexing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solros_apps.dir/image_search.cc.o"
+  "CMakeFiles/solros_apps.dir/image_search.cc.o.d"
+  "CMakeFiles/solros_apps.dir/kv_store.cc.o"
+  "CMakeFiles/solros_apps.dir/kv_store.cc.o.d"
+  "CMakeFiles/solros_apps.dir/text_index.cc.o"
+  "CMakeFiles/solros_apps.dir/text_index.cc.o.d"
+  "libsolros_apps.a"
+  "libsolros_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solros_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

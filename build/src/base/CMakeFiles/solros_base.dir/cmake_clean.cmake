@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solros_base.dir/histogram.cc.o"
+  "CMakeFiles/solros_base.dir/histogram.cc.o.d"
+  "CMakeFiles/solros_base.dir/logging.cc.o"
+  "CMakeFiles/solros_base.dir/logging.cc.o.d"
+  "CMakeFiles/solros_base.dir/stats.cc.o"
+  "CMakeFiles/solros_base.dir/stats.cc.o.d"
+  "CMakeFiles/solros_base.dir/status.cc.o"
+  "CMakeFiles/solros_base.dir/status.cc.o.d"
+  "libsolros_base.a"
+  "libsolros_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solros_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/machine.cc" "src/core/CMakeFiles/solros_core.dir/machine.cc.o" "gcc" "src/core/CMakeFiles/solros_core.dir/machine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/solros_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/solros_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvme/CMakeFiles/solros_nvme.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/solros_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/solros_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/solros_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

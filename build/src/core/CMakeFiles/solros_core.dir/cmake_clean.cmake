@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solros_core.dir/machine.cc.o"
+  "CMakeFiles/solros_core.dir/machine.cc.o.d"
+  "libsolros_core.a"
+  "libsolros_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solros_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

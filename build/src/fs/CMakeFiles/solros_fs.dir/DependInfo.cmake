@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/baseline_fs.cc" "src/fs/CMakeFiles/solros_fs.dir/baseline_fs.cc.o" "gcc" "src/fs/CMakeFiles/solros_fs.dir/baseline_fs.cc.o.d"
+  "/root/repo/src/fs/buffer_cache.cc" "src/fs/CMakeFiles/solros_fs.dir/buffer_cache.cc.o" "gcc" "src/fs/CMakeFiles/solros_fs.dir/buffer_cache.cc.o.d"
+  "/root/repo/src/fs/fs_proxy.cc" "src/fs/CMakeFiles/solros_fs.dir/fs_proxy.cc.o" "gcc" "src/fs/CMakeFiles/solros_fs.dir/fs_proxy.cc.o.d"
+  "/root/repo/src/fs/fs_stub.cc" "src/fs/CMakeFiles/solros_fs.dir/fs_stub.cc.o" "gcc" "src/fs/CMakeFiles/solros_fs.dir/fs_stub.cc.o.d"
+  "/root/repo/src/fs/nvme_block_store.cc" "src/fs/CMakeFiles/solros_fs.dir/nvme_block_store.cc.o" "gcc" "src/fs/CMakeFiles/solros_fs.dir/nvme_block_store.cc.o.d"
+  "/root/repo/src/fs/solros_fs.cc" "src/fs/CMakeFiles/solros_fs.dir/solros_fs.cc.o" "gcc" "src/fs/CMakeFiles/solros_fs.dir/solros_fs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/solros_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/solros_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvme/CMakeFiles/solros_nvme.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/solros_transport.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solros_fs.dir/baseline_fs.cc.o"
+  "CMakeFiles/solros_fs.dir/baseline_fs.cc.o.d"
+  "CMakeFiles/solros_fs.dir/buffer_cache.cc.o"
+  "CMakeFiles/solros_fs.dir/buffer_cache.cc.o.d"
+  "CMakeFiles/solros_fs.dir/fs_proxy.cc.o"
+  "CMakeFiles/solros_fs.dir/fs_proxy.cc.o.d"
+  "CMakeFiles/solros_fs.dir/fs_stub.cc.o"
+  "CMakeFiles/solros_fs.dir/fs_stub.cc.o.d"
+  "CMakeFiles/solros_fs.dir/nvme_block_store.cc.o"
+  "CMakeFiles/solros_fs.dir/nvme_block_store.cc.o.d"
+  "CMakeFiles/solros_fs.dir/solros_fs.cc.o"
+  "CMakeFiles/solros_fs.dir/solros_fs.cc.o.d"
+  "libsolros_fs.a"
+  "libsolros_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solros_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solros_hw.dir/dma.cc.o"
+  "CMakeFiles/solros_hw.dir/dma.cc.o.d"
+  "CMakeFiles/solros_hw.dir/fabric.cc.o"
+  "CMakeFiles/solros_hw.dir/fabric.cc.o.d"
+  "libsolros_hw.a"
+  "libsolros_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solros_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

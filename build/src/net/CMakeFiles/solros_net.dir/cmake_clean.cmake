@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solros_net.dir/direct_server.cc.o"
+  "CMakeFiles/solros_net.dir/direct_server.cc.o.d"
+  "CMakeFiles/solros_net.dir/ethernet.cc.o"
+  "CMakeFiles/solros_net.dir/ethernet.cc.o.d"
+  "CMakeFiles/solros_net.dir/net_stub.cc.o"
+  "CMakeFiles/solros_net.dir/net_stub.cc.o.d"
+  "CMakeFiles/solros_net.dir/tcp_proxy.cc.o"
+  "CMakeFiles/solros_net.dir/tcp_proxy.cc.o.d"
+  "libsolros_net.a"
+  "libsolros_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solros_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solros_nvme.dir/nvme_device.cc.o"
+  "CMakeFiles/solros_nvme.dir/nvme_device.cc.o.d"
+  "libsolros_nvme.a"
+  "libsolros_nvme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solros_nvme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

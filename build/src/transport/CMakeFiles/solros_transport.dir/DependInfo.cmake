@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/mirror_buffer.cc" "src/transport/CMakeFiles/solros_transport.dir/mirror_buffer.cc.o" "gcc" "src/transport/CMakeFiles/solros_transport.dir/mirror_buffer.cc.o.d"
+  "/root/repo/src/transport/ring_buffer.cc" "src/transport/CMakeFiles/solros_transport.dir/ring_buffer.cc.o" "gcc" "src/transport/CMakeFiles/solros_transport.dir/ring_buffer.cc.o.d"
+  "/root/repo/src/transport/sim_ring.cc" "src/transport/CMakeFiles/solros_transport.dir/sim_ring.cc.o" "gcc" "src/transport/CMakeFiles/solros_transport.dir/sim_ring.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/solros_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/solros_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

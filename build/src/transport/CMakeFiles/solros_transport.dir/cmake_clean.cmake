@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solros_transport.dir/mirror_buffer.cc.o"
+  "CMakeFiles/solros_transport.dir/mirror_buffer.cc.o.d"
+  "CMakeFiles/solros_transport.dir/ring_buffer.cc.o"
+  "CMakeFiles/solros_transport.dir/ring_buffer.cc.o.d"
+  "CMakeFiles/solros_transport.dir/sim_ring.cc.o"
+  "CMakeFiles/solros_transport.dir/sim_ring.cc.o.d"
+  "libsolros_transport.a"
+  "libsolros_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solros_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/base_test.dir/base/histogram_test.cc.o"
+  "CMakeFiles/base_test.dir/base/histogram_test.cc.o.d"
+  "CMakeFiles/base_test.dir/base/prng_test.cc.o"
+  "CMakeFiles/base_test.dir/base/prng_test.cc.o.d"
+  "CMakeFiles/base_test.dir/base/stats_test.cc.o"
+  "CMakeFiles/base_test.dir/base/stats_test.cc.o.d"
+  "CMakeFiles/base_test.dir/base/status_test.cc.o"
+  "CMakeFiles/base_test.dir/base/status_test.cc.o.d"
+  "base_test"
+  "base_test.pdb"
+  "base_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/base_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

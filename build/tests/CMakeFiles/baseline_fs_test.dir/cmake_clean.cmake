@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_fs_test.dir/fs/baseline_fs_test.cc.o"
+  "CMakeFiles/baseline_fs_test.dir/fs/baseline_fs_test.cc.o.d"
+  "baseline_fs_test"
+  "baseline_fs_test.pdb"
+  "baseline_fs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_fs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obuffer_test.dir/core/obuffer_test.cc.o"
+  "CMakeFiles/obuffer_test.dir/core/obuffer_test.cc.o.d"
+  "obuffer_test"
+  "obuffer_test.pdb"
+  "obuffer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obuffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

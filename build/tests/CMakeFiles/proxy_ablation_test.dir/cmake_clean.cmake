@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proxy_ablation_test.dir/core/proxy_ablation_test.cc.o"
+  "CMakeFiles/proxy_ablation_test.dir/core/proxy_ablation_test.cc.o.d"
+  "proxy_ablation_test"
+  "proxy_ablation_test.pdb"
+  "proxy_ablation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proxy_ablation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_ring_test.dir/transport/sim_ring_test.cc.o"
+  "CMakeFiles/sim_ring_test.dir/transport/sim_ring_test.cc.o.d"
+  "sim_ring_test"
+  "sim_ring_test.pdb"
+  "sim_ring_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_ring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/transport/mirror_buffer_test.cc" "tests/CMakeFiles/transport_test.dir/transport/mirror_buffer_test.cc.o" "gcc" "tests/CMakeFiles/transport_test.dir/transport/mirror_buffer_test.cc.o.d"
+  "/root/repo/tests/transport/ring_buffer_concurrency_test.cc" "tests/CMakeFiles/transport_test.dir/transport/ring_buffer_concurrency_test.cc.o" "gcc" "tests/CMakeFiles/transport_test.dir/transport/ring_buffer_concurrency_test.cc.o.d"
+  "/root/repo/tests/transport/ring_buffer_test.cc" "tests/CMakeFiles/transport_test.dir/transport/ring_buffer_test.cc.o" "gcc" "tests/CMakeFiles/transport_test.dir/transport/ring_buffer_test.cc.o.d"
+  "/root/repo/tests/transport/spinlock_test.cc" "tests/CMakeFiles/transport_test.dir/transport/spinlock_test.cc.o" "gcc" "tests/CMakeFiles/transport_test.dir/transport/spinlock_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/solros_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/solros_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/solros_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/solros_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/solros_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvme/CMakeFiles/solros_nvme.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/solros_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/solros_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

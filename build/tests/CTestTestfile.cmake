@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/base_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_test[1]_include.cmake")
+include("/root/repo/build/tests/transport_test[1]_include.cmake")
+include("/root/repo/build/tests/nvme_test[1]_include.cmake")
+include("/root/repo/build/tests/fs_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_ring_test[1]_include.cmake")
+include("/root/repo/build/tests/rpc_test[1]_include.cmake")
+include("/root/repo/build/tests/machine_test[1]_include.cmake")
+include("/root/repo/build/tests/proxy_ablation_test[1]_include.cmake")
+include("/root/repo/build/tests/obuffer_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/kv_store_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_fs_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/full_system_test[1]_include.cmake")
