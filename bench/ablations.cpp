@@ -122,7 +122,10 @@ double MeasureTransport(bool lazy) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (!InitBench(argc, argv)) {
+    return 2;
+  }
   PrintHeader("Ablations — per-mechanism contribution",
               "EuroSys'18 Solros §4.2.3 / §4.3.2 / §5");
   TablePrinter table({"ablation", "off", "on", "gain"});
@@ -173,12 +176,13 @@ int main() {
                 TablePrinter::Num(eager, 0), TablePrinter::Num(lazy, 0),
                 TablePrinter::Num(lazy / eager, 2) + "x"});
 
-  table.Print(std::cout);
+  EmitTable(table);
   std::cout << "\nNotes: A1's gain shows up in doorbell/interrupt counts "
                "(see NvmeDeviceTest.Coalescing*), not in bandwidth — at "
                "2.4 GB/s the host absorbs the extra interrupts. A2 compares "
                "P2P against the policy's own buffered fallback (already "
                "DMA-based), so its gain is the staging overhead only — the "
                "full stock-path gap is Figs. 1/11.\n";
+  FinishBench();
   return 0;
 }

@@ -5,18 +5,79 @@
 // paste outputs directly. Simulated-time benches compute rates from
 // Simulator::now() deltas; the only wall-clock bench is Fig. 8 (real
 // threads).
+//
+// Common flags (parse with InitBench(argc, argv)):
+//   --csv              tables additionally printed as CSV rows
+//   --metrics          dump the process-wide metric registry at exit
+//   --trace-out=FILE   write a Chrome trace (open in ui.perfetto.dev); only
+//                      benches that bind a Tracer honor this
 #ifndef SOLROS_BENCH_BENCH_UTIL_H_
 #define SOLROS_BENCH_BENCH_UTIL_H_
 
 #include <cstdint>
+#include <cstring>
 #include <iostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "src/base/metrics.h"
 #include "src/base/stats.h"
 #include "src/base/units.h"
 
 namespace solros {
+
+struct BenchFlags {
+  bool csv = false;
+  bool metrics = false;
+  std::string trace_out;  // empty => no trace export
+};
+
+inline BenchFlags& GetBenchFlags() {
+  static BenchFlags flags;
+  return flags;
+}
+
+// Parses the common flags; unknown arguments are left for the bench.
+// Returns false (after printing usage) on a malformed common flag.
+inline bool InitBench(int argc, char** argv) {
+  BenchFlags& flags = GetBenchFlags();
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--csv") {
+      flags.csv = true;
+    } else if (arg == "--metrics") {
+      flags.metrics = true;
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      flags.trace_out = std::string(arg.substr(strlen("--trace-out=")));
+      if (flags.trace_out.empty()) {
+        std::cerr << "--trace-out= requires a file name\n";
+        return false;
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      std::cerr << "common flags: --csv --metrics --trace-out=FILE\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+// Prints `table` aligned, plus CSV when --csv was given.
+inline void EmitTable(const TablePrinter& table) {
+  table.Print(std::cout);
+  if (GetBenchFlags().csv) {
+    std::cout << "csv:\n";
+    table.PrintCsv(std::cout);
+  }
+}
+
+// Call at the end of main: dumps the metric registry under --metrics.
+inline void FinishBench() {
+  if (GetBenchFlags().metrics) {
+    std::cout << "\n--- metrics (--metrics) ---\n";
+    MetricRegistry::Default().DumpText(std::cout);
+  }
+}
 
 inline std::string HumanSize(uint64_t bytes) {
   if (bytes >= MiB(1) && bytes % MiB(1) == 0) {

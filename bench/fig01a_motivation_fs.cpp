@@ -66,7 +66,10 @@ double MeasureForcedCrossNumaP2p(uint64_t block) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (!InitBench(argc, argv)) {
+    return 2;
+  }
   PrintHeader("Fig. 1(a) — motivating random-read comparison",
               "EuroSys'18 Solros, Figure 1(a); 8 threads, file 512MB");
   const int kThreads = 8;
@@ -82,11 +85,12 @@ int main() {
                   GBps3(MeasureNfs(block, kThreads, false)),
                   GBps3(MeasureVirtio(block, kThreads, false))});
   }
-  table.Print(std::cout);
+  EmitTable(table);
   std::cout << "\n(GB/s) shape: Solros tracks/exceeds Host; forced "
                "cross-NUMA P2P caps at ~0.3 GB/s (the paper's relay "
                "observation) while the Solros policy's host-staging "
                "recovers most of the bandwidth; Phi-Linux paths sit an "
                "order of magnitude below.\n";
+  FinishBench();
   return 0;
 }

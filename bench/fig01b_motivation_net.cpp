@@ -10,7 +10,10 @@
 
 using namespace solros;
 
-int main() {
+int main(int argc, char** argv) {
+  if (!InitBench(argc, argv)) {
+    return 2;
+  }
   PrintHeader("Fig. 1(b) — TCP 64B message latency CDF",
               "EuroSys'18 Solros, Figure 1(b): Phi-Linux p99 ~7x Solros");
   const int kClients = 8;
@@ -31,12 +34,13 @@ int main() {
                   Usec1(solros.ValueAtQuantile(q)),
                   Usec1(phi_linux.ValueAtQuantile(q))});
   }
-  table.Print(std::cout);
+  EmitTable(table);
 
   double p99_ratio = static_cast<double>(phi_linux.ValueAtQuantile(0.99)) /
                      static_cast<double>(solros.ValueAtQuantile(0.99));
   std::cout << "\np99 Phi-Linux / Phi-Solros = "
             << TablePrinter::Num(p99_ratio, 1) << "x (paper: ~7x)\n";
   std::cout << "samples per config: " << host.count() << "\n";
+  FinishBench();
   return 0;
 }

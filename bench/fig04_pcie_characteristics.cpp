@@ -57,7 +57,10 @@ double MeasureMemcpy(uint64_t bytes, bool host_initiated) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (!InitBench(argc, argv)) {
+    return 2;
+  }
   PrintHeader("Fig. 4 — PCIe bandwidth: DMA vs load/store, by initiator",
               "EuroSys'18 Solros, Figure 4 and §4.2.1");
 
@@ -72,7 +75,7 @@ int main() {
                   TablePrinter::Num(MeasureMemcpy(size, true) / 1e6, 1),
                   TablePrinter::Num(MeasureMemcpy(size, false) / 1e6, 1)});
   }
-  table.Print(std::cout);
+  EmitTable(table);
 
   double dma_h = MeasureDma(MiB(8), true);
   double dma_p = MeasureDma(MiB(8), false);
@@ -93,5 +96,6 @@ int main() {
             << "x (paper 2.9x), phi "
             << TablePrinter::Num(l_dma_p / l_mc_p, 1)
             << "x (paper 12.6x)\n";
+  FinishBench();
   return 0;
 }

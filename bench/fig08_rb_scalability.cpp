@@ -104,6 +104,9 @@ double RunMcs(int threads) {
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);  // accepted for flag compatibility
+  if (!InitBench(argc, argv)) {
+    return 2;
+  }
 
   unsigned hw = std::thread::hardware_concurrency();
   PrintHeader("Fig. 8 — ring buffer vs two-lock queues (real threads)",
@@ -128,9 +131,10 @@ int main(int argc, char** argv) {
                   TablePrinter::Num(RunTicket(threads) / 1e3, 0),
                   TablePrinter::Num(RunMcs(threads) / 1e3, 0)});
   }
-  table.Print(std::cout);
+  EmitTable(table);
   std::cout << "\npaper shape: combining stays flat-to-rising with core "
                "count; ticket collapses; MCS plateaus (4.1x and 1.5x below "
                "Solros at 61 cores).\n";
+  FinishBench();
   return 0;
 }

@@ -118,12 +118,15 @@ void Panel(bool phi_to_host, const char* title) {
                   std::to_string(lazy.pcie_txns),
                   std::to_string(eager.pcie_txns)});
   }
-  table.Print(std::cout);
+  EmitTable(table);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (!InitBench(argc, argv)) {
+    return 2;
+  }
   PrintHeader("Fig. 9 — ring buffer over PCIe: lazy vs eager head/tail",
               "EuroSys'18 Solros, Figure 9 (paper: 4x / 1.4x)");
   Panel(true, "(a) Xeon Phi -> Host (master at Phi, host pulls)");
@@ -131,5 +134,6 @@ int main() {
   std::cout << "\nmechanism: lazy replication refreshes a control variable "
                "once per combining batch instead of touching master-resident "
                "head/tail on every operation.\n";
+  FinishBench();
   return 0;
 }

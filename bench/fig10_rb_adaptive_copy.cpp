@@ -96,17 +96,21 @@ void Panel(bool phi_to_host, const char* title) {
     table.AddRow({HumanSize(element), GBps3(memcpy_bw), GBps3(dma_bw),
                   GBps3(adaptive_bw), picks_dma ? "dma" : "memcpy"});
   }
-  table.Print(std::cout);
+  EmitTable(table);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (!InitBench(argc, argv)) {
+    return 2;
+  }
   PrintHeader("Fig. 10 — copy policy vs element size (8 concurrent tasks)",
               "EuroSys'18 Solros, Figure 10 (thresholds: 1KB host, 16KB Phi)");
   Panel(true, "(a) Xeon Phi -> Host (host pulls; host-side threshold 1KB)");
   Panel(false, "(b) Host -> Xeon Phi (Phi pulls; Phi-side threshold 16KB)");
   std::cout << "\nshape: memcpy wins left of the threshold, DMA wins right "
                "of it, adaptive tracks the max everywhere.\n";
+  FinishBench();
   return 0;
 }

@@ -9,11 +9,15 @@
 
 using namespace solros;
 
-int main() {
+int main(int argc, char** argv) {
+  if (!InitBench(argc, argv)) {
+    return 2;
+  }
   PrintHeader("Fig. 12 — random WRITE throughput (SSD ceiling 1.2 GB/s)",
               "EuroSys'18 Solros, Figure 12; file scaled 4GB -> 512MB");
   RunFsFigure(/*is_write=*/true);
   std::cout << "\nshape: Host and Phi-Solros reach the SSD write ceiling; "
                "virtio/NFS stay under ~0.1 GB/s.\n";
+  FinishBench();
   return 0;
 }

@@ -8,15 +8,21 @@
 // (b) 64 B TCP message, Phi-Linux vs Phi-Solros, decomposed into Network
 //     stack / Proxy+Transport.
 //
-// Decomposition method: each component is measured by probing the
-// corresponding sub-path in isolation (raw NVMe command time = Storage;
-// stub/full-FS CPU = File system; remainder = Block/Transport), matching
-// how the paper instruments fio.
+// Decomposition method for (a): a Tracer is bound to the simulator for the
+// measurement loop only, and each component is the sum of its stage spans —
+//   File system = fs.stage.stub_cpu + fs.stage.proxy_cpu   (Solros)
+//               = fs.stage.fullfs_cpu                       (virtio)
+//   Storage     = nvme.batch (device time incl. doorbell/interrupt)
+//   Transport   = fs.op total minus the other two
+// so the printed table is the trace: --trace-out=FILE exports the same
+// spans as Chrome trace JSON, and the sums match the table by construction.
+// Two identical runs produce byte-identical trace files.
 #include <iostream>
 
 #include "bench/bench_util.h"
 #include "bench/fs_configs.h"
 #include "bench/net_workload.h"
+#include "src/sim/trace.h"
 
 using namespace solros;
 
@@ -24,62 +30,64 @@ namespace {
 
 constexpr uint64_t kIoSize = KiB(512);
 
-// Raw device time for a 512 KB read (one coalesced vector).
-Nanos StorageProbe() {
-  Simulator sim;
-  HwParams params;
-  PcieFabric fabric(&sim, params);
-  DeviceId phi = fabric.AddDevice(DeviceType::kPhi, 0, "mic0");
-  DeviceId nvme_id = fabric.AddDevice(DeviceType::kNvme, 0, "nvme0");
-  Processor host_cpu(&sim, fabric.HostDevice(0), 96, 1.0, "host");
-  NvmeDevice nvme(&sim, &fabric, params, nvme_id, MiB(64), &host_cpu);
-  DeviceBuffer target(phi, kIoSize);
-  NvmeCommand command{NvmeCommand::Op::kRead, 0,
-                      static_cast<uint32_t>(kIoSize / 4096),
-                      MemRef::Of(target)};
-  std::vector<NvmeCommand> batch = {command};
-  SimTime t0 = sim.now();
-  CHECK_OK(RunSim(sim, nvme.Submit(batch, /*coalesce=*/true, &host_cpu)));
-  return sim.now() - t0;
-}
-
 struct FsBreakdown {
   Nanos total;
-  Nanos fs;         // file-system CPU (stub or full FS on the Phi)
-  Nanos storage;    // raw device time
+  Nanos fs;         // file-system CPU (stub+proxy, or full FS on the Phi)
+  Nanos storage;    // device time (nvme.batch spans)
   Nanos transport;  // everything else (block relay / RPC+DMA path)
 };
 
-FsBreakdown MeasureSolrosRead() {
-  Machine machine(BenchMachine());
-  CHECK_OK(RunSim(machine.sim(), machine.FormatFs()));
-  auto ino = RunSim(machine.sim(),
-                    PrepareWorkloadFile(&machine.fs(), "/work", MiB(64)));
-  CHECK_OK(ino);
-  DeviceBuffer target(machine.phi_device(0), kIoSize);
-  // Average several reads.
-  const int kOps = 16;
-  SimTime t0 = machine.sim().now();
-  for (int i = 0; i < kOps; ++i) {
-    auto n = RunSim(machine.sim(),
-                    machine.fs_stub(0).Read(*ino, i * kIoSize,
-                                            MemRef::Of(target)));
-    CHECK_OK(n);
-  }
+// Derives the per-op breakdown from the stage spans recorded during the
+// measurement loop. `fs_span_a`/`fs_span_b` name the file-system stage
+// spans to sum (b may be empty).
+FsBreakdown BreakdownFromSpans(const Tracer& tracer, int ops,
+                               std::string_view fs_span_a,
+                               std::string_view fs_span_b) {
   FsBreakdown out;
-  out.total = (machine.sim().now() - t0) / kOps;
-  // Thin stub on a lean core + proxy FS on a fast core.
-  const HwParams& p = machine.params();
-  out.fs = static_cast<Nanos>(p.fs_stub_cpu / p.phi_core_speed) +
-           p.fs_full_call_cpu + p.fs_proxy_cpu;
-  out.storage = StorageProbe();
+  CHECK_EQ(tracer.CountSpans("fs.op"), static_cast<uint64_t>(ops));
+  out.total = tracer.TotalDuration("fs.op") / ops;
+  Nanos fs_total = tracer.TotalDuration(fs_span_a);
+  if (!fs_span_b.empty()) {
+    fs_total += tracer.TotalDuration(fs_span_b);
+  }
+  out.fs = fs_total / ops;
+  out.storage = tracer.TotalDuration("nvme.batch") / ops;
   out.transport = out.total > out.fs + out.storage
                       ? out.total - out.fs - out.storage
                       : 0;
   return out;
 }
 
+FsBreakdown MeasureSolrosRead() {
+  Tracer tracer;  // outlives the machine: open pump spans stay harmless
+  Machine machine(BenchMachine());
+  CHECK_OK(RunSim(machine.sim(), machine.FormatFs()));
+  auto ino = RunSim(machine.sim(),
+                    PrepareWorkloadFile(&machine.fs(), "/work", MiB(64)));
+  CHECK_OK(ino);
+  DeviceBuffer target(machine.phi_device(0), kIoSize);
+  // Bind after setup so spans cover only the measured loop.
+  tracer.Bind(&machine.sim());
+  const int kOps = 16;
+  for (int i = 0; i < kOps; ++i) {
+    ScopedSpan op(&tracer, "bench", "fs.op");
+    auto n = RunSim(machine.sim(),
+                    machine.fs_stub(0).Read(*ino, i * kIoSize,
+                                            MemRef::Of(target)));
+    CHECK_OK(n);
+  }
+  const std::string& trace_out = GetBenchFlags().trace_out;
+  if (!trace_out.empty()) {
+    CHECK_OK(tracer.ExportChromeTraceToFile(trace_out));
+    std::cout << "trace written to " << trace_out
+              << " (open in ui.perfetto.dev)\n";
+  }
+  return BreakdownFromSpans(tracer, kOps, "fs.stage.stub_cpu",
+                            "fs.stage.proxy_cpu");
+}
+
 FsBreakdown MeasureVirtioRead() {
+  Tracer tracer;
   Machine machine(BenchMachine());
   VirtioBlockStore virtio(&machine.sim(), machine.params(), &machine.nvme(),
                           &machine.host_cpu(), &machine.phi_cpu(0));
@@ -90,23 +98,15 @@ FsBreakdown MeasureVirtioRead() {
   CHECK_OK(ino);
   LocalFsService service(machine.params(), &phi_fs, &machine.phi_cpu(0));
   DeviceBuffer target(machine.phi_device(0), kIoSize);
+  tracer.Bind(&machine.sim());
   const int kOps = 8;
-  SimTime t0 = machine.sim().now();
   for (int i = 0; i < kOps; ++i) {
+    ScopedSpan op(&tracer, "bench", "fs.op");
     auto n = RunSim(machine.sim(),
                     service.Read(*ino, i * kIoSize, MemRef::Of(target)));
     CHECK_OK(n);
   }
-  FsBreakdown out;
-  out.total = (machine.sim().now() - t0) / kOps;
-  const HwParams& p = machine.params();
-  // Full FS runs on the Phi: per-call cost at Phi speed.
-  out.fs = static_cast<Nanos>(p.fs_full_call_cpu / p.phi_core_speed);
-  out.storage = StorageProbe();
-  out.transport = out.total > out.fs + out.storage
-                      ? out.total - out.fs - out.storage
-                      : 0;
-  return out;
+  return BreakdownFromSpans(tracer, kOps, "fs.stage.fullfs_cpu", {});
 }
 
 void PrintFsPanel() {
@@ -119,7 +119,7 @@ void PrintFsPanel() {
                 Usec1(solros.transport)});
   table.AddRow({"Storage", Usec1(virtio.storage), Usec1(solros.storage)});
   table.AddRow({"TOTAL", Usec1(virtio.total), Usec1(solros.total)});
-  table.Print(std::cout);
+  EmitTable(table);
   std::cout << "fs-time ratio (virtio/solros): "
             << TablePrinter::Num(
                    static_cast<double>(virtio.fs) / solros.fs, 1)
@@ -153,17 +153,21 @@ void PrintNetPanel() {
                 Usec1(solros_stack)});
   table.AddRow({"TOTAL p50", Usec1(phi_linux.ValueAtQuantile(0.5)),
                 Usec1(solros.ValueAtQuantile(0.5))});
-  table.Print(std::cout);
+  EmitTable(table);
   std::cout << "host p50 (reference): "
             << Usec1(host.ValueAtQuantile(0.5)) << " us\n";
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (!InitBench(argc, argv)) {
+    return 2;
+  }
   PrintHeader("Fig. 13 — latency breakdown of I/O sub-systems",
               "EuroSys'18 Solros, Figure 13");
   PrintFsPanel();
   PrintNetPanel();
+  FinishBench();
   return 0;
 }

@@ -12,7 +12,10 @@
 
 using namespace solros;
 
-int main() {
+int main(int argc, char** argv) {
+  if (!InitBench(argc, argv)) {
+    return 2;
+  }
   PrintHeader("E14 — TCP ping-pong latency vs message size (reconstructed)",
               "EuroSys'18 Solros §4.4/§6 (abstract: 7x network service win)");
   const int kClients = 4;
@@ -38,9 +41,10 @@ int main() {
              Usec1(phi.ValueAtQuantile(0.99)),
          TablePrinter::Num(gap, 1) + "x"});
   }
-  table.Print(std::cout);
+  EmitTable(table);
   std::cout << "\nshape: Solros tracks Host closely at all sizes; the "
                "Phi-Linux gap is largest for small messages where "
                "per-segment stack CPU dominates.\n";
+  FinishBench();
   return 0;
 }

@@ -10,7 +10,10 @@
 
 using namespace solros;
 
-int main() {
+int main(int argc, char** argv) {
+  if (!InitBench(argc, argv)) {
+    return 2;
+  }
   PrintHeader("E15 — TCP streaming throughput (reconstructed)",
               "EuroSys'18 Solros §4.4/§6");
   for (int connections : {1, 4, 16}) {
@@ -28,10 +31,11 @@ int main() {
            GBps3(MeasureNetThroughput(NetConfigKind::kPhiLinux, size,
                                       connections, messages))});
     }
-    table.Print(std::cout);
+    EmitTable(table);
   }
   std::cout << "\nshape: Host and Solros scale with size/connections toward "
                "the wire; Phi-Linux is CPU-bound on the co-processor's "
                "slow cores.\n";
+  FinishBench();
   return 0;
 }

@@ -71,7 +71,10 @@ std::string Distribution(const std::vector<uint64_t>& events) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (!InitBench(argc, argv)) {
+    return 2;
+  }
   PrintHeader("E16 — shared listening socket scale-out (reconstructed)",
               "EuroSys'18 Solros §4.4.3: pluggable forwarding rules");
   TablePrinter table({"policy", "#phis", "kmsgs/s", "events per phi"});
@@ -91,10 +94,11 @@ int main() {
                   TablePrinter::Num(ch.kmsgs_per_sec, 1),
                   Distribution(ch.per_phi_events)});
   }
-  table.Print(std::cout);
+  EmitTable(table);
   std::cout << "\nshape: round-robin and least-loaded spread evenly; "
                "content-hash keeps client affinity (possibly uneven); "
                "throughput scales with co-processor count until the host "
                "proxy saturates.\n";
+  FinishBench();
   return 0;
 }

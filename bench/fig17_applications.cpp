@@ -126,7 +126,10 @@ Nanos RunSearch(Machine& machine, SolrosFs* setup_fs, FileService* service,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (!InitBench(argc, argv)) {
+    return 2;
+  }
   PrintHeader("E17 — realistic applications (reconstructed)",
               "EuroSys'18 Solros §6.2: text indexing ~19x, image search ~2x");
 
@@ -144,7 +147,7 @@ int main() {
                             static_cast<double>(index_virtio) / t, 1) +
                             "x"});
   }
-  index_table.Print(std::cout);
+  EmitTable(index_table);
 
   std::cout << "\n--- image search (8 MiB features/image x32, 61 workers) "
                "---\n";
@@ -161,9 +164,10 @@ int main() {
                              static_cast<double>(search_virtio) / t, 1) +
                              "x"});
   }
-  search_table.Print(std::cout);
+  EmitTable(search_table);
 
   std::cout << "\nshape: indexing is I/O-bound (big Solros win); search is "
                "compute-bound (smaller win), matching the paper's 19x/2x.\n";
+  FinishBench();
   return 0;
 }

@@ -62,7 +62,10 @@ double Run(int phis, int workers_per_phi) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (!InitBench(argc, argv)) {
+    return 2;
+  }
   PrintHeader("E18 — control-plane RPC scalability (reconstructed)",
               "EuroSys'18 Solros §6.3");
   TablePrinter table({"workers/phi", "1 phi kRPC/s", "2 phis kRPC/s",
@@ -73,10 +76,11 @@ int main() {
                   TablePrinter::Num(Run(2, workers), 1),
                   TablePrinter::Num(Run(4, workers), 1)});
   }
-  table.Print(std::cout);
+  EmitTable(table);
   std::cout << "\nshape: aggregate RPC/s grows with data planes and "
                "per-plane concurrency until host cores or the SSD "
                "saturate — the control plane itself is not the "
                "bottleneck.\n";
+  FinishBench();
   return 0;
 }

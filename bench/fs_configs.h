@@ -115,7 +115,7 @@ void RunFsFigure(bool is_write) {
                     GBps3(MeasureVirtio(block, threads, is_write)),
                     GBps3(MeasureNfs(block, threads, is_write))});
     }
-    table.Print(std::cout);
+    EmitTable(table);
   }
 }
 

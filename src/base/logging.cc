@@ -1,11 +1,28 @@
 #include "src/base/logging.h"
 
 #include <atomic>
+#include <cstdlib>
 
 namespace solros {
 namespace {
 
-std::atomic<LogSeverity> g_min_severity{LogSeverity::kInfo};
+// Initial severity: SOLROS_LOG_LEVEL from the environment (read once, on
+// first use), defaulting to kInfo when unset or unparsable.
+LogSeverity InitialSeverity() {
+  const char* env = std::getenv("SOLROS_LOG_LEVEL");
+  if (env != nullptr) {
+    auto parsed = ParseLogSeverity(env);
+    if (parsed.has_value()) {
+      return *parsed;
+    }
+  }
+  return LogSeverity::kInfo;
+}
+
+std::atomic<LogSeverity>& MinSeverity() {
+  static std::atomic<LogSeverity> severity{InitialSeverity()};
+  return severity;
+}
 
 const char* SeverityTag(LogSeverity severity) {
   switch (severity) {
@@ -36,12 +53,41 @@ const char* Basename(const char* path) {
 
 }  // namespace
 
+std::optional<LogSeverity> ParseLogSeverity(std::string_view text) {
+  // Either a numeric level 0..4 or a case-insensitive name.
+  if (text.size() == 1 && text[0] >= '0' && text[0] <= '4') {
+    return static_cast<LogSeverity>(text[0] - '0');
+  }
+  std::string lower(text);
+  for (char& c : lower) {
+    if (c >= 'A' && c <= 'Z') {
+      c = static_cast<char>(c - 'A' + 'a');
+    }
+  }
+  if (lower == "debug") {
+    return LogSeverity::kDebug;
+  }
+  if (lower == "info") {
+    return LogSeverity::kInfo;
+  }
+  if (lower == "warning" || lower == "warn") {
+    return LogSeverity::kWarning;
+  }
+  if (lower == "error") {
+    return LogSeverity::kError;
+  }
+  if (lower == "fatal") {
+    return LogSeverity::kFatal;
+  }
+  return std::nullopt;
+}
+
 LogSeverity GetMinLogSeverity() {
-  return g_min_severity.load(std::memory_order_relaxed);
+  return MinSeverity().load(std::memory_order_relaxed);
 }
 
 void SetMinLogSeverity(LogSeverity severity) {
-  g_min_severity.store(severity, std::memory_order_relaxed);
+  MinSeverity().store(severity, std::memory_order_relaxed);
 }
 
 LogMessage::LogMessage(LogSeverity severity, const char* file, int line)

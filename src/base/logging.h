@@ -9,15 +9,22 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <optional>
 #include <sstream>
+#include <string_view>
 
 namespace solros {
 
 enum class LogSeverity { kDebug, kInfo, kWarning, kError, kFatal };
 
-// Messages below this severity are discarded. Defaults to kInfo.
+// Messages below this severity are discarded. The initial value comes from
+// the SOLROS_LOG_LEVEL environment variable (read once, on first use; names
+// "debug".."fatal" case-insensitive or digits 0-4), defaulting to kInfo.
 LogSeverity GetMinLogSeverity();
 void SetMinLogSeverity(LogSeverity severity);
+
+// Parses "debug|info|warning|error|fatal" (any case) or "0".."4".
+std::optional<LogSeverity> ParseLogSeverity(std::string_view text);
 
 class LogMessage {
  public:

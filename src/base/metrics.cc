@@ -1,0 +1,178 @@
+#include "src/base/metrics.h"
+
+#include <ostream>
+
+#include "src/base/logging.h"
+#include "src/base/stats.h"
+
+namespace solros {
+
+void LatencyHistogram::Record(uint64_t nanos) {
+  std::lock_guard<std::mutex> lock(mu_);
+  histogram_.Record(nanos);
+}
+
+void LatencyHistogram::RecordN(uint64_t nanos, uint64_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  histogram_.RecordN(nanos, count);
+}
+
+uint64_t LatencyHistogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return histogram_.count();
+}
+
+double LatencyHistogram::Mean() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return histogram_.Mean();
+}
+
+uint64_t LatencyHistogram::ValueAtQuantile(double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return histogram_.ValueAtQuantile(q);
+}
+
+uint64_t LatencyHistogram::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return histogram_.max();
+}
+
+void LatencyHistogram::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  histogram_.Reset();
+}
+
+Histogram LatencyHistogram::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return histogram_;
+}
+
+MetricRegistry& MetricRegistry::Default() {
+  static MetricRegistry* registry = new MetricRegistry();  // never destroyed
+  return *registry;
+}
+
+MetricRegistry::Entry& MetricRegistry::GetEntry(const std::string& name,
+                                                Kind kind) {
+  auto [it, inserted] = entries_.try_emplace(name);
+  Entry& entry = it->second;
+  if (inserted) {
+    entry.kind = kind;
+    switch (kind) {
+      case Kind::kCounter:
+        entry.counter = std::make_unique<Counter>();
+        break;
+      case Kind::kGauge:
+        entry.gauge = std::make_unique<Gauge>();
+        break;
+      case Kind::kHistogram:
+        entry.histogram = std::make_unique<LatencyHistogram>();
+        break;
+    }
+  }
+  CHECK(entry.kind == kind) << "metric '" << name
+                            << "' registered as two different kinds";
+  return entry;
+}
+
+Counter* MetricRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return GetEntry(name, Kind::kCounter).counter.get();
+}
+
+Gauge* MetricRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return GetEntry(name, Kind::kGauge).gauge.get();
+}
+
+LatencyHistogram* MetricRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return GetEntry(name, Kind::kHistogram).histogram.get();
+}
+
+MetricsSnapshot MetricRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        snap.counters.push_back({name, entry.counter->value()});
+        break;
+      case Kind::kGauge:
+        snap.gauges.push_back({name, entry.gauge->value()});
+        break;
+      case Kind::kHistogram:
+        snap.histograms.push_back({name, entry.histogram->count(),
+                                   entry.histogram->Mean(),
+                                   entry.histogram->ValueAtQuantile(0.5),
+                                   entry.histogram->ValueAtQuantile(0.99),
+                                   entry.histogram->max()});
+        break;
+    }
+  }
+  return snap;
+}
+
+void MetricRegistry::DumpText(std::ostream& os) const {
+  MetricsSnapshot snap = Snapshot();
+  TablePrinter table({"metric", "value"});
+  for (const auto& c : snap.counters) {
+    table.AddRow({c.name, std::to_string(c.value)});
+  }
+  for (const auto& g : snap.gauges) {
+    table.AddRow({g.name, std::to_string(g.value)});
+  }
+  table.Print(os);
+  if (!snap.histograms.empty()) {
+    TablePrinter hist({"histogram", "count", "mean ns", "p50 ns", "p99 ns",
+                       "max ns"});
+    for (const auto& h : snap.histograms) {
+      hist.AddRow({h.name, std::to_string(h.count),
+                   TablePrinter::Num(h.mean, 0), std::to_string(h.p50),
+                   std::to_string(h.p99), std::to_string(h.max)});
+    }
+    hist.Print(os);
+  }
+}
+
+void MetricRegistry::DumpJson(std::ostream& os) const {
+  MetricsSnapshot snap = Snapshot();
+  os << "{\"counters\":{";
+  for (size_t i = 0; i < snap.counters.size(); ++i) {
+    os << (i ? "," : "") << "\"" << snap.counters[i].name
+       << "\":" << snap.counters[i].value;
+  }
+  os << "},\"gauges\":{";
+  for (size_t i = 0; i < snap.gauges.size(); ++i) {
+    os << (i ? "," : "") << "\"" << snap.gauges[i].name
+       << "\":" << snap.gauges[i].value;
+  }
+  os << "},\"histograms\":{";
+  for (size_t i = 0; i < snap.histograms.size(); ++i) {
+    const auto& h = snap.histograms[i];
+    os << (i ? "," : "") << "\"" << h.name << "\":{\"count\":" << h.count
+       << ",\"mean\":" << TablePrinter::Num(h.mean, 1)
+       << ",\"p50\":" << h.p50 << ",\"p99\":" << h.p99
+       << ",\"max\":" << h.max << "}";
+  }
+  os << "}}";
+}
+
+void MetricRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        entry.counter->Reset();
+        break;
+      case Kind::kGauge:
+        entry.gauge->Reset();
+        break;
+      case Kind::kHistogram:
+        entry.histogram->Reset();
+        break;
+    }
+  }
+}
+
+}  // namespace solros

@@ -1,0 +1,149 @@
+// Process-wide metrics registry.
+//
+// Components obtain named handles once and update them on hot paths:
+//
+//   static Counter* reqs =
+//       MetricRegistry::Default().GetCounter("fs.proxy.requests");
+//   reqs->Increment();
+//
+// Three metric kinds cover everything the benches and traces need:
+//   Counter          -- monotonically increasing event count (atomic).
+//   Gauge            -- instantaneous signed level (queue depth, bytes held).
+//   LatencyHistogram -- log-bucketed nanosecond distribution with
+//                       percentile queries (wraps base/histogram.h).
+//
+// Handles are never invalidated: GetX() returns the same pointer for the
+// same name for the life of the process, so call sites may cache them in
+// function-local statics. All operations are thread-safe (the ring buffer
+// updates counters from real threads in the Fig. 8 harness); everything is
+// deterministic under the single-threaded simulator.
+//
+// Snapshot() materializes a name-sorted view; DumpText/DumpJson emit it for
+// the benches' --metrics flag and for machine-readable trajectory files.
+#ifndef SOLROS_SRC_BASE_METRICS_H_
+#define SOLROS_SRC_BASE_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/base/histogram.h"
+
+namespace solros {
+
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+class LatencyHistogram {
+ public:
+  void Record(uint64_t nanos);
+  void RecordN(uint64_t nanos, uint64_t count);
+
+  uint64_t count() const;
+  double Mean() const;
+  uint64_t ValueAtQuantile(double q) const;
+  uint64_t max() const;
+  void Reset();
+
+  // Copies the underlying histogram (for offline analysis).
+  Histogram Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  Histogram histogram_;
+};
+
+// One materialized registry view, name-sorted for deterministic output.
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    uint64_t value;
+  };
+  struct GaugeValue {
+    std::string name;
+    int64_t value;
+  };
+  struct HistogramValue {
+    std::string name;
+    uint64_t count;
+    double mean;
+    uint64_t p50;
+    uint64_t p99;
+    uint64_t max;
+  };
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+};
+
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  // The process-wide instance every instrumentation site uses.
+  static MetricRegistry& Default();
+
+  // Returns the handle registered under `name`, creating it on first use.
+  // The returned pointer is stable for the registry's lifetime. Registering
+  // the same name as two different kinds is a programming error (CHECK).
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  LatencyHistogram* GetHistogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+
+  // Aligned `name  value` table (benches' --metrics output).
+  void DumpText(std::ostream& os) const;
+  // One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  void DumpJson(std::ostream& os) const;
+
+  // Zeroes every metric; handles stay valid. (Benches isolate phases.)
+  void ResetAll();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<LatencyHistogram> histogram;
+  };
+
+  Entry& GetEntry(const std::string& name, Kind kind);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;  // sorted => deterministic dumps
+};
+
+}  // namespace solros
+
+#endif  // SOLROS_SRC_BASE_METRICS_H_

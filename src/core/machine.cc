@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/base/logging.h"
+#include "src/base/metrics.h"
 
 namespace solros {
 
@@ -160,6 +161,8 @@ void Machine::DumpStats(std::ostream& os) {
     }
     os << "\n";
   }
+  os << "--- metric registry ---\n";
+  MetricRegistry::Default().DumpText(os);
 }
 
 }  // namespace solros

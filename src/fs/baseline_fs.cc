@@ -4,7 +4,9 @@
 #include <cstring>
 
 #include "src/base/logging.h"
+#include "src/base/metrics.h"
 #include "src/hw/memory.h"
+#include "src/sim/trace.h"
 
 namespace solros {
 
@@ -32,6 +34,10 @@ Task<Status> VirtioBlockStore::Relay(uint64_t lba, uint32_t nblocks,
                                      std::span<const uint8_t> in,
                                      bool is_read) {
   ++requests_;
+  static Counter* const relays =
+      MetricRegistry::Default().GetCounter("baseline.virtio.requests");
+  relays->Increment();
+  TRACE_SPAN(sim_, "virtio", "virtio.relay");
   uint64_t bytes = uint64_t{nblocks} * block_size();
   // Guest (Phi) virtio driver: build the descriptor, kick the host.
   co_await phi_cpu_->Compute(Microseconds(1));
@@ -88,9 +94,14 @@ LocalFsService::LocalFsService(const HwParams& params, SolrosFs* fs,
     : params_(params), fs_(fs), cpu_(cpu) {}
 
 Task<void> LocalFsService::ChargeCall() {
+  static Counter* const calls =
+      MetricRegistry::Default().GetCounter("baseline.localfs.calls");
+  calls->Increment();
+  Simulator* sim = co_await CurrentSimulator();
   // The full file-system stack runs on this processor; on Phi cores the
   // speed factor makes this ~8x more expensive (§3: branchy OS code on
   // lean cores).
+  ScopedSpan cpu(sim, "fullfs", "fs.stage.fullfs_cpu");
   co_await cpu_->Compute(params_.fs_full_call_cpu);
 }
 

@@ -4,6 +4,8 @@
 #include <cstring>
 
 #include "src/base/logging.h"
+#include "src/base/metrics.h"
+#include "src/sim/trace.h"
 
 namespace solros {
 namespace {
@@ -47,19 +49,37 @@ FsResponse FsProxy::ErrorResponse(const Status& status) {
 
 Task<FsResponse> FsProxy::Handle(FsRequest request) {
   ++stats_.requests;
-  // Per-request proxy CPU: RPC handling plus the full file-system stack,
-  // both on fast host cores (this is the asymmetry Solros exploits).
-  co_await host_cpu_->Compute(params_.fs_proxy_cpu + params_.fs_full_call_cpu);
+  static Counter* const requests =
+      MetricRegistry::Default().GetCounter("fs.proxy.requests");
+  static LatencyHistogram* const service_ns =
+      MetricRegistry::Default().GetHistogram("fs.proxy.service_ns");
+  requests->Increment();
+  SimTime t0 = sim_->now();
+  ScopedSpan span(sim_, "proxy", "fs.proxy.service");
+  {
+    // Per-request proxy CPU: RPC handling plus the full file-system stack,
+    // both on fast host cores (this is the asymmetry Solros exploits).
+    ScopedSpan cpu(sim_, "proxy", "fs.stage.proxy_cpu");
+    co_await host_cpu_->Compute(params_.fs_proxy_cpu +
+                                params_.fs_full_call_cpu);
+  }
+  FsResponse response;
   switch (request.op) {
     case FsOp::kRead:
-      co_return co_await HandleRead(request);
+      response = co_await HandleRead(request);
+      break;
     case FsOp::kWrite:
-      co_return co_await HandleWrite(request);
+      response = co_await HandleWrite(request);
+      break;
     case FsOp::kReaddir:
-      co_return co_await HandleReaddir(request);
+      response = co_await HandleReaddir(request);
+      break;
     default:
-      co_return co_await HandleMeta(request);
+      response = co_await HandleMeta(request);
+      break;
   }
+  service_ns->Record(sim_->now() - t0);
+  co_return response;
 }
 
 Task<Status> FsProxy::Prefetch(const std::string& path) {
@@ -270,6 +290,10 @@ Task<FsResponse> FsProxy::HandleRead(const FsRequest& request) {
   }
   if (*p2p) {
     ++stats_.p2p_reads;
+    static Counter* const p2p_reads =
+        MetricRegistry::Default().GetCounter("fs.proxy.p2p_reads");
+    p2p_reads->Increment();
+    ScopedSpan data(sim_, "proxy", "fs.data.p2p");
     auto extents = co_await fs_->Fiemap(request.ino, request.offset, length);
     if (!extents.ok()) {
       co_return ErrorResponse(extents.status());
@@ -281,6 +305,10 @@ Task<FsResponse> FsProxy::HandleRead(const FsRequest& request) {
     }
   } else {
     ++stats_.buffered_reads;
+    static Counter* const buffered_reads =
+        MetricRegistry::Default().GetCounter("fs.proxy.buffered_reads");
+    buffered_reads->Increment();
+    ScopedSpan data(sim_, "proxy", "fs.data.buffered");
     Status status = co_await BufferedRead(request.ino, request.offset,
                                           length, request.memory);
     if (!status.ok()) {
@@ -307,6 +335,10 @@ Task<FsResponse> FsProxy::HandleWrite(const FsRequest& request) {
                                               length);
     if (extents.ok()) {
       ++stats_.p2p_writes;
+      static Counter* const p2p_writes =
+          MetricRegistry::Default().GetCounter("fs.proxy.p2p_writes");
+      p2p_writes->Increment();
+      ScopedSpan data(sim_, "proxy", "fs.data.p2p");
       // The data on disk is about to change under any cached copies.
       if (cache_ != nullptr) {
         for (const FsExtent& e : *extents) {
@@ -327,6 +359,10 @@ Task<FsResponse> FsProxy::HandleWrite(const FsRequest& request) {
     // Gap past EOF: fall through to the buffered path.
   }
   ++stats_.buffered_writes;
+  static Counter* const buffered_writes =
+      MetricRegistry::Default().GetCounter("fs.proxy.buffered_writes");
+  buffered_writes->Increment();
+  ScopedSpan data(sim_, "proxy", "fs.data.buffered");
   Status status = co_await BufferedWrite(request.ino, request.offset, length,
                                          request.memory);
   if (!status.ok()) {

@@ -1,5 +1,8 @@
 #include "src/fs/fs_stub.h"
 
+#include "src/base/metrics.h"
+#include "src/sim/trace.h"
+
 namespace solros {
 
 FsStub::FsStub(Simulator* sim, const HwParams& params, Processor* phi_cpu,
@@ -15,17 +18,35 @@ FsStub::FsStub(Simulator* sim, const HwParams& params, Processor* phi_cpu,
 
 Task<Result<FsResponse>> FsStub::Call(FsRequest request) {
   ++calls_;
+  static Counter* const calls =
+      MetricRegistry::Default().GetCounter("fs.stub.calls");
+  static LatencyHistogram* const call_ns =
+      MetricRegistry::Default().GetHistogram("fs.stub.call_ns");
+  calls->Increment();
+  SimTime t0 = sim_->now();
+  ScopedSpan span(sim_, "stub", "fs.stub.call");
   request.client = client_id_;
   if (buffered_ || buffered_inos_.contains(request.ino)) {
     request.flags |= kFsFlagBuffered;
   }
-  // The thin stub cost: syscall entry + RPC marshalling on a lean core.
-  co_await phi_cpu_->Compute(params_.fs_stub_cpu);
-  SOLROS_CO_ASSIGN_OR_RETURN(FsResponse response,
-                             co_await client_.Call(request));
+  {
+    // The thin stub cost: syscall entry + RPC marshalling on a lean core.
+    ScopedSpan cpu(sim_, "stub", "fs.stage.stub_cpu");
+    co_await phi_cpu_->Compute(params_.fs_stub_cpu);
+  }
+  Result<FsResponse> rpc = Status(ErrorCode::kInternal);
+  {
+    ScopedSpan wait(sim_, "stub", "fs.stage.rpc_wait");
+    rpc = co_await client_.Call(request);
+  }
+  if (!rpc.ok()) {
+    co_return rpc.status();
+  }
+  FsResponse response = std::move(rpc).value();
   if (response.error != ErrorCode::kOk) {
     co_return Status(response.error);
   }
+  call_ns->Record(sim_->now() - t0);
   co_return response;
 }
 

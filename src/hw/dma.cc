@@ -3,6 +3,8 @@
 #include <cstring>
 
 #include "src/base/logging.h"
+#include "src/base/metrics.h"
+#include "src/sim/trace.h"
 
 namespace solros {
 
@@ -24,6 +26,13 @@ DmaEngine::DmaEngine(Simulator* sim, PcieFabric* fabric,
 Task<void> DmaEngine::Copy(MemRef dst, MemRef src) {
   CHECK_EQ(dst.length, src.length);
   ++copies_;
+  static Counter* const copies =
+      MetricRegistry::Default().GetCounter("hw.dma.copies");
+  static Counter* const bytes =
+      MetricRegistry::Default().GetCounter("hw.dma.bytes");
+  copies->Increment();
+  bytes->Increment(src.length);
+  TRACE_SPAN(sim_, "dma", "dma.copy");
   // Channel setup: serialized on one of the engine's channels.
   co_await channels_.Use(init_latency_);
   // Peer-to-peer when neither end terminates in host DRAM; those transfers

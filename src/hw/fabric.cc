@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "src/base/logging.h"
+#include "src/base/metrics.h"
+#include "src/sim/trace.h"
 
 namespace solros {
 
@@ -122,6 +124,18 @@ Task<void> PcieFabric::Transfer(DeviceId src, DeviceId dst, uint64_t bytes,
   if (bytes == 0 || src == dst) {
     co_return;
   }
+  static Counter* const transfers =
+      MetricRegistry::Default().GetCounter("hw.pcie.transfers");
+  static Counter* const xfer_bytes =
+      MetricRegistry::Default().GetCounter("hw.pcie.bytes");
+  static Counter* const p2p_transfers =
+      MetricRegistry::Default().GetCounter("hw.pcie.p2p_transfers");
+  transfers->Increment();
+  xfer_bytes->Increment(bytes);
+  if (peer_to_peer) {
+    p2p_transfers->Increment();
+  }
+  TRACE_SPAN(sim_, "pcie", "pcie.transfer");
   double bw = PathBandwidth(src, dst, initiator_rate, peer_to_peer);
   Nanos duration = TransferTime(bytes, bw);
 

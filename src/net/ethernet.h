@@ -10,7 +10,7 @@
 //
 // Message-granular TCP: each message charges per-segment stack CPU at both
 // endpoints and bandwidth on the wire; sequencing/retransmission are out of
-// scope (DESIGN.md §6). A ServerPort is whatever terminates connections on
+// scope (DESIGN.md §7). A ServerPort is whatever terminates connections on
 // the server side — the Solros TCP proxy, a host server, or the bridged
 // Phi-Linux stack.
 #ifndef SOLROS_SRC_NET_ETHERNET_H_

@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "src/base/logging.h"
+#include "src/base/metrics.h"
+#include "src/sim/trace.h"
 
 namespace solros {
 
@@ -40,6 +42,10 @@ Task<void> NetStub::EventDispatcher(NetStub* self) {
       break;  // ring closed
     }
     ++self->events_;
+    static Counter* const events =
+        MetricRegistry::Default().GetCounter("net.stub.events");
+    events->Increment();
+    TRACE_SPAN(self->sim_, "netstub", "net.stub.dispatch");
     NetEvent event = DecodePod<NetEvent>(*record);
     switch (event.kind) {
       case NetEventKind::kAccepted: {
@@ -104,6 +110,10 @@ Task<Result<int64_t>> NetStub::Accept(int64_t listener) {
 }
 
 Task<Result<std::vector<uint8_t>>> NetStub::Recv(int64_t sock) {
+  static Counter* const recvs =
+      MetricRegistry::Default().GetCounter("net.stub.recvs");
+  recvs->Increment();
+  TRACE_SPAN(sim_, "netstub", "net.stub.recv");
   co_await phi_cpu_->Compute(params_.net_stub_cpu);
   SocketState& state = EnsureSocket(sock);
   std::optional<std::vector<uint8_t>> data =
@@ -115,6 +125,13 @@ Task<Result<std::vector<uint8_t>>> NetStub::Recv(int64_t sock) {
 }
 
 Task<Status> NetStub::Send(int64_t sock, std::span<const uint8_t> data) {
+  static Counter* const sends =
+      MetricRegistry::Default().GetCounter("net.stub.sends");
+  static Counter* const send_bytes =
+      MetricRegistry::Default().GetCounter("net.stub.send_bytes");
+  sends->Increment();
+  send_bytes->Increment(data.size());
+  TRACE_SPAN(sim_, "netstub", "net.stub.send");
   co_await phi_cpu_->Compute(params_.net_stub_cpu);
   NetEvent header;
   header.kind = NetEventKind::kData;

@@ -7,7 +7,7 @@
 //  * HostServer     — host-resident server (the latency upper bound)
 //
 // Message-granular semantics: Recv returns one message sent by the peer
-// (byte-stream reassembly is out of scope, DESIGN.md §6).
+// (byte-stream reassembly is out of scope, DESIGN.md §7).
 #ifndef SOLROS_SRC_NET_SERVER_API_H_
 #define SOLROS_SRC_NET_SERVER_API_H_
 

@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "src/base/logging.h"
+#include "src/base/metrics.h"
+#include "src/sim/trace.h"
 
 namespace solros {
 
@@ -46,6 +48,10 @@ Task<Status> TcpProxy::SendEvent(uint32_t dataplane_id, const NetEvent& event,
 Task<NetResponse> TcpProxy::HandleRpc(uint32_t dataplane_id,
                                       NetRequest request) {
   ++stats_.rpcs;
+  static Counter* const rpcs =
+      MetricRegistry::Default().GetCounter("net.proxy.rpcs");
+  rpcs->Increment();
+  TRACE_SPAN(sim_, "netproxy", "net.proxy.rpc");
   co_await host_cpu_->Compute(params_.net_proxy_cpu);
   NetResponse response;
   switch (request.op) {
@@ -122,6 +128,9 @@ Task<Status> TcpProxy::OnConnect(uint64_t conn_id, uint16_t port,
   ++group.targets[pick].active_conns;
   ++group.targets[pick].total_assigned;
   ++stats_.connections_forwarded;
+  static Counter* const conns =
+      MetricRegistry::Default().GetCounter("net.proxy.connections_forwarded");
+  conns->Increment();
 
   int64_t handle = next_handle_++;
   ProxySocket socket;
@@ -147,6 +156,7 @@ Task<void> TcpProxy::OnClientData(uint64_t conn_id,
     co_return;
   }
   ProxySocket& socket = sockets_.at(it->second);
+  TRACE_SPAN(sim_, "netproxy", "net.proxy.inbound");
   // Full TCP receive processing on host cores (the Solros win: this would
   // run 8x slower on the Phi).
   co_await host_cpu_->Compute(params_.tcp_message_cpu +
@@ -154,6 +164,12 @@ Task<void> TcpProxy::OnClientData(uint64_t conn_id,
                                   params_.tcp_segment_cpu);
   ++stats_.inbound_messages;
   stats_.inbound_bytes += data.size();
+  static Counter* const inbound =
+      MetricRegistry::Default().GetCounter("net.proxy.inbound_messages");
+  static Counter* const inbound_bytes =
+      MetricRegistry::Default().GetCounter("net.proxy.inbound_bytes");
+  inbound->Increment();
+  inbound_bytes->Increment(data.size());
   NetEvent event;
   event.kind = NetEventKind::kData;
   event.sock = socket.handle;
@@ -190,12 +206,19 @@ Task<void> TcpProxy::OutboundPump(TcpProxy* self, DataPlane* dataplane) {
     if (it == self->sockets_.end() || !it->second.open) {
       continue;  // stale send after close
     }
+    TRACE_SPAN(self->sim_, "netproxy", "net.proxy.outbound");
     // Host TCP transmit processing, then the wire.
     co_await self->host_cpu_->Compute(
         self->params_.tcp_message_cpu +
         TcpSegments(payload.size()) * self->params_.tcp_segment_cpu);
     ++self->stats_.outbound_messages;
     self->stats_.outbound_bytes += payload.size();
+    static Counter* const outbound =
+        MetricRegistry::Default().GetCounter("net.proxy.outbound_messages");
+    static Counter* const outbound_bytes =
+        MetricRegistry::Default().GetCounter("net.proxy.outbound_bytes");
+    outbound->Increment();
+    outbound_bytes->Increment(payload.size());
     Status status = co_await self->ethernet_->DeliverToClient(
         it->second.conn_id, std::move(payload));
     if (!status.ok() && status.code() != ErrorCode::kNotConnected) {

@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "src/base/logging.h"
+#include "src/base/metrics.h"
+#include "src/sim/trace.h"
 
 namespace solros {
 
@@ -39,7 +41,17 @@ Status NvmeDevice::Validate(const NvmeCommand& command) const {
 }
 
 Task<Status> NvmeDevice::Execute(NvmeCommand command) {
+  static Gauge* const depth =
+      MetricRegistry::Default().GetGauge("nvme.queue.depth");
+  static Counter* const commands =
+      MetricRegistry::Default().GetCounter("nvme.commands");
+  static LatencyHistogram* const cmd_ns =
+      MetricRegistry::Default().GetHistogram("nvme.cmd_ns");
   co_await queue_slots_.Acquire();
+  depth->Add(1);
+  commands->Increment();
+  SimTime cmd_start = sim_->now();
+  TRACE_SPAN(sim_, "nvme", "nvme.cmd");
   uint64_t bytes = uint64_t{command.nblocks} * params_.nvme_block_size;
   uint64_t flash_off = command.lba * params_.nvme_block_size;
   // P2P when the data buffer is not host DRAM: the SSD's DMA engine then
@@ -56,6 +68,9 @@ Task<Status> NvmeDevice::Execute(NvmeCommand command) {
     std::memcpy(command.target.span().data(), flash_.data() + flash_off,
                 bytes);
     bytes_read_ += bytes;
+    static Counter* const read_bytes =
+        MetricRegistry::Default().GetCounter("nvme.bytes_read");
+    read_bytes->Increment(bytes);
   } else {
     co_await Delay(params_.nvme_write_latency);
     co_await fabric_->Transfer(command.target.device(), self_, bytes,
@@ -63,8 +78,13 @@ Task<Status> NvmeDevice::Execute(NvmeCommand command) {
     std::memcpy(flash_.data() + flash_off, command.target.span().data(),
                 bytes);
     bytes_written_ += bytes;
+    static Counter* const written_bytes =
+        MetricRegistry::Default().GetCounter("nvme.bytes_written");
+    written_bytes->Increment(bytes);
   }
   ++commands_completed_;
+  cmd_ns->Record(sim_->now() - cmd_start);
+  depth->Add(-1);
   queue_slots_.Release();
   co_return OkStatus();
 }
@@ -94,6 +114,15 @@ Task<Status> NvmeDevice::Submit(std::vector<NvmeCommand> commands,
     }
   }
 
+  static Counter* const batches =
+      MetricRegistry::Default().GetCounter("nvme.batches");
+  static Counter* const doorbell_count =
+      MetricRegistry::Default().GetCounter("nvme.doorbells");
+  static Counter* const interrupt_count =
+      MetricRegistry::Default().GetCounter("nvme.interrupts");
+  batches->Increment();
+  TRACE_SPAN(sim_, "nvme", "nvme.batch");
+
   Status first_error;
   WaitGroup wg(sim_);
   uint64_t doorbells = coalesce ? 1 : commands.size();
@@ -102,6 +131,7 @@ Task<Status> NvmeDevice::Submit(std::vector<NvmeCommand> commands,
   // Doorbell MMIO writes from the submitting CPU.
   for (uint64_t i = 0; i < doorbells; ++i) {
     ++doorbells_;
+    doorbell_count->Increment();
     if (submitter_cpu != nullptr) {
       co_await submitter_cpu->Compute(params_.nvme_doorbell_cost);
     }
@@ -117,6 +147,7 @@ Task<Status> NvmeDevice::Submit(std::vector<NvmeCommand> commands,
   // "reduces the number of interrupts raised by ringing the doorbell").
   for (uint64_t i = 0; i < interrupts; ++i) {
     ++interrupts_;
+    interrupt_count->Increment();
     co_await interrupt_cpu_->Compute(params_.nvme_interrupt_cost);
   }
   co_return first_error;

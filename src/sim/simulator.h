@@ -22,6 +22,8 @@ namespace solros {
 // Absolute simulated time in nanoseconds since simulation start.
 using SimTime = Nanos;
 
+class Tracer;
+
 class Simulator {
  public:
   Simulator() = default;
@@ -29,6 +31,13 @@ class Simulator {
   Simulator& operator=(const Simulator&) = delete;
 
   SimTime now() const { return now_; }
+
+  // Optional span/event recorder (src/sim/trace.h). Instrumentation sites
+  // are no-ops while unset; the tracer must outlive everything that may
+  // still close a span against it (bind it before the components under
+  // test, or keep it alive past the Simulator's owner).
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+  Tracer* tracer() const { return tracer_; }
 
   // Schedules `fn` to run `delay` ns from now (0 = end of current event).
   void Post(Nanos delay, std::function<void()> fn) {
@@ -100,6 +109,7 @@ class Simulator {
   }
 
   SimTime now_ = 0;
+  Tracer* tracer_ = nullptr;
   uint64_t seq_ = 0;
   std::priority_queue<Event, std::vector<Event>, EventAfter> queue_;
 };

@@ -1,0 +1,213 @@
+#include "src/sim/trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "src/base/logging.h"
+
+namespace solros {
+namespace {
+
+// Microsecond timestamp with the nanoseconds in the fractional part —
+// integer math only, so output is bit-stable across runs and platforms.
+std::string MicrosWithNanos(Nanos t) {
+  std::string out = std::to_string(t / 1000);
+  uint64_t frac = t % 1000;
+  out += '.';
+  out += static_cast<char>('0' + frac / 100);
+  out += static_cast<char>('0' + (frac / 10) % 10);
+  out += static_cast<char>('0' + frac % 10);
+  return out;
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TrackId Tracer::Track(std::string_view name) {
+  auto it = tracks_by_name_.find(name);
+  if (it != tracks_by_name_.end()) {
+    return it->second;
+  }
+  TrackId id = static_cast<TrackId>(track_names_.size());
+  track_names_.emplace_back(name);
+  tracks_by_name_.emplace(std::string(name), id);
+  return id;
+}
+
+uint64_t Tracer::BeginSpan(TrackId track, std::string_view name) {
+  DCHECK(sim_ != nullptr) << "tracer not bound to a simulator";
+  uint64_t id = spans_.size();
+  SpanRecord record;
+  record.track = track;
+  record.name = std::string(name);
+  record.begin = sim_->now();
+  spans_.push_back(std::move(record));
+  return id;
+}
+
+void Tracer::EndSpan(uint64_t span_id) {
+  DCHECK_LT(span_id, spans_.size());
+  SpanRecord& record = spans_[span_id];
+  DCHECK(record.open) << "span " << record.name << " closed twice";
+  record.end = sim_->now();
+  record.open = false;
+}
+
+void Tracer::Instant(TrackId track, std::string_view name) {
+  DCHECK(sim_ != nullptr) << "tracer not bound to a simulator";
+  InstantRecord record;
+  record.track = track;
+  record.name = std::string(name);
+  record.at = sim_->now();
+  instants_.push_back(std::move(record));
+}
+
+Nanos Tracer::TotalDuration(std::string_view name) const {
+  Nanos total = 0;
+  for (const SpanRecord& span : spans_) {
+    if (!span.open && span.name == name) {
+      total += span.end - span.begin;
+    }
+  }
+  return total;
+}
+
+uint64_t Tracer::CountSpans(std::string_view name) const {
+  uint64_t n = 0;
+  for (const SpanRecord& span : spans_) {
+    if (!span.open && span.name == name) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void Tracer::Clear() {
+  spans_.clear();
+  instants_.clear();
+}
+
+void Tracer::ExportChromeTrace(std::ostream& os) const {
+  // Spans are recorded in begin-time order (simulated time is monotonic),
+  // so one pass per track assigns each span to the first lane where it is
+  // either disjoint from, or properly nested inside, everything already
+  // there — Perfetto then renders every lane without overlap warnings.
+  struct Placed {
+    const SpanRecord* span;
+    int lane;
+  };
+  std::vector<Placed> placed;
+  placed.reserve(spans_.size());
+  // Per track: one open-interval stack of end times per lane.
+  std::vector<std::vector<std::vector<SimTime>>> lanes(track_names_.size());
+  std::vector<int> lane_count(track_names_.size(), 1);  // >=1 for instants
+  for (const SpanRecord& span : spans_) {
+    if (span.open) {
+      continue;
+    }
+    auto& track_lanes = lanes[span.track];
+    int lane = -1;
+    for (size_t l = 0; l < track_lanes.size(); ++l) {
+      auto& stack = track_lanes[l];
+      while (!stack.empty() && stack.back() <= span.begin) {
+        stack.pop_back();
+      }
+      if (stack.empty() || span.end <= stack.back()) {
+        lane = static_cast<int>(l);
+        break;
+      }
+    }
+    if (lane < 0) {
+      lane = static_cast<int>(track_lanes.size());
+      track_lanes.emplace_back();
+    }
+    track_lanes[lane].push_back(span.end);
+    placed.push_back({&span, lane});
+    lane_count[span.track] =
+        std::max(lane_count[span.track], lane + 1);
+  }
+
+  // tid layout: lanes of track t start at base(t) = 1 + sum of earlier
+  // tracks' lane counts; deterministic because track registration order is.
+  std::vector<int> tid_base(track_names_.size(), 1);
+  for (size_t t = 1; t < track_names_.size(); ++t) {
+    tid_base[t] = tid_base[t - 1] + lane_count[t - 1];
+  }
+
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) {
+      os << ",";
+    }
+    first = false;
+  };
+  sep();
+  os << "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",\"args\":"
+        "{\"name\":\"solros-sim\"}}";
+  for (size_t t = 0; t < track_names_.size(); ++t) {
+    for (int l = 0; l < lane_count[t]; ++l) {
+      std::string lane_name = JsonEscape(track_names_[t]);
+      if (l > 0) {
+        lane_name += "." + std::to_string(l);
+      }
+      sep();
+      os << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid_base[t] + l
+         << ",\"name\":\"thread_name\",\"args\":{\"name\":\"" << lane_name
+         << "\"}}";
+      sep();
+      os << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid_base[t] + l
+         << ",\"name\":\"thread_sort_index\",\"args\":{\"sort_index\":"
+         << tid_base[t] + l << "}}";
+    }
+  }
+  for (const Placed& p : placed) {
+    sep();
+    os << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << tid_base[p.span->track] + p.lane
+       << ",\"ts\":" << MicrosWithNanos(p.span->begin)
+       << ",\"dur\":" << MicrosWithNanos(p.span->end - p.span->begin)
+       << ",\"name\":\"" << JsonEscape(p.span->name) << "\",\"cat\":\""
+       << JsonEscape(track_names_[p.span->track]) << "\"}";
+  }
+  for (const InstantRecord& instant : instants_) {
+    sep();
+    os << "{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":"
+       << tid_base[instant.track] << ",\"ts\":" << MicrosWithNanos(instant.at)
+       << ",\"name\":\"" << JsonEscape(instant.name) << "\",\"cat\":\""
+       << JsonEscape(track_names_[instant.track]) << "\"}";
+  }
+  os << "]}\n";
+}
+
+Status Tracer::ExportChromeTraceToFile(const std::string& path) const {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    return IoError("cannot open trace output file: " + path);
+  }
+  std::ostringstream buffer;
+  ExportChromeTrace(buffer);
+  file << buffer.str();
+  if (!file) {
+    return IoError("trace write failed: " + path);
+  }
+  return OkStatus();
+}
+
+}  // namespace solros

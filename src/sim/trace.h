@@ -1,0 +1,160 @@
+// Simulated-time tracing with Chrome trace-event / Perfetto export.
+//
+// A Tracer records begin/end spans and instant events stamped with
+// Simulator::now(). Each span lives on a named *track* — one per component
+// (stub, ring, dma, nvme, proxy, ...) — which becomes one named thread row
+// in the exported trace. Because the simulator is a single deterministic
+// event loop, two identical runs produce byte-identical trace files; tests
+// assert exactly that.
+//
+// Usage (instrumentation sites are null-safe: no tracer bound => no-op):
+//
+//   TRACE_SPAN(sim_, "proxy", "fs.proxy.service");   // RAII, ends at scope
+//   TRACE_INSTANT(sim_, "ring", "ring.would_block");
+//
+// Spans may overlap freely on one track (concurrent RPCs); the exporter
+// splits each track into properly-nested lanes so Perfetto and
+// chrome://tracing render them without warnings.
+//
+// Export format: the Chrome trace-event JSON object form —
+//   {"displayTimeUnit":"ns","traceEvents":[{"ph":"X",...},...]}
+// with "X" complete events (ts/dur in microseconds, fractional part carries
+// the nanoseconds), "i" instants, and "M" metadata naming the lanes. Open
+// `chrome://tracing` or https://ui.perfetto.dev and load the file.
+#ifndef SOLROS_SRC_SIM_TRACE_H_
+#define SOLROS_SRC_SIM_TRACE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/sim/simulator.h"
+
+namespace solros {
+
+// Index into the tracer's track table.
+using TrackId = uint32_t;
+
+struct SpanRecord {
+  TrackId track = 0;
+  std::string name;
+  SimTime begin = 0;
+  SimTime end = 0;
+  bool open = true;  // EndSpan not seen yet
+};
+
+struct InstantRecord {
+  TrackId track = 0;
+  std::string name;
+  SimTime at = 0;
+};
+
+class Tracer {
+ public:
+  // A tracer may be created before the simulator it observes exists (so it
+  // outlives coroutine frames holding ScopedSpans); Bind() attaches it.
+  Tracer() = default;
+  explicit Tracer(Simulator* sim) { Bind(sim); }
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Attaches to `sim` and installs itself as the simulator's tracer.
+  void Bind(Simulator* sim) {
+    sim_ = sim;
+    sim->set_tracer(this);
+  }
+
+  // Returns the track registered under `name`, creating it on first use.
+  TrackId Track(std::string_view name);
+
+  // Opens a span; returns its id for EndSpan. Spans on one track may
+  // overlap and nest arbitrarily.
+  uint64_t BeginSpan(TrackId track, std::string_view name);
+  uint64_t BeginSpan(std::string_view track, std::string_view name) {
+    return BeginSpan(Track(track), name);
+  }
+  void EndSpan(uint64_t span_id);
+
+  void Instant(TrackId track, std::string_view name);
+  void Instant(std::string_view track, std::string_view name) {
+    Instant(Track(track), name);
+  }
+
+  // -- Queries (what fig13 derives its breakdown from) ----------------------
+  // Sum of durations over *closed* spans named `name` (all tracks).
+  Nanos TotalDuration(std::string_view name) const;
+  // Number of closed spans named `name`.
+  uint64_t CountSpans(std::string_view name) const;
+  const std::vector<SpanRecord>& spans() const { return spans_; }
+  const std::vector<InstantRecord>& instants() const { return instants_; }
+  const std::string& track_name(TrackId id) const {
+    return track_names_.at(id);
+  }
+
+  // Drops all recorded events (track registrations survive).
+  void Clear();
+
+  // -- Export ----------------------------------------------------------------
+  // Chrome trace-event JSON; open spans are omitted (pump loops blocked in
+  // Receive at the end of a run never close their current wait span).
+  void ExportChromeTrace(std::ostream& os) const;
+  Status ExportChromeTraceToFile(const std::string& path) const;
+
+ private:
+  Simulator* sim_ = nullptr;
+  std::vector<std::string> track_names_;
+  std::map<std::string, TrackId, std::less<>> tracks_by_name_;
+  std::vector<SpanRecord> spans_;
+  std::vector<InstantRecord> instants_;
+};
+
+// RAII span: opens on construction, closes when the scope (including a
+// coroutine frame scope, across suspensions) exits. Null-safe: a null
+// tracer records nothing.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, std::string_view track, std::string_view name)
+      : tracer_(tracer) {
+    if (tracer_ != nullptr) {
+      id_ = tracer_->BeginSpan(track, name);
+    }
+  }
+  // Convenience: pull the tracer off the simulator (may be null).
+  ScopedSpan(Simulator* sim, std::string_view track, std::string_view name)
+      : ScopedSpan(sim != nullptr ? sim->tracer() : nullptr, track, name) {}
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan() {
+    if (tracer_ != nullptr) {
+      tracer_->EndSpan(id_);
+    }
+  }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  uint64_t id_ = 0;
+};
+
+#define SOLROS_TRACE_CONCAT2(a, b) a##b
+#define SOLROS_TRACE_CONCAT(a, b) SOLROS_TRACE_CONCAT2(a, b)
+
+// Scoped span on the simulator's bound tracer (no-op when none is bound).
+#define TRACE_SPAN(sim, track, name)                    \
+  ::solros::ScopedSpan SOLROS_TRACE_CONCAT(_trace_span_, \
+                                           __COUNTER__)((sim), (track), (name))
+
+#define TRACE_INSTANT(sim, track, name)                          \
+  do {                                                           \
+    ::solros::Simulator* _trace_sim = (sim);                     \
+    if (_trace_sim != nullptr && _trace_sim->tracer() != nullptr) { \
+      _trace_sim->tracer()->Instant((track), (name));            \
+    }                                                            \
+  } while (0)
+
+}  // namespace solros
+
+#endif  // SOLROS_SRC_SIM_TRACE_H_

@@ -3,9 +3,45 @@
 #include <cstring>
 
 #include "src/base/logging.h"
+#include "src/base/metrics.h"
 
 namespace solros {
 namespace {
+
+// Registry mirrors of the per-ring atomic stats, aggregated across all
+// rings in the process. Handles are cached once; increments are atomic
+// (this code runs on real threads in the Fig. 8 harness).
+struct RbMetrics {
+  Counter* ops;
+  Counter* would_block;
+  Counter* batches;
+  Counter* remote_var_reads;
+  Counter* remote_var_writes;
+};
+
+const RbMetrics& RbMetricsFor(RingSide side) {
+  static const RbMetrics producer = {
+      MetricRegistry::Default().GetCounter("transport.rb.producer.ops"),
+      MetricRegistry::Default().GetCounter(
+          "transport.rb.producer.would_block"),
+      MetricRegistry::Default().GetCounter("transport.rb.producer.batches"),
+      MetricRegistry::Default().GetCounter(
+          "transport.rb.producer.remote_var_reads"),
+      MetricRegistry::Default().GetCounter(
+          "transport.rb.producer.remote_var_writes"),
+  };
+  static const RbMetrics consumer = {
+      MetricRegistry::Default().GetCounter("transport.rb.consumer.ops"),
+      MetricRegistry::Default().GetCounter(
+          "transport.rb.consumer.would_block"),
+      MetricRegistry::Default().GetCounter("transport.rb.consumer.batches"),
+      MetricRegistry::Default().GetCounter(
+          "transport.rb.consumer.remote_var_reads"),
+      MetricRegistry::Default().GetCounter(
+          "transport.rb.consumer.remote_var_writes"),
+  };
+  return side == RingSide::kProducer ? producer : consumer;
+}
 
 constexpr uint64_t kHeaderSize = 8;
 
@@ -226,6 +262,7 @@ void RingBuffer::RunCombiner(RingSide side, ReqNode* self) {
 void RingBuffer::ProcessOne(RingSide side, ReqNode* node,
                             BatchContext* batch) {
   StatsFor(side).ops.fetch_add(1, std::memory_order_relaxed);
+  RbMetricsFor(side).ops->Increment();
   if (side == RingSide::kProducer) {
     ProcessEnqueue(node, batch);
   } else {
@@ -233,6 +270,7 @@ void RingBuffer::ProcessOne(RingSide side, ReqNode* node,
   }
   if (node->result == kRbWouldBlock) {
     StatsFor(side).would_block.fetch_add(1, std::memory_order_relaxed);
+    RbMetricsFor(side).would_block->Increment();
   }
 }
 
@@ -254,6 +292,7 @@ void RingBuffer::ProcessEnqueue(ReqNode* node, BatchContext* batch) {
       head_replica_.store(head, std::memory_order_relaxed);
       producer_stats_.remote_var_reads.fetch_add(1,
                                                  std::memory_order_relaxed);
+      RbMetricsFor(RingSide::kProducer).remote_var_reads->Increment();
       batch->refreshed = true;
     }
   } else {
@@ -263,6 +302,7 @@ void RingBuffer::ProcessEnqueue(ReqNode* node, BatchContext* batch) {
     if (PortIsRemote(RingSide::kProducer)) {
       producer_stats_.remote_var_reads.fetch_add(1,
                                                  std::memory_order_relaxed);
+      RbMetricsFor(RingSide::kProducer).remote_var_reads->Increment();
     }
   }
   if (tail + need > head + mirror_.capacity()) {
@@ -284,6 +324,7 @@ void RingBuffer::ProcessEnqueue(ReqNode* node, BatchContext* batch) {
     if (PortIsRemote(RingSide::kProducer)) {
       producer_stats_.remote_var_writes.fetch_add(1,
                                                   std::memory_order_relaxed);
+      RbMetricsFor(RingSide::kProducer).remote_var_writes->Increment();
     }
   }
 }
@@ -298,6 +339,7 @@ void RingBuffer::ProcessDequeue(ReqNode* node, BatchContext* batch) {
       tail_replica_.store(tail, std::memory_order_relaxed);
       consumer_stats_.remote_var_reads.fetch_add(1,
                                                  std::memory_order_relaxed);
+      RbMetricsFor(RingSide::kConsumer).remote_var_reads->Increment();
       batch->refreshed = true;
     }
   } else {
@@ -305,6 +347,7 @@ void RingBuffer::ProcessDequeue(ReqNode* node, BatchContext* batch) {
     if (PortIsRemote(RingSide::kConsumer)) {
       consumer_stats_.remote_var_reads.fetch_add(1,
                                                  std::memory_order_relaxed);
+      RbMetricsFor(RingSide::kConsumer).remote_var_reads->Increment();
     }
   }
   if (cursor == tail) {
@@ -334,6 +377,7 @@ void RingBuffer::ProcessDequeue(ReqNode* node, BatchContext* batch) {
 
 void RingBuffer::FinishBatch(RingSide side, BatchContext* batch) {
   StatsFor(side).batches.fetch_add(1, std::memory_order_relaxed);
+  RbMetricsFor(side).batches->Increment();
   if (!batch->dirty) {
     return;
   }
@@ -368,6 +412,7 @@ void RingBuffer::Reclaim() {
       if (!config_.lazy_update && PortIsRemote(RingSide::kConsumer)) {
         consumer_stats_.remote_var_writes.fetch_add(
             1, std::memory_order_relaxed);
+        RbMetricsFor(RingSide::kConsumer).remote_var_writes->Increment();
       }
     }
     reclaim_lock_.store(0, std::memory_order_release);

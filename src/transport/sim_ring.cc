@@ -1,6 +1,8 @@
 #include "src/transport/sim_ring.h"
 
 #include "src/base/logging.h"
+#include "src/base/metrics.h"
+#include "src/sim/trace.h"
 
 namespace solros {
 namespace {
@@ -92,10 +94,15 @@ Task<void> SimRing::ChargeControl(uint64_t transactions) {
   if (transactions == 0) {
     co_return;
   }
+  static Counter* const txns =
+      MetricRegistry::Default().GetCounter("transport.ring.control_txns");
+  txns->Increment(transactions);
+  TRACE_SPAN(sim_, "ring", "ring.sync");
   co_await control_line_.Use(transactions * params_.pcie_transaction_latency);
 }
 
 Task<Status> SimRing::TrySend(std::span<const uint8_t> payload) {
+  TRACE_SPAN(sim_, "ring", "ring.enqueue");
   Processor* cpu = config_.producer_cpu;
   co_await cpu->Compute(params_.rb_op_cpu);
 
@@ -105,6 +112,7 @@ Task<Status> SimRing::TrySend(std::span<const uint8_t> payload) {
   uint64_t txn_after = ring_.producer_stats().remote_transactions();
   co_await ChargeControl(txn_after - txn_before);
   if (rc == kRbWouldBlock) {
+    TRACE_INSTANT(sim_, "ring", "ring.enqueue.would_block");
     co_return WouldBlockError();
   }
   if (rc != kRbOk) {
@@ -115,6 +123,12 @@ Task<Status> SimRing::TrySend(std::span<const uint8_t> payload) {
                     static_cast<uint32_t>(payload.size()));
   ring_.SetReady(rb_buf);
   ++sent_;
+  static Counter* const sends =
+      MetricRegistry::Default().GetCounter("transport.ring.messages_sent");
+  static Counter* const bytes =
+      MetricRegistry::Default().GetCounter("transport.ring.bytes_sent");
+  sends->Increment();
+  bytes->Increment(payload.size());
   ++data_epoch_;
   data_avail_.NotifyAll();
   co_return OkStatus();
@@ -132,12 +146,14 @@ Task<Status> SimRing::Send(std::span<const uint8_t> payload) {
     }
     // Only sleep if no space was released while we were polling.
     while (space_epoch_ == epoch && !closed_) {
+      TRACE_SPAN(sim_, "ring", "ring.wait.full");
       co_await space_avail_.Wait();
     }
   }
 }
 
 Task<Result<std::vector<uint8_t>>> SimRing::TryReceive() {
+  TRACE_SPAN(sim_, "ring", "ring.dequeue");
   Processor* cpu = config_.consumer_cpu;
   co_await cpu->Compute(params_.rb_op_cpu);
 
@@ -156,6 +172,9 @@ Task<Result<std::vector<uint8_t>>> SimRing::TryReceive() {
   ring_.CopyFromRbBuf(out.data(), rb_buf, size);
   ring_.SetDone(rb_buf);
   ++received_;
+  static Counter* const recvs =
+      MetricRegistry::Default().GetCounter("transport.ring.messages_received");
+  recvs->Increment();
   ++space_epoch_;
   space_avail_.NotifyAll();
   co_return out;
@@ -173,6 +192,7 @@ Task<Result<std::vector<uint8_t>>> SimRing::Receive() {
     }
     // Only sleep if nothing became ready while we were polling.
     while (data_epoch_ == epoch && !closed_) {
+      TRACE_SPAN(sim_, "ring", "ring.wait.empty");
       co_await data_avail_.Wait();
     }
   }

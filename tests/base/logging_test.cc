@@ -1,0 +1,102 @@
+#include "src/base/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+namespace solros {
+namespace {
+
+// Captures everything written to std::cerr while in scope.
+class CerrCapture {
+ public:
+  CerrCapture() : old_(std::cerr.rdbuf(buffer_.rdbuf())) {}
+  ~CerrCapture() { std::cerr.rdbuf(old_); }
+  std::string str() const { return buffer_.str(); }
+
+ private:
+  std::ostringstream buffer_;
+  std::streambuf* old_;
+};
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = GetMinLogSeverity(); }
+  void TearDown() override { SetMinLogSeverity(saved_); }
+  LogSeverity saved_;
+};
+
+TEST_F(LoggingTest, MessagesBelowMinSeverityAreDropped) {
+  SetMinLogSeverity(LogSeverity::kWarning);
+  CerrCapture capture;
+  LOG(INFO) << "quiet info";
+  LOG(DEBUG) << "quiet debug";
+  LOG(WARNING) << "loud warning";
+  LOG(ERROR) << "loud error";
+  std::string out = capture.str();
+  EXPECT_EQ(out.find("quiet info"), std::string::npos);
+  EXPECT_EQ(out.find("quiet debug"), std::string::npos);
+  EXPECT_NE(out.find("loud warning"), std::string::npos);
+  EXPECT_NE(out.find("loud error"), std::string::npos);
+}
+
+TEST_F(LoggingTest, DebugLevelEnablesEverything) {
+  SetMinLogSeverity(LogSeverity::kDebug);
+  CerrCapture capture;
+  LOG(DEBUG) << "dbg line";
+  EXPECT_NE(capture.str().find("dbg line"), std::string::npos);
+}
+
+TEST_F(LoggingTest, LinesCarrySeverityTagAndLocation) {
+  SetMinLogSeverity(LogSeverity::kInfo);
+  CerrCapture capture;
+  LOG(WARNING) << "tagged";
+  std::string out = capture.str();
+  EXPECT_NE(out.find("[W "), std::string::npos);
+  EXPECT_NE(out.find("logging_test.cc"), std::string::npos);
+}
+
+TEST(ParseLogSeverityTest, AcceptsNamesAnyCaseAndDigits) {
+  EXPECT_EQ(ParseLogSeverity("debug"), LogSeverity::kDebug);
+  EXPECT_EQ(ParseLogSeverity("INFO"), LogSeverity::kInfo);
+  EXPECT_EQ(ParseLogSeverity("Warning"), LogSeverity::kWarning);
+  EXPECT_EQ(ParseLogSeverity("warn"), LogSeverity::kWarning);
+  EXPECT_EQ(ParseLogSeverity("error"), LogSeverity::kError);
+  EXPECT_EQ(ParseLogSeverity("FATAL"), LogSeverity::kFatal);
+  EXPECT_EQ(ParseLogSeverity("0"), LogSeverity::kDebug);
+  EXPECT_EQ(ParseLogSeverity("4"), LogSeverity::kFatal);
+  EXPECT_EQ(ParseLogSeverity(""), std::nullopt);
+  EXPECT_EQ(ParseLogSeverity("5"), std::nullopt);
+  EXPECT_EQ(ParseLogSeverity("verbose"), std::nullopt);
+}
+
+TEST(CheckDeathTest, CheckEqPrintsBothOperandsAndContext) {
+  EXPECT_DEATH(CHECK_EQ(2, 3) << "ctx",
+               "Check failed: 2 == 3 \\(2 vs 3\\) ctx");
+}
+
+TEST(CheckDeathTest, CheckPrintsExpression) {
+  EXPECT_DEATH(CHECK(1 < 0) << "because", "Check failed: 1 < 0 because");
+}
+
+TEST(CheckDeathTest, FatalLogsAlwaysPrintEvenWhenFiltered) {
+  // kFatal bypasses the severity filter entirely.
+  EXPECT_DEATH(
+      {
+        SetMinLogSeverity(LogSeverity::kFatal);
+        LOG(FATAL) << "going down";
+      },
+      "going down");
+}
+
+TEST_F(LoggingTest, CheckPassesQuietly) {
+  CerrCapture capture;
+  CHECK(true) << "never shown";
+  CHECK_EQ(4, 4) << "never shown";
+  CHECK_GE(5, 4);
+  EXPECT_EQ(capture.str(), "");
+}
+
+}  // namespace
+}  // namespace solros

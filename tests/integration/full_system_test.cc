@@ -5,11 +5,14 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <string_view>
 
 #include "src/apps/kv_store.h"
+#include "src/base/metrics.h"
 #include "src/base/prng.h"
 #include "src/core/machine.h"
 #include "src/sim/sync.h"
+#include "src/sim/trace.h"
 
 namespace solros {
 namespace {
@@ -180,6 +183,79 @@ TEST(PerformanceAnchorTest, SolrosWriteApproachesWriteCeiling) {
   double bw = RateBps(MiB(16), machine.sim().now() - t0);
   EXPECT_GT(bw, 1.0e9) << bw / 1e9 << " GB/s";
   EXPECT_LE(bw, 1.2e9 + 1e8);
+}
+
+TEST(ObservabilityTest, FsReadRpcProducesExpectedSpanSequence) {
+  // One aligned P2P read must produce the canonical span nest:
+  //   fs.stub.call > fs.proxy.service > fs.data.p2p > nvme.batch
+  Tracer tracer;  // declared before the machine: outlives every frame
+  MachineConfig config;
+  config.num_phis = 1;
+  config.nvme_capacity = MiB(64);
+  config.enable_network = false;
+  Machine machine(std::move(config));
+  CHECK_OK(RunSim(machine.sim(), machine.FormatFs()));
+  FsStub& stub = machine.fs_stub(0);
+  auto ino = RunSim(machine.sim(), stub.Create("/obs"));
+  ASSERT_TRUE(ino.ok());
+  DeviceBuffer src(machine.phi_device(0), KiB(256));
+  CHECK_OK(RunSim(machine.sim(), stub.Write(*ino, 0, MemRef::Of(src))));
+
+  // Bind after setup so only the read under test is traced.
+  tracer.Bind(&machine.sim());
+  uint64_t stub_calls_before =
+      MetricRegistry::Default().GetCounter("fs.stub.calls")->value();
+  uint64_t proxy_reqs_before =
+      MetricRegistry::Default().GetCounter("fs.proxy.requests")->value();
+  DeviceBuffer dst(machine.phi_device(0), KiB(256));
+  auto n = RunSim(machine.sim(), stub.Read(*ino, 0, MemRef::Of(dst)));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, KiB(256));
+
+  EXPECT_EQ(tracer.CountSpans("fs.stub.call"), 1u);
+  EXPECT_EQ(tracer.CountSpans("fs.stage.stub_cpu"), 1u);
+  EXPECT_EQ(tracer.CountSpans("fs.stage.rpc_wait"), 1u);
+  EXPECT_EQ(tracer.CountSpans("fs.proxy.service"), 1u);
+  EXPECT_EQ(tracer.CountSpans("fs.stage.proxy_cpu"), 1u);
+  EXPECT_EQ(tracer.CountSpans("fs.data.p2p"), 1u);
+  EXPECT_GE(tracer.CountSpans("nvme.batch"), 1u);
+  EXPECT_GE(tracer.CountSpans("ring.enqueue"), 2u);  // request + response
+  EXPECT_GE(tracer.CountSpans("ring.dequeue"), 2u);
+
+  auto find = [&](std::string_view name) -> const SpanRecord* {
+    for (const SpanRecord& span : tracer.spans()) {
+      if (!span.open && span.name == name) {
+        return &span;
+      }
+    }
+    return nullptr;
+  };
+  const SpanRecord* call = find("fs.stub.call");
+  const SpanRecord* service = find("fs.proxy.service");
+  const SpanRecord* p2p = find("fs.data.p2p");
+  const SpanRecord* batch = find("nvme.batch");
+  ASSERT_NE(call, nullptr);
+  ASSERT_NE(service, nullptr);
+  ASSERT_NE(p2p, nullptr);
+  ASSERT_NE(batch, nullptr);
+  EXPECT_LE(call->begin, service->begin);
+  EXPECT_GE(call->end, service->end);
+  EXPECT_LE(service->begin, p2p->begin);
+  EXPECT_GE(service->end, p2p->end);
+  EXPECT_LE(p2p->begin, batch->begin);
+  EXPECT_GE(p2p->end, batch->end);
+
+  // The registry saw exactly this one RPC.
+  EXPECT_EQ(
+      MetricRegistry::Default().GetCounter("fs.stub.calls")->value() -
+          stub_calls_before,
+      1u);
+  EXPECT_EQ(
+      MetricRegistry::Default().GetCounter("fs.proxy.requests")->value() -
+          proxy_reqs_before,
+      1u);
+  EXPECT_GE(MetricRegistry::Default().GetHistogram("fs.stub.call_ns")->max(),
+            1u);
 }
 
 TEST(FullSystemTest, StubErrorsPropagateCleanly) {

@@ -1,0 +1,209 @@
+#include "src/sim/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "src/sim/task.h"
+
+namespace solros {
+namespace {
+
+TEST(TracerTest, SpansRecordSimulatedTime) {
+  Simulator sim;
+  Tracer tracer(&sim);
+  EXPECT_EQ(sim.tracer(), &tracer);
+  uint64_t outer = tracer.BeginSpan("track", "outer");
+  sim.RunUntil(100);
+  uint64_t inner = tracer.BeginSpan("track", "inner");
+  sim.RunUntil(150);
+  tracer.EndSpan(inner);
+  sim.RunUntil(240);
+  tracer.EndSpan(outer);
+
+  ASSERT_EQ(tracer.spans().size(), 2u);
+  const SpanRecord& o = tracer.spans()[0];
+  const SpanRecord& i = tracer.spans()[1];
+  EXPECT_EQ(o.name, "outer");
+  EXPECT_EQ(o.begin, 0u);
+  EXPECT_EQ(o.end, 240u);
+  EXPECT_FALSE(o.open);
+  // Proper nesting: inner is contained in outer.
+  EXPECT_GE(i.begin, o.begin);
+  EXPECT_LE(i.end, o.end);
+  EXPECT_EQ(tracer.TotalDuration("outer"), 240u);
+  EXPECT_EQ(tracer.TotalDuration("inner"), 50u);
+  EXPECT_EQ(tracer.CountSpans("outer"), 1u);
+  EXPECT_EQ(tracer.CountSpans("missing"), 0u);
+}
+
+TEST(TracerTest, ScopedSpanIsNullSafeAndClosesOnScopeExit) {
+  Simulator sim;  // no tracer bound
+  {
+    ScopedSpan noop(&sim, "t", "ignored");  // must not crash
+  }
+  Tracer tracer(&sim);
+  {
+    ScopedSpan span(&sim, "t", "scoped");
+    sim.RunUntil(30);
+  }
+  EXPECT_EQ(tracer.CountSpans("scoped"), 1u);
+  EXPECT_EQ(tracer.TotalDuration("scoped"), 30u);
+}
+
+TEST(TracerTest, InstantsAndClear) {
+  Simulator sim;
+  Tracer tracer(&sim);
+  sim.RunUntil(7);
+  tracer.Instant("t", "tick");
+  ASSERT_EQ(tracer.instants().size(), 1u);
+  EXPECT_EQ(tracer.instants()[0].at, 7u);
+  tracer.Clear();
+  EXPECT_TRUE(tracer.spans().empty());
+  EXPECT_TRUE(tracer.instants().empty());
+}
+
+TEST(TracerTest, OpenSpansAreOmittedFromExportAndQueries) {
+  Simulator sim;
+  Tracer tracer(&sim);
+  tracer.BeginSpan("t", "never_closed");
+  sim.RunUntil(50);
+  uint64_t closed = tracer.BeginSpan("t", "closed");
+  sim.RunUntil(90);
+  tracer.EndSpan(closed);
+  EXPECT_EQ(tracer.TotalDuration("never_closed"), 0u);
+  std::ostringstream os;
+  tracer.ExportChromeTrace(os);
+  std::string json = os.str();
+  EXPECT_EQ(json.find("never_closed"), std::string::npos);
+  EXPECT_NE(json.find("closed"), std::string::npos);
+}
+
+// Produces a deterministic multi-component trace via coroutines.
+std::string RunScenario() {
+  Simulator sim;
+  Tracer tracer(&sim);
+  auto worker = [](Simulator* s, int id) -> Task<void> {
+    Tracer* t = s->tracer();
+    ScopedSpan outer(t, "worker" + std::to_string(id), "work");
+    co_await Delay(Nanos(10 * (id + 1)));
+    {
+      ScopedSpan inner(t, "worker" + std::to_string(id), "inner");
+      co_await Delay(Nanos(5));
+    }
+    t->Instant("worker" + std::to_string(id), "done");
+  };
+  for (int i = 0; i < 3; ++i) {
+    Spawn(sim, worker(&sim, i));
+  }
+  sim.RunUntilIdle();
+  std::ostringstream os;
+  tracer.ExportChromeTrace(os);
+  return os.str();
+}
+
+TEST(TracerTest, ExportIsByteIdenticalAcrossIdenticalRuns) {
+  std::string first = RunScenario();
+  std::string second = RunScenario();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+TEST(TracerTest, ExportIsStructurallyValidChromeTrace) {
+  std::string json = RunScenario();
+  // Must be one object with a traceEvents array.
+  EXPECT_EQ(json.rfind("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[", 0),
+            0u);
+  // Balanced braces/brackets outside of strings.
+  int brace = 0;
+  int bracket = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    char c = json[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_string = true;
+        break;
+      case '{':
+        ++brace;
+        break;
+      case '}':
+        --brace;
+        break;
+      case '[':
+        ++bracket;
+        break;
+      case ']':
+        --bracket;
+        break;
+      default:
+        break;
+    }
+    ASSERT_GE(brace, 0);
+    ASSERT_GE(bracket, 0);
+  }
+  EXPECT_EQ(brace, 0);
+  EXPECT_EQ(bracket, 0);
+  EXPECT_FALSE(in_string);
+  // Metadata names the process and each track lane.
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"worker0\""), std::string::npos);
+  // Complete events and instants are present.
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+}
+
+TEST(TracerTest, OverlappingSpansSplitIntoNestedLanes) {
+  // Two spans overlap without nesting on one track: the exporter must put
+  // them on different lanes (tids) so each lane stays properly nested.
+  Simulator sim;
+  Tracer tracer(&sim);
+  uint64_t a = tracer.BeginSpan("t", "a");  // [0, 100)
+  sim.RunUntil(60);
+  uint64_t b = tracer.BeginSpan("t", "b");  // [60, 140) -- overlaps a
+  sim.RunUntil(100);
+  tracer.EndSpan(a);
+  sim.RunUntil(140);
+  tracer.EndSpan(b);
+  std::ostringstream os;
+  tracer.ExportChromeTrace(os);
+  std::string json = os.str();
+  // Lane 1 keeps the base name; lane 2 is named t.1.
+  EXPECT_NE(json.find("\"name\":\"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"t.1\""), std::string::npos);
+}
+
+TEST(TracerTest, TimestampsCarryNanosecondFraction) {
+  Simulator sim;
+  Tracer tracer(&sim);
+  sim.RunUntil(1234);  // 1.234 us
+  uint64_t id = tracer.BeginSpan("t", "s");
+  sim.RunUntil(2236);
+  tracer.EndSpan(id);
+  std::ostringstream os;
+  tracer.ExportChromeTrace(os);
+  std::string json = os.str();
+  EXPECT_NE(json.find("\"ts\":1.234"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":1.002"), std::string::npos);
+}
+
+TEST(TracerTest, ExportToFileRejectsBadPath) {
+  Simulator sim;
+  Tracer tracer(&sim);
+  Status status =
+      tracer.ExportChromeTraceToFile("/nonexistent-dir/trace.json");
+  EXPECT_FALSE(status.ok());
+}
+
+}  // namespace
+}  // namespace solros
