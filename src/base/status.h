@@ -90,6 +90,9 @@ inline Status FailedPreconditionError(std::string msg) {
 inline Status IoError(std::string msg) {
   return Status(ErrorCode::kIoError, std::move(msg));
 }
+inline Status TimedOutError(std::string msg) {
+  return Status(ErrorCode::kTimedOut, std::move(msg));
+}
 inline Status InternalError(std::string msg) {
   return Status(ErrorCode::kInternal, std::move(msg));
 }

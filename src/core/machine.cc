@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "src/base/fault.h"
 #include "src/base/logging.h"
 #include "src/base/metrics.h"
 
@@ -41,6 +42,7 @@ Machine::Machine(MachineConfig config) : config_(std::move(config)) {
                                        nvme_device_, config_.nvme_capacity,
                                        host_cpu_.get());
   store_ = std::make_unique<NvmeBlockStore>(nvme_.get(), host_cpu_.get());
+  store_->set_retry_policy(config_.nvme_retry);
   fs_ = std::make_unique<SolrosFs>(store_.get(), &sim_);
   fs_proxy_ = std::make_unique<FsProxy>(&sim_, fabric_.get(), params,
                                         host_cpu_.get(), store_.get(),
@@ -83,6 +85,7 @@ Machine::Machine(MachineConfig config) : config_(std::move(config)) {
     fs_stubs_.push_back(std::make_unique<FsStub>(
         &sim_, params, phi_cpu, rings.fs_request.get(),
         rings.fs_response.get(), static_cast<uint32_t>(i)));
+    fs_stubs_.back()->set_retry_options(config_.rpc_retry);
     fs_proxy_->Serve(rings.fs_request.get(), rings.fs_response.get());
 
     if (config_.enable_network) {
@@ -101,6 +104,7 @@ Machine::Machine(MachineConfig config) : config_(std::move(config)) {
           &sim_, params, phi_cpu, rings.net_request.get(),
           rings.net_response.get(), rings.inbound.get(),
           rings.outbound.get()));
+      net_stubs_.back()->set_retry_options(config_.rpc_retry);
     }
   }
 }
@@ -131,6 +135,10 @@ void Machine::DumpStats(std::ostream& os) {
   os << "fs-proxy: " << fs.requests << " rpcs; reads p2p/buffered "
      << fs.p2p_reads << "/" << fs.buffered_reads << "; writes p2p/buffered "
      << fs.p2p_writes << "/" << fs.buffered_writes << "\n";
+  if (fs.degraded_reads + fs.degraded_writes > 0) {
+    os << "fs-proxy degradations: reads " << fs.degraded_reads
+       << ", writes " << fs.degraded_writes << "\n";
+  }
   if (fs_proxy_->cache() != nullptr) {
     BufferCache* cache = fs_proxy_->cache();
     os << "buffer-cache: " << cache->hits() << " hits, " << cache->misses()
@@ -163,6 +171,10 @@ void Machine::DumpStats(std::ostream& os) {
   }
   os << "--- metric registry ---\n";
   MetricRegistry::Default().DumpText(os);
+  if (Faults().any_armed()) {
+    os << "--- fault points ---\n";
+    Faults().DumpText(os);
+  }
 }
 
 }  // namespace solros

@@ -49,6 +49,9 @@ struct MachineConfig {
   uint64_t nvme_capacity = GiB(2);
 
   FsProxy::Options fs_options;
+  // Recovery policies, consulted only while fault injection is armed.
+  RpcRetryOptions rpc_retry;                 // FS and net stub calls
+  NvmeBlockStore::RetryPolicy nvme_retry;    // block-store resubmission
   size_t rpc_ring_capacity = MiB(1);
   size_t outbound_ring_capacity = MiB(4);
   // §4.4.1 uses 128 MB; kept smaller by default because ring memory is

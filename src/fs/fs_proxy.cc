@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/base/fault.h"
 #include "src/base/logging.h"
 #include "src/base/metrics.h"
 #include "src/sim/trace.h"
@@ -12,6 +13,19 @@ namespace {
 
 // How many leading blocks of a range the cache-hit probe inspects.
 constexpr uint64_t kCacheProbeBlocks = 8;
+
+// Consecutive faulted P2P transfers before the P2P path goes on cooldown,
+// and how many subsequent requests route straight to buffered I/O.
+constexpr uint32_t kP2pFaultStreakLimit = 3;
+constexpr uint64_t kP2pCooldownRequests = 16;
+
+// DMA copy attempts while faults are armed.
+constexpr int kDmaMaxAttempts = 3;
+
+bool DegradableFault(const Status& status) {
+  return status.code() == ErrorCode::kTimedOut ||
+         status.code() == ErrorCode::kIoError;
+}
 
 }  // namespace
 
@@ -225,9 +239,28 @@ Task<FsResponse> FsProxy::HandleMeta(const FsRequest& request) {
   co_return response;
 }
 
+void FsProxy::NoteP2pFault() {
+  if (++p2p_fault_streak_ < kP2pFaultStreakLimit) {
+    return;
+  }
+  p2p_fault_streak_ = 0;
+  p2p_cooldown_until_ = stats_.requests + kP2pCooldownRequests;
+  static Counter* const cooldowns =
+      MetricRegistry::Default().GetCounter("fs.proxy.p2p_cooldowns");
+  cooldowns->Increment();
+  TRACE_INSTANT(sim_, "proxy", "fs.proxy.p2p_cooldown");
+}
+
 Task<Result<bool>> FsProxy::ShouldUseP2p(const FsRequest& request,
                                          uint64_t length) {
   if (!options_.allow_p2p) {
+    co_return false;
+  }
+  // A streak of faulted P2P transfers parks the path for a while.
+  if (stats_.requests < p2p_cooldown_until_) {
+    static Counter* const skips =
+        MetricRegistry::Default().GetCounter("fs.proxy.p2p_cooldown_skips");
+    skips->Increment();
     co_return false;
   }
   // O_BUFFER forces buffered mode.
@@ -288,6 +321,7 @@ Task<FsResponse> FsProxy::HandleRead(const FsRequest& request) {
   if (!p2p.ok()) {
     co_return ErrorResponse(p2p.status());
   }
+  bool use_buffered = !*p2p;
   if (*p2p) {
     ++stats_.p2p_reads;
     static Counter* const p2p_reads =
@@ -300,10 +334,24 @@ Task<FsResponse> FsProxy::HandleRead(const FsRequest& request) {
     }
     Status status = co_await store_->ReadExtents(
         *extents, request.memory.Sub(0, length), options_.coalesce_nvme);
-    if (!status.ok()) {
+    if (status.ok()) {
+      NoteP2pSuccess();
+    } else if (DegradableFault(status)) {
+      // Degrade: re-serve the whole range host-staged. The buffered path
+      // rewrites every target byte, so a partially-landed P2P vector can
+      // never leak through as silent corruption.
+      NoteP2pFault();
+      ++stats_.degraded_reads;
+      static Counter* const degraded =
+          MetricRegistry::Default().GetCounter("fs.proxy.p2p_degraded");
+      degraded->Increment();
+      TRACE_INSTANT(sim_, "proxy", "fs.proxy.p2p_degraded");
+      use_buffered = true;
+    } else {
       co_return ErrorResponse(status);
     }
-  } else {
+  }
+  if (use_buffered) {
     ++stats_.buffered_reads;
     static Counter* const buffered_reads =
         MetricRegistry::Default().GetCounter("fs.proxy.buffered_reads");
@@ -347,16 +395,27 @@ Task<FsResponse> FsProxy::HandleWrite(const FsRequest& request) {
       }
       Status status = co_await store_->WriteExtents(
           *extents, request.memory.Sub(0, length), options_.coalesce_nvme);
-      if (!status.ok()) {
+      if (status.ok()) {
+        NoteP2pSuccess();
+        response.value = length;
+        co_return response;
+      }
+      if (!DegradableFault(status)) {
         co_return ErrorResponse(status);
       }
-      response.value = length;
-      co_return response;
-    }
-    if (extents.code() != ErrorCode::kFailedPrecondition) {
+      // Degrade: rewrite the whole range through the buffered path. The
+      // same bytes go to the same already-allocated blocks, so a partially
+      // landed P2P vector is simply overwritten.
+      NoteP2pFault();
+      ++stats_.degraded_writes;
+      static Counter* const degraded =
+          MetricRegistry::Default().GetCounter("fs.proxy.p2p_degraded");
+      degraded->Increment();
+      TRACE_INSTANT(sim_, "proxy", "fs.proxy.p2p_degraded");
+    } else if (extents.code() != ErrorCode::kFailedPrecondition) {
       co_return ErrorResponse(extents.status());
     }
-    // Gap past EOF: fall through to the buffered path.
+    // Gap past EOF (or a faulted P2P write): fall through to buffered.
   }
   ++stats_.buffered_writes;
   static Counter* const buffered_writes =
@@ -370,6 +429,24 @@ Task<FsResponse> FsProxy::HandleWrite(const FsRequest& request) {
   }
   response.value = length;
   co_return response;
+}
+
+Task<Status> FsProxy::DmaCopyWithRetry(MemRef dst, MemRef src) {
+  const int attempts = Faults().any_armed() ? kDmaMaxAttempts : 1;
+  Nanos backoff = params_.dma_init_host;
+  Status status;
+  for (int attempt = 1;; ++attempt) {
+    status = co_await host_dma_.Copy(dst, src);
+    if (status.ok() || attempt >= attempts) {
+      co_return status;
+    }
+    static Counter* const retries =
+        MetricRegistry::Default().GetCounter("fs.proxy.dma_retries");
+    retries->Increment();
+    TRACE_INSTANT(sim_, "proxy", "fs.proxy.dma_retry");
+    co_await Delay(backoff);
+    backoff *= 2;
+  }
 }
 
 Task<Status> FsProxy::BufferedRead(uint64_t ino, uint64_t offset,
@@ -432,8 +509,8 @@ Task<Status> FsProxy::BufferedRead(uint64_t ino, uint64_t offset,
     std::memcpy(target.span().data(), bounce.data() + in_off, length);
     co_await Delay(TransferTime(length, params_.host_mem_bw));
   } else {
-    co_await host_dma_.Copy(target.Sub(0, length),
-                            MemRef::Of(bounce, in_off, length));
+    SOLROS_CO_RETURN_IF_ERROR(co_await DmaCopyWithRetry(
+        target.Sub(0, length), MemRef::Of(bounce, in_off, length)));
   }
   co_return OkStatus();
 }
@@ -447,7 +524,8 @@ Task<Status> FsProxy::BufferedWrite(uint64_t ino, uint64_t offset,
     std::memcpy(bounce.data(), source.span().data(), length);
     co_await Delay(TransferTime(length, params_.host_mem_bw));
   } else {
-    co_await host_dma_.Copy(MemRef::Of(bounce), source.Sub(0, length));
+    SOLROS_CO_RETURN_IF_ERROR(
+        co_await DmaCopyWithRetry(MemRef::Of(bounce), source.Sub(0, length)));
   }
   SOLROS_CO_ASSIGN_OR_RETURN(
       uint64_t written,
@@ -496,8 +574,11 @@ Task<FsResponse> FsProxy::HandleReaddir(const FsRequest& request) {
     if (request.memory.device() == host_cpu_->device()) {
       std::memcpy(request.memory.span().data(), bounce.data(), staged.size());
     } else {
-      co_await host_dma_.Copy(request.memory.Sub(0, staged.size()),
-                              MemRef::Of(bounce));
+      Status status = co_await DmaCopyWithRetry(
+          request.memory.Sub(0, staged.size()), MemRef::Of(bounce));
+      if (!status.ok()) {
+        co_return ErrorResponse(status);
+      }
     }
   }
   response.value = produced;

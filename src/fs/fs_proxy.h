@@ -44,6 +44,9 @@ struct FsProxyStats {
   uint64_t p2p_writes = 0;
   uint64_t buffered_reads = 0;
   uint64_t buffered_writes = 0;
+  // P2P transfers that faulted and were re-served via the buffered path.
+  uint64_t degraded_reads = 0;
+  uint64_t degraded_writes = 0;
 };
 
 class FsProxy {
@@ -93,6 +96,16 @@ class FsProxy {
   Task<Status> BufferedWrite(uint64_t ino, uint64_t offset, uint64_t length,
                              MemRef source);
 
+  // Host DMA with bounded resubmission while faults are armed (the engine
+  // aborts before moving bytes, so a reissue is safe).
+  Task<Status> DmaCopyWithRetry(MemRef dst, MemRef src);
+
+  // P2P health tracking: a run of faulted P2P transfers puts the P2P path
+  // on cooldown so requests stop paying the fault-and-degrade latency and
+  // go straight to the (working) buffered path for a while.
+  void NoteP2pFault();
+  void NoteP2pSuccess() { p2p_fault_streak_ = 0; }
+
   static FsResponse ErrorResponse(const Status& status);
 
   Simulator* sim_;
@@ -106,6 +119,8 @@ class FsProxy {
   std::unique_ptr<BufferCache> cache_;
   std::vector<std::unique_ptr<RpcServer<FsRequest, FsResponse>>> servers_;
   FsProxyStats stats_;
+  uint32_t p2p_fault_streak_ = 0;
+  uint64_t p2p_cooldown_until_ = 0;  // request ordinal; 0 = not cooling down
 };
 
 }  // namespace solros

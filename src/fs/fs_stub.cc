@@ -1,9 +1,36 @@
 #include "src/fs/fs_stub.h"
 
+#include "src/base/fault.h"
 #include "src/base/metrics.h"
 #include "src/sim/trace.h"
 
 namespace solros {
+namespace {
+
+// Data ops can be reissued safely: reads and stats have no side effects,
+// and writes/truncates put the same bytes at the same place. Namespace
+// mutations are not idempotent (a replayed create observes kAlreadyExists).
+bool IsIdempotent(FsOp op) {
+  switch (op) {
+    case FsOp::kOpen:
+    case FsOp::kRead:
+    case FsOp::kWrite:
+    case FsOp::kStat:
+    case FsOp::kReaddir:
+    case FsOp::kTruncate:
+    case FsOp::kFsync:
+      return true;
+    case FsOp::kCreate:
+    case FsOp::kUnlink:
+    case FsOp::kMkdir:
+    case FsOp::kRmdir:
+    case FsOp::kRename:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
 
 FsStub::FsStub(Simulator* sim, const HwParams& params, Processor* phi_cpu,
                SimRing* request_ring, SimRing* response_ring,
@@ -34,10 +61,43 @@ Task<Result<FsResponse>> FsStub::Call(FsRequest request) {
     ScopedSpan cpu(sim_, "stub", "fs.stage.stub_cpu");
     co_await phi_cpu_->Compute(params_.fs_stub_cpu);
   }
+  // Per-attempt timeouts exist only while faults are armed; a fault-free
+  // run makes a single untimed attempt with an unchanged schedule. The
+  // window scales with the payload: a multi-MiB transfer legitimately runs
+  // for tens of milliseconds (the 4 ns/byte allowance is ~4x the slowest
+  // data path), and a fixed window would misread it as a lost frame.
+  const bool idempotent = IsIdempotent(request.op);
+  const Nanos timeout =
+      Faults().any_armed() ? retry_.timeout + request.length * 4 : 0;
+  Nanos backoff = retry_.backoff;
   Result<FsResponse> rpc = Status(ErrorCode::kInternal);
-  {
-    ScopedSpan wait(sim_, "stub", "fs.stage.rpc_wait");
-    rpc = co_await client_.Call(request);
+  for (int attempt = 1;; ++attempt) {
+    {
+      ScopedSpan wait(sim_, "stub", "fs.stage.rpc_wait");
+      rpc = co_await client_.Call(request, timeout);
+    }
+    const bool transport_error = !rpc.ok();
+    ErrorCode code = transport_error ? rpc.code() : rpc.value().error;
+    if (code == ErrorCode::kOk) {
+      break;
+    }
+    // A transport timeout leaves the outcome unknown, so it is safe to
+    // reissue anything (at-least-once for namespace ops). Server-reported
+    // timeouts / I/O errors mean the op did not apply; reissue only ops
+    // that are idempotent anyway.
+    const bool retryable =
+        idempotent ? (code == ErrorCode::kTimedOut ||
+                      code == ErrorCode::kIoError)
+                   : (transport_error && code == ErrorCode::kTimedOut);
+    if (!retryable || attempt >= retry_.max_attempts) {
+      break;
+    }
+    static Counter* const retries =
+        MetricRegistry::Default().GetCounter("fs.stub.retries");
+    retries->Increment();
+    TRACE_INSTANT(sim_, "stub", "fs.stub.retry");
+    co_await Delay(backoff);
+    backoff *= 2;
   }
   if (!rpc.ok()) {
     co_return rpc.status();

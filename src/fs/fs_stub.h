@@ -37,6 +37,17 @@ class FsStub : public FileService {
   // buffered path, independent of set_buffered().
   Task<Result<uint64_t>> OpenBuffered(const std::string& path);
 
+  // Retry/timeout policy applied while fault injection is armed. Data ops
+  // (read/write/stat/open/readdir/truncate/fsync) are idempotent and retry
+  // on timeout or I/O error; namespace ops (create/unlink/mkdir/rmdir/
+  // rename) retry only on a transport timeout, which gives them
+  // at-least-once semantics under response loss (a retried create may see
+  // kAlreadyExists).
+  void set_retry_options(const RpcRetryOptions& options) {
+    retry_ = options;
+  }
+  const RpcRetryOptions& retry_options() const { return retry_; }
+
   Task<Result<uint64_t>> Open(const std::string& path) override;
   Task<Result<uint64_t>> Create(const std::string& path) override;
   Task<Result<uint64_t>> Read(uint64_t ino, uint64_t offset,
@@ -61,6 +72,7 @@ class FsStub : public FileService {
   HwParams params_;
   Processor* phi_cpu_;
   RpcClient<FsRequest, FsResponse> client_;
+  RpcRetryOptions retry_;
   uint32_t client_id_;
   bool buffered_ = false;
   std::set<uint64_t> buffered_inos_;  // opened with O_BUFFER

@@ -2,7 +2,10 @@
 
 #include <cstring>
 
+#include "src/base/fault.h"
 #include "src/base/logging.h"
+#include "src/base/metrics.h"
+#include "src/sim/trace.h"
 
 namespace solros {
 
@@ -25,7 +28,9 @@ Task<Status> NvmeBlockStore::Read(uint64_t lba, uint32_t nblocks,
   DeviceBuffer staging(cpu_->device(), bytes);
   NvmeCommand command{NvmeCommand::Op::kRead, lba, nblocks,
                       MemRef::Of(staging)};
-  SOLROS_CO_RETURN_IF_ERROR(co_await nvme_->SubmitOne(command, cpu_));
+  std::vector<NvmeCommand> commands(1, command);
+  SOLROS_CO_RETURN_IF_ERROR(co_await SubmitWithRetry(std::move(commands),
+                                                     /*coalesce=*/false));
   std::memcpy(out.data(), staging.data(), bytes);
   co_return OkStatus();
 }
@@ -40,10 +45,34 @@ Task<Status> NvmeBlockStore::Write(uint64_t lba, uint32_t nblocks,
   std::memcpy(staging.data(), in.data(), bytes);
   NvmeCommand command{NvmeCommand::Op::kWrite, lba, nblocks,
                       MemRef::Of(staging)};
-  co_return co_await nvme_->SubmitOne(command, cpu_);
+  std::vector<NvmeCommand> commands(1, command);
+  co_return co_await SubmitWithRetry(std::move(commands), /*coalesce=*/false);
 }
 
 Task<Status> NvmeBlockStore::Flush() { co_return OkStatus(); }
+
+Task<Status> NvmeBlockStore::SubmitWithRetry(
+    std::vector<NvmeCommand> commands, bool coalesce) {
+  // One attempt, no timers, when no faults are armed.
+  const int attempts = Faults().any_armed() ? retry_.max_attempts : 1;
+  Nanos backoff = retry_.backoff;
+  Status status;
+  for (int attempt = 1;; ++attempt) {
+    status = co_await nvme_->Submit(commands, coalesce, cpu_);
+    const bool retryable = status.code() == ErrorCode::kTimedOut ||
+                           status.code() == ErrorCode::kIoError;
+    if (status.ok() || !retryable || attempt >= attempts) {
+      co_return status;
+    }
+    static Counter* const retries =
+        MetricRegistry::Default().GetCounter("nvme.store.retries");
+    retries->Increment();
+    Simulator* sim = co_await CurrentSimulator();
+    TRACE_INSTANT(sim, "nvme", "nvme.store.retry");
+    co_await Delay(backoff);
+    backoff *= 2;
+  }
+}
 
 Task<Status> NvmeBlockStore::SubmitExtents(
     const std::vector<FsExtent>& extents, MemRef memory, NvmeCommand::Op op,
@@ -64,7 +93,7 @@ Task<Status> NvmeBlockStore::SubmitExtents(
         NvmeCommand{op, e.start, e.len, memory.Sub(offset, bytes)});
     offset += bytes;
   }
-  co_return co_await nvme_->Submit(std::move(commands), coalesce, cpu_);
+  co_return co_await SubmitWithRetry(std::move(commands), coalesce);
 }
 
 Task<Status> NvmeBlockStore::ReadExtents(const std::vector<FsExtent>& extents,

@@ -21,9 +21,21 @@ namespace solros {
 
 class NvmeBlockStore : public BlockStore {
  public:
+  // Bounded resubmission of failed/timed-out command batches. NVMe reads
+  // and writes are idempotent (same bytes to the same LBAs), so the whole
+  // batch is simply reissued. Only consulted while fault injection is
+  // armed; fault-free runs submit exactly once.
+  struct RetryPolicy {
+    int max_attempts = 3;              // total attempts including the first
+    Nanos backoff = Microseconds(50);  // first retry delay; doubles per retry
+  };
+
   // `cpu` is the processor that submits commands (the control-plane host
   // CPU in Solros; only it may touch the device, §4).
   NvmeBlockStore(NvmeDevice* nvme, Processor* cpu);
+
+  void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_; }
 
   uint32_t block_size() const override;
   uint64_t block_count() const override;
@@ -48,9 +60,14 @@ class NvmeBlockStore : public BlockStore {
   Task<Status> SubmitExtents(const std::vector<FsExtent>& extents,
                              MemRef memory, NvmeCommand::Op op,
                              bool coalesce);
+  // Submits `commands`, resubmitting the whole batch per RetryPolicy on
+  // timeout or I/O error while faults are armed.
+  Task<Status> SubmitWithRetry(std::vector<NvmeCommand> commands,
+                               bool coalesce);
 
   NvmeDevice* nvme_;
   Processor* cpu_;
+  RetryPolicy retry_;
 };
 
 }  // namespace solros

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "src/base/fault.h"
 #include "src/base/logging.h"
 #include "src/base/metrics.h"
 #include "src/sim/trace.h"
@@ -23,7 +24,7 @@ DmaEngine::DmaEngine(Simulator* sim, PcieFabric* fabric,
       channels_(sim, static_cast<size_t>(params.dma_channels),
                 fabric->NameOf(owner) + "-dma") {}
 
-Task<void> DmaEngine::Copy(MemRef dst, MemRef src) {
+Task<Status> DmaEngine::Copy(MemRef dst, MemRef src) {
   CHECK_EQ(dst.length, src.length);
   ++copies_;
   static Counter* const copies =
@@ -35,6 +36,16 @@ Task<void> DmaEngine::Copy(MemRef dst, MemRef src) {
   TRACE_SPAN(sim_, "dma", "dma.copy");
   // Channel setup: serialized on one of the engine's channels.
   co_await channels_.Use(init_latency_);
+  // An injected engine error aborts after setup but before any byte moves,
+  // mirroring a descriptor abort: the destination is untouched.
+  static FaultPoint* const dma_error = Faults().GetPoint("hw.dma.error");
+  if (dma_error->ShouldFire()) {
+    static Counter* const errors =
+        MetricRegistry::Default().GetCounter("hw.dma.errors");
+    errors->Increment();
+    TRACE_INSTANT(sim_, "dma", "fault.dma.error");
+    co_return IoError("injected dma engine error");
+  }
   // Peer-to-peer when neither end terminates in host DRAM; those transfers
   // are subject to the cross-NUMA relay cap (Fig. 1(a)).
   bool p2p = fabric_->TypeOf(src.device()) != DeviceType::kHost &&
@@ -47,6 +58,7 @@ Task<void> DmaEngine::Copy(MemRef dst, MemRef src) {
                                bandwidth_, p2p);
   }
   std::memcpy(dst.span().data(), src.span().data(), src.length);
+  co_return OkStatus();
 }
 
 Nanos DmaEngine::TimeFor(uint64_t bytes) const {

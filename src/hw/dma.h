@@ -14,6 +14,7 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "src/base/status.h"
 #include "src/base/units.h"
 #include "src/hw/fabric.h"
 #include "src/hw/memory.h"
@@ -32,7 +33,9 @@ class DmaEngine {
 
   // Copies src -> dst (equal lengths), charging channel setup plus fabric
   // occupancy; bytes are physically copied when the transfer completes.
-  Task<void> Copy(MemRef dst, MemRef src);
+  // Fails (kIoError, no bytes moved) when the `hw.dma.error` fault point
+  // fires after channel setup.
+  Task<Status> Copy(MemRef dst, MemRef src);
 
   // Estimated duration for a copy of `bytes`, ignoring queueing.
   Nanos TimeFor(uint64_t bytes) const;

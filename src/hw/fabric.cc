@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/base/fault.h"
 #include "src/base/logging.h"
 #include "src/base/metrics.h"
 #include "src/sim/trace.h"
@@ -138,6 +139,18 @@ Task<void> PcieFabric::Transfer(DeviceId src, DeviceId dst, uint64_t bytes,
   TRACE_SPAN(sim_, "pcie", "pcie.transfer");
   double bw = PathBandwidth(src, dst, initiator_rate, peer_to_peer);
   Nanos duration = TransferTime(bytes, bw);
+
+  // An injected link stall models a transient retraining / replay storm:
+  // the transfer still completes, but the path is held for the extra window
+  // so contention ripples to everything sharing those links.
+  static FaultPoint* const stall = Faults().GetPoint("hw.fabric.stall");
+  if (stall->ShouldFire()) {
+    static Counter* const stalls =
+        MetricRegistry::Default().GetCounter("hw.fabric.stalls");
+    stalls->Increment();
+    TRACE_INSTANT(sim_, "pcie", "fault.fabric.stall");
+    duration += params_.pcie_stall_latency;
+  }
 
   // Cut-through reservation: every link on the path is held for the same
   // interval, starting when the most-contended link frees up.

@@ -133,6 +133,18 @@ struct HwParams {
   Nanos nfs_call_cpu = Microseconds(20);
   uint64_t nfs_transfer_unit = KiB(64);
 
+  // -- Fault model / recovery (no paper provenance: operational constants
+  // for the injection layer; all are no-ops unless a fault point is armed) --
+  // Device-side command timeout charged when `nvme.cmd.timeout` fires: the
+  // command occupies its queue slot for this long, then completes kTimedOut.
+  Nanos nvme_timeout = Milliseconds(1);
+  // Extra latency charged to a transfer when `hw.fabric.stall` fires
+  // (transient link-level retraining / replay storm).
+  Nanos pcie_stall_latency = Microseconds(50);
+  // Extra latency charged to a ring send/receive when a transport stall
+  // point fires (consumer descheduled, producer preempted).
+  Nanos ring_stall_latency = Microseconds(20);
+
   // -- Ring-buffer / RPC ------------------------------------------------------
   // Local enqueue/dequeue CPU cost (combining amortizes atomics; §4.2.3).
   Nanos rb_op_cpu = Nanoseconds(150);

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "src/base/fault.h"
 #include "src/base/logging.h"
 #include "src/base/metrics.h"
 #include "src/sim/trace.h"
@@ -74,12 +75,34 @@ Task<void> NetStub::EventDispatcher(NetStub* self) {
   }
 }
 
+Task<Result<NetResponse>> NetStub::Call(NetRequest request) {
+  // Only a transport timeout is retried: the outcome is unknown, so the
+  // reissue gives at-least-once semantics (see set_retry_options). Timers
+  // exist only while faults are armed.
+  const Nanos timeout = Faults().any_armed() ? retry_.timeout : 0;
+  Nanos backoff = retry_.backoff;
+  Result<NetResponse> rpc = Status(ErrorCode::kInternal);
+  for (int attempt = 1;; ++attempt) {
+    rpc = co_await rpc_.Call(request, timeout);
+    if (rpc.ok() || rpc.code() != ErrorCode::kTimedOut ||
+        attempt >= retry_.max_attempts) {
+      co_return rpc;
+    }
+    static Counter* const retries =
+        MetricRegistry::Default().GetCounter("net.stub.retries");
+    retries->Increment();
+    TRACE_INSTANT(sim_, "netstub", "net.stub.retry");
+    co_await Delay(backoff);
+    backoff *= 2;
+  }
+}
+
 Task<Result<int64_t>> NetStub::Listen(uint16_t port, int backlog) {
   co_await phi_cpu_->Compute(params_.net_stub_cpu);
   NetRequest socket_req;
   socket_req.op = NetOp::kSocket;
   SOLROS_CO_ASSIGN_OR_RETURN(NetResponse created,
-                             co_await rpc_.Call(socket_req));
+                             co_await Call(socket_req));
   if (created.error != ErrorCode::kOk) {
     co_return Status(created.error);
   }
@@ -92,7 +115,7 @@ Task<Result<int64_t>> NetStub::Listen(uint16_t port, int backlog) {
   listen_req.port = port;
   listen_req.backlog = static_cast<uint16_t>(backlog);
   SOLROS_CO_ASSIGN_OR_RETURN(NetResponse listened,
-                             co_await rpc_.Call(listen_req));
+                             co_await Call(listen_req));
   if (listened.error != ErrorCode::kOk) {
     co_return Status(listened.error);
   }
@@ -157,7 +180,7 @@ Task<Status> NetStub::Close(int64_t sock) {
   request.op = NetOp::kClose;
   request.sock = sock;
   SOLROS_CO_ASSIGN_OR_RETURN(NetResponse response,
-                             co_await rpc_.Call(request));
+                             co_await Call(request));
   if (response.error != ErrorCode::kOk) {
     co_return Status(response.error);
   }

@@ -37,6 +37,15 @@ class NetStub : public ServerSocketApi {
 
   uint64_t events_dispatched() const { return events_; }
 
+  // Retry/timeout policy applied while fault injection is armed. Net RPCs
+  // mutate connection state, so only a transport timeout (outcome unknown,
+  // at-least-once) is retried; a replayed kSocket that did reach the proxy
+  // may leave an orphaned proxy-side handle, which Close() later reaps.
+  void set_retry_options(const RpcRetryOptions& options) {
+    retry_ = options;
+  }
+  const RpcRetryOptions& retry_options() const { return retry_; }
+
  private:
   struct SocketState {
     std::unique_ptr<Channel<int64_t>> accept_queue;             // listeners
@@ -46,10 +55,14 @@ class NetStub : public ServerSocketApi {
   static Task<void> EventDispatcher(NetStub* self);
   SocketState& EnsureSocket(int64_t handle);
 
+  // rpc_.Call with the stub's timeout/retry policy (see set_retry_options).
+  Task<Result<NetResponse>> Call(NetRequest request);
+
   Simulator* sim_;
   HwParams params_;
   Processor* phi_cpu_;
   RpcClient<NetRequest, NetResponse> rpc_;
+  RpcRetryOptions retry_;
   SimRing* inbound_;
   SimRing* outbound_;
   std::map<int64_t, SocketState> sockets_;

@@ -86,18 +86,23 @@ Task<NetResponse> TcpProxy::HandleRpc(uint32_t dataplane_id,
         response.error = ErrorCode::kInvalidArgument;
         break;
       }
-      if (it->second.open && it->second.conn_id != 0) {
-        ethernet_->CloseFromServer(it->second.conn_id);
-        conn_to_socket_.erase(it->second.conn_id);
-        // Balance bookkeeping.
-        for (auto& [port, group] : listeners_) {
-          for (BalanceTarget& t : group.targets) {
-            if (t.dataplane == it->second.dataplane && t.active_conns > 0) {
-              --t.active_conns;
-              break;
+      if (it->second.conn_id != 0) {
+        if (it->second.open) {
+          ethernet_->CloseFromServer(it->second.conn_id);
+          // Balance bookkeeping.
+          for (auto& [port, group] : listeners_) {
+            for (BalanceTarget& t : group.targets) {
+              if (t.dataplane == it->second.dataplane && t.active_conns > 0) {
+                --t.active_conns;
+                break;
+              }
             }
           }
         }
+        // Always retire the conn mapping — also after a client-initiated
+        // close (open == false), where leaving it behind would point later
+        // fabric events at a socket that no longer exists.
+        conn_to_socket_.erase(it->second.conn_id);
       }
       sockets_.erase(it);
       break;
@@ -123,7 +128,14 @@ Task<Status> TcpProxy::OnConnect(uint64_t conn_id, uint16_t port,
 
   PortListeners& group = it->second;
   size_t pick = policy_->Pick(client_addr, port, group.targets);
-  CHECK_LT(pick, group.members.size());
+  if (pick >= group.members.size()) {
+    // A broken policy pick refuses the connection instead of taking the
+    // whole proxy down with it.
+    static Counter* const bad_picks =
+        MetricRegistry::Default().GetCounter("net.proxy.bad_policy_picks");
+    bad_picks->Increment();
+    co_return InternalError("forwarding policy picked a bad member");
+  }
   auto [dataplane_id, stub_listener] = group.members[pick];
   ++group.targets[pick].active_conns;
   ++group.targets[pick].total_assigned;
@@ -155,7 +167,16 @@ Task<void> TcpProxy::OnClientData(uint64_t conn_id,
   if (it == conn_to_socket_.end()) {
     co_return;
   }
-  ProxySocket& socket = sockets_.at(it->second);
+  auto sock_it = sockets_.find(it->second);
+  if (sock_it == sockets_.end()) {
+    // Data raced with the socket's close; drop it like a real stack would.
+    static Counter* const dropped =
+        MetricRegistry::Default().GetCounter("net.proxy.events_dropped");
+    dropped->Increment();
+    conn_to_socket_.erase(it);
+    co_return;
+  }
+  ProxySocket& socket = sock_it->second;
   TRACE_SPAN(sim_, "netproxy", "net.proxy.inbound");
   // Full TCP receive processing on host cores (the Solros win: this would
   // run 8x slower on the Phi).
@@ -176,6 +197,9 @@ Task<void> TcpProxy::OnClientData(uint64_t conn_id,
   event.length = static_cast<uint32_t>(data.size());
   Status status = co_await SendEvent(socket.dataplane, event, data);
   if (!status.ok()) {
+    static Counter* const dropped =
+        MetricRegistry::Default().GetCounter("net.proxy.events_dropped");
+    dropped->Increment();
     LOG(WARNING) << "inbound event drop: " << status.ToString();
   }
 }
@@ -185,12 +209,23 @@ Task<void> TcpProxy::OnClientClose(uint64_t conn_id) {
   if (it == conn_to_socket_.end()) {
     co_return;
   }
-  ProxySocket& socket = sockets_.at(it->second);
+  auto sock_it = sockets_.find(it->second);
+  if (sock_it == sockets_.end()) {
+    conn_to_socket_.erase(it);
+    co_return;
+  }
+  ProxySocket& socket = sock_it->second;
   socket.open = false;
   NetEvent event;
   event.kind = NetEventKind::kPeerClosed;
   event.sock = socket.handle;
-  co_await SendEvent(socket.dataplane, event, {});
+  Status status = co_await SendEvent(socket.dataplane, event, {});
+  if (!status.ok()) {
+    static Counter* const dropped =
+        MetricRegistry::Default().GetCounter("net.proxy.events_dropped");
+    dropped->Increment();
+    LOG(WARNING) << "peer-close event drop: " << status.ToString();
+  }
 }
 
 Task<void> TcpProxy::OutboundPump(TcpProxy* self, DataPlane* dataplane) {

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <utility>
 
+#include "src/base/fault.h"
 #include "src/base/logging.h"
 #include "src/base/metrics.h"
 #include "src/sim/trace.h"
@@ -52,6 +53,33 @@ Task<Status> NvmeDevice::Execute(NvmeCommand command) {
   commands->Increment();
   SimTime cmd_start = sim_->now();
   TRACE_SPAN(sim_, "nvme", "nvme.cmd");
+
+  // Injected command faults fire before any data is transferred, so a failed
+  // command never partially applies (real controllers report such errors via
+  // the completion queue before acknowledging the data).
+  static FaultPoint* const cmd_timeout = Faults().GetPoint("nvme.cmd.timeout");
+  static FaultPoint* const cmd_fail = Faults().GetPoint("nvme.cmd.fail");
+  if (cmd_timeout->ShouldFire()) {
+    static Counter* const timeouts =
+        MetricRegistry::Default().GetCounter("nvme.cmd.timeouts");
+    timeouts->Increment();
+    TRACE_INSTANT(sim_, "nvme", "fault.nvme.timeout");
+    // The command holds its queue slot for the full timeout window.
+    co_await Delay(params_.nvme_timeout);
+    depth->Add(-1);
+    queue_slots_.Release();
+    co_return TimedOutError("injected nvme command timeout");
+  }
+  if (cmd_fail->ShouldFire()) {
+    static Counter* const failures =
+        MetricRegistry::Default().GetCounter("nvme.cmd.failures");
+    failures->Increment();
+    TRACE_INSTANT(sim_, "nvme", "fault.nvme.fail");
+    depth->Add(-1);
+    queue_slots_.Release();
+    co_return IoError("injected nvme media error");
+  }
+
   uint64_t bytes = uint64_t{command.nblocks} * params_.nvme_block_size;
   uint64_t flash_off = command.lba * params_.nvme_block_size;
   // P2P when the data buffer is not host DRAM: the SSD's DMA engine then

@@ -18,8 +18,12 @@
 
 #include <cstdint>
 #include <cstring>
+#include <optional>
+#include <span>
 #include <string>
+#include <vector>
 
+#include "src/base/fault.h"
 #include "src/base/logging.h"
 #include "src/base/status.h"
 #include "src/fs/layout.h"
@@ -174,6 +178,56 @@ std::vector<uint8_t> EncodePodWithPayload(const T& header,
   std::memcpy(out.data(), &header, sizeof(T));
   std::memcpy(out.data() + sizeof(T), payload.data(), payload.size());
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// Checksummed RPC frames
+// ---------------------------------------------------------------------------
+//
+// When any fault point is armed, fixed-size RPC request/response frames
+// carry an 8-byte FNV-1a trailer so injected corruption is detected and the
+// frame dropped instead of decoded (the retry layer then recovers via
+// timeout). With no faults armed the trailer is omitted entirely, keeping
+// frame sizes — and therefore ring copy times and schedules — bit-identical
+// to a build without fault support. DecodeFrame distinguishes the two cases
+// by frame size, which is unambiguous because these frames are fixed-size
+// PODs (payload-carrying messages use EncodePodWithPayload, not this path).
+
+inline uint64_t FrameChecksum(std::span<const uint8_t> bytes) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+template <typename T>
+std::vector<uint8_t> EncodeFrame(const T& value) {
+  std::vector<uint8_t> out = EncodePod(value);
+  if (Faults().any_armed()) {
+    uint64_t sum = FrameChecksum(out);
+    const auto* p = reinterpret_cast<const uint8_t*>(&sum);
+    out.insert(out.end(), p, p + sizeof(sum));
+  }
+  return out;
+}
+
+// Returns nullopt for a malformed or checksum-failing frame.
+template <typename T>
+std::optional<T> DecodeFrame(std::span<const uint8_t> bytes) {
+  if (bytes.size() == sizeof(T)) {
+    return DecodePod<T>(bytes);
+  }
+  if (bytes.size() != sizeof(T) + sizeof(uint64_t)) {
+    return std::nullopt;
+  }
+  uint64_t sum = 0;
+  std::memcpy(&sum, bytes.data() + sizeof(T), sizeof(sum));
+  if (FrameChecksum(bytes.subspan(0, sizeof(T))) != sum) {
+    return std::nullopt;
+  }
+  return DecodePod<T>(bytes.subspan(0, sizeof(T)));
 }
 
 }  // namespace solros

@@ -18,14 +18,27 @@
 #include <memory>
 #include <vector>
 
+#include "src/base/fault.h"
 #include "src/base/logging.h"
+#include "src/base/units.h"
+#include "src/base/metrics.h"
 #include "src/base/status.h"
 #include "src/rpc/messages.h"
 #include "src/sim/sync.h"
 #include "src/sim/task.h"
+#include "src/sim/trace.h"
 #include "src/transport/sim_ring.h"
 
 namespace solros {
+
+// Bounded-retry policy for the data-plane stubs. Timeouts and backoff are
+// engaged only while fault injection is armed; fault-free runs make exactly
+// one attempt with no timer, preserving bit-identical schedules.
+struct RpcRetryOptions {
+  int max_attempts = 4;              // total attempts including the first
+  Nanos timeout = Milliseconds(2);   // per-attempt call timeout
+  Nanos backoff = Microseconds(20);  // first retry delay; doubles per retry
+};
 
 // Client end: Call() serializes the request, sends it on `request_ring`,
 // and suspends until the matching response arrives on `response_ring`.
@@ -45,22 +58,41 @@ class RpcClient {
     response_ring_->Close();
   }
 
-  Task<Result<Response>> Call(Request request) {
+  // With `timeout` > 0 the call resolves kTimedOut once that much sim time
+  // passes without a response (the tag stays retired, so a late response is
+  // counted as stale and dropped). Callers pass a timeout only when fault
+  // injection is armed: an armed run may drop frames, and a pending timer
+  // at shutdown would perturb fault-free schedules.
+  Task<Result<Response>> Call(Request request, Nanos timeout = 0) {
     uint64_t tag = next_tag_++;
     request.tag = tag;
     Waiter waiter(sim_);
     waiters_[tag] = &waiter;
-    Status sent = co_await request_ring_->Send(
-        std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(&request),
-                                 sizeof(request)));
+    std::vector<uint8_t> frame = EncodeFrame(request);
+    static FaultPoint* const corrupt =
+        Faults().GetPoint("rpc.corrupt.request");
+    if (corrupt->ShouldFire()) {
+      static Counter* const corrupted =
+          MetricRegistry::Default().GetCounter("rpc.corrupted_requests");
+      corrupted->Increment();
+      TRACE_INSTANT(sim_, "rpc", "fault.rpc.corrupt_request");
+      frame[sizeof(Request) / 2] ^= 0xff;
+    }
+    Status sent = co_await request_ring_->Send(frame);
     if (!sent.ok()) {
       waiters_.erase(tag);
       co_return sent;
+    }
+    if (timeout > 0) {
+      Spawn(*sim_, TimeoutKick(this, tag, timeout));
     }
     while (!waiter.ready) {
       co_await waiter.cond.Wait();
     }
     waiters_.erase(tag);
+    if (waiter.timed_out) {
+      co_return TimedOutError("rpc call timed out");
+    }
     co_return waiter.response;
   }
 
@@ -72,7 +104,27 @@ class RpcClient {
     Condition cond;
     Response response;
     bool ready = false;
+    bool timed_out = false;
   };
+
+  // Looks the waiter up by tag at fire time: the Waiter lives on Call's
+  // coroutine frame, so holding a pointer across the delay would dangle if
+  // the response won the race.
+  static Task<void> TimeoutKick(RpcClient* self, uint64_t tag,
+                                Nanos timeout) {
+    co_await Delay(timeout);
+    auto it = self->waiters_.find(tag);
+    if (it == self->waiters_.end() || it->second->ready) {
+      co_return;
+    }
+    static Counter* const timeouts =
+        MetricRegistry::Default().GetCounter("rpc.call_timeouts");
+    timeouts->Increment();
+    TRACE_INSTANT(self->sim_, "rpc", "rpc.call_timeout");
+    it->second->timed_out = true;
+    it->second->ready = true;
+    it->second->cond.NotifyAll();
+  }
 
   static Task<void> Pump(RpcClient* self) {
     while (true) {
@@ -80,13 +132,24 @@ class RpcClient {
       if (!message.ok()) {
         break;  // ring closed
       }
-      Response response = DecodePod<Response>(*message);
-      auto it = self->waiters_.find(response.tag);
+      std::optional<Response> response = DecodeFrame<Response>(*message);
+      if (!response.has_value()) {
+        static Counter* const dropped = MetricRegistry::Default().GetCounter(
+            "rpc.corrupt_responses_dropped");
+        dropped->Increment();
+        TRACE_INSTANT(self->sim_, "rpc", "rpc.corrupt_response_dropped");
+        continue;  // retry layer recovers via timeout
+      }
+      auto it = self->waiters_.find(response->tag);
       if (it == self->waiters_.end()) {
-        LOG(WARNING) << "rpc response with unknown tag " << response.tag;
+        // Usually a response that lost the race with its call's timeout.
+        static Counter* const stale =
+            MetricRegistry::Default().GetCounter("rpc.stale_responses");
+        stale->Increment();
+        LOG(DEBUG) << "rpc response with unknown tag " << response->tag;
         continue;
       }
-      it->second->response = response;
+      it->second->response = *response;
       it->second->ready = true;
       it->second->cond.NotifyAll();
       ++self->completed_;
@@ -128,9 +191,26 @@ class RpcServer {
     uint64_t tag = request.tag;
     Response response = co_await self->handler_(std::move(request));
     response.tag = tag;
-    Status sent = co_await self->response_ring_->Send(
-        std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(&response),
-                                 sizeof(response)));
+    static FaultPoint* const drop = Faults().GetPoint("rpc.drop.response");
+    if (drop->ShouldFire()) {
+      static Counter* const drops =
+          MetricRegistry::Default().GetCounter("rpc.dropped_responses");
+      drops->Increment();
+      TRACE_INSTANT(self->sim_, "rpc", "fault.rpc.drop_response");
+      ++self->served_;
+      co_return;  // the client recovers via its call timeout
+    }
+    std::vector<uint8_t> frame = EncodeFrame(response);
+    static FaultPoint* const corrupt =
+        Faults().GetPoint("rpc.corrupt.response");
+    if (corrupt->ShouldFire()) {
+      static Counter* const corrupted =
+          MetricRegistry::Default().GetCounter("rpc.corrupted_responses");
+      corrupted->Increment();
+      TRACE_INSTANT(self->sim_, "rpc", "fault.rpc.corrupt_response");
+      frame[sizeof(Response) / 2] ^= 0xff;
+    }
+    Status sent = co_await self->response_ring_->Send(frame);
     if (!sent.ok()) {
       LOG(WARNING) << "rpc response send failed: " << sent.ToString();
     }
@@ -143,8 +223,23 @@ class RpcServer {
       if (!message.ok()) {
         break;  // ring closed
       }
-      Request request = DecodePod<Request>(*message);
-      Spawn(*self->sim_, HandleOne(self, std::move(request)));
+      static FaultPoint* const drop = Faults().GetPoint("rpc.drop.request");
+      if (drop->ShouldFire()) {
+        static Counter* const drops =
+            MetricRegistry::Default().GetCounter("rpc.dropped_requests");
+        drops->Increment();
+        TRACE_INSTANT(self->sim_, "rpc", "fault.rpc.drop_request");
+        continue;
+      }
+      std::optional<Request> request = DecodeFrame<Request>(*message);
+      if (!request.has_value()) {
+        static Counter* const dropped = MetricRegistry::Default().GetCounter(
+            "rpc.corrupt_requests_dropped");
+        dropped->Increment();
+        TRACE_INSTANT(self->sim_, "rpc", "rpc.corrupt_request_dropped");
+        continue;
+      }
+      Spawn(*self->sim_, HandleOne(self, std::move(*request)));
     }
   }
 

@@ -1,5 +1,6 @@
 #include "src/transport/sim_ring.h"
 
+#include "src/base/fault.h"
 #include "src/base/logging.h"
 #include "src/base/metrics.h"
 #include "src/sim/trace.h"
@@ -106,6 +107,19 @@ Task<Status> SimRing::TrySend(std::span<const uint8_t> payload) {
   Processor* cpu = config_.producer_cpu;
   co_await cpu->Compute(params_.rb_op_cpu);
 
+  // A producer-side stall (preemption mid-enqueue) delays the operation; it
+  // never fakes kWouldBlock, which would strand the Send loop with no
+  // matching space_avail notification.
+  static FaultPoint* const send_stall =
+      Faults().GetPoint("transport.ring.send_stall");
+  if (send_stall->ShouldFire()) {
+    static Counter* const stalls = MetricRegistry::Default().GetCounter(
+        "transport.ring.send_stalls");
+    stalls->Increment();
+    TRACE_INSTANT(sim_, "ring", "fault.ring.send_stall");
+    co_await Delay(params_.ring_stall_latency);
+  }
+
   uint64_t txn_before = ring_.producer_stats().remote_transactions();
   void* rb_buf = nullptr;
   int rc = ring_.Enqueue(static_cast<uint32_t>(payload.size()), &rb_buf);
@@ -156,6 +170,18 @@ Task<Result<std::vector<uint8_t>>> SimRing::TryReceive() {
   TRACE_SPAN(sim_, "ring", "ring.dequeue");
   Processor* cpu = config_.consumer_cpu;
   co_await cpu->Compute(params_.rb_op_cpu);
+
+  // A consumer-side stall (descheduled consumer) leaves entries queued
+  // longer, which backpressures producers once the ring fills.
+  static FaultPoint* const recv_stall =
+      Faults().GetPoint("transport.ring.recv_stall");
+  if (recv_stall->ShouldFire()) {
+    static Counter* const stalls = MetricRegistry::Default().GetCounter(
+        "transport.ring.recv_stalls");
+    stalls->Increment();
+    TRACE_INSTANT(sim_, "ring", "fault.ring.recv_stall");
+    co_await Delay(params_.ring_stall_latency);
+  }
 
   uint64_t txn_before = ring_.consumer_stats().remote_transactions();
   uint32_t size = 0;

@@ -1,0 +1,174 @@
+#include "src/base/fault.h"
+
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace solros {
+namespace {
+
+// Each test uses its own registry: the process-wide default would leak
+// armed state between tests.
+
+TEST(FaultTest, DisarmedPointNeverFires) {
+  FaultRegistry registry;
+  FaultPoint* point = registry.GetPoint("test.never");
+  EXPECT_FALSE(point->armed());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(point->ShouldFire());
+  }
+  EXPECT_EQ(point->hits(), 0u);  // disarmed probes are not counted
+  EXPECT_EQ(point->fires(), 0u);
+  EXPECT_FALSE(registry.any_armed());
+}
+
+TEST(FaultTest, PointPointersAreStable) {
+  FaultRegistry registry;
+  FaultPoint* a = registry.GetPoint("test.stable");
+  for (int i = 0; i < 64; ++i) {
+    registry.GetPoint("test.filler." + std::to_string(i));
+  }
+  EXPECT_EQ(a, registry.GetPoint("test.stable"));
+}
+
+TEST(FaultTest, EveryNthFiresDeterministically) {
+  FaultRegistry registry;
+  ASSERT_TRUE(registry.Arm("test.nth", FaultSpec::EveryNth(3)).ok());
+  FaultPoint* point = registry.GetPoint("test.nth");
+  std::vector<bool> fired;
+  for (int i = 0; i < 9; ++i) {
+    fired.push_back(point->ShouldFire());
+  }
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false, false, true,
+                                      false, false, true}));
+  EXPECT_EQ(point->hits(), 9u);
+  EXPECT_EQ(point->fires(), 3u);
+}
+
+TEST(FaultTest, OneShotFiresOnceThenDisarms) {
+  FaultRegistry registry;
+  ASSERT_TRUE(registry.Arm("test.once", FaultSpec::OneShot()).ok());
+  FaultPoint* point = registry.GetPoint("test.once");
+  EXPECT_TRUE(registry.any_armed());
+  EXPECT_TRUE(point->ShouldFire());
+  EXPECT_FALSE(point->ShouldFire());
+  EXPECT_FALSE(point->armed());
+  EXPECT_EQ(point->fires(), 1u);
+}
+
+TEST(FaultTest, ProbabilityIsSeedDeterministic) {
+  auto run = [](uint64_t seed) {
+    FaultRegistry registry;
+    registry.set_seed(seed);
+    EXPECT_TRUE(registry.Arm("test.prob", FaultSpec::Probability(0.3)).ok());
+    FaultPoint* point = registry.GetPoint("test.prob");
+    std::vector<bool> fired;
+    for (int i = 0; i < 200; ++i) {
+      fired.push_back(point->ShouldFire());
+    }
+    return fired;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+TEST(FaultTest, ReArmingReseedsTheSequence) {
+  FaultRegistry registry;
+  ASSERT_TRUE(registry.Arm("test.rearm", FaultSpec::Probability(0.5)).ok());
+  FaultPoint* point = registry.GetPoint("test.rearm");
+  std::vector<bool> first;
+  for (int i = 0; i < 50; ++i) {
+    first.push_back(point->ShouldFire());
+  }
+  ASSERT_TRUE(registry.Arm("test.rearm", FaultSpec::Probability(0.5)).ok());
+  std::vector<bool> second;
+  for (int i = 0; i < 50; ++i) {
+    second.push_back(point->ShouldFire());
+  }
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(point->hits(), 50u);  // re-arming zeroed the counters
+}
+
+TEST(FaultTest, ProbabilityRoughlyMatchesRate) {
+  FaultRegistry registry;
+  ASSERT_TRUE(registry.Arm("test.rate", FaultSpec::Probability(0.1)).ok());
+  FaultPoint* point = registry.GetPoint("test.rate");
+  int fires = 0;
+  for (int i = 0; i < 10000; ++i) {
+    fires += point->ShouldFire() ? 1 : 0;
+  }
+  EXPECT_GT(fires, 700);
+  EXPECT_LT(fires, 1300);
+}
+
+TEST(FaultTest, ArmRejectsBadSpecs) {
+  FaultRegistry registry;
+  EXPECT_FALSE(registry.Arm("test.bad", FaultSpec{}).ok());
+  EXPECT_FALSE(
+      registry.Arm("test.bad", FaultSpec::Probability(1.5)).ok());
+  EXPECT_FALSE(
+      registry.Arm("test.bad", FaultSpec::Probability(-0.1)).ok());
+  EXPECT_FALSE(registry.any_armed());
+}
+
+TEST(FaultTest, DisarmAllClearsEverything) {
+  FaultRegistry registry;
+  ASSERT_TRUE(registry.Arm("test.a", FaultSpec::EveryNth(1)).ok());
+  ASSERT_TRUE(registry.Arm("test.b", FaultSpec::Probability(1.0)).ok());
+  EXPECT_TRUE(registry.any_armed());
+  registry.DisarmAll();
+  EXPECT_FALSE(registry.any_armed());
+  EXPECT_FALSE(registry.GetPoint("test.a")->ShouldFire());
+  EXPECT_FALSE(registry.GetPoint("test.b")->ShouldFire());
+}
+
+TEST(FaultTest, ConfigureParsesTheDocumentedSyntax) {
+  FaultRegistry registry;
+  ASSERT_TRUE(registry
+                  .Configure("nvme.cmd.timeout=0.01,hw.dma.error=1/64,"
+                             "rpc.drop.request=once,seed=7")
+                  .ok());
+  EXPECT_EQ(registry.seed(), 7u);
+  EXPECT_TRUE(registry.GetPoint("nvme.cmd.timeout")->armed());
+  EXPECT_TRUE(registry.GetPoint("hw.dma.error")->armed());
+  EXPECT_TRUE(registry.GetPoint("rpc.drop.request")->armed());
+  // 1/64: fires exactly on the 64th hit.
+  FaultPoint* nth = registry.GetPoint("hw.dma.error");
+  for (int i = 0; i < 63; ++i) {
+    EXPECT_FALSE(nth->ShouldFire());
+  }
+  EXPECT_TRUE(nth->ShouldFire());
+}
+
+TEST(FaultTest, ConfigureRejectsMalformedEntries) {
+  FaultRegistry registry;
+  EXPECT_FALSE(registry.Configure("nvme.cmd.timeout").ok());
+  EXPECT_FALSE(registry.Configure("x=2/64").ok());
+  EXPECT_FALSE(registry.Configure("x=1/0").ok());
+  EXPECT_FALSE(registry.Configure("x=1.5").ok());
+  EXPECT_FALSE(registry.Configure("x=purple").ok());
+  EXPECT_FALSE(registry.Configure("seed=notanumber").ok());
+  // Nothing was armed by the rejected configs.
+  EXPECT_FALSE(registry.any_armed());
+}
+
+TEST(FaultTest, ConfigureToleratesEmptySegments) {
+  FaultRegistry registry;
+  ASSERT_TRUE(registry.Configure(",test.x=once,,").ok());
+  EXPECT_TRUE(registry.GetPoint("test.x")->armed());
+}
+
+TEST(FaultTest, DumpTextListsTouchedPoints) {
+  FaultRegistry registry;
+  ASSERT_TRUE(registry.Arm("test.dump", FaultSpec::EveryNth(1)).ok());
+  registry.GetPoint("test.dump")->ShouldFire();
+  std::ostringstream os;
+  registry.DumpText(os);
+  EXPECT_NE(os.str().find("test.dump"), std::string::npos);
+  EXPECT_NE(os.str().find("hits 1"), std::string::npos);
+  EXPECT_NE(os.str().find("fires 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace solros
