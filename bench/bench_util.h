@@ -15,6 +15,7 @@
 #define SOLROS_BENCH_BENCH_UTIL_H_
 
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -60,6 +61,31 @@ inline bool InitBench(int argc, char** argv) {
     }
   }
   return true;
+}
+
+// Environment knobs (read by the bench configs, set by tools/ scripts):
+//   SOLROS_BENCH_QUICK=1   shrink the measurement matrix (CI smoke runs)
+//   SOLROS_BENCH_LEGACY=1  disable the staged-path cache features
+//                          (scan-resistant eviction, readahead, write-back
+//                          absorption, vectored fs I/O) so output matches
+//                          the pre-cache-overhaul behavior
+inline bool BenchEnvSet(const char* name) {
+  const char* value = std::getenv(name);
+  return value != nullptr && value[0] != '\0' && value[0] != '0';
+}
+
+inline bool BenchQuickMode() { return BenchEnvSet("SOLROS_BENCH_QUICK"); }
+inline bool BenchLegacyMode() { return BenchEnvSet("SOLROS_BENCH_LEGACY"); }
+
+// Turns off every staged-path cache feature introduced by the cache
+// overhaul (templated so this header stays independent of fs_proxy.h).
+template <typename FsOptions>
+inline void DisableStagedPathFeatures(FsOptions& fs) {
+  fs.cache_scan_resistant = false;
+  fs.readahead = false;
+  fs.writeback_cache = false;
+  fs.coalesced_writeback = false;
+  fs.fs_vectored_io = false;
 }
 
 // Prints `table` aligned, plus CSV when --csv was given.

@@ -18,19 +18,22 @@ MachineConfig AppMachine() {
   config.num_phis = 1;
   config.nvme_capacity = GiB(1);
   config.enable_network = false;
+  if (BenchLegacyMode()) {
+    DisableStagedPathFeatures(config.fs_options);
+  }
   return config;
 }
 
 CorpusConfig Corpus() {
   CorpusConfig corpus;
-  corpus.num_documents = 32;
+  corpus.num_documents = BenchQuickMode() ? 8 : 32;
   corpus.document_bytes = MiB(2);
   return corpus;
 }
 
 ImageDbConfig ImageDb() {
   ImageDbConfig db;
-  db.num_images = 32;
+  db.num_images = BenchQuickMode() ? 8 : 32;
   db.descriptors_per_image = 4096;  // 256 KiB features per image
   return db;
 }

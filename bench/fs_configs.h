@@ -22,6 +22,9 @@ MachineConfig BenchMachine() {
   config.enable_network = false;
   // Cold-cache runs: a modest cache that cannot hold the working set.
   config.fs_options.cache_blocks = 8192;  // 32 MiB
+  if (BenchLegacyMode()) {
+    DisableStagedPathFeatures(config.fs_options);
+  }
   return config;
 }
 
@@ -31,6 +34,26 @@ double MeasureSolros(uint64_t block, int threads, bool is_write) {
   auto ino = RunSim(machine.sim(),
                     PrepareWorkloadFile(&machine.fs(), "/work", kFileBytes));
   CHECK_OK(ino);
+  FsWorkloadConfig config;
+  config.file_bytes = kFileBytes;
+  config.block_size = block;
+  config.threads = threads;
+  config.ops_per_thread = std::max<int>(4, 64 / threads);
+  config.is_write = is_write;
+  return RunFsWorkload(&machine.sim(), &machine.fs_stub(0), *ino,
+                       machine.phi_device(0), config)
+      .bandwidth();
+}
+
+// The staged (buffered) path under O_BUFFER: every request goes through the
+// host shared buffer cache — the path the cache overhaul targets.
+double MeasureSolrosBuffered(uint64_t block, int threads, bool is_write) {
+  Machine machine(BenchMachine());
+  CHECK_OK(RunSim(machine.sim(), machine.FormatFs()));
+  auto ino = RunSim(machine.sim(),
+                    PrepareWorkloadFile(&machine.fs(), "/work", kFileBytes));
+  CHECK_OK(ino);
+  machine.fs_stub(0).set_buffered(true);
   FsWorkloadConfig config;
   config.file_bytes = kFileBytes;
   config.block_size = block;
@@ -103,15 +126,26 @@ double MeasureNfs(uint64_t block, int threads, bool is_write) {
 }
 
 void RunFsFigure(bool is_write) {
-  for (int threads : {1, 4, 8, 32, 61}) {
+  // Quick mode (SOLROS_BENCH_QUICK): CI smoke matrix — enough points for
+  // regression tracking without the full figure sweep.
+  const std::vector<int> thread_list =
+      BenchQuickMode() ? std::vector<int>{1, 8}
+                       : std::vector<int>{1, 4, 8, 32, 61};
+  const std::vector<uint64_t> block_list =
+      BenchQuickMode()
+          ? std::vector<uint64_t>{KiB(32), KiB(256), MiB(1)}
+          : std::vector<uint64_t>{KiB(32), KiB(64), KiB(128), KiB(256),
+                                  KiB(512), MiB(1), MiB(2), MiB(4)};
+  for (int threads : thread_list) {
     std::cout << "\n--- " << threads << " thread(s) ---\n";
     TablePrinter table({"block", "Host GB/s", "Phi-Solros GB/s",
-                        "Phi-virtio GB/s", "Phi-NFS GB/s"});
-    for (uint64_t block : {KiB(32), KiB(64), KiB(128), KiB(256), KiB(512),
-                           MiB(1), MiB(2), MiB(4)}) {
+                        "Phi-Solros O_BUFFER GB/s", "Phi-virtio GB/s",
+                        "Phi-NFS GB/s"});
+    for (uint64_t block : block_list) {
       table.AddRow({HumanSize(block),
                     GBps3(MeasureHost(block, threads, is_write)),
                     GBps3(MeasureSolros(block, threads, is_write)),
+                    GBps3(MeasureSolrosBuffered(block, threads, is_write)),
                     GBps3(MeasureVirtio(block, threads, is_write)),
                     GBps3(MeasureNfs(block, threads, is_write))});
     }

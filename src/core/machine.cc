@@ -44,6 +44,7 @@ Machine::Machine(MachineConfig config) : config_(std::move(config)) {
   store_ = std::make_unique<NvmeBlockStore>(nvme_.get(), host_cpu_.get());
   store_->set_retry_policy(config_.nvme_retry);
   fs_ = std::make_unique<SolrosFs>(store_.get(), &sim_);
+  fs_->set_vectored_io(config_.fs_options.fs_vectored_io);
   fs_proxy_ = std::make_unique<FsProxy>(&sim_, fabric_.get(), params,
                                         host_cpu_.get(), store_.get(),
                                         fs_.get(), config_.fs_options);
@@ -143,7 +144,16 @@ void Machine::DumpStats(std::ostream& os) {
     BufferCache* cache = fs_proxy_->cache();
     os << "buffer-cache: " << cache->hits() << " hits, " << cache->misses()
        << " misses, " << cache->evictions() << " evictions, "
-       << cache->size() << "/" << cache->capacity() << " pages\n";
+       << cache->size() << "/" << cache->capacity() << " pages";
+    if (cache->options().scan_resistant) {
+      os << " (probation/protected " << cache->probation_pages() << "/"
+         << cache->protected_pages() << ")";
+    }
+    if (cache->readahead_hits() > 0 || cache->dirty_pages() > 0) {
+      os << "; readahead hits " << cache->readahead_hits() << ", dirty "
+         << cache->dirty_pages();
+    }
+    os << "\n";
   }
   os << "nvme: " << nvme_->commands_completed() << " commands, "
      << nvme_->doorbells_rung() << " doorbells, "

@@ -19,6 +19,22 @@
 
 namespace solros {
 
+// One contiguous run of blocks paired with its (equally contiguous) memory.
+// Vectored I/O takes a span of runs so physically scattered block ranges —
+// the buffer cache's coalesced write-back batches, readahead windows split
+// by already-cached pages — move in one submission.
+struct BlockRun {
+  uint64_t lba = 0;
+  uint32_t nblocks = 0;
+  std::span<uint8_t> data;  // nblocks * block_size() bytes
+};
+
+struct ConstBlockRun {
+  uint64_t lba = 0;
+  uint32_t nblocks = 0;
+  std::span<const uint8_t> data;
+};
+
 class BlockStore {
  public:
   virtual ~BlockStore() = default;
@@ -33,6 +49,27 @@ class BlockStore {
   virtual Task<Status> Write(uint64_t lba, uint32_t nblocks,
                              std::span<const uint8_t> in) = 0;
   virtual Task<Status> Flush() = 0;
+
+  // Vectored multi-run I/O. The default implementations issue one plain
+  // Read/Write per run; device-backed stores override them to submit the
+  // whole vector in one batch (`coalesce` = one doorbell + one interrupt,
+  // §5's I/O-vector ioctls).
+  virtual Task<Status> ReadV(std::span<const BlockRun> runs, bool coalesce) {
+    (void)coalesce;
+    for (const BlockRun& run : runs) {
+      SOLROS_CO_RETURN_IF_ERROR(co_await Read(run.lba, run.nblocks, run.data));
+    }
+    co_return OkStatus();
+  }
+  virtual Task<Status> WriteV(std::span<const ConstBlockRun> runs,
+                              bool coalesce) {
+    (void)coalesce;
+    for (const ConstBlockRun& run : runs) {
+      SOLROS_CO_RETURN_IF_ERROR(
+          co_await Write(run.lba, run.nblocks, run.data));
+    }
+    co_return OkStatus();
+  }
 };
 
 // Instant in-memory store.

@@ -1,55 +1,244 @@
 #include "src/fs/buffer_cache.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/base/logging.h"
 
 namespace solros {
 
+namespace {
+
+size_t ProtectedCap(const BufferCacheOptions& options, size_t capacity) {
+  if (!options.scan_resistant || capacity < 2) {
+    return 0;
+  }
+  auto cap = static_cast<size_t>(static_cast<double>(capacity) *
+                                 options.protected_fraction);
+  return std::clamp<size_t>(cap, 1, capacity - 1);
+}
+
+}  // namespace
+
 BufferCache::BufferCache(BlockStore* backing, DeviceId arena_device,
-                         size_t capacity_blocks)
+                         size_t capacity_blocks,
+                         const BufferCacheOptions& options)
     : backing_(backing),
       capacity_(capacity_blocks),
       block_size_(backing->block_size()),
+      options_(options),
+      protected_cap_(ProtectedCap(options, capacity_blocks)),
       arena_(arena_device, capacity_blocks * backing->block_size()) {
   CHECK_GT(capacity_blocks, 0u);
   free_slots_.reserve(capacity_blocks);
   for (size_t i = 0; i < capacity_blocks; ++i) {
     free_slots_.push_back(capacity_blocks - 1 - i);
   }
+  MetricRegistry& registry = MetricRegistry::Default();
+  hits_ = registry.GetCounter("cache.hits");
+  misses_ = registry.GetCounter("cache.misses");
+  evictions_ = registry.GetCounter("cache.evictions");
+  readahead_hits_ = registry.GetCounter("cache.readahead_hits");
+  readahead_blocks_ = registry.GetCounter("cache.readahead_blocks");
+  writeback_coalesced_blocks_ =
+      registry.GetCounter("cache.writeback_coalesced_blocks");
+  writeback_runs_ = registry.GetCounter("cache.writeback_runs");
+  probation_gauge_ = registry.GetGauge("cache.probation_pages");
+  protected_gauge_ = registry.GetGauge("cache.protected_pages");
+  dirty_gauge_ = registry.GetGauge("cache.dirty_pages");
+  hits_base_ = hits_->value();
+  misses_base_ = misses_->value();
+  evictions_base_ = evictions_->value();
+  readahead_hits_base_ = readahead_hits_->value();
 }
 
 MemRef BufferCache::SlotRef(size_t slot) {
   return MemRef::Of(arena_, slot * block_size_, block_size_);
 }
 
+void BufferCache::SetDirty(Page& page, bool dirty) {
+  if (page.dirty == dirty) {
+    return;
+  }
+  page.dirty = dirty;
+  dirty_count_ += dirty ? 1 : -1;
+  dirty_gauge_->Set(static_cast<int64_t>(dirty_count_));
+}
+
+void BufferCache::UpdateGauges() {
+  probation_gauge_->Set(static_cast<int64_t>(probation_.size()));
+  protected_gauge_->Set(static_cast<int64_t>(protected_.size()));
+}
+
+void BufferCache::LinkNew(Page& page) {
+  probation_.push_front(page.lba);
+  page.segment = Segment::kProbation;
+  page.lru_it = probation_.begin();
+}
+
+void BufferCache::Unlink(const Page& page) {
+  SegmentList(page.segment).erase(page.lru_it);
+}
+
+void BufferCache::TouchHit(Page& page, bool promote) {
+  if (!options_.scan_resistant) {
+    probation_.splice(probation_.begin(), probation_, page.lru_it);
+    page.lru_it = probation_.begin();
+    return;
+  }
+  if (page.segment == Segment::kProtected) {
+    protected_.splice(protected_.begin(), protected_, page.lru_it);
+    page.lru_it = protected_.begin();
+    return;
+  }
+  if (!promote) {
+    // First real reference to a readahead page: refresh recency only. A
+    // sequential scan consumes each prefetched page exactly once, so
+    // counting that touch as reuse would promote the whole stream and
+    // flush the protected segment.
+    probation_.splice(probation_.begin(), probation_, page.lru_it);
+    page.lru_it = probation_.begin();
+    return;
+  }
+  // Second touch: promote probation -> protected.
+  probation_.erase(page.lru_it);
+  protected_.push_front(page.lba);
+  page.segment = Segment::kProtected;
+  page.lru_it = protected_.begin();
+  if (protected_.size() > protected_cap_) {
+    // Demote the protected tail back to probation (most-recent end, so it
+    // still outlives a concurrent scan's churn).
+    uint64_t demoted = protected_.back();
+    auto it = map_.find(demoted);
+    CHECK(it != map_.end());
+    protected_.pop_back();
+    probation_.push_front(demoted);
+    it->second.segment = Segment::kProbation;
+    it->second.lru_it = probation_.begin();
+  }
+}
+
+BufferCache::WritebackPlan BufferCache::PlanWriteback(
+    std::vector<uint64_t> lbas) {
+  WritebackPlan plan;
+  plan.lbas = std::move(lbas);
+  plan.scratch.resize(plan.lbas.size() * block_size_);
+  // Snapshot contents and clear dirty bits before any suspension: a page
+  // re-dirtied mid-flight stays dirty (its new bytes get a later
+  // write-back) and a concurrently evicted/reused slot cannot corrupt the
+  // in-flight write.
+  for (size_t i = 0; i < plan.lbas.size(); ++i) {
+    auto it = map_.find(plan.lbas[i]);
+    CHECK(it != map_.end());
+    std::memcpy(plan.scratch.data() + i * block_size_,
+                SlotRef(it->second.slot).span().data(), block_size_);
+    SetDirty(it->second, false);
+  }
+  size_t i = 0;
+  while (i < plan.lbas.size()) {
+    size_t j = i + 1;
+    if (options_.coalesced_writeback) {
+      while (j < plan.lbas.size() && plan.lbas[j] == plan.lbas[j - 1] + 1) {
+        ++j;
+      }
+    }
+    plan.runs.push_back(ConstBlockRun{
+        plan.lbas[i], static_cast<uint32_t>(j - i),
+        std::span<const uint8_t>(plan.scratch.data() + i * block_size_,
+                                 (j - i) * block_size_)});
+    i = j;
+  }
+  return plan;
+}
+
+Task<Status> BufferCache::WritebackRuns(WritebackPlan plan) {
+  writeback_runs_->Increment(plan.runs.size());
+  if (options_.coalesced_writeback) {
+    writeback_coalesced_blocks_->Increment(plan.lbas.size());
+  }
+  Status status = co_await backing_->WriteV(
+      plan.runs, options_.coalesced_writeback && options_.coalesce_nvme);
+  if (!status.ok()) {
+    // Put the pages back on the dirty list so a later flush retries them.
+    for (uint64_t lba : plan.lbas) {
+      auto it = map_.find(lba);
+      if (it != map_.end()) {
+        SetDirty(it->second, true);
+      }
+    }
+  }
+  co_return status;
+}
+
 Task<Status> BufferCache::EvictOne() {
-  CHECK(!lru_.empty());
-  uint64_t victim = lru_.back();
+  CHECK(!(probation_.empty() && protected_.empty()));
+  std::list<uint64_t>& list = probation_.empty() ? protected_ : probation_;
+  uint64_t victim = list.back();
   auto it = map_.find(victim);
   CHECK(it != map_.end());
   if (it->second.dirty) {
-    SOLROS_CO_RETURN_IF_ERROR(
-        co_await backing_->Write(victim, 1, SlotRef(it->second.slot).span()));
+    if (options_.coalesced_writeback) {
+      // Gather the LBA-contiguous dirty cluster around the victim so one
+      // eviction absorbs its neighbours' write-back too.
+      uint64_t lo = victim;
+      uint64_t hi = victim;
+      uint32_t count = 1;
+      while (count < options_.writeback_max_batch && lo > 0) {
+        auto p = map_.find(lo - 1);
+        if (p == map_.end() || !p->second.dirty) break;
+        --lo;
+        ++count;
+      }
+      while (count < options_.writeback_max_batch) {
+        auto p = map_.find(hi + 1);
+        if (p == map_.end() || !p->second.dirty) break;
+        ++hi;
+        ++count;
+      }
+      std::vector<uint64_t> lbas;
+      lbas.reserve(count);
+      for (uint64_t lba = lo; lba <= hi; ++lba) {
+        lbas.push_back(lba);
+      }
+      SOLROS_CO_RETURN_IF_ERROR(
+          co_await WritebackRuns(PlanWriteback(std::move(lbas))));
+    } else {
+      SOLROS_CO_RETURN_IF_ERROR(co_await backing_->Write(
+          victim, 1, SlotRef(it->second.slot).span()));
+    }
+    // The write-back suspended; the victim may have been invalidated (slot
+    // already freed) or touched meanwhile. Re-resolve before erasing.
+    it = map_.find(victim);
+    if (it == map_.end()) {
+      co_return OkStatus();
+    }
   }
+  SetDirty(it->second, false);
   free_slots_.push_back(it->second.slot);
-  lru_.pop_back();
+  Unlink(it->second);
   map_.erase(it);
-  ++evictions_;
+  evictions_->Increment();
+  UpdateGauges();
   co_return OkStatus();
 }
 
 Task<Result<MemRef>> BufferCache::GetBlock(uint64_t lba) {
   auto it = map_.find(lba);
   if (it != map_.end()) {
-    ++hits_;
-    lru_.erase(it->second.lru_it);
-    lru_.push_front(lba);
-    it->second.lru_it = lru_.begin();
+    hits_->Increment();
+    bool was_readahead = it->second.readahead;
+    if (was_readahead) {
+      readahead_hits_->Increment();
+      it->second.readahead = false;
+    }
+    // A readahead page's first demand hit is its first reference, not a
+    // reuse — it must not promote (see TouchHit).
+    TouchHit(it->second, /*promote=*/!was_readahead);
+    UpdateGauges();
     co_return SlotRef(it->second.slot);
   }
-  ++misses_;
-  if (free_slots_.empty()) {
+  misses_->Increment();
+  while (free_slots_.empty()) {
     SOLROS_CO_RETURN_IF_ERROR(co_await EvictOne());
   }
   size_t slot = free_slots_.back();
@@ -64,46 +253,90 @@ Task<Result<MemRef>> BufferCache::GetBlock(uint64_t lba) {
     free_slots_.push_back(slot);
     co_return SlotRef(raced->second.slot);
   }
-  lru_.push_front(lba);
   Page page;
   page.lba = lba;
   page.slot = slot;
-  page.lru_it = lru_.begin();
+  LinkNew(page);
   map_.emplace(lba, page);
+  UpdateGauges();
   co_return ref;
 }
 
-Task<Status> BufferCache::InsertClean(uint64_t lba,
-                                      std::span<const uint8_t> content) {
+Task<Status> BufferCache::InsertLocked(uint64_t lba,
+                                       std::span<const uint8_t> content,
+                                       bool dirty, bool readahead) {
   if (content.size() < block_size_) {
     co_return InvalidArgumentError("short page content");
   }
-  if (map_.find(lba) != map_.end()) {
+  auto it = map_.find(lba);
+  if (it == map_.end() && free_slots_.empty()) {
+    SOLROS_CO_RETURN_IF_ERROR(co_await EvictOne());
+    // EvictOne may suspend (dirty writeback); re-check for a racing insert.
+    it = map_.find(lba);
+  }
+  if (it != map_.end()) {
+    if (dirty) {
+      // Full-block overwrite of the established page.
+      std::memcpy(SlotRef(it->second.slot).span().data(), content.data(),
+                  block_size_);
+      it->second.readahead = false;
+      SetDirty(it->second, true);
+      TouchHit(it->second);
+      UpdateGauges();
+    }
     co_return OkStatus();
   }
   if (free_slots_.empty()) {
-    SOLROS_CO_RETURN_IF_ERROR(co_await EvictOne());
-  }
-  // EvictOne may suspend (dirty writeback); re-check for a racing insert.
-  if (map_.find(lba) != map_.end()) {
-    co_return OkStatus();
+    // A racing insert consumed the slot EvictOne freed; make another.
+    while (free_slots_.empty()) {
+      SOLROS_CO_RETURN_IF_ERROR(co_await EvictOne());
+    }
+    if (auto raced = map_.find(lba); raced != map_.end()) {
+      if (dirty) {
+        std::memcpy(SlotRef(raced->second.slot).span().data(), content.data(),
+                    block_size_);
+        raced->second.readahead = false;
+        SetDirty(raced->second, true);
+      }
+      co_return OkStatus();
+    }
   }
   size_t slot = free_slots_.back();
   free_slots_.pop_back();
   std::memcpy(SlotRef(slot).span().data(), content.data(), block_size_);
-  lru_.push_front(lba);
   Page page;
   page.lba = lba;
   page.slot = slot;
-  page.lru_it = lru_.begin();
-  map_.emplace(lba, page);
+  page.readahead = readahead;
+  LinkNew(page);
+  auto [inserted, ok] = map_.emplace(lba, page);
+  CHECK(ok);
+  if (dirty) {
+    SetDirty(inserted->second, true);
+  }
+  if (readahead) {
+    readahead_blocks_->Increment();
+  }
+  UpdateGauges();
   co_return OkStatus();
+}
+
+Task<Status> BufferCache::InsertClean(uint64_t lba,
+                                      std::span<const uint8_t> content,
+                                      bool readahead) {
+  co_return co_await InsertLocked(lba, content, /*dirty=*/false, readahead);
+}
+
+Task<Status> BufferCache::InsertDirty(uint64_t lba,
+                                      std::span<const uint8_t> content) {
+  co_return co_await InsertLocked(lba, content, /*dirty=*/true,
+                                  /*readahead=*/false);
 }
 
 void BufferCache::MarkDirty(uint64_t lba) {
   auto it = map_.find(lba);
   CHECK(it != map_.end()) << "MarkDirty on uncached block " << lba;
-  it->second.dirty = true;
+  SetDirty(it->second, true);
 }
 
 Task<Status> BufferCache::ReadThrough(uint64_t lba, uint32_t nblocks,
@@ -138,9 +371,11 @@ void BufferCache::Invalidate(uint64_t lba) {
   if (it == map_.end()) {
     return;
   }
+  SetDirty(it->second, false);
   free_slots_.push_back(it->second.slot);
-  lru_.erase(it->second.lru_it);
+  Unlink(it->second);
   map_.erase(it);
+  UpdateGauges();
 }
 
 void BufferCache::InvalidateRange(uint64_t lba, uint64_t nblocks) {
@@ -154,14 +389,55 @@ bool BufferCache::Contains(uint64_t lba) const {
 }
 
 Task<Status> BufferCache::Flush() {
+  if (options_.coalesced_writeback) {
+    if (dirty_count_ > 0) {
+      std::vector<uint64_t> dirty;
+      dirty.reserve(dirty_count_);
+      for (const auto& [lba, page] : map_) {
+        if (page.dirty) {
+          dirty.push_back(lba);
+        }
+      }
+      std::sort(dirty.begin(), dirty.end());
+      SOLROS_CO_RETURN_IF_ERROR(
+          co_await WritebackRuns(PlanWriteback(std::move(dirty))));
+    }
+    co_return co_await backing_->Flush();
+  }
   for (auto& [lba, page] : map_) {
     if (page.dirty) {
       SOLROS_CO_RETURN_IF_ERROR(
           co_await backing_->Write(lba, 1, SlotRef(page.slot).span()));
-      page.dirty = false;
+      SetDirty(page, false);
     }
   }
   co_return co_await backing_->Flush();
+}
+
+Task<Status> BufferCache::FlushRange(uint64_t lba, uint64_t nblocks) {
+  if (dirty_count_ == 0 || nblocks == 0) {
+    co_return OkStatus();
+  }
+  std::vector<uint64_t> dirty;
+  if (nblocks < map_.size()) {
+    for (uint64_t i = 0; i < nblocks; ++i) {
+      auto it = map_.find(lba + i);
+      if (it != map_.end() && it->second.dirty) {
+        dirty.push_back(lba + i);
+      }
+    }
+  } else {
+    for (const auto& [cached, page] : map_) {
+      if (page.dirty && cached >= lba && cached < lba + nblocks) {
+        dirty.push_back(cached);
+      }
+    }
+    std::sort(dirty.begin(), dirty.end());
+  }
+  if (dirty.empty()) {
+    co_return OkStatus();
+  }
+  co_return co_await WritebackRuns(PlanWriteback(std::move(dirty)));
 }
 
 }  // namespace solros

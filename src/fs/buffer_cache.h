@@ -1,13 +1,30 @@
 // Host-side shared buffer cache (§4.3.2).
 //
-// The control-plane proxy keeps an LRU cache of file-system blocks in host
-// DRAM, shared by all data-plane OSes ("Solros is a shared-something
+// The control-plane proxy keeps a cache of file-system blocks in host DRAM,
+// shared by all data-plane OSes ("Solros is a shared-something
 // architecture"). Pages live in a host DeviceBuffer arena so a hit can be
 // served to a co-processor with a host-initiated DMA directly out of the
 // cache — no disk access and no staging copy.
 //
+// Eviction is a segmented LRU (2Q-style): new pages enter a *probation*
+// segment and are promoted to the *protected* segment on their second
+// touch. A streaming scan from one co-processor therefore churns only
+// probation and cannot flush another co-processor's hot (protected) working
+// set. With `scan_resistant=false` the cache degenerates to the single-list
+// LRU of the original implementation.
+//
 // Write policy is write-back: dirty pages are flushed on eviction and on
-// Flush().
+// Flush(). With `coalesced_writeback`, evictions gather the LBA-contiguous
+// dirty cluster around the victim and Flush() sorts all dirty pages by LBA,
+// so both go to the device as vectored multi-block writes (one command per
+// contiguous run, one doorbell for the batch) instead of one 4 KiB command
+// per page.
+//
+// Counters live in the process MetricRegistry (cache.hits, cache.misses,
+// cache.evictions, cache.readahead_hits, cache.readahead_blocks,
+// cache.writeback_coalesced_blocks, cache.writeback_runs) with segment and
+// dirty sizes as gauges; the per-instance accessors subtract the value seen
+// at construction so multiple caches in one process read their own deltas.
 #ifndef SOLROS_SRC_FS_BUFFER_CACHE_H_
 #define SOLROS_SRC_FS_BUFFER_CACHE_H_
 
@@ -16,6 +33,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/base/metrics.h"
 #include "src/base/status.h"
 #include "src/fs/block_store.h"
 #include "src/hw/memory.h"
@@ -23,11 +41,26 @@
 
 namespace solros {
 
+struct BufferCacheOptions {
+  // Segmented-LRU scan resistance. Off => single-list LRU (seed behavior).
+  bool scan_resistant = true;
+  // Fraction of capacity reserved for the protected segment.
+  double protected_fraction = 0.75;
+  // Gather LBA-contiguous dirty runs into vectored writes on eviction and
+  // Flush(). Off => one write command per dirty page (seed behavior).
+  bool coalesced_writeback = true;
+  // Max pages one eviction-triggered write-back cluster may carry.
+  uint32_t writeback_max_batch = 256;
+  // Batch vectored write-back under a single doorbell/interrupt.
+  bool coalesce_nvme = true;
+};
+
 class BufferCache {
  public:
   // `arena_device` is where pages live (the host socket device).
   BufferCache(BlockStore* backing, DeviceId arena_device,
-              size_t capacity_blocks);
+              size_t capacity_blocks,
+              const BufferCacheOptions& options = BufferCacheOptions());
 
   // Returns a reference to the cached page for `lba`, faulting it in from
   // the backing store on a miss (possibly evicting). The MemRef stays valid
@@ -39,8 +72,16 @@ class BufferCache {
 
   // Installs a clean page from caller-provided content without touching the
   // backing store (the caller just read it, e.g. into a bounce buffer).
-  // No-op if the block is already cached.
-  Task<Status> InsertClean(uint64_t lba, std::span<const uint8_t> content);
+  // No-op if the block is already cached. Pages installed with
+  // `readahead=true` count one cache.readahead_hits on their first
+  // GetBlock touch (speculation that paid off).
+  Task<Status> InsertClean(uint64_t lba, std::span<const uint8_t> content,
+                           bool readahead = false);
+
+  // Installs a full-block overwrite as a dirty page without faulting the
+  // old content in from disk (write-back absorption). If the block is
+  // already cached its content is replaced in place.
+  Task<Status> InsertDirty(uint64_t lba, std::span<const uint8_t> content);
 
   // Convenience byte-span access through the cache.
   Task<Status> ReadThrough(uint64_t lba, uint32_t nblocks,
@@ -55,34 +96,92 @@ class BufferCache {
   bool Contains(uint64_t lba) const;
 
   Task<Status> Flush();
+  // Writes back (but keeps cached, now clean) every dirty page inside
+  // [lba, lba+nblocks). Fast no-op when the cache holds no dirty pages —
+  // the proxy calls this before P2P reads for write-back coherence.
+  Task<Status> FlushRange(uint64_t lba, uint64_t nblocks);
 
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
-  uint64_t evictions() const { return evictions_; }
+  uint64_t hits() const { return hits_->value() - hits_base_; }
+  uint64_t misses() const { return misses_->value() - misses_base_; }
+  uint64_t evictions() const { return evictions_->value() - evictions_base_; }
+  uint64_t readahead_hits() const {
+    return readahead_hits_->value() - readahead_hits_base_;
+  }
   size_t size() const { return map_.size(); }
   size_t capacity() const { return capacity_; }
+  size_t dirty_pages() const { return dirty_count_; }
+  size_t protected_pages() const { return protected_.size(); }
+  size_t probation_pages() const { return probation_.size(); }
+  const BufferCacheOptions& options() const { return options_; }
 
  private:
+  enum class Segment : uint8_t { kProbation, kProtected };
+
   struct Page {
     uint64_t lba;
     size_t slot;
     bool dirty = false;
+    bool readahead = false;  // speculative fill, not yet touched
+    Segment segment = Segment::kProbation;
     std::list<uint64_t>::iterator lru_it;
   };
 
+  // One dirty page staged for write-back: content is snapshotted so the
+  // arena slot may be concurrently evicted/reused while the write is in
+  // flight.
+  struct WritebackPlan {
+    std::vector<uint64_t> lbas;           // sorted, one per page
+    std::vector<uint8_t> scratch;         // snapshot, lbas.size() blocks
+    std::vector<ConstBlockRun> runs;      // contiguous groups over scratch
+  };
+
   Task<Status> EvictOne();
+  // Writes `plan` to the backing store as one vectored submission,
+  // re-marking still-cached pages dirty if the write fails.
+  Task<Status> WritebackRuns(WritebackPlan plan);
+  // Snapshots the (sorted) dirty pages in `lbas` into a plan and clears
+  // their dirty bits. Caller guarantees lbas are cached and dirty.
+  WritebackPlan PlanWriteback(std::vector<uint64_t> lbas);
+  Task<Status> InsertLocked(uint64_t lba, std::span<const uint8_t> content,
+                            bool dirty, bool readahead);
+  void TouchHit(Page& page, bool promote = true);
+  void LinkNew(Page& page);
+  void Unlink(const Page& page);
+  std::list<uint64_t>& SegmentList(Segment segment) {
+    return segment == Segment::kProtected ? protected_ : probation_;
+  }
+  void SetDirty(Page& page, bool dirty);
+  void UpdateGauges();
   MemRef SlotRef(size_t slot);
 
   BlockStore* backing_;
   size_t capacity_;
   uint32_t block_size_;
+  BufferCacheOptions options_;
+  size_t protected_cap_;
   DeviceBuffer arena_;
   std::vector<size_t> free_slots_;
   std::unordered_map<uint64_t, Page> map_;
-  std::list<uint64_t> lru_;  // front = most recent
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t evictions_ = 0;
+  // front = most recent in both segments. With scan_resistant=false only
+  // probation_ is used and it behaves as the seed's single LRU list.
+  std::list<uint64_t> probation_;
+  std::list<uint64_t> protected_;
+  size_t dirty_count_ = 0;
+
+  Counter* hits_;
+  Counter* misses_;
+  Counter* evictions_;
+  Counter* readahead_hits_;
+  Counter* readahead_blocks_;
+  Counter* writeback_coalesced_blocks_;
+  Counter* writeback_runs_;
+  Gauge* probation_gauge_;
+  Gauge* protected_gauge_;
+  Gauge* dirty_gauge_;
+  uint64_t hits_base_;
+  uint64_t misses_base_;
+  uint64_t evictions_base_;
+  uint64_t readahead_hits_base_;
 };
 
 }  // namespace solros

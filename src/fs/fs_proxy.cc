@@ -22,6 +22,9 @@ constexpr uint64_t kP2pCooldownRequests = 16;
 // DMA copy attempts while faults are armed.
 constexpr int kDmaMaxAttempts = 3;
 
+// Max per-(coprocessor, file) sequential-stream entries the proxy tracks.
+constexpr size_t kMaxReadStreams = 1024;
+
 bool DegradableFault(const Status& status) {
   return status.code() == ErrorCode::kTimedOut ||
          status.code() == ErrorCode::kIoError;
@@ -41,8 +44,15 @@ FsProxy::FsProxy(Simulator* sim, PcieFabric* fabric, const HwParams& params,
       options_(options),
       host_dma_(sim, fabric, params, host_cpu->device()) {
   if (options_.cache_blocks > 0) {
+    BufferCacheOptions cache_options;
+    cache_options.scan_resistant = options_.cache_scan_resistant;
+    cache_options.protected_fraction = options_.cache_protected_fraction;
+    cache_options.coalesced_writeback = options_.coalesced_writeback;
+    cache_options.writeback_max_batch = options_.writeback_max_batch;
+    cache_options.coalesce_nvme = options_.coalesce_nvme;
     cache_ = std::make_unique<BufferCache>(store, host_cpu->device(),
-                                           options_.cache_blocks);
+                                           options_.cache_blocks,
+                                           cache_options);
   }
 }
 
@@ -251,9 +261,61 @@ void FsProxy::NoteP2pFault() {
   TRACE_INSTANT(sim_, "proxy", "fs.proxy.p2p_cooldown");
 }
 
+uint32_t FsProxy::UpdateReadStream(uint32_t client, uint64_t ino,
+                                   uint64_t offset, uint64_t length) {
+  auto key = std::make_pair(client, ino);
+  auto it = streams_.find(key);
+  if (it == streams_.end()) {
+    if (streams_.size() >= kMaxReadStreams) {
+      auto lru = streams_.begin();
+      for (auto s = streams_.begin(); s != streams_.end(); ++s) {
+        if (s->second.last_use < lru->second.last_use) {
+          lru = s;
+        }
+      }
+      streams_.erase(lru);
+    }
+    it = streams_.emplace(key, ReadStream{}).first;
+  }
+  ReadStream& stream = it->second;
+  // A brand-new stream has next_offset == 0, so a file read starting at
+  // offset 0 opens the window immediately.
+  if (offset == stream.next_offset) {
+    stream.window_blocks =
+        stream.window_blocks == 0
+            ? options_.readahead_min_blocks
+            : std::min(stream.window_blocks * 2,
+                       options_.readahead_max_blocks);
+  } else {
+    stream.window_blocks = 0;  // non-sequential: close the window
+  }
+  stream.next_offset = offset + length;
+  stream.last_use = stats_.requests;
+  return stream.window_blocks;
+}
+
+Task<Status> FsProxy::FlushExtents(const std::vector<FsExtent>& extents) {
+  if (cache_ == nullptr || cache_->dirty_pages() == 0) {
+    co_return OkStatus();
+  }
+  for (const FsExtent& e : extents) {
+    SOLROS_CO_RETURN_IF_ERROR(co_await cache_->FlushRange(e.start, e.len));
+  }
+  co_return OkStatus();
+}
+
 Task<Result<bool>> FsProxy::ShouldUseP2p(const FsRequest& request,
-                                         uint64_t length) {
+                                         uint64_t length,
+                                         uint32_t readahead_window) {
   if (!options_.allow_p2p) {
+    co_return false;
+  }
+  // Detected sequential stream under the cutover: go buffered so the
+  // readahead window turns its many small reads into few vectored ones.
+  if (readahead_window > 0 && length <= options_.readahead_p2p_cutover) {
+    static Counter* const steered =
+        MetricRegistry::Default().GetCounter("fs.proxy.readahead_steered");
+    steered->Increment();
     co_return false;
   }
   // A streak of faulted P2P transfers parks the path for a while.
@@ -317,7 +379,15 @@ Task<FsResponse> FsProxy::HandleRead(const FsRequest& request) {
     co_return response;
   }
 
-  auto p2p = co_await ShouldUseP2p(request, length);
+  // Track the sequential stream regardless of the path taken: the window
+  // state both steers the path decision and sizes the staged readahead.
+  uint32_t ra_blocks = 0;
+  if (options_.readahead && cache_ != nullptr) {
+    ra_blocks =
+        UpdateReadStream(request.client, request.ino, request.offset, length);
+  }
+
+  auto p2p = co_await ShouldUseP2p(request, length, ra_blocks);
   if (!p2p.ok()) {
     co_return ErrorResponse(p2p.status());
   }
@@ -331,6 +401,12 @@ Task<FsResponse> FsProxy::HandleRead(const FsRequest& request) {
     auto extents = co_await fs_->Fiemap(request.ino, request.offset, length);
     if (!extents.ok()) {
       co_return ErrorResponse(extents.status());
+    }
+    // P2P bypasses the cache; push any dirty cached pages of this range
+    // out first so the device read returns the newest bytes.
+    Status coherent = co_await FlushExtents(*extents);
+    if (!coherent.ok()) {
+      co_return ErrorResponse(coherent);
     }
     Status status = co_await store_->ReadExtents(
         *extents, request.memory.Sub(0, length), options_.coalesce_nvme);
@@ -357,8 +433,9 @@ Task<FsResponse> FsProxy::HandleRead(const FsRequest& request) {
         MetricRegistry::Default().GetCounter("fs.proxy.buffered_reads");
     buffered_reads->Increment();
     ScopedSpan data(sim_, "proxy", "fs.data.buffered");
-    Status status = co_await BufferedRead(request.ino, request.offset,
-                                          length, request.memory);
+    Status status = co_await BufferedRead(request.ino, request.offset, length,
+                                          request.memory, ra_blocks,
+                                          stat->size);
     if (!status.ok()) {
       co_return ErrorResponse(status);
     }
@@ -450,33 +527,64 @@ Task<Status> FsProxy::DmaCopyWithRetry(MemRef dst, MemRef src) {
 }
 
 Task<Status> FsProxy::BufferedRead(uint64_t ino, uint64_t offset,
-                                   uint64_t length, MemRef target) {
+                                   uint64_t length, MemRef target,
+                                   uint32_t ra_blocks, uint64_t file_size) {
   // Stage the byte range in a host bounce buffer. Cached blocks come from
   // the cache; missing runs are fetched with one coalesced NVMe vector and
-  // then populate the cache.
+  // then populate the cache. A readahead window extends the staged range
+  // past the request so a miss run spanning the boundary fetches the next
+  // `ra_blocks` speculatively in the same NVMe vector.
   uint64_t first_block = offset / kFsBlockSize;
   uint64_t last_block = (offset + length + kFsBlockSize - 1) / kFsBlockSize;
   uint64_t nblocks = last_block - first_block;
-  DeviceBuffer bounce(host_cpu_->device(), nblocks * kFsBlockSize);
+  uint64_t stage_blocks = nblocks;
+  if (ra_blocks > 0 && cache_ != nullptr) {
+    uint64_t file_blocks = (file_size + kFsBlockSize - 1) / kFsBlockSize;
+    uint64_t headroom =
+        file_blocks > last_block ? file_blocks - last_block : 0;
+    stage_blocks += std::min<uint64_t>(ra_blocks, headroom);
+  }
+  if (stage_blocks > nblocks) {
+    TRACE_INSTANT(sim_, "proxy", "fs.proxy.readahead");
+  }
+  DeviceBuffer bounce(host_cpu_->device(), stage_blocks * kFsBlockSize);
 
   SOLROS_CO_ASSIGN_OR_RETURN(
       std::vector<FsExtent> extents,
       co_await fs_->Fiemap(ino, first_block * kFsBlockSize,
-                           nblocks * kFsBlockSize));
+                           stage_blocks * kFsBlockSize));
 
-  uint64_t cursor = 0;  // block index within the range
+  uint64_t cursor = 0;  // block index within the staged range
   for (const FsExtent& extent : extents) {
     for (uint64_t i = 0; i < extent.len;) {
       uint64_t lba = extent.start + i;
       uint64_t bounce_off = (cursor + i) * kFsBlockSize;
+      bool speculative = cursor + i >= nblocks;
       if (cache_ != nullptr && cache_->Contains(lba)) {
+        if (speculative) {
+          // Already-cached readahead block: nothing to stage, and no
+          // LRU touch — the stream has not actually reached it yet.
+          ++i;
+          continue;
+        }
         SOLROS_CO_ASSIGN_OR_RETURN(MemRef page, co_await cache_->GetBlock(lba));
         std::memcpy(bounce.data() + bounce_off, page.span().data(),
                     kFsBlockSize);
         ++i;
         continue;
       }
-      // Extend a miss run.
+      if (speculative) {
+        // A miss run that STARTS in the readahead region means the demand
+        // part of this request was already cached — skip the speculative
+        // fetch entirely. Readahead I/O only piggybacks on a demand miss,
+        // so a fully-cached request costs zero device commands (this is
+        // what turns a sequential stream into one command per window
+        // instead of one per request).
+        ++i;
+        continue;
+      }
+      // Extend a miss run (it may cross from the request region into the
+      // readahead region — that is the point: one vectored device read).
       uint64_t run = 1;
       while (i + run < extent.len &&
              (cache_ == nullptr || !cache_->Contains(extent.start + i + run))) {
@@ -492,7 +600,8 @@ Task<Status> FsProxy::BufferedRead(uint64_t ino, uint64_t offset,
         for (uint64_t b = 0; b < run; ++b) {
           Status inserted = co_await cache_->InsertClean(
               lba + b,
-              {bounce.data() + bounce_off + b * kFsBlockSize, kFsBlockSize});
+              {bounce.data() + bounce_off + b * kFsBlockSize, kFsBlockSize},
+              /*readahead=*/cursor + i + b >= nblocks);
           if (!inserted.ok()) {
             co_return inserted;
           }
@@ -526,6 +635,42 @@ Task<Status> FsProxy::BufferedWrite(uint64_t ino, uint64_t offset,
   } else {
     SOLROS_CO_RETURN_IF_ERROR(
         co_await DmaCopyWithRetry(MemRef::Of(bounce), source.Sub(0, length)));
+  }
+  // Write-back absorption: an aligned write becomes dirty cache pages with
+  // no device I/O at all — eviction and Flush() push them out later as
+  // coalesced vectors. PrepareWrite allocates blocks and updates metadata
+  // exactly as the P2P write path does.
+  if (cache_ != nullptr && options_.writeback_cache &&
+      offset % kFsBlockSize == 0 && length % kFsBlockSize == 0) {
+    auto extents = co_await fs_->PrepareWrite(ino, offset, length);
+    if (extents.ok()) {
+      static Counter* const absorbed =
+          MetricRegistry::Default().GetCounter("fs.proxy.writeback_absorbed");
+      absorbed->Increment(length / kFsBlockSize);
+      uint64_t cursor = 0;
+      for (const FsExtent& e : *extents) {
+        for (uint64_t b = 0; b < e.len; ++b) {
+          SOLROS_CO_RETURN_IF_ERROR(co_await cache_->InsertDirty(
+              e.start + b,
+              {bounce.data() + (cursor + b) * kFsBlockSize, kFsBlockSize}));
+        }
+        cursor += e.len;
+      }
+      co_return OkStatus();
+    }
+    if (extents.code() != ErrorCode::kFailedPrecondition) {
+      co_return extents.status();
+    }
+    // Gap past EOF: fall through to the write-through path below.
+  }
+  // The write-through path read-modify-writes partial blocks from the
+  // device; push overlapping dirty cached pages out first so the RMW sees
+  // the newest bytes.
+  if (cache_ != nullptr && cache_->dirty_pages() > 0) {
+    auto dirty_extents = co_await fs_->Fiemap(ino, offset, length);
+    if (dirty_extents.ok()) {
+      SOLROS_CO_RETURN_IF_ERROR(co_await FlushExtents(*dirty_extents));
+    }
   }
   SOLROS_CO_ASSIGN_OR_RETURN(
       uint64_t written,

@@ -19,7 +19,9 @@
 #ifndef SOLROS_SRC_FS_FS_PROXY_H_
 #define SOLROS_SRC_FS_FS_PROXY_H_
 
+#include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "src/base/status.h"
@@ -59,6 +61,37 @@ class FsProxy {
     bool coalesce_nvme = true;
     // Allow P2P at all (ablation: force host-staging).
     bool allow_p2p = true;
+
+    // --- staged-path cache tuning (each independently ablatable; with all
+    // of these disabled the staged path behaves exactly like the original
+    // single-LRU, per-block, write-through-invalidate implementation) ---
+
+    // Segmented-LRU scan resistance in the shared cache (probation +
+    // protected segments; one co-processor's streaming scan cannot evict
+    // another's hot set).
+    bool cache_scan_resistant = true;
+    // Fraction of the cache reserved for the protected segment.
+    double cache_protected_fraction = 0.75;
+    // Sequential read-ahead: per-(coprocessor, file) stream detection with
+    // an adaptive window, faulted as one vectored NVMe read.
+    bool readahead = true;
+    uint32_t readahead_min_blocks = 8;
+    uint32_t readahead_max_blocks = 64;
+    // Sequential reads at or below this size are steered to the buffered
+    // path so the readahead window batches their device I/O; larger
+    // sequential reads keep P2P's zero-copy advantage.
+    uint64_t readahead_p2p_cutover = 128 * 1024;
+    // Absorb aligned buffered writes as dirty cache pages (write-back)
+    // instead of writing through and invalidating.
+    bool writeback_cache = true;
+    // Gather LBA-contiguous dirty runs into vectored write-back on
+    // eviction and flush.
+    bool coalesced_writeback = true;
+    // Max pages one eviction-triggered write-back cluster may carry.
+    uint32_t writeback_max_batch = 256;
+    // SolrosFs::ReadAt/WriteAt batch their full-block runs into one
+    // vectored store submission (applied by Machine at wiring time).
+    bool fs_vectored_io = true;
   };
 
   FsProxy(Simulator* sim, PcieFabric* fabric, const HwParams& params,
@@ -87,14 +120,35 @@ class FsProxy {
   Task<FsResponse> HandleReaddir(const FsRequest& request);
   Task<FsResponse> HandleMeta(const FsRequest& request);
 
-  // §4.3.2's four buffered-mode triggers.
-  Task<Result<bool>> ShouldUseP2p(const FsRequest& request, uint64_t length);
+  // §4.3.2's four buffered-mode triggers, plus the readahead steer: a
+  // sequential stream with an open window (`readahead_window > 0`) at or
+  // below the P2P cutover goes buffered so its device reads batch.
+  Task<Result<bool>> ShouldUseP2p(const FsRequest& request, uint64_t length,
+                                  uint32_t readahead_window = 0);
 
-  // Buffered helpers (cache-aware staging + one host DMA).
+  // Per-(coprocessor, file) sequential-stream state for readahead.
+  struct ReadStream {
+    uint64_t next_offset = 0;   // where a sequential successor would start
+    uint32_t window_blocks = 0; // current readahead window (0 = no stream)
+    uint64_t last_use = 0;      // request ordinal, for table LRU
+  };
+  // Updates the stream for (client, ino) with this read and returns the
+  // readahead window (blocks to speculatively stage past the request).
+  uint32_t UpdateReadStream(uint32_t client, uint64_t ino, uint64_t offset,
+                            uint64_t length);
+
+  // Buffered helpers (cache-aware staging + one host DMA). `ra_blocks`
+  // extends the staged range past the request (clipped to `file_size`)
+  // with readahead-tagged clean pages.
   Task<Status> BufferedRead(uint64_t ino, uint64_t offset, uint64_t length,
-                            MemRef target);
+                            MemRef target, uint32_t ra_blocks,
+                            uint64_t file_size);
   Task<Status> BufferedWrite(uint64_t ino, uint64_t offset, uint64_t length,
                              MemRef source);
+  // Write-back coherence: pushes dirty cached pages covering `extents` to
+  // the device before a path that reads the device directly (P2P read,
+  // read-modify-write). Cheap no-op when nothing is dirty.
+  Task<Status> FlushExtents(const std::vector<FsExtent>& extents);
 
   // Host DMA with bounded resubmission while faults are armed (the engine
   // aborts before moving bytes, so a reissue is safe).
@@ -119,6 +173,7 @@ class FsProxy {
   std::unique_ptr<BufferCache> cache_;
   std::vector<std::unique_ptr<RpcServer<FsRequest, FsResponse>>> servers_;
   FsProxyStats stats_;
+  std::map<std::pair<uint32_t, uint64_t>, ReadStream> streams_;
   uint32_t p2p_fault_streak_ = 0;
   uint64_t p2p_cooldown_until_ = 0;  // request ordinal; 0 = not cooling down
 };

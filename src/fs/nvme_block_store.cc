@@ -51,6 +51,65 @@ Task<Status> NvmeBlockStore::Write(uint64_t lba, uint32_t nblocks,
 
 Task<Status> NvmeBlockStore::Flush() { co_return OkStatus(); }
 
+Task<Status> NvmeBlockStore::ReadV(std::span<const BlockRun> runs,
+                                   bool coalesce) {
+  if (runs.empty()) co_return OkStatus();
+  uint64_t total = 0;
+  for (const BlockRun& run : runs) {
+    uint64_t bytes = uint64_t{run.nblocks} * block_size();
+    if (run.data.size() < bytes) {
+      co_return InvalidArgumentError("readv span too short");
+    }
+    total += bytes;
+  }
+  DeviceBuffer staging(cpu_->device(), total);
+  std::vector<NvmeCommand> commands;
+  commands.reserve(runs.size());
+  uint64_t offset = 0;
+  for (const BlockRun& run : runs) {
+    uint64_t bytes = uint64_t{run.nblocks} * block_size();
+    commands.push_back(NvmeCommand{NvmeCommand::Op::kRead, run.lba,
+                                   run.nblocks,
+                                   MemRef::Of(staging).Sub(offset, bytes)});
+    offset += bytes;
+  }
+  SOLROS_CO_RETURN_IF_ERROR(
+      co_await SubmitWithRetry(std::move(commands), coalesce));
+  offset = 0;
+  for (const BlockRun& run : runs) {
+    uint64_t bytes = uint64_t{run.nblocks} * block_size();
+    std::memcpy(run.data.data(), staging.data() + offset, bytes);
+    offset += bytes;
+  }
+  co_return OkStatus();
+}
+
+Task<Status> NvmeBlockStore::WriteV(std::span<const ConstBlockRun> runs,
+                                    bool coalesce) {
+  if (runs.empty()) co_return OkStatus();
+  uint64_t total = 0;
+  for (const ConstBlockRun& run : runs) {
+    uint64_t bytes = uint64_t{run.nblocks} * block_size();
+    if (run.data.size() < bytes) {
+      co_return InvalidArgumentError("writev span too short");
+    }
+    total += bytes;
+  }
+  DeviceBuffer staging(cpu_->device(), total);
+  std::vector<NvmeCommand> commands;
+  commands.reserve(runs.size());
+  uint64_t offset = 0;
+  for (const ConstBlockRun& run : runs) {
+    uint64_t bytes = uint64_t{run.nblocks} * block_size();
+    std::memcpy(staging.data() + offset, run.data.data(), bytes);
+    commands.push_back(NvmeCommand{NvmeCommand::Op::kWrite, run.lba,
+                                   run.nblocks,
+                                   MemRef::Of(staging).Sub(offset, bytes)});
+    offset += bytes;
+  }
+  co_return co_await SubmitWithRetry(std::move(commands), coalesce);
+}
+
 Task<Status> NvmeBlockStore::SubmitWithRetry(
     std::vector<NvmeCommand> commands, bool coalesce) {
   // One attempt, no timers, when no faults are armed.

@@ -46,6 +46,14 @@ class NvmeBlockStore : public BlockStore {
                      std::span<const uint8_t> in) override;
   Task<Status> Flush() override;
 
+  // Vectored byte-span I/O: every run stages through one host DeviceBuffer
+  // and becomes one NVMe command; the batch goes down in a single
+  // SubmitWithRetry (one doorbell + one interrupt when `coalesce`). Used by
+  // the buffer cache for readahead fills and coalesced write-back.
+  Task<Status> ReadV(std::span<const BlockRun> runs, bool coalesce) override;
+  Task<Status> WriteV(std::span<const ConstBlockRun> runs,
+                      bool coalesce) override;
+
   // Zero-copy vectorized I/O: one (extent -> target sub-range) command per
   // extent; `coalesce` batches them under a single doorbell/interrupt.
   // `target.length` must equal the total extent bytes.

@@ -466,6 +466,10 @@ Task<Result<uint64_t>> SolrosFs::ReadAt(uint64_t ino, uint64_t offset,
                           co_await LoadExtents(*inode));
 
   std::vector<uint8_t> scratch(kFsBlockSize);
+  // Vectored mode defers the full-block runs and reads them all in one
+  // store submission; block ranges within one call never overlap, so the
+  // deferral cannot reorder conflicting I/O.
+  std::vector<BlockRun> runs;
   uint64_t pos = offset;
   uint64_t end = offset + len;
   uint8_t* dst = out.data();
@@ -478,8 +482,13 @@ Task<Result<uint64_t>> SolrosFs::ReadAt(uint64_t ino, uint64_t offset,
     uint64_t chunk = std::min(end - pos, run_bytes);
     if (in_off == 0 && chunk >= kFsBlockSize) {
       chunk = chunk / kFsBlockSize * kFsBlockSize;
-      SOLROS_CO_RETURN_IF_ERROR(co_await store_->Read(
-          lba, static_cast<uint32_t>(chunk / kFsBlockSize), {dst, chunk}));
+      if (vectored_io_) {
+        runs.push_back(BlockRun{
+            lba, static_cast<uint32_t>(chunk / kFsBlockSize), {dst, chunk}});
+      } else {
+        SOLROS_CO_RETURN_IF_ERROR(co_await store_->Read(
+            lba, static_cast<uint32_t>(chunk / kFsBlockSize), {dst, chunk}));
+      }
     } else {
       chunk = std::min<uint64_t>(chunk, kFsBlockSize - in_off);
       SOLROS_CO_RETURN_IF_ERROR(co_await store_->Read(lba, 1, scratch));
@@ -487,6 +496,9 @@ Task<Result<uint64_t>> SolrosFs::ReadAt(uint64_t ino, uint64_t offset,
     }
     pos += chunk;
     dst += chunk;
+  }
+  if (!runs.empty()) {
+    SOLROS_CO_RETURN_IF_ERROR(co_await store_->ReadV(runs, /*coalesce=*/true));
   }
   co_return len;
 }
@@ -528,6 +540,9 @@ Task<Result<uint64_t>> SolrosFs::WriteAt(uint64_t ino, uint64_t offset,
   }
 
   std::vector<uint8_t> scratch(kFsBlockSize);
+  // Vectored mode defers the full-block runs into one store submission
+  // (disjoint from any partial-block RMW, so ordering is preserved).
+  std::vector<ConstBlockRun> runs;
   uint64_t pos = offset;
   const uint8_t* src = in.data();
   while (pos < end) {
@@ -539,8 +554,13 @@ Task<Result<uint64_t>> SolrosFs::WriteAt(uint64_t ino, uint64_t offset,
     uint64_t chunk = std::min(end - pos, run_bytes);
     if (in_off == 0 && chunk >= kFsBlockSize) {
       chunk = chunk / kFsBlockSize * kFsBlockSize;
-      SOLROS_CO_RETURN_IF_ERROR(co_await store_->Write(
-          lba, static_cast<uint32_t>(chunk / kFsBlockSize), {src, chunk}));
+      if (vectored_io_) {
+        runs.push_back(ConstBlockRun{
+            lba, static_cast<uint32_t>(chunk / kFsBlockSize), {src, chunk}});
+      } else {
+        SOLROS_CO_RETURN_IF_ERROR(co_await store_->Write(
+            lba, static_cast<uint32_t>(chunk / kFsBlockSize), {src, chunk}));
+      }
     } else {
       chunk = std::min<uint64_t>(chunk, kFsBlockSize - in_off);
       SOLROS_CO_RETURN_IF_ERROR(co_await store_->Read(lba, 1, scratch));
@@ -549,6 +569,10 @@ Task<Result<uint64_t>> SolrosFs::WriteAt(uint64_t ino, uint64_t offset,
     }
     pos += chunk;
     src += chunk;
+  }
+  if (!runs.empty()) {
+    SOLROS_CO_RETURN_IF_ERROR(
+        co_await store_->WriteV(runs, /*coalesce=*/true));
   }
 
   if (end > inode->size) {

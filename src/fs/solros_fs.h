@@ -80,6 +80,14 @@ class SolrosFs {
   // Flushes dirty metadata and the store.
   Task<Status> Sync();
 
+  // When enabled, ReadAt/WriteAt gather the full-block runs of a call into
+  // one vectored store submission (one command per contiguous run, one
+  // batch) instead of issuing a command per run as they hit it. Partial
+  // blocks still read-modify-write inline. Off by default so the legacy
+  // per-run command stream is preserved for ablation.
+  void set_vectored_io(bool enabled) { vectored_io_ = enabled; }
+  bool vectored_io() const { return vectored_io_; }
+
   // -- Introspection ----------------------------------------------------------
   uint64_t free_blocks() const { return super_.free_blocks; }
   uint64_t free_inodes() const { return super_.free_inodes; }
@@ -134,6 +142,7 @@ class SolrosFs {
   static void BitSet(std::vector<uint8_t>& bits, uint64_t index, bool value);
 
   BlockStore* store_;
+  bool vectored_io_ = false;
   Simulator* sim_;
   bool mounted_ = false;
   SuperBlock super_ = {};

@@ -121,7 +121,12 @@ TEST(MachineFsTest, CrossNumaPhiIsRoutedBuffered) {
 }
 
 TEST(MachineFsTest, CacheHitMakesSecondReadFasterAndBuffered) {
-  Machine machine(SmallConfig());
+  MachineConfig config = SmallConfig();
+  // Write-through so the write leaves no resident pages: the first read
+  // must fault from disk and only the second be served from the cache
+  // (with write-back absorption the first read is already hot).
+  config.fs_options.writeback_cache = false;
+  Machine machine(std::move(config));
   CHECK_OK(RunSim(machine.sim(), machine.FormatFs()));
   FsStub& stub = machine.fs_stub(0);
   stub.set_buffered(true);
@@ -143,6 +148,67 @@ TEST(MachineFsTest, CacheHitMakesSecondReadFasterAndBuffered) {
   EXPECT_LT(hot, cold);  // served from host cache, no disk
   EXPECT_EQ(std::memcmp(dst.data(), data.data(), data.size()), 0);
   EXPECT_GT(machine.fs_proxy().cache()->hits(), 0u);
+}
+
+TEST(MachineFsTest, SequentialStreamReadaheadCutsCommandCount) {
+  Machine machine(SmallConfig());
+  CHECK_OK(RunSim(machine.sim(), machine.FormatFs()));
+  FsStub& stub = machine.fs_stub(0);
+  auto ino = RunSim(machine.sim(), stub.Create("/stream.bin"));
+  ASSERT_TRUE(ino.ok());
+  auto data = RandomBytes(MiB(4), 6);
+  DeviceBuffer src(machine.phi_device(0), data.size());
+  std::memcpy(src.data(), data.data(), data.size());
+  // P2P write: leaves the cache cold (P2P invalidates, never populates).
+  ASSERT_TRUE(RunSim(machine.sim(), stub.Write(*ino, 0, MemRef::Of(src))).ok());
+
+  stub.set_buffered(true);
+  const uint64_t chunk = KiB(64);
+  const uint64_t chunks = data.size() / chunk;
+  DeviceBuffer dst(machine.phi_device(0), chunk);
+  uint64_t commands0 = machine.nvme().commands_completed();
+  for (uint64_t i = 0; i < chunks; ++i) {
+    auto n = RunSim(machine.sim(),
+                    stub.Read(*ino, i * chunk, MemRef::Of(dst)));
+    ASSERT_TRUE(n.ok());
+    ASSERT_EQ(*n, chunk);
+    ASSERT_EQ(std::memcmp(dst.data(), data.data() + i * chunk, chunk), 0);
+  }
+  uint64_t commands = machine.nvme().commands_completed() - commands0;
+  // Without readahead this stream costs one NVMe command per chunk; the
+  // adaptive window must collapse that by at least 3x (steady state is one
+  // command per window, ~4-5x).
+  EXPECT_LE(commands, chunks / 3) << "readahead did not batch the stream";
+  EXPECT_GT(machine.fs_proxy().cache()->readahead_hits(), 0u);
+
+  // A non-sequential jump resets the stream: the very next read must fetch
+  // only its own blocks (one command), not a grown speculative window.
+  // Fresh machine so the jump target is genuinely cold.
+  Machine cold_machine(SmallConfig());
+  CHECK_OK(RunSim(cold_machine.sim(), cold_machine.FormatFs()));
+  FsStub& cold_stub = cold_machine.fs_stub(0);
+  auto cold_ino = RunSim(cold_machine.sim(), cold_stub.Create("/cold.bin"));
+  ASSERT_TRUE(cold_ino.ok());
+  DeviceBuffer cold_src(cold_machine.phi_device(0), data.size());
+  std::memcpy(cold_src.data(), data.data(), data.size());
+  ASSERT_TRUE(RunSim(cold_machine.sim(),
+                     cold_stub.Write(*cold_ino, 0, MemRef::Of(cold_src)))
+                  .ok());
+  cold_stub.set_buffered(true);
+  // Grow a window with a few sequential reads...
+  DeviceBuffer buf(cold_machine.phi_device(0), chunk);
+  for (uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(RunSim(cold_machine.sim(),
+                       cold_stub.Read(*cold_ino, i * chunk, MemRef::Of(buf)))
+                    .ok());
+  }
+  // ...then jump far backward-of-stream into a cold region: the reset
+  // window must not prefetch, so exactly one device command is issued.
+  uint64_t before = cold_machine.nvme().commands_completed();
+  ASSERT_TRUE(RunSim(cold_machine.sim(),
+                     cold_stub.Read(*cold_ino, MiB(2), MemRef::Of(buf)))
+                  .ok());
+  EXPECT_EQ(cold_machine.nvme().commands_completed() - before, 1u);
 }
 
 TEST(MachineFsTest, MetadataOpsThroughStub) {
