@@ -46,10 +46,44 @@ BufferCache::BufferCache(BlockStore* backing, DeviceId arena_device,
   probation_gauge_ = registry.GetGauge("cache.probation_pages");
   protected_gauge_ = registry.GetGauge("cache.protected_pages");
   dirty_gauge_ = registry.GetGauge("cache.dirty_pages");
-  hits_base_ = hits_->value();
-  misses_base_ = misses_->value();
-  evictions_base_ = evictions_->value();
-  readahead_hits_base_ = readahead_hits_->value();
+}
+
+bool BufferCache::OverlapsInflight(uint64_t lba, uint64_t nblocks) const {
+  if (inflight_.empty() || nblocks == 0) {
+    return false;
+  }
+  uint64_t last = lba + nblocks - 1;
+  for (const InflightWriteback& w : inflight_) {
+    if (w.lo <= last && w.hi >= lba) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Task<void> BufferCache::WaitInflightChange() {
+  if (inflight_cond_ == nullptr) {
+    inflight_cond_ = std::make_unique<Condition>(co_await CurrentSimulator());
+  }
+  co_await inflight_cond_->Wait();
+}
+
+Task<void> BufferCache::AwaitInflight(uint64_t lba, uint64_t nblocks) {
+  while (OverlapsInflight(lba, nblocks)) {
+    co_await WaitInflightChange();
+  }
+}
+
+Task<void> BufferCache::AwaitAllInflight() {
+  while (!inflight_.empty()) {
+    co_await WaitInflightChange();
+  }
+}
+
+void BufferCache::NotifyInflight() {
+  if (inflight_cond_ != nullptr) {
+    inflight_cond_->NotifyAll();
+  }
 }
 
 MemRef BufferCache::SlotRef(size_t slot) {
@@ -152,12 +186,20 @@ BufferCache::WritebackPlan BufferCache::PlanWriteback(
 }
 
 Task<Status> BufferCache::WritebackRuns(WritebackPlan plan) {
+  if (plan.lbas.empty()) {
+    co_return OkStatus();
+  }
   writeback_runs_->Increment(plan.runs.size());
   if (options_.coalesced_writeback) {
     writeback_coalesced_blocks_->Increment(plan.lbas.size());
   }
+  auto inflight = inflight_.insert(
+      inflight_.end(),
+      InflightWriteback{plan.lbas.front(), plan.lbas.back()});
   Status status = co_await backing_->WriteV(
       plan.runs, options_.coalesced_writeback && options_.coalesce_nvme);
+  inflight_.erase(inflight);
+  NotifyInflight();
   if (!status.ok()) {
     // Put the pages back on the dirty list so a later flush retries them.
     for (uint64_t lba : plan.lbas) {
@@ -177,21 +219,33 @@ Task<Status> BufferCache::EvictOne() {
   auto it = map_.find(victim);
   CHECK(it != map_.end());
   if (it->second.dirty) {
+    if (OverlapsInflight(victim, 1)) {
+      // An older snapshot of this page is already on its way to the device;
+      // submitting the new bytes now would race it (the device gives no
+      // ordering across submissions). Wait it out; the caller's eviction
+      // loop retries.
+      co_await AwaitInflight(victim, 1);
+      co_return OkStatus();
+    }
     if (options_.coalesced_writeback) {
       // Gather the LBA-contiguous dirty cluster around the victim so one
-      // eviction absorbs its neighbours' write-back too.
+      // eviction absorbs its neighbours' write-back too. Neighbours with an
+      // older snapshot still in flight stay out (same ordering rule as
+      // above).
       uint64_t lo = victim;
       uint64_t hi = victim;
       uint32_t count = 1;
       while (count < options_.writeback_max_batch && lo > 0) {
         auto p = map_.find(lo - 1);
-        if (p == map_.end() || !p->second.dirty) break;
+        if (p == map_.end() || !p->second.dirty || OverlapsInflight(lo - 1, 1))
+          break;
         --lo;
         ++count;
       }
       while (count < options_.writeback_max_batch) {
         auto p = map_.find(hi + 1);
-        if (p == map_.end() || !p->second.dirty) break;
+        if (p == map_.end() || !p->second.dirty || OverlapsInflight(hi + 1, 1))
+          break;
         ++hi;
         ++count;
       }
@@ -203,21 +257,40 @@ Task<Status> BufferCache::EvictOne() {
       SOLROS_CO_RETURN_IF_ERROR(
           co_await WritebackRuns(PlanWriteback(std::move(lbas))));
     } else {
-      SOLROS_CO_RETURN_IF_ERROR(co_await backing_->Write(
-          victim, 1, SlotRef(it->second.slot).span()));
+      // Clear the dirty bit before suspending so a mid-flight overwrite
+      // re-marks the page and is detected below instead of being dropped.
+      SetDirty(it->second, false);
+      auto inflight = inflight_.insert(inflight_.end(),
+                                       InflightWriteback{victim, victim});
+      Status status = co_await backing_->Write(
+          victim, 1, SlotRef(it->second.slot).span());
+      inflight_.erase(inflight);
+      NotifyInflight();
+      if (!status.ok()) {
+        if (auto retry = map_.find(victim); retry != map_.end()) {
+          SetDirty(retry->second, true);
+        }
+        co_return status;
+      }
     }
-    // The write-back suspended; the victim may have been invalidated (slot
-    // already freed) or touched meanwhile. Re-resolve before erasing.
+    // The write-back suspended; re-resolve the victim, which may have been
+    // invalidated (slot already freed), touched, or re-dirtied meanwhile.
     it = map_.find(victim);
     if (it == map_.end()) {
       co_return OkStatus();
     }
+    if (it->second.dirty) {
+      // Re-dirtied mid-flight: the cached bytes are newer than what just
+      // reached the device. Keep the page for a later write-back; the
+      // caller's eviction loop picks another victim.
+      co_return OkStatus();
+    }
   }
-  SetDirty(it->second, false);
   free_slots_.push_back(it->second.slot);
   Unlink(it->second);
   map_.erase(it);
   evictions_->Increment();
+  ++local_evictions_;
   UpdateGauges();
   co_return OkStatus();
 }
@@ -226,9 +299,11 @@ Task<Result<MemRef>> BufferCache::GetBlock(uint64_t lba) {
   auto it = map_.find(lba);
   if (it != map_.end()) {
     hits_->Increment();
+    ++local_hits_;
     bool was_readahead = it->second.readahead;
     if (was_readahead) {
       readahead_hits_->Increment();
+      ++local_readahead_hits_;
       it->second.readahead = false;
     }
     // A readahead page's first demand hit is its first reference, not a
@@ -238,6 +313,7 @@ Task<Result<MemRef>> BufferCache::GetBlock(uint64_t lba) {
     co_return SlotRef(it->second.slot);
   }
   misses_->Increment();
+  ++local_misses_;
   while (free_slots_.empty()) {
     SOLROS_CO_RETURN_IF_ERROR(co_await EvictOne());
   }
@@ -390,7 +466,17 @@ bool BufferCache::Contains(uint64_t lba) const {
 
 Task<Status> BufferCache::Flush() {
   if (options_.coalesced_writeback) {
-    if (dirty_count_ > 0) {
+    // Loop until nothing is dirty AND nothing is in flight: waiting first
+    // keeps us from racing a concurrent submission for the same LBAs, and
+    // a failed in-flight write re-marks its pages dirty for the next pass.
+    for (;;) {
+      if (!inflight_.empty()) {
+        co_await AwaitAllInflight();
+        continue;
+      }
+      if (dirty_count_ == 0) {
+        break;
+      }
       std::vector<uint64_t> dirty;
       dirty.reserve(dirty_count_);
       for (const auto& [lba, page] : map_) {
@@ -404,6 +490,7 @@ Task<Status> BufferCache::Flush() {
     }
     co_return co_await backing_->Flush();
   }
+  co_await AwaitAllInflight();
   for (auto& [lba, page] : map_) {
     if (page.dirty) {
       SOLROS_CO_RETURN_IF_ERROR(
@@ -415,29 +502,46 @@ Task<Status> BufferCache::Flush() {
 }
 
 Task<Status> BufferCache::FlushRange(uint64_t lba, uint64_t nblocks) {
-  if (dirty_count_ == 0 || nblocks == 0) {
+  if (nblocks == 0) {
     co_return OkStatus();
   }
-  std::vector<uint64_t> dirty;
-  if (nblocks < map_.size()) {
-    for (uint64_t i = 0; i < nblocks; ++i) {
-      auto it = map_.find(lba + i);
-      if (it != map_.end() && it->second.dirty) {
-        dirty.push_back(lba + i);
-      }
+  // Loop until the range is clean AND no overlapping write-back is still
+  // in flight: PlanWriteback clears dirty bits at snapshot time, so "no
+  // dirty pages" alone does not mean the device has the bytes yet — a P2P
+  // read issued after a no-wait return here could see stale data. Waiting
+  // before snapshotting also ensures we never submit a second write for an
+  // LBA whose older snapshot is still in flight. Still a free no-op when
+  // nothing overlapping is dirty or in flight.
+  for (;;) {
+    if (OverlapsInflight(lba, nblocks)) {
+      co_await AwaitInflight(lba, nblocks);
+      continue;
     }
-  } else {
-    for (const auto& [cached, page] : map_) {
-      if (page.dirty && cached >= lba && cached < lba + nblocks) {
-        dirty.push_back(cached);
-      }
+    if (dirty_count_ == 0) {
+      co_return OkStatus();
     }
-    std::sort(dirty.begin(), dirty.end());
+    std::vector<uint64_t> dirty;
+    if (nblocks < map_.size()) {
+      for (uint64_t i = 0; i < nblocks; ++i) {
+        auto it = map_.find(lba + i);
+        if (it != map_.end() && it->second.dirty) {
+          dirty.push_back(lba + i);
+        }
+      }
+    } else {
+      for (const auto& [cached, page] : map_) {
+        if (page.dirty && cached >= lba && cached < lba + nblocks) {
+          dirty.push_back(cached);
+        }
+      }
+      std::sort(dirty.begin(), dirty.end());
+    }
+    if (dirty.empty()) {
+      co_return OkStatus();
+    }
+    SOLROS_CO_RETURN_IF_ERROR(
+        co_await WritebackRuns(PlanWriteback(std::move(dirty))));
   }
-  if (dirty.empty()) {
-    co_return OkStatus();
-  }
-  co_return co_await WritebackRuns(PlanWriteback(std::move(dirty)));
 }
 
 }  // namespace solros

@@ -18,18 +18,28 @@
 // dirty cluster around the victim and Flush() sorts all dirty pages by LBA,
 // so both go to the device as vectored multi-block writes (one command per
 // contiguous run, one doorbell for the batch) instead of one 4 KiB command
-// per page.
+// per page. Write-back snapshots content and clears dirty bits up front;
+// every submission is tracked as an in-flight LBA range until the device
+// confirms it, so (a) Flush/FlushRange wait out overlapping in-flight
+// writes instead of treating snapshot-cleaned pages as durable, (b) no
+// second write is ever submitted for an LBA that overlaps an in-flight one
+// (NVMe gives no ordering across submissions), and (c) a page re-dirtied
+// while its snapshot is in flight keeps its dirty bit and is written again
+// later rather than evicted with the new bytes dropped.
 //
 // Counters live in the process MetricRegistry (cache.hits, cache.misses,
 // cache.evictions, cache.readahead_hits, cache.readahead_blocks,
 // cache.writeback_coalesced_blocks, cache.writeback_runs) with segment and
-// dirty sizes as gauges; the per-instance accessors subtract the value seen
-// at construction so multiple caches in one process read their own deltas.
+// dirty sizes as gauges. The per-instance accessors read instance-local
+// mirrors incremented alongside the globals, so multiple caches in one
+// process each report their own traffic (the gauges, being process-global,
+// reflect whichever instance updated last).
 #ifndef SOLROS_SRC_FS_BUFFER_CACHE_H_
 #define SOLROS_SRC_FS_BUFFER_CACHE_H_
 
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -37,6 +47,7 @@
 #include "src/base/status.h"
 #include "src/fs/block_store.h"
 #include "src/hw/memory.h"
+#include "src/sim/sync.h"
 #include "src/sim/task.h"
 
 namespace solros {
@@ -101,15 +112,17 @@ class BufferCache {
   // the proxy calls this before P2P reads for write-back coherence.
   Task<Status> FlushRange(uint64_t lba, uint64_t nblocks);
 
-  uint64_t hits() const { return hits_->value() - hits_base_; }
-  uint64_t misses() const { return misses_->value() - misses_base_; }
-  uint64_t evictions() const { return evictions_->value() - evictions_base_; }
-  uint64_t readahead_hits() const {
-    return readahead_hits_->value() - readahead_hits_base_;
-  }
+  uint64_t hits() const { return local_hits_; }
+  uint64_t misses() const { return local_misses_; }
+  uint64_t evictions() const { return local_evictions_; }
+  uint64_t readahead_hits() const { return local_readahead_hits_; }
   size_t size() const { return map_.size(); }
   size_t capacity() const { return capacity_; }
   size_t dirty_pages() const { return dirty_count_; }
+  // True while a write-back submission is outstanding at the device. Pages
+  // covered by it are already clean, so "dirty_pages() == 0" alone must
+  // not be read as "everything durable".
+  bool writeback_in_flight() const { return !inflight_.empty(); }
   size_t protected_pages() const { return protected_.size(); }
   size_t probation_pages() const { return probation_.size(); }
   const BufferCacheOptions& options() const { return options_; }
@@ -135,10 +148,28 @@ class BufferCache {
     std::vector<ConstBlockRun> runs;      // contiguous groups over scratch
   };
 
+  // One write-back submission not yet confirmed by the device. Pages in
+  // [lo, hi] had their dirty bits cleared at snapshot time, so "no dirty
+  // pages" alone does not mean the range is durable — flushes must wait
+  // these out, and no new write may be submitted for an overlapping LBA
+  // (the device gives no ordering across submissions).
+  struct InflightWriteback {
+    uint64_t lo;
+    uint64_t hi;  // inclusive
+  };
+
   Task<Status> EvictOne();
-  // Writes `plan` to the backing store as one vectored submission,
-  // re-marking still-cached pages dirty if the write fails.
+  // Writes `plan` to the backing store as one vectored submission tracked
+  // as an in-flight range, re-marking still-cached pages dirty if the
+  // write fails.
   Task<Status> WritebackRuns(WritebackPlan plan);
+  bool OverlapsInflight(uint64_t lba, uint64_t nblocks) const;
+  // Suspends until no in-flight write-back overlaps [lba, lba+nblocks)
+  // (respectively: until none is in flight at all).
+  Task<void> AwaitInflight(uint64_t lba, uint64_t nblocks);
+  Task<void> AwaitAllInflight();
+  Task<void> WaitInflightChange();
+  void NotifyInflight();
   // Snapshots the (sorted) dirty pages in `lbas` into a plan and clears
   // their dirty bits. Caller guarantees lbas are cached and dirty.
   WritebackPlan PlanWriteback(std::vector<uint64_t> lbas);
@@ -167,6 +198,10 @@ class BufferCache {
   std::list<uint64_t> probation_;
   std::list<uint64_t> protected_;
   size_t dirty_count_ = 0;
+  std::list<InflightWriteback> inflight_;
+  // Lazily built on first wait: the cache is constructed without a
+  // Simulator, which Condition needs; waiters obtain it from their task.
+  std::unique_ptr<Condition> inflight_cond_;
 
   Counter* hits_;
   Counter* misses_;
@@ -178,10 +213,12 @@ class BufferCache {
   Gauge* probation_gauge_;
   Gauge* protected_gauge_;
   Gauge* dirty_gauge_;
-  uint64_t hits_base_;
-  uint64_t misses_base_;
-  uint64_t evictions_base_;
-  uint64_t readahead_hits_base_;
+  // Instance-local mirrors of the global counters, so the accessors never
+  // see another live cache's traffic.
+  uint64_t local_hits_ = 0;
+  uint64_t local_misses_ = 0;
+  uint64_t local_evictions_ = 0;
+  uint64_t local_readahead_hits_ = 0;
 };
 
 }  // namespace solros

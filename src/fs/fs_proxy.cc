@@ -267,15 +267,14 @@ uint32_t FsProxy::UpdateReadStream(uint32_t client, uint64_t ino,
   auto it = streams_.find(key);
   if (it == streams_.end()) {
     if (streams_.size() >= kMaxReadStreams) {
-      auto lru = streams_.begin();
-      for (auto s = streams_.begin(); s != streams_.end(); ++s) {
-        if (s->second.last_use < lru->second.last_use) {
-          lru = s;
-        }
-      }
-      streams_.erase(lru);
+      streams_.erase(stream_lru_.back());
+      stream_lru_.pop_back();
     }
+    stream_lru_.push_front(key);
     it = streams_.emplace(key, ReadStream{}).first;
+    it->second.lru_it = stream_lru_.begin();
+  } else {
+    stream_lru_.splice(stream_lru_.begin(), stream_lru_, it->second.lru_it);
   }
   ReadStream& stream = it->second;
   // A brand-new stream has next_offset == 0, so a file read starting at
@@ -290,12 +289,12 @@ uint32_t FsProxy::UpdateReadStream(uint32_t client, uint64_t ino,
     stream.window_blocks = 0;  // non-sequential: close the window
   }
   stream.next_offset = offset + length;
-  stream.last_use = stats_.requests;
   return stream.window_blocks;
 }
 
 Task<Status> FsProxy::FlushExtents(const std::vector<FsExtent>& extents) {
-  if (cache_ == nullptr || cache_->dirty_pages() == 0) {
+  if (cache_ == nullptr ||
+      (cache_->dirty_pages() == 0 && !cache_->writeback_in_flight())) {
     co_return OkStatus();
   }
   for (const FsExtent& e : extents) {
@@ -666,7 +665,8 @@ Task<Status> FsProxy::BufferedWrite(uint64_t ino, uint64_t offset,
   // The write-through path read-modify-writes partial blocks from the
   // device; push overlapping dirty cached pages out first so the RMW sees
   // the newest bytes.
-  if (cache_ != nullptr && cache_->dirty_pages() > 0) {
+  if (cache_ != nullptr &&
+      (cache_->dirty_pages() > 0 || cache_->writeback_in_flight())) {
     auto dirty_extents = co_await fs_->Fiemap(ino, offset, length);
     if (dirty_extents.ok()) {
       SOLROS_CO_RETURN_IF_ERROR(co_await FlushExtents(*dirty_extents));

@@ -19,6 +19,7 @@
 #ifndef SOLROS_SRC_FS_FS_PROXY_H_
 #define SOLROS_SRC_FS_FS_PROXY_H_
 
+#include <list>
 #include <map>
 #include <memory>
 #include <utility>
@@ -127,10 +128,11 @@ class FsProxy {
                                   uint32_t readahead_window = 0);
 
   // Per-(coprocessor, file) sequential-stream state for readahead.
+  using StreamKey = std::pair<uint32_t, uint64_t>;
   struct ReadStream {
     uint64_t next_offset = 0;   // where a sequential successor would start
     uint32_t window_blocks = 0; // current readahead window (0 = no stream)
-    uint64_t last_use = 0;      // request ordinal, for table LRU
+    std::list<StreamKey>::iterator lru_it;  // position in stream_lru_
   };
   // Updates the stream for (client, ino) with this read and returns the
   // readahead window (blocks to speculatively stage past the request).
@@ -173,7 +175,10 @@ class FsProxy {
   std::unique_ptr<BufferCache> cache_;
   std::vector<std::unique_ptr<RpcServer<FsRequest, FsResponse>>> servers_;
   FsProxyStats stats_;
-  std::map<std::pair<uint32_t, uint64_t>, ReadStream> streams_;
+  std::map<StreamKey, ReadStream> streams_;
+  // MRU-first key list; back() is the victim when the table is full, so a
+  // saturated table evicts in O(log n) instead of scanning every stream.
+  std::list<StreamKey> stream_lru_;
   uint32_t p2p_fault_streak_ = 0;
   uint64_t p2p_cooldown_until_ = 0;  // request ordinal; 0 = not cooling down
 };

@@ -142,6 +142,25 @@ class CountingStore : public MemBlockStore {
   size_t writev_runs = 0; // total contiguous runs across them
 };
 
+// A store whose writes take simulated time, so tests can interleave other
+// work with an in-flight write-back.
+class SlowStore : public CountingStore {
+ public:
+  using CountingStore::CountingStore;
+
+  Task<Status> Write(uint64_t lba, uint32_t nblocks,
+                     std::span<const uint8_t> in) override {
+    co_await Delay(Microseconds(10));
+    co_return co_await CountingStore::Write(lba, nblocks, in);
+  }
+
+  Task<Status> WriteV(std::span<const ConstBlockRun> runs,
+                      bool coalesce) override {
+    co_await Delay(Microseconds(10));
+    co_return co_await CountingStore::WriteV(runs, coalesce);
+  }
+};
+
 class SegmentedCacheTest : public ::testing::Test {
  protected:
   SegmentedCacheTest() : fabric_(&sim_, params_), store_(4096, 1024) {
@@ -360,6 +379,71 @@ TEST_F(SegmentedCacheTest, InsertCleanDuringInFlightReadaheadIsStable) {
   EXPECT_TRUE(cache.Contains(90));
   // The page is clean either way — never a phantom dirty bit.
   EXPECT_EQ(cache.dirty_pages(), 0u);
+}
+
+TEST_F(SegmentedCacheTest, ReDirtiedVictimDuringWritebackIsNotLost) {
+  SlowStore slow(4096, 1024);
+  BufferCache cache(&slow, fabric_.HostDevice(0), 8, Options());
+  for (uint64_t lba = 40; lba < 48; ++lba) {
+    CHECK_OK(RunSim(sim_, cache.InsertDirty(
+                              lba, Block(static_cast<uint8_t>(lba)))));
+  }
+  // The fault suspends inside the eviction write-back (SlowStore delays);
+  // the overwrite then lands while the victim's old snapshot is in flight.
+  auto fault = [&]() -> Task<void> {
+    auto ref = co_await cache.GetBlock(200);
+    CHECK(ref.ok());
+  };
+  auto overwrite = [&]() -> Task<void> {
+    CHECK_OK(co_await cache.InsertDirty(40, Block(0x99)));
+  };
+  Spawn(sim_, fault());
+  Spawn(sim_, overwrite());
+  sim_.RunUntilIdle();
+  // The re-dirtied page must survive the eviction pass with its new bytes
+  // still pending, not be force-evicted with them dropped.
+  EXPECT_TRUE(cache.Contains(40));
+  EXPECT_EQ(cache.dirty_pages(), 1u);
+  EXPECT_EQ(slow.raw()[40 * 4096], 40);  // in-flight snapshot landed
+  CHECK_OK(RunSim(sim_, cache.Flush()));
+  EXPECT_EQ(slow.raw()[40 * 4096], 0x99);  // ...and the new bytes after it
+}
+
+TEST_F(SegmentedCacheTest, FlushRangeWaitsForInFlightWriteback) {
+  SlowStore slow(4096, 1024);
+  BufferCache cache(&slow, fabric_.HostDevice(0), 8, Options());
+  CHECK_OK(RunSim(sim_, cache.InsertDirty(80, Block(0x11))));
+  CHECK_OK(RunSim(sim_, cache.InsertDirty(81, Block(0x22))));
+  // Flush() clears the dirty bits at snapshot time and suspends in the
+  // device write; a concurrent FlushRange must not conclude "nothing
+  // dirty, range durable" until that write actually lands.
+  auto flush = [&]() -> Task<void> { CHECK_OK(co_await cache.Flush()); };
+  bool range_flushed = false;
+  bool durable_at_return = false;
+  auto flush_range = [&]() -> Task<void> {
+    CHECK_OK(co_await cache.FlushRange(80, 2));
+    range_flushed = true;
+    durable_at_return =
+        slow.raw()[80 * 4096] == 0x11 && slow.raw()[81 * 4096] == 0x22;
+  };
+  Spawn(sim_, flush());
+  Spawn(sim_, flush_range());
+  sim_.RunUntilIdle();
+  EXPECT_TRUE(range_flushed);
+  EXPECT_TRUE(durable_at_return);
+}
+
+TEST_F(SegmentedCacheTest, AccessorsAreInstanceLocal) {
+  // Two live caches share the process-global metric counters; each
+  // instance's accessors must still report only its own traffic.
+  BufferCache a(&store_, fabric_.HostDevice(0), 8, Options());
+  BufferCache b(&store_, fabric_.HostDevice(0), 8, Options());
+  ASSERT_TRUE(RunSim(sim_, a.GetBlock(5)).ok());
+  ASSERT_TRUE(RunSim(sim_, a.GetBlock(5)).ok());
+  EXPECT_EQ(a.misses(), 1u);
+  EXPECT_EQ(a.hits(), 1u);
+  EXPECT_EQ(b.misses(), 0u);
+  EXPECT_EQ(b.hits(), 0u);
 }
 
 }  // namespace
