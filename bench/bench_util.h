@@ -7,10 +7,13 @@
 // threads).
 //
 // Common flags (parse with InitBench(argc, argv)):
-//   --csv              tables additionally printed as CSV rows
-//   --metrics          dump the process-wide metric registry at exit
-//   --trace-out=FILE   write a Chrome trace (open in ui.perfetto.dev); only
-//                      benches that bind a Tracer honor this
+//   --csv                 tables additionally printed as CSV rows
+//   --metrics             dump the process-wide metric registry at exit
+//   --trace-out=FILE      write a Chrome trace (open in ui.perfetto.dev);
+//                         only benches that bind a Tracer honor this
+//   --flight-recorder=N   keep a bounded ring of the last N trace events
+//                         and dump it on any fault-point fire (benches that
+//                         bind a Tracer attach it via ArmFlightRecorder)
 #ifndef SOLROS_BENCH_BENCH_UTIL_H_
 #define SOLROS_BENCH_BENCH_UTIL_H_
 
@@ -25,13 +28,16 @@
 #include "src/base/metrics.h"
 #include "src/base/stats.h"
 #include "src/base/units.h"
+#include "src/sim/flight_recorder.h"
+#include "src/sim/trace.h"
 
 namespace solros {
 
 struct BenchFlags {
   bool csv = false;
   bool metrics = false;
-  std::string trace_out;  // empty => no trace export
+  std::string trace_out;        // empty => no trace export
+  uint64_t flight_recorder = 0;  // entries to keep; 0 => no recorder
 };
 
 inline BenchFlags& GetBenchFlags() {
@@ -55,8 +61,16 @@ inline bool InitBench(int argc, char** argv) {
         std::cerr << "--trace-out= requires a file name\n";
         return false;
       }
+    } else if (arg.rfind("--flight-recorder=", 0) == 0) {
+      flags.flight_recorder = static_cast<uint64_t>(
+          std::strtoull(argv[i] + strlen("--flight-recorder="), nullptr, 10));
+      if (flags.flight_recorder == 0) {
+        std::cerr << "--flight-recorder= requires a positive entry count\n";
+        return false;
+      }
     } else if (arg == "--help" || arg == "-h") {
-      std::cerr << "common flags: --csv --metrics --trace-out=FILE\n";
+      std::cerr << "common flags: --csv --metrics --trace-out=FILE "
+                   "--flight-recorder=N\n";
       return false;
     }
   }
@@ -88,6 +102,31 @@ inline void DisableStagedPathFeatures(FsOptions& fs) {
   fs.fs_vectored_io = false;
 }
 
+// The process-wide flight recorder created by --flight-recorder=N (null
+// without the flag). Lives until exit so FinishBench can print its dumps.
+inline FlightRecorder*& BenchFlightRecorder() {
+  static FlightRecorder* recorder = nullptr;
+  return recorder;
+}
+
+// Under --flight-recorder=N, attaches a bounded recorder of N entries to
+// `tracer` and arms the fault-fire trigger. Call after binding the tracer
+// in benches that want crash-forensics output; no-op without the flag.
+inline void ArmFlightRecorder(Tracer& tracer) {
+  if (GetBenchFlags().flight_recorder == 0) {
+    return;
+  }
+  if (BenchFlightRecorder() == nullptr) {
+    BenchFlightRecorder() =
+        new FlightRecorder(GetBenchFlags().flight_recorder);
+    BenchFlightRecorder()->ArmFaultTrigger();
+    // Echo at dump time: a fault may abort the bench (CHECK_OK on an
+    // exhausted retry) before FinishBench prints retained dumps.
+    BenchFlightRecorder()->set_echo_to_stderr(true);
+  }
+  tracer.set_flight_recorder(BenchFlightRecorder());
+}
+
 // Prints `table` aligned, plus CSV when --csv was given.
 inline void EmitTable(const TablePrinter& table) {
   table.Print(std::cout);
@@ -97,11 +136,17 @@ inline void EmitTable(const TablePrinter& table) {
   }
 }
 
-// Call at the end of main: dumps the metric registry under --metrics.
+// Call at the end of main: dumps the metric registry under --metrics and
+// any retained flight-recorder dumps under --flight-recorder.
 inline void FinishBench() {
   if (GetBenchFlags().metrics) {
     std::cout << "\n--- metrics (--metrics) ---\n";
     MetricRegistry::Default().DumpText(std::cout);
+  }
+  FlightRecorder* recorder = BenchFlightRecorder();
+  if (recorder != nullptr && recorder->total_dumps() > 0) {
+    std::cout << "\n--- flight recorder (--flight-recorder) ---\n";
+    recorder->WriteText(std::cout);
   }
 }
 

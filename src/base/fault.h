@@ -35,6 +35,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <map>
 #include <memory>
@@ -82,7 +83,8 @@ class FaultPoint {
 
  private:
   friend class FaultRegistry;
-  FaultPoint(std::string name, uint64_t registry_seed);
+  FaultPoint(std::string name, uint64_t registry_seed,
+             FaultRegistry* registry);
 
   // Reseeds the PRNG and zeroes counters (called under the registry lock).
   void Arm(const FaultSpec& spec, uint64_t registry_seed);
@@ -90,6 +92,7 @@ class FaultPoint {
 
   std::mutex mu_;
   const std::string name_;
+  FaultRegistry* const registry_;
   std::atomic<bool> armed_{false};
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> fires_{0};
@@ -136,11 +139,22 @@ class FaultRegistry {
   // or not (deterministic, name-sorted). Appended to Machine::DumpStats.
   void DumpText(std::ostream& os) const;
 
+  // Invoked every time any point fires (never on the disarmed fast path,
+  // so fault-free runs pay nothing). At most one listener; the flight
+  // recorder installs one to dump on fault and clears it on destruction.
+  // Called outside both the registry and point locks.
+  using FireListener = std::function<void(const std::string& point_name)>;
+  void SetFireListener(FireListener listener);
+
  private:
+  friend class FaultPoint;
+  void NotifyFire(const std::string& name);
+
   mutable std::mutex mu_;
   uint64_t seed_ = 0x50171005ull;
   std::atomic<uint64_t> armed_count_{0};
   std::map<std::string, std::unique_ptr<FaultPoint>> points_;
+  FireListener fire_listener_;  // guarded by mu_
 };
 
 // Shorthand used at injection sites.

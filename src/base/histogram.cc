@@ -89,7 +89,13 @@ uint64_t Histogram::ValueAtQuantile(double q) const {
   for (size_t i = 0; i < counts_.size(); ++i) {
     running += counts_[i];
     if (running >= target) {
+      // Clamp the bucket's upper bound into [min_, max_]: the answer must
+      // be an observed-range value, and with one sample both clamps pin it
+      // to exactly that sample.
       uint64_t upper = BucketUpperBound(i);
+      if (upper < min_) {
+        upper = min_;
+      }
       return upper < max_ ? upper : max_;
     }
   }

@@ -27,7 +27,13 @@ class Histogram {
   double Mean() const;
 
   // Value at quantile q in [0, 1]; e.g. ValueAtQuantile(0.99) is p99.
-  // Returns 0 on an empty histogram.
+  // Contract (tested in histogram_test):
+  //  * empty histogram -> 0 for every q (min()/max()/Mean() are also 0);
+  //  * non-empty histogram -> a value in [min(), max()] for every q,
+  //    including q = 0 and q = 1 (bucket upper bounds are clamped to the
+  //    exact extremes, so percentiles never stray outside observed data);
+  //  * single sample -> that exact sample for every q.
+  // Out-of-range q is clamped to [0, 1].
   uint64_t ValueAtQuantile(double q) const;
 
   // Fraction of samples <= value, in [0, 1]. (CDF evaluation.)

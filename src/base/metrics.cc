@@ -158,6 +158,15 @@ void MetricRegistry::DumpJson(std::ostream& os) const {
   os << "}}";
 }
 
+void MetricRegistry::ResetHistograms() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, entry] : entries_) {
+    if (entry.kind == Kind::kHistogram) {
+      entry.histogram->Reset();
+    }
+  }
+}
+
 void MetricRegistry::ResetAll() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, entry] : entries_) {

@@ -129,6 +129,12 @@ class MetricRegistry {
   // Zeroes every metric; handles stay valid. (Benches isolate phases.)
   void ResetAll();
 
+  // Zeroes only the histograms, leaving counters/gauges accumulating.
+  // Benches call this between a warmup and the measured window (and between
+  // repeated iterations) so percentile queries reflect exactly one window
+  // instead of smearing every sample ever recorded.
+  void ResetHistograms();
+
  private:
   enum class Kind { kCounter, kGauge, kHistogram };
   struct Entry {

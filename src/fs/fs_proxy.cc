@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cstring>
+#include <optional>
 
 #include "src/base/fault.h"
 #include "src/base/logging.h"
 #include "src/base/metrics.h"
+#include "src/sim/flight_recorder.h"
 #include "src/sim/trace.h"
 
 namespace solros {
@@ -28,6 +30,23 @@ constexpr size_t kMaxReadStreams = 1024;
 bool DegradableFault(const Status& status) {
   return status.code() == ErrorCode::kTimedOut ||
          status.code() == ErrorCode::kIoError;
+}
+
+// Errors that indicate the system (device, DMA, transport) failed, as
+// opposed to benign namespace outcomes like kNotFound/kAlreadyExists that
+// correct programs produce all the time. Only system errors trigger a
+// flight-recorder dump on the way out of a proxy.
+bool IsSystemError(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kIoError:
+    case ErrorCode::kTimedOut:
+    case ErrorCode::kInternal:
+    case ErrorCode::kResourceExhausted:
+    case ErrorCode::kConnectionReset:
+      return true;
+    default:
+      return false;
+  }
 }
 
 }  // namespace
@@ -79,30 +98,37 @@ Task<FsResponse> FsProxy::Handle(FsRequest request) {
       MetricRegistry::Default().GetHistogram("fs.proxy.service_ns");
   requests->Increment();
   SimTime t0 = sim_->now();
-  ScopedSpan span(sim_, "proxy", "fs.proxy.service");
+  // The service span hangs off the stub's root span via the wire context.
+  ScopedSpan span(sim_, "proxy", "fs.proxy.service",
+                  TraceContext{request.trace_id, request.parent_span});
+  TraceContext ctx = span.context();
   {
     // Per-request proxy CPU: RPC handling plus the full file-system stack,
     // both on fast host cores (this is the asymmetry Solros exploits).
-    ScopedSpan cpu(sim_, "proxy", "fs.stage.proxy_cpu");
+    ScopedSpan cpu(sim_, "proxy", "fs.stage.proxy_cpu", ctx);
     co_await host_cpu_->Compute(params_.fs_proxy_cpu +
                                 params_.fs_full_call_cpu);
   }
   FsResponse response;
   switch (request.op) {
     case FsOp::kRead:
-      response = co_await HandleRead(request);
+      response = co_await HandleRead(request, ctx);
       break;
     case FsOp::kWrite:
-      response = co_await HandleWrite(request);
+      response = co_await HandleWrite(request, ctx);
       break;
     case FsOp::kReaddir:
-      response = co_await HandleReaddir(request);
+      response = co_await HandleReaddir(request, ctx);
       break;
     default:
       response = co_await HandleMeta(request);
       break;
   }
   service_ns->Record(sim_->now() - t0);
+  if (IsSystemError(response.error)) {
+    MaybeDumpFlightRecorder(
+        sim_, "fs.proxy error: " + std::string(ErrorCodeName(response.error)));
+  }
   co_return response;
 }
 
@@ -361,7 +387,8 @@ Task<Result<bool>> FsProxy::ShouldUseP2p(const FsRequest& request,
   co_return true;
 }
 
-Task<FsResponse> FsProxy::HandleRead(const FsRequest& request) {
+Task<FsResponse> FsProxy::HandleRead(const FsRequest& request,
+                                     TraceContext ctx) {
   FsResponse response;
   auto stat = co_await fs_->StatInode(request.ino);
   if (!stat.ok()) {
@@ -396,7 +423,7 @@ Task<FsResponse> FsProxy::HandleRead(const FsRequest& request) {
     static Counter* const p2p_reads =
         MetricRegistry::Default().GetCounter("fs.proxy.p2p_reads");
     p2p_reads->Increment();
-    ScopedSpan data(sim_, "proxy", "fs.data.p2p");
+    ScopedSpan data(sim_, "proxy", "fs.data.p2p", ctx);
     auto extents = co_await fs_->Fiemap(request.ino, request.offset, length);
     if (!extents.ok()) {
       co_return ErrorResponse(extents.status());
@@ -408,7 +435,8 @@ Task<FsResponse> FsProxy::HandleRead(const FsRequest& request) {
       co_return ErrorResponse(coherent);
     }
     Status status = co_await store_->ReadExtents(
-        *extents, request.memory.Sub(0, length), options_.coalesce_nvme);
+        *extents, request.memory.Sub(0, length), options_.coalesce_nvme,
+        data.context());
     if (status.ok()) {
       NoteP2pSuccess();
     } else if (DegradableFault(status)) {
@@ -431,10 +459,10 @@ Task<FsResponse> FsProxy::HandleRead(const FsRequest& request) {
     static Counter* const buffered_reads =
         MetricRegistry::Default().GetCounter("fs.proxy.buffered_reads");
     buffered_reads->Increment();
-    ScopedSpan data(sim_, "proxy", "fs.data.buffered");
+    ScopedSpan data(sim_, "proxy", "fs.data.buffered", ctx);
     Status status = co_await BufferedRead(request.ino, request.offset, length,
                                           request.memory, ra_blocks,
-                                          stat->size);
+                                          stat->size, data.context());
     if (!status.ok()) {
       co_return ErrorResponse(status);
     }
@@ -443,7 +471,8 @@ Task<FsResponse> FsProxy::HandleRead(const FsRequest& request) {
   co_return response;
 }
 
-Task<FsResponse> FsProxy::HandleWrite(const FsRequest& request) {
+Task<FsResponse> FsProxy::HandleWrite(const FsRequest& request,
+                                      TraceContext ctx) {
   FsResponse response;
   uint64_t length = std::min(request.length, request.memory.length);
   if (length == 0) {
@@ -462,7 +491,7 @@ Task<FsResponse> FsProxy::HandleWrite(const FsRequest& request) {
       static Counter* const p2p_writes =
           MetricRegistry::Default().GetCounter("fs.proxy.p2p_writes");
       p2p_writes->Increment();
-      ScopedSpan data(sim_, "proxy", "fs.data.p2p");
+      ScopedSpan data(sim_, "proxy", "fs.data.p2p", ctx);
       // The data on disk is about to change under any cached copies.
       if (cache_ != nullptr) {
         for (const FsExtent& e : *extents) {
@@ -470,7 +499,8 @@ Task<FsResponse> FsProxy::HandleWrite(const FsRequest& request) {
         }
       }
       Status status = co_await store_->WriteExtents(
-          *extents, request.memory.Sub(0, length), options_.coalesce_nvme);
+          *extents, request.memory.Sub(0, length), options_.coalesce_nvme,
+          data.context());
       if (status.ok()) {
         NoteP2pSuccess();
         response.value = length;
@@ -497,9 +527,9 @@ Task<FsResponse> FsProxy::HandleWrite(const FsRequest& request) {
   static Counter* const buffered_writes =
       MetricRegistry::Default().GetCounter("fs.proxy.buffered_writes");
   buffered_writes->Increment();
-  ScopedSpan data(sim_, "proxy", "fs.data.buffered");
+  ScopedSpan data(sim_, "proxy", "fs.data.buffered", ctx);
   Status status = co_await BufferedWrite(request.ino, request.offset, length,
-                                         request.memory);
+                                         request.memory, data.context());
   if (!status.ok()) {
     co_return ErrorResponse(status);
   }
@@ -507,12 +537,13 @@ Task<FsResponse> FsProxy::HandleWrite(const FsRequest& request) {
   co_return response;
 }
 
-Task<Status> FsProxy::DmaCopyWithRetry(MemRef dst, MemRef src) {
+Task<Status> FsProxy::DmaCopyWithRetry(MemRef dst, MemRef src,
+                                       TraceContext ctx) {
   const int attempts = Faults().any_armed() ? kDmaMaxAttempts : 1;
   Nanos backoff = params_.dma_init_host;
   Status status;
   for (int attempt = 1;; ++attempt) {
-    status = co_await host_dma_.Copy(dst, src);
+    status = co_await host_dma_.Copy(dst, src, ctx);
     if (status.ok() || attempt >= attempts) {
       co_return status;
     }
@@ -527,7 +558,8 @@ Task<Status> FsProxy::DmaCopyWithRetry(MemRef dst, MemRef src) {
 
 Task<Status> FsProxy::BufferedRead(uint64_t ino, uint64_t offset,
                                    uint64_t length, MemRef target,
-                                   uint32_t ra_blocks, uint64_t file_size) {
+                                   uint32_t ra_blocks, uint64_t file_size,
+                                   TraceContext ctx) {
   // Stage the byte range in a host bounce buffer. Cached blocks come from
   // the cache; missing runs are fetched with one coalesced NVMe vector and
   // then populate the cache. A readahead window extends the staged range
@@ -553,6 +585,19 @@ Task<Status> FsProxy::BufferedRead(uint64_t ino, uint64_t offset,
       co_await fs_->Fiemap(ino, first_block * kFsBlockSize,
                            stage_blocks * kFsBlockSize));
 
+  // The staging walk runs under a cache span (child of the buffered data
+  // span) whose args record the per-request outcome: demand blocks served
+  // from cache, demand blocks fetched from the device, and speculative
+  // readahead blocks piggybacked onto those fetches.
+  std::optional<ScopedSpan> cache_span;
+  if (cache_ != nullptr) {
+    cache_span.emplace(sim_, "cache", "cache.read", ctx);
+  }
+  TraceContext io_ctx = cache_span.has_value() ? cache_span->context() : ctx;
+  uint64_t span_hits = 0;
+  uint64_t span_misses = 0;
+  uint64_t span_readahead = 0;
+
   uint64_t cursor = 0;  // block index within the staged range
   for (const FsExtent& extent : extents) {
     for (uint64_t i = 0; i < extent.len;) {
@@ -569,6 +614,7 @@ Task<Status> FsProxy::BufferedRead(uint64_t ino, uint64_t offset,
         SOLROS_CO_ASSIGN_OR_RETURN(MemRef page, co_await cache_->GetBlock(lba));
         std::memcpy(bounce.data() + bounce_off, page.span().data(),
                     kFsBlockSize);
+        ++span_hits;
         ++i;
         continue;
       }
@@ -592,23 +638,35 @@ Task<Status> FsProxy::BufferedRead(uint64_t ino, uint64_t offset,
       std::vector<FsExtent> miss = {{lba, static_cast<uint32_t>(run), 0}};
       SOLROS_CO_RETURN_IF_ERROR(co_await store_->ReadExtents(
           miss, MemRef::Of(bounce, bounce_off, run * kFsBlockSize),
-          options_.coalesce_nvme));
+          options_.coalesce_nvme, io_ctx));
       // Populate the cache with the fetched blocks (clean pages, no
       // second device read — the bytes are in the bounce buffer).
       if (cache_ != nullptr) {
         for (uint64_t b = 0; b < run; ++b) {
+          bool ra = cursor + i + b >= nblocks;
           Status inserted = co_await cache_->InsertClean(
               lba + b,
               {bounce.data() + bounce_off + b * kFsBlockSize, kFsBlockSize},
-              /*readahead=*/cursor + i + b >= nblocks);
+              /*readahead=*/ra);
           if (!inserted.ok()) {
             co_return inserted;
+          }
+          if (ra) {
+            ++span_readahead;
+          } else {
+            ++span_misses;
           }
         }
       }
       i += run;
     }
     cursor += extent.len;
+  }
+  if (cache_span.has_value()) {
+    cache_span->AddArg("hits", span_hits);
+    cache_span->AddArg("misses", span_misses);
+    cache_span->AddArg("readahead", span_readahead);
+    cache_span.reset();  // close before the DMA: the move is not cache time
   }
 
   // One host-initiated DMA moves the requested bytes to the target.
@@ -618,13 +676,14 @@ Task<Status> FsProxy::BufferedRead(uint64_t ino, uint64_t offset,
     co_await Delay(TransferTime(length, params_.host_mem_bw));
   } else {
     SOLROS_CO_RETURN_IF_ERROR(co_await DmaCopyWithRetry(
-        target.Sub(0, length), MemRef::Of(bounce, in_off, length)));
+        target.Sub(0, length), MemRef::Of(bounce, in_off, length), ctx));
   }
   co_return OkStatus();
 }
 
 Task<Status> FsProxy::BufferedWrite(uint64_t ino, uint64_t offset,
-                                    uint64_t length, MemRef source) {
+                                    uint64_t length, MemRef source,
+                                    TraceContext ctx) {
   // Pull the data to a host bounce buffer with one DMA, then write through
   // the file system (which handles allocation, gaps, and partial blocks).
   DeviceBuffer bounce(host_cpu_->device(), length);
@@ -632,8 +691,8 @@ Task<Status> FsProxy::BufferedWrite(uint64_t ino, uint64_t offset,
     std::memcpy(bounce.data(), source.span().data(), length);
     co_await Delay(TransferTime(length, params_.host_mem_bw));
   } else {
-    SOLROS_CO_RETURN_IF_ERROR(
-        co_await DmaCopyWithRetry(MemRef::Of(bounce), source.Sub(0, length)));
+    SOLROS_CO_RETURN_IF_ERROR(co_await DmaCopyWithRetry(
+        MemRef::Of(bounce), source.Sub(0, length), ctx));
   }
   // Write-back absorption: an aligned write becomes dirty cache pages with
   // no device I/O at all — eviction and Flush() push them out later as
@@ -646,6 +705,8 @@ Task<Status> FsProxy::BufferedWrite(uint64_t ino, uint64_t offset,
       static Counter* const absorbed =
           MetricRegistry::Default().GetCounter("fs.proxy.writeback_absorbed");
       absorbed->Increment(length / kFsBlockSize);
+      ScopedSpan cache_span(sim_, "cache", "cache.write", ctx);
+      cache_span.AddArg("absorbed", length / kFsBlockSize);
       uint64_t cursor = 0;
       for (const FsExtent& e : *extents) {
         for (uint64_t b = 0; b < e.len; ++b) {
@@ -691,7 +752,8 @@ Task<Status> FsProxy::BufferedWrite(uint64_t ino, uint64_t offset,
   co_return OkStatus();
 }
 
-Task<FsResponse> FsProxy::HandleReaddir(const FsRequest& request) {
+Task<FsResponse> FsProxy::HandleReaddir(const FsRequest& request,
+                                        TraceContext ctx) {
   FsResponse response;
   auto entries = co_await fs_->Readdir(request.Path());
   if (!entries.ok()) {
@@ -720,7 +782,7 @@ Task<FsResponse> FsProxy::HandleReaddir(const FsRequest& request) {
       std::memcpy(request.memory.span().data(), bounce.data(), staged.size());
     } else {
       Status status = co_await DmaCopyWithRetry(
-          request.memory.Sub(0, staged.size()), MemRef::Of(bounce));
+          request.memory.Sub(0, staged.size()), MemRef::Of(bounce), ctx);
       if (!status.ok()) {
         co_return ErrorResponse(status);
       }

@@ -36,6 +36,7 @@
 #include "src/rpc/messages.h"
 #include "src/rpc/rpc.h"
 #include "src/sim/task.h"
+#include "src/sim/trace.h"
 #include "src/transport/sim_ring.h"
 
 namespace solros {
@@ -116,9 +117,12 @@ class FsProxy {
   SolrosFs* fs() { return fs_; }
 
  private:
-  Task<FsResponse> HandleRead(const FsRequest& request);
-  Task<FsResponse> HandleWrite(const FsRequest& request);
-  Task<FsResponse> HandleReaddir(const FsRequest& request);
+  // `ctx` is the request's trace context rooted at the service span; data
+  // ops thread it down to the cache/NVMe/DMA spans they cause (metadata I/O
+  // stays untagged and is attributed to proxy time).
+  Task<FsResponse> HandleRead(const FsRequest& request, TraceContext ctx);
+  Task<FsResponse> HandleWrite(const FsRequest& request, TraceContext ctx);
+  Task<FsResponse> HandleReaddir(const FsRequest& request, TraceContext ctx);
   Task<FsResponse> HandleMeta(const FsRequest& request);
 
   // §4.3.2's four buffered-mode triggers, plus the readahead steer: a
@@ -144,9 +148,9 @@ class FsProxy {
   // with readahead-tagged clean pages.
   Task<Status> BufferedRead(uint64_t ino, uint64_t offset, uint64_t length,
                             MemRef target, uint32_t ra_blocks,
-                            uint64_t file_size);
+                            uint64_t file_size, TraceContext ctx);
   Task<Status> BufferedWrite(uint64_t ino, uint64_t offset, uint64_t length,
-                             MemRef source);
+                             MemRef source, TraceContext ctx);
   // Write-back coherence: pushes dirty cached pages covering `extents` to
   // the device before a path that reads the device directly (P2P read,
   // read-modify-write). Cheap no-op when nothing is dirty.
@@ -154,7 +158,8 @@ class FsProxy {
 
   // Host DMA with bounded resubmission while faults are armed (the engine
   // aborts before moving bytes, so a reissue is safe).
-  Task<Status> DmaCopyWithRetry(MemRef dst, MemRef src);
+  Task<Status> DmaCopyWithRetry(MemRef dst, MemRef src,
+                                TraceContext ctx = {});
 
   // P2P health tracking: a run of faulted P2P transfers puts the P2P path
   // on cooldown so requests stop paying the fault-and-degrade latency and

@@ -51,14 +51,25 @@ Task<Result<FsResponse>> FsStub::Call(FsRequest request) {
       MetricRegistry::Default().GetHistogram("fs.stub.call_ns");
   calls->Increment();
   SimTime t0 = sim_->now();
-  ScopedSpan span(sim_, "stub", "fs.stub.call");
+  // Root of this request's causal trace: a fresh trace id, carried by the
+  // wire message so every downstream span hangs off this one. With no
+  // tracer bound the context stays zero and nothing downstream records.
+  Tracer* tracer = sim_->tracer();
+  TraceContext root_ctx;
+  if (tracer != nullptr) {
+    root_ctx.trace_id = tracer->NewTraceId();
+  }
+  ScopedSpan span(sim_, "stub", "fs.stub.call", root_ctx);
+  TraceContext ctx = span.context();
+  request.trace_id = ctx.trace_id;
+  request.parent_span = ctx.parent_span;
   request.client = client_id_;
   if (buffered_ || buffered_inos_.contains(request.ino)) {
     request.flags |= kFsFlagBuffered;
   }
   {
     // The thin stub cost: syscall entry + RPC marshalling on a lean core.
-    ScopedSpan cpu(sim_, "stub", "fs.stage.stub_cpu");
+    ScopedSpan cpu(sim_, "stub", "fs.stage.stub_cpu", ctx);
     co_await phi_cpu_->Compute(params_.fs_stub_cpu);
   }
   // Per-attempt timeouts exist only while faults are armed; a fault-free
@@ -73,7 +84,7 @@ Task<Result<FsResponse>> FsStub::Call(FsRequest request) {
   Result<FsResponse> rpc = Status(ErrorCode::kInternal);
   for (int attempt = 1;; ++attempt) {
     {
-      ScopedSpan wait(sim_, "stub", "fs.stage.rpc_wait");
+      ScopedSpan wait(sim_, "stub", "fs.stage.rpc_wait", ctx);
       rpc = co_await client_.Call(request, timeout);
     }
     const bool transport_error = !rpc.ok();

@@ -111,13 +111,13 @@ Task<Status> NvmeBlockStore::WriteV(std::span<const ConstBlockRun> runs,
 }
 
 Task<Status> NvmeBlockStore::SubmitWithRetry(
-    std::vector<NvmeCommand> commands, bool coalesce) {
+    std::vector<NvmeCommand> commands, bool coalesce, TraceContext ctx) {
   // One attempt, no timers, when no faults are armed.
   const int attempts = Faults().any_armed() ? retry_.max_attempts : 1;
   Nanos backoff = retry_.backoff;
   Status status;
   for (int attempt = 1;; ++attempt) {
-    status = co_await nvme_->Submit(commands, coalesce, cpu_);
+    status = co_await nvme_->Submit(commands, coalesce, cpu_, ctx);
     const bool retryable = status.code() == ErrorCode::kTimedOut ||
                            status.code() == ErrorCode::kIoError;
     if (status.ok() || !retryable || attempt >= attempts) {
@@ -135,7 +135,7 @@ Task<Status> NvmeBlockStore::SubmitWithRetry(
 
 Task<Status> NvmeBlockStore::SubmitExtents(
     const std::vector<FsExtent>& extents, MemRef memory, NvmeCommand::Op op,
-    bool coalesce) {
+    bool coalesce, TraceContext ctx) {
   uint64_t total = 0;
   for (const FsExtent& e : extents) {
     total += uint64_t{e.len} * block_size();
@@ -152,19 +152,21 @@ Task<Status> NvmeBlockStore::SubmitExtents(
         NvmeCommand{op, e.start, e.len, memory.Sub(offset, bytes)});
     offset += bytes;
   }
-  co_return co_await SubmitWithRetry(std::move(commands), coalesce);
+  co_return co_await SubmitWithRetry(std::move(commands), coalesce, ctx);
 }
 
 Task<Status> NvmeBlockStore::ReadExtents(const std::vector<FsExtent>& extents,
-                                         MemRef target, bool coalesce) {
+                                         MemRef target, bool coalesce,
+                                         TraceContext ctx) {
   co_return co_await SubmitExtents(extents, target, NvmeCommand::Op::kRead,
-                                   coalesce);
+                                   coalesce, ctx);
 }
 
 Task<Status> NvmeBlockStore::WriteExtents(
-    const std::vector<FsExtent>& extents, MemRef source, bool coalesce) {
+    const std::vector<FsExtent>& extents, MemRef source, bool coalesce,
+    TraceContext ctx) {
   co_return co_await SubmitExtents(extents, source, NvmeCommand::Op::kWrite,
-                                   coalesce);
+                                   coalesce, ctx);
 }
 
 }  // namespace solros

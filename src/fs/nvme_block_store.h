@@ -16,6 +16,7 @@
 #include "src/hw/memory.h"
 #include "src/hw/processor.h"
 #include "src/nvme/nvme_device.h"
+#include "src/sim/trace.h"
 
 namespace solros {
 
@@ -56,22 +57,26 @@ class NvmeBlockStore : public BlockStore {
 
   // Zero-copy vectorized I/O: one (extent -> target sub-range) command per
   // extent; `coalesce` batches them under a single doorbell/interrupt.
-  // `target.length` must equal the total extent bytes.
+  // `target.length` must equal the total extent bytes. `ctx` is the
+  // originating request's trace context; the device batch span it causes
+  // links back to it (untraced when zero).
   Task<Status> ReadExtents(const std::vector<FsExtent>& extents,
-                           MemRef target, bool coalesce);
+                           MemRef target, bool coalesce,
+                           TraceContext ctx = {});
   Task<Status> WriteExtents(const std::vector<FsExtent>& extents,
-                            MemRef source, bool coalesce);
+                            MemRef source, bool coalesce,
+                            TraceContext ctx = {});
 
   NvmeDevice* device() { return nvme_; }
 
  private:
   Task<Status> SubmitExtents(const std::vector<FsExtent>& extents,
-                             MemRef memory, NvmeCommand::Op op,
-                             bool coalesce);
+                             MemRef memory, NvmeCommand::Op op, bool coalesce,
+                             TraceContext ctx);
   // Submits `commands`, resubmitting the whole batch per RetryPolicy on
   // timeout or I/O error while faults are armed.
   Task<Status> SubmitWithRetry(std::vector<NvmeCommand> commands,
-                               bool coalesce);
+                               bool coalesce, TraceContext ctx = {});
 
   NvmeDevice* nvme_;
   Processor* cpu_;

@@ -24,7 +24,7 @@ DmaEngine::DmaEngine(Simulator* sim, PcieFabric* fabric,
       channels_(sim, static_cast<size_t>(params.dma_channels),
                 fabric->NameOf(owner) + "-dma") {}
 
-Task<Status> DmaEngine::Copy(MemRef dst, MemRef src) {
+Task<Status> DmaEngine::Copy(MemRef dst, MemRef src, TraceContext ctx) {
   CHECK_EQ(dst.length, src.length);
   ++copies_;
   static Counter* const copies =
@@ -33,7 +33,7 @@ Task<Status> DmaEngine::Copy(MemRef dst, MemRef src) {
       MetricRegistry::Default().GetCounter("hw.dma.bytes");
   copies->Increment();
   bytes->Increment(src.length);
-  TRACE_SPAN(sim_, "dma", "dma.copy");
+  ScopedSpan span(sim_, "dma", "dma.copy", ctx);
   // Channel setup: serialized on one of the engine's channels.
   co_await channels_.Use(init_latency_);
   // An injected engine error aborts after setup but before any byte moves,

@@ -21,6 +21,7 @@
 #include "src/hw/params.h"
 #include "src/sim/resource.h"
 #include "src/sim/task.h"
+#include "src/sim/trace.h"
 
 namespace solros {
 
@@ -34,8 +35,9 @@ class DmaEngine {
   // Copies src -> dst (equal lengths), charging channel setup plus fabric
   // occupancy; bytes are physically copied when the transfer completes.
   // Fails (kIoError, no bytes moved) when the `hw.dma.error` fault point
-  // fires after channel setup.
-  Task<Status> Copy(MemRef dst, MemRef src);
+  // fires after channel setup. `ctx` links the dma.copy span to the
+  // request being served (untraced when zero).
+  Task<Status> Copy(MemRef dst, MemRef src, TraceContext ctx = {});
 
   // Estimated duration for a copy of `bytes`, ignoring queueing.
   Nanos TimeFor(uint64_t bytes) const;

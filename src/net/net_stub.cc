@@ -76,6 +76,18 @@ Task<void> NetStub::EventDispatcher(NetStub* self) {
 }
 
 Task<Result<NetResponse>> NetStub::Call(NetRequest request) {
+  // Root of this RPC's causal trace (see FsStub::Call): a fresh trace id
+  // carried on the wire so the proxy's spans hang off this one. Untraced
+  // (all-zero) when no tracer is bound.
+  Tracer* tracer = sim_->tracer();
+  TraceContext root_ctx;
+  if (tracer != nullptr) {
+    root_ctx.trace_id = tracer->NewTraceId();
+  }
+  ScopedSpan span(sim_, "netstub", "net.stub.call", root_ctx);
+  TraceContext ctx = span.context();
+  request.trace_id = ctx.trace_id;
+  request.parent_span = ctx.parent_span;
   // Only a transport timeout is retried: the outcome is unknown, so the
   // reissue gives at-least-once semantics (see set_retry_options). Timers
   // exist only while faults are armed.

@@ -4,9 +4,30 @@
 
 #include "src/base/logging.h"
 #include "src/base/metrics.h"
+#include "src/base/status.h"
+#include "src/sim/flight_recorder.h"
 #include "src/sim/trace.h"
 
 namespace solros {
+namespace {
+
+// System-level failures worth a flight-recorder dump when they escape the
+// proxy; expected outcomes of normal operation (bad handles, unsupported
+// ops) are not.
+bool IsSystemError(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kIoError:
+    case ErrorCode::kTimedOut:
+    case ErrorCode::kInternal:
+    case ErrorCode::kResourceExhausted:
+    case ErrorCode::kConnectionReset:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
 
 TcpProxy::TcpProxy(Simulator* sim, const HwParams& params,
                    Processor* host_cpu, EthernetFabric* ethernet,
@@ -51,7 +72,9 @@ Task<NetResponse> TcpProxy::HandleRpc(uint32_t dataplane_id,
   static Counter* const rpcs =
       MetricRegistry::Default().GetCounter("net.proxy.rpcs");
   rpcs->Increment();
-  TRACE_SPAN(sim_, "netproxy", "net.proxy.rpc");
+  // Service span, linked back to the stub's root span via the wire context.
+  ScopedSpan span(sim_, "netproxy", "net.proxy.rpc",
+                  TraceContext{request.trace_id, request.parent_span});
   co_await host_cpu_->Compute(params_.net_proxy_cpu);
   NetResponse response;
   switch (request.op) {
@@ -113,6 +136,10 @@ Task<NetResponse> TcpProxy::HandleRpc(uint32_t dataplane_id,
     default:
       response.error = ErrorCode::kNotSupported;
       break;
+  }
+  if (IsSystemError(response.error)) {
+    MaybeDumpFlightRecorder(
+        sim_, "net.proxy error: " + std::string(ErrorCodeName(response.error)));
   }
   co_return response;
 }

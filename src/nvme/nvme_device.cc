@@ -41,7 +41,7 @@ Status NvmeDevice::Validate(const NvmeCommand& command) const {
   return OkStatus();
 }
 
-Task<Status> NvmeDevice::Execute(NvmeCommand command) {
+Task<Status> NvmeDevice::Execute(NvmeCommand command, TraceContext ctx) {
   static Gauge* const depth =
       MetricRegistry::Default().GetGauge("nvme.queue.depth");
   static Counter* const commands =
@@ -52,7 +52,7 @@ Task<Status> NvmeDevice::Execute(NvmeCommand command) {
   depth->Add(1);
   commands->Increment();
   SimTime cmd_start = sim_->now();
-  TRACE_SPAN(sim_, "nvme", "nvme.cmd");
+  ScopedSpan span(sim_, "nvme", "nvme.cmd", ctx);
 
   // Injected command faults fire before any data is transferred, so a failed
   // command never partially applies (real controllers report such errors via
@@ -131,7 +131,8 @@ Task<void> ExecuteJoined(Task<Status> op, Status* out,
 }  // namespace
 
 Task<Status> NvmeDevice::Submit(std::vector<NvmeCommand> commands,
-                                bool coalesce, Processor* submitter_cpu) {
+                                bool coalesce, Processor* submitter_cpu,
+                                TraceContext ctx) {
   if (commands.empty()) {
     co_return OkStatus();
   }
@@ -149,7 +150,10 @@ Task<Status> NvmeDevice::Submit(std::vector<NvmeCommand> commands,
   static Counter* const interrupt_count =
       MetricRegistry::Default().GetCounter("nvme.interrupts");
   batches->Increment();
-  TRACE_SPAN(sim_, "nvme", "nvme.batch");
+  // The batch span is the "device time" unit of stage attribution; the
+  // per-command spans below nest under it in the causal tree.
+  ScopedSpan span(sim_, "nvme", "nvme.batch", ctx);
+  TraceContext batch_ctx = span.context();
 
   Status first_error;
   WaitGroup wg(sim_);
@@ -167,7 +171,8 @@ Task<Status> NvmeDevice::Submit(std::vector<NvmeCommand> commands,
 
   for (NvmeCommand& command : commands) {
     wg.Add(1);
-    Spawn(*sim_, ExecuteJoined(Execute(command), &first_error, &wg));
+    Spawn(*sim_,
+          ExecuteJoined(Execute(command, batch_ctx), &first_error, &wg));
   }
   co_await wg.Wait();
 

@@ -31,6 +31,7 @@
 #include "src/sim/resource.h"
 #include "src/sim/sync.h"
 #include "src/sim/task.h"
+#include "src/sim/trace.h"
 
 namespace solros {
 
@@ -59,9 +60,11 @@ class NvmeDevice {
   // doorbell (on `submitter_cpu`) and one completion interrupt; otherwise
   // every command pays both (the stock driver behaviour). Returns the first
   // error, kOk otherwise. Commands within a batch execute concurrently,
-  // subject to queue depth and flash bandwidth.
+  // subject to queue depth and flash bandwidth. `ctx` is the originating
+  // request's trace context: the batch span becomes its child and each
+  // per-command span a grandchild (untraced when zero).
   Task<Status> Submit(std::vector<NvmeCommand> commands, bool coalesce,
-                      Processor* submitter_cpu);
+                      Processor* submitter_cpu, TraceContext ctx = {});
 
   // Single-command convenience wrapper (always doorbell + interrupt).
   Task<Status> SubmitOne(NvmeCommand command, Processor* submitter_cpu);
@@ -76,7 +79,7 @@ class NvmeDevice {
   uint64_t bytes_written() const { return bytes_written_; }
 
  private:
-  Task<Status> Execute(NvmeCommand command);
+  Task<Status> Execute(NvmeCommand command, TraceContext ctx = {});
   Status Validate(const NvmeCommand& command) const;
 
   Simulator* sim_;

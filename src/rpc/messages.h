@@ -58,6 +58,11 @@ struct FsRequest {
   uint16_t reserved = 0;
   uint32_t client = 0;  // data-plane id (for the shared buffer-cache stats)
   uint64_t tag = 0;     // request/response correlation
+  // Causal trace context (src/sim/trace.h): allocated at the stub, carried
+  // through every layer that services the request, echoed in the response.
+  // Zero when no tracer is bound (untraced).
+  uint64_t trace_id = 0;
+  uint64_t parent_span = 0;
   uint64_t ino = 0;
   uint64_t offset = 0;
   uint64_t length = 0;
@@ -84,6 +89,8 @@ inline constexpr uint8_t kFsFlagBuffered = 1u << 0;
 
 struct FsResponse {
   uint64_t tag = 0;
+  uint64_t trace_id = 0;     // echoed from the request by the RPC server
+  uint64_t parent_span = 0;
   ErrorCode error = ErrorCode::kOk;
   uint8_t reserved[7] = {};
   uint64_t value = 0;  // ino, byte count, etc.
@@ -117,6 +124,8 @@ struct NetRequest {
   uint8_t reserved[3] = {};
   uint32_t client = 0;
   uint64_t tag = 0;
+  uint64_t trace_id = 0;     // causal trace context (see FsRequest)
+  uint64_t parent_span = 0;
   int64_t sock = -1;     // stub-side socket handle
   uint32_t addr = 0;     // IPv4-style address (simulated)
   uint16_t port = 0;
@@ -127,6 +136,8 @@ struct NetRequest {
 
 struct NetResponse {
   uint64_t tag = 0;
+  uint64_t trace_id = 0;     // echoed from the request by the RPC server
+  uint64_t parent_span = 0;
   ErrorCode error = ErrorCode::kOk;
   uint8_t reserved[7] = {};
   int64_t value = 0;  // new socket handle / byte count

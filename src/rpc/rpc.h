@@ -13,6 +13,7 @@
 #ifndef SOLROS_SRC_RPC_RPC_H_
 #define SOLROS_SRC_RPC_RPC_H_
 
+#include <concepts>
 #include <functional>
 #include <map>
 #include <memory>
@@ -30,6 +31,15 @@
 #include "src/transport/sim_ring.h"
 
 namespace solros {
+
+// Wire messages that carry a causal trace context (FsRequest/FsResponse,
+// NetRequest/NetResponse). The RPC layer stays generic: messages without
+// these fields simply skip the queue-wait spans and context echo.
+template <typename T>
+concept HasTraceContext = requires(T t) {
+  { t.trace_id } -> std::convertible_to<uint64_t>;
+  { t.parent_span } -> std::convertible_to<uint64_t>;
+};
 
 // Bounded-retry policy for the data-plane stubs. Timeouts and backoff are
 // engaged only while fault injection is armed; fault-free runs make exactly
@@ -140,6 +150,20 @@ class RpcClient {
         TRACE_INSTANT(self->sim_, "rpc", "rpc.corrupt_response_dropped");
         continue;  // retry layer recovers via timeout
       }
+      // Retroactive queue-wait span: how long the decoded response sat
+      // ready in the ring before this pump claimed it (the ring only keeps
+      // stamps while a tracer is bound; untraced responses carry id 0).
+      if constexpr (HasTraceContext<Response>) {
+        Tracer* tracer = self->sim_->tracer();
+        if (tracer != nullptr && response->trace_id != 0) {
+          auto stamp = self->response_ring_->last_dequeue_stamp();
+          if (stamp.has_value()) {
+            tracer->RecordSpan(
+                "ring", "rpc.queue.resp", stamp->ready_at, stamp->dequeue_at,
+                TraceContext{response->trace_id, response->parent_span});
+          }
+        }
+      }
       auto it = self->waiters_.find(response->tag);
       if (it == self->waiters_.end()) {
         // Usually a response that lost the race with its call's timeout.
@@ -189,8 +213,20 @@ class RpcServer {
  private:
   static Task<void> HandleOne(RpcServer* self, Request request) {
     uint64_t tag = request.tag;
+    uint64_t trace_id = 0;
+    uint64_t parent_span = 0;
+    if constexpr (HasTraceContext<Request>) {
+      trace_id = request.trace_id;
+      parent_span = request.parent_span;
+    }
     Response response = co_await self->handler_(std::move(request));
     response.tag = tag;
+    // Echo the trace context so the client pump can attribute the
+    // response's ring queue wait to the right request.
+    if constexpr (HasTraceContext<Response>) {
+      response.trace_id = trace_id;
+      response.parent_span = parent_span;
+    }
     static FaultPoint* const drop = Faults().GetPoint("rpc.drop.response");
     if (drop->ShouldFire()) {
       static Counter* const drops =
@@ -238,6 +274,18 @@ class RpcServer {
         dropped->Increment();
         TRACE_INSTANT(self->sim_, "rpc", "rpc.corrupt_request_dropped");
         continue;
+      }
+      // Retroactive queue-wait span (see the client pump's counterpart).
+      if constexpr (HasTraceContext<Request>) {
+        Tracer* tracer = self->sim_->tracer();
+        if (tracer != nullptr && request->trace_id != 0) {
+          auto stamp = self->request_ring_->last_dequeue_stamp();
+          if (stamp.has_value()) {
+            tracer->RecordSpan(
+                "ring", "rpc.queue.req", stamp->ready_at, stamp->dequeue_at,
+                TraceContext{request->trace_id, request->parent_span});
+          }
+        }
       }
       Spawn(*self->sim_, HandleOne(self, std::move(*request)));
     }

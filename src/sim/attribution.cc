@@ -1,0 +1,100 @@
+#include "src/sim/attribution.h"
+
+#include <map>
+#include <string_view>
+
+#include "src/base/metrics.h"
+
+namespace solros {
+namespace {
+
+// Accumulators for one trace id before the subtraction step.
+struct TraceSums {
+  Nanos total = 0;    // root spans (parent == 0)
+  Nanos queue = 0;    // rpc.queue.req / rpc.queue.resp
+  Nanos service = 0;  // fs.proxy.service / net.proxy.rpc
+  Nanos device = 0;   // nvme.batch
+  Nanos copy = 0;     // dma.copy
+  bool root_closed = false;
+};
+
+bool IsQueueSpan(std::string_view name) {
+  return name == "rpc.queue.req" || name == "rpc.queue.resp";
+}
+
+bool IsServiceSpan(std::string_view name) {
+  return name == "fs.proxy.service" || name == "net.proxy.rpc";
+}
+
+// Subtracts b from a, clamping at zero; clears *exact on clamp.
+Nanos ClampSub(Nanos a, Nanos b, bool* exact) {
+  if (b > a) {
+    *exact = false;
+    return 0;
+  }
+  return a - b;
+}
+
+}  // namespace
+
+std::vector<StageBreakdown> ComputeStageBreakdowns(const Tracer& tracer) {
+  // std::map keys the result on trace id => deterministic order.
+  std::map<uint64_t, TraceSums> sums;
+  for (const SpanRecord& span : tracer.spans()) {
+    if (span.open || span.trace_id == 0) {
+      continue;
+    }
+    TraceSums& s = sums[span.trace_id];
+    Nanos dur = span.end - span.begin;
+    if (span.parent == 0) {
+      s.total += dur;
+      s.root_closed = true;
+    } else if (IsQueueSpan(span.name)) {
+      s.queue += dur;
+    } else if (IsServiceSpan(span.name)) {
+      s.service += dur;
+    } else if (span.name == "nvme.batch") {
+      s.device += dur;
+    } else if (span.name == "dma.copy") {
+      s.copy += dur;
+    }
+  }
+
+  std::vector<StageBreakdown> out;
+  out.reserve(sums.size());
+  for (const auto& [trace_id, s] : sums) {
+    if (!s.root_closed) {
+      continue;
+    }
+    StageBreakdown b;
+    b.trace_id = trace_id;
+    b.total = s.total;
+    b.queue_wait = s.queue;
+    b.device = s.device;
+    b.copy_dma = s.copy;
+    b.proxy = ClampSub(s.service, s.device + s.copy, &b.exact);
+    b.stub = ClampSub(s.total, s.queue + s.service, &b.exact);
+    out.push_back(b);
+  }
+  return out;
+}
+
+void RecordStageMetrics(const std::vector<StageBreakdown>& breakdowns) {
+  MetricRegistry& registry = MetricRegistry::Default();
+  LatencyHistogram* total = registry.GetHistogram("fs.stage.total_ns");
+  LatencyHistogram* stub = registry.GetHistogram("fs.stage.stub_ns");
+  LatencyHistogram* queue = registry.GetHistogram("fs.stage.queue_wait_ns");
+  LatencyHistogram* proxy = registry.GetHistogram("fs.stage.proxy_ns");
+  LatencyHistogram* copy = registry.GetHistogram("fs.stage.copy_dma_ns");
+  LatencyHistogram* device = registry.GetHistogram("fs.stage.device_ns");
+  for (const StageBreakdown& b : breakdowns) {
+    total->Record(b.total);
+    stub->Record(b.stub);
+    queue->Record(b.queue_wait);
+    proxy->Record(b.proxy);
+    copy->Record(b.copy_dma);
+    device->Record(b.device);
+  }
+}
+
+}  // namespace solros

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "src/base/logging.h"
+#include "src/sim/flight_recorder.h"
 
 namespace solros {
 namespace {
@@ -51,14 +52,22 @@ TrackId Tracer::Track(std::string_view name) {
   return id;
 }
 
-uint64_t Tracer::BeginSpan(TrackId track, std::string_view name) {
+uint64_t Tracer::BeginSpan(TrackId track, std::string_view name,
+                           TraceContext ctx) {
   DCHECK(sim_ != nullptr) << "tracer not bound to a simulator";
   uint64_t id = spans_.size();
   SpanRecord record;
   record.track = track;
   record.name = std::string(name);
   record.begin = sim_->now();
+  record.uid = id + 1;
+  record.trace_id = ctx.trace_id;
+  record.parent = ctx.trace_id != 0 ? ctx.parent_span : 0;
   spans_.push_back(std::move(record));
+  if (flight_recorder_ != nullptr) {
+    flight_recorder_->Note('B', track_names_[track], spans_.back().name,
+                           ctx.trace_id, spans_.back().begin);
+  }
   return id;
 }
 
@@ -68,6 +77,37 @@ void Tracer::EndSpan(uint64_t span_id) {
   DCHECK(record.open) << "span " << record.name << " closed twice";
   record.end = sim_->now();
   record.open = false;
+  if (flight_recorder_ != nullptr) {
+    flight_recorder_->Note('E', track_names_[record.track], record.name,
+                           record.trace_id, record.end);
+  }
+}
+
+uint64_t Tracer::RecordSpan(TrackId track, std::string_view name,
+                            SimTime begin, SimTime end, TraceContext ctx) {
+  DCHECK_LE(begin, end);
+  uint64_t id = spans_.size();
+  SpanRecord record;
+  record.track = track;
+  record.name = std::string(name);
+  record.begin = begin;
+  record.end = end;
+  record.open = false;
+  record.uid = id + 1;
+  record.trace_id = ctx.trace_id;
+  record.parent = ctx.trace_id != 0 ? ctx.parent_span : 0;
+  spans_.push_back(std::move(record));
+  if (flight_recorder_ != nullptr) {
+    flight_recorder_->Note('R', track_names_[track], spans_.back().name,
+                           ctx.trace_id, end);
+  }
+  return id;
+}
+
+void Tracer::AddSpanArg(uint64_t span_id, std::string_view key,
+                        std::string_view value) {
+  DCHECK_LT(span_id, spans_.size());
+  spans_[span_id].args.emplace_back(std::string(key), std::string(value));
 }
 
 void Tracer::Instant(TrackId track, std::string_view name) {
@@ -77,6 +117,10 @@ void Tracer::Instant(TrackId track, std::string_view name) {
   record.name = std::string(name);
   record.at = sim_->now();
   instants_.push_back(std::move(record));
+  if (flight_recorder_ != nullptr) {
+    flight_recorder_->Note('I', track_names_[track], instants_.back().name,
+                           0, instants_.back().at);
+  }
 }
 
 Nanos Tracer::TotalDuration(std::string_view name) const {
@@ -102,34 +146,49 @@ uint64_t Tracer::CountSpans(std::string_view name) const {
 void Tracer::Clear() {
   spans_.clear();
   instants_.clear();
+  next_trace_id_ = 0;
 }
 
 void Tracer::ExportChromeTrace(std::ostream& os) const {
-  // Spans are recorded in begin-time order (simulated time is monotonic),
-  // so one pass per track assigns each span to the first lane where it is
-  // either disjoint from, or properly nested inside, everything already
-  // there — Perfetto then renders every lane without overlap warnings.
+  // Lane assignment needs spans in begin-time order. Live spans are
+  // recorded in that order (simulated time is monotonic) but retroactive
+  // RecordSpan entries (queue waits) begin in the past, so sort first —
+  // stable, keyed on begin, so ties keep record order and the file stays
+  // byte-deterministic. Each span then goes to the first lane of its track
+  // where it is either disjoint from, or properly nested inside,
+  // everything already there — Perfetto renders every lane without
+  // overlap warnings.
+  std::vector<const SpanRecord*> closed;
+  closed.reserve(spans_.size());
+  for (const SpanRecord& span : spans_) {
+    if (!span.open) {
+      closed.push_back(&span);
+    }
+  }
+  std::stable_sort(closed.begin(), closed.end(),
+                   [](const SpanRecord* a, const SpanRecord* b) {
+                     return a->begin < b->begin;
+                   });
   struct Placed {
     const SpanRecord* span;
     int lane;
   };
   std::vector<Placed> placed;
-  placed.reserve(spans_.size());
+  placed.reserve(closed.size());
   // Per track: one open-interval stack of end times per lane.
   std::vector<std::vector<std::vector<SimTime>>> lanes(track_names_.size());
   std::vector<int> lane_count(track_names_.size(), 1);  // >=1 for instants
-  for (const SpanRecord& span : spans_) {
-    if (span.open) {
-      continue;
-    }
-    auto& track_lanes = lanes[span.track];
+  // tid per span uid, for flow-event endpoints (uid is 1-based).
+  std::vector<int> lane_of(spans_.size() + 1, -1);
+  for (const SpanRecord* span : closed) {
+    auto& track_lanes = lanes[span->track];
     int lane = -1;
     for (size_t l = 0; l < track_lanes.size(); ++l) {
       auto& stack = track_lanes[l];
-      while (!stack.empty() && stack.back() <= span.begin) {
+      while (!stack.empty() && stack.back() <= span->begin) {
         stack.pop_back();
       }
-      if (stack.empty() || span.end <= stack.back()) {
+      if (stack.empty() || span->end <= stack.back()) {
         lane = static_cast<int>(l);
         break;
       }
@@ -138,10 +197,11 @@ void Tracer::ExportChromeTrace(std::ostream& os) const {
       lane = static_cast<int>(track_lanes.size());
       track_lanes.emplace_back();
     }
-    track_lanes[lane].push_back(span.end);
-    placed.push_back({&span, lane});
-    lane_count[span.track] =
-        std::max(lane_count[span.track], lane + 1);
+    track_lanes[lane].push_back(span->end);
+    placed.push_back({span, lane});
+    lane_of[span->uid] = lane;
+    lane_count[span->track] =
+        std::max(lane_count[span->track], lane + 1);
   }
 
   // tid layout: lanes of track t start at base(t) = 1 + sum of earlier
@@ -150,6 +210,9 @@ void Tracer::ExportChromeTrace(std::ostream& os) const {
   for (size_t t = 1; t < track_names_.size(); ++t) {
     tid_base[t] = tid_base[t - 1] + lane_count[t - 1];
   }
+  auto tid_of = [&](const SpanRecord& span) {
+    return tid_base[span.track] + lane_of[span.uid];
+  };
 
   os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
   bool first = true;
@@ -180,11 +243,57 @@ void Tracer::ExportChromeTrace(std::ostream& os) const {
   }
   for (const Placed& p : placed) {
     sep();
-    os << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << tid_base[p.span->track] + p.lane
+    os << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << tid_of(*p.span)
        << ",\"ts\":" << MicrosWithNanos(p.span->begin)
        << ",\"dur\":" << MicrosWithNanos(p.span->end - p.span->begin)
        << ",\"name\":\"" << JsonEscape(p.span->name) << "\",\"cat\":\""
-       << JsonEscape(track_names_[p.span->track]) << "\"}";
+       << JsonEscape(track_names_[p.span->track]) << "\"";
+    if (p.span->trace_id != 0 || !p.span->args.empty()) {
+      os << ",\"args\":{";
+      bool first_arg = true;
+      auto arg_sep = [&] {
+        if (!first_arg) {
+          os << ",";
+        }
+        first_arg = false;
+      };
+      if (p.span->trace_id != 0) {
+        arg_sep();
+        os << "\"trace\":" << p.span->trace_id;
+        arg_sep();
+        os << "\"span\":" << p.span->uid;
+        arg_sep();
+        os << "\"parent\":" << p.span->parent;
+      }
+      for (const auto& [key, value] : p.span->args) {
+        arg_sep();
+        os << "\"" << JsonEscape(key) << "\":\"" << JsonEscape(value) << "\"";
+      }
+      os << "}";
+    }
+    os << "}";
+  }
+  // Flow edges parent -> child, one per causally-linked closed span whose
+  // parent also closed. "s" binds to the parent slice, "f" (bp:"e") to the
+  // child slice; both are stamped at the child's begin so the arrow spans
+  // the handoff. Iterated in record order => deterministic.
+  for (const SpanRecord& span : spans_) {
+    if (span.open || span.parent == 0 || span.trace_id == 0) {
+      continue;
+    }
+    const SpanRecord& parent = spans_[span.parent - 1];
+    if (parent.open) {
+      continue;
+    }
+    std::string ts = MicrosWithNanos(span.begin);
+    sep();
+    os << "{\"ph\":\"s\",\"pid\":1,\"tid\":" << tid_of(parent)
+       << ",\"ts\":" << ts << ",\"id\":" << span.uid
+       << ",\"name\":\"req\",\"cat\":\"flow\"}";
+    sep();
+    os << "{\"ph\":\"f\",\"bp\":\"e\",\"pid\":1,\"tid\":" << tid_of(span)
+       << ",\"ts\":" << ts << ",\"id\":" << span.uid
+       << ",\"name\":\"req\",\"cat\":\"flow\"}";
   }
   for (const InstantRecord& instant : instants_) {
     sep();

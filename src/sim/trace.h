@@ -7,10 +7,21 @@
 // event loop, two identical runs produce byte-identical trace files; tests
 // assert exactly that.
 //
+// Causal linkage: a span may carry a TraceContext {trace id, parent span
+// uid}. The trace id is allocated once per RPC at the stub and rides in the
+// request/response wire messages; every layer that services the request
+// opens its span as a child of the context it received, so one RPC yields
+// one span tree. The export emits the ids as span args and Chrome
+// flow events ("s"/"f") from parent to child, so Perfetto renders the whole
+// request as one connected flow across tracks.
+//
 // Usage (instrumentation sites are null-safe: no tracer bound => no-op):
 //
 //   TRACE_SPAN(sim_, "proxy", "fs.proxy.service");   // RAII, ends at scope
 //   TRACE_INSTANT(sim_, "ring", "ring.would_block");
+//
+//   ScopedSpan span(sim_, "proxy", "fs.proxy.service", parent_ctx);
+//   child_ctx = span.context();   // {trace id, this span's uid}
 //
 // Spans may overlap freely on one track (concurrent RPCs); the exporter
 // splits each track into properly-nested lanes so Perfetto and
@@ -19,8 +30,9 @@
 // Export format: the Chrome trace-event JSON object form —
 //   {"displayTimeUnit":"ns","traceEvents":[{"ph":"X",...},...]}
 // with "X" complete events (ts/dur in microseconds, fractional part carries
-// the nanoseconds), "i" instants, and "M" metadata naming the lanes. Open
-// `chrome://tracing` or https://ui.perfetto.dev and load the file.
+// the nanoseconds), "i" instants, "s"/"f" flow edges for parent->child
+// links, and "M" metadata naming the lanes. Open `chrome://tracing` or
+// https://ui.perfetto.dev and load the file.
 #ifndef SOLROS_SRC_SIM_TRACE_H_
 #define SOLROS_SRC_SIM_TRACE_H_
 
@@ -29,6 +41,7 @@
 #include <map>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "src/base/status.h"
@@ -36,8 +49,22 @@
 
 namespace solros {
 
+class FlightRecorder;
+
 // Index into the tracer's track table.
 using TrackId = uint32_t;
+
+// Causal position of a request inside one trace. trace_id == 0 means
+// "untraced": spans opened with a zero context get no parent linkage, and
+// instrumentation sites skip any per-request work keyed on it. The
+// parent_span field is the *uid* (1-based record index) of the span that a
+// new child should hang off; for a root context it is 0.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t parent_span = 0;
+
+  bool traced() const { return trace_id != 0; }
+};
 
 struct SpanRecord {
   TrackId track = 0;
@@ -45,6 +72,15 @@ struct SpanRecord {
   SimTime begin = 0;
   SimTime end = 0;
   bool open = true;  // EndSpan not seen yet
+  // Causal identity: uid is the stable 1-based id of this record (0 only
+  // for pre-causality records, never produced anymore); trace_id/parent are
+  // 0 for untraced spans.
+  uint64_t uid = 0;
+  uint64_t trace_id = 0;
+  uint64_t parent = 0;
+  // Free-form key/value annotations (cache hit counts, outcome, ...),
+  // exported under the span's "args". Insertion-ordered for determinism.
+  std::vector<std::pair<std::string, std::string>> args;
 };
 
 struct InstantRecord {
@@ -71,20 +107,50 @@ class Tracer {
   // Returns the track registered under `name`, creating it on first use.
   TrackId Track(std::string_view name);
 
+  // Allocates a fresh nonzero trace id (one per RPC, at the stub). Ids are
+  // sequential from 1 so identical runs export identical files.
+  uint64_t NewTraceId() { return ++next_trace_id_; }
+
   // Opens a span; returns its id for EndSpan. Spans on one track may
-  // overlap and nest arbitrarily.
-  uint64_t BeginSpan(TrackId track, std::string_view name);
-  uint64_t BeginSpan(std::string_view track, std::string_view name) {
-    return BeginSpan(Track(track), name);
+  // overlap and nest arbitrarily. The context, if traced, makes the new
+  // span a child of ctx.parent_span within ctx.trace_id.
+  uint64_t BeginSpan(TrackId track, std::string_view name,
+                     TraceContext ctx = {});
+  uint64_t BeginSpan(std::string_view track, std::string_view name,
+                     TraceContext ctx = {}) {
+    return BeginSpan(Track(track), name, ctx);
   }
   void EndSpan(uint64_t span_id);
+
+  // Records an already-elapsed [begin, end] span (used for retroactive
+  // queue-wait attribution: the ring stamps when a message became ready and
+  // the pump records the wait once it dequeues it). Returns the span id.
+  uint64_t RecordSpan(TrackId track, std::string_view name, SimTime begin,
+                      SimTime end, TraceContext ctx = {});
+  uint64_t RecordSpan(std::string_view track, std::string_view name,
+                      SimTime begin, SimTime end, TraceContext ctx = {}) {
+    return RecordSpan(Track(track), name, begin, end, ctx);
+  }
+
+  // Attaches a key/value annotation to an open or closed span.
+  void AddSpanArg(uint64_t span_id, std::string_view key,
+                  std::string_view value);
+  void AddSpanArg(uint64_t span_id, std::string_view key, uint64_t value) {
+    AddSpanArg(span_id, key, std::string_view(std::to_string(value)));
+  }
+
+  // Context that makes new spans children of `span_id`.
+  TraceContext ContextOf(uint64_t span_id) const {
+    const SpanRecord& span = spans_[span_id];
+    return TraceContext{span.trace_id, span.uid};
+  }
 
   void Instant(TrackId track, std::string_view name);
   void Instant(std::string_view track, std::string_view name) {
     Instant(Track(track), name);
   }
 
-  // -- Queries (what fig13 derives its breakdown from) ----------------------
+  // -- Queries (what attribution derives its breakdown from) ----------------
   // Sum of durations over *closed* spans named `name` (all tracks).
   Nanos TotalDuration(std::string_view name) const;
   // Number of closed spans named `name`.
@@ -95,8 +161,16 @@ class Tracer {
     return track_names_.at(id);
   }
 
-  // Drops all recorded events (track registrations survive).
+  // Drops all recorded events and resets trace-id allocation (track
+  // registrations survive), so Clear + identical rerun exports identically.
   void Clear();
+
+  // Optional always-on flight recorder fed a copy of every begin/end/
+  // instant event; see src/sim/flight_recorder.h. Not owned.
+  void set_flight_recorder(FlightRecorder* recorder) {
+    flight_recorder_ = recorder;
+  }
+  FlightRecorder* flight_recorder() const { return flight_recorder_; }
 
   // -- Export ----------------------------------------------------------------
   // Chrome trace-event JSON; open spans are omitted (pump loops blocked in
@@ -110,27 +184,49 @@ class Tracer {
   std::map<std::string, TrackId, std::less<>> tracks_by_name_;
   std::vector<SpanRecord> spans_;
   std::vector<InstantRecord> instants_;
+  uint64_t next_trace_id_ = 0;
+  FlightRecorder* flight_recorder_ = nullptr;
 };
 
 // RAII span: opens on construction, closes when the scope (including a
 // coroutine frame scope, across suspensions) exits. Null-safe: a null
-// tracer records nothing.
+// tracer records nothing, and context() returns an untraced context.
 class ScopedSpan {
  public:
-  ScopedSpan(Tracer* tracer, std::string_view track, std::string_view name)
+  ScopedSpan(Tracer* tracer, std::string_view track, std::string_view name,
+             TraceContext ctx = {})
       : tracer_(tracer) {
     if (tracer_ != nullptr) {
-      id_ = tracer_->BeginSpan(track, name);
+      id_ = tracer_->BeginSpan(track, name, ctx);
     }
   }
   // Convenience: pull the tracer off the simulator (may be null).
-  ScopedSpan(Simulator* sim, std::string_view track, std::string_view name)
-      : ScopedSpan(sim != nullptr ? sim->tracer() : nullptr, track, name) {}
+  ScopedSpan(Simulator* sim, std::string_view track, std::string_view name,
+             TraceContext ctx = {})
+      : ScopedSpan(sim != nullptr ? sim->tracer() : nullptr, track, name,
+                   ctx) {}
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
   ~ScopedSpan() {
     if (tracer_ != nullptr) {
       tracer_->EndSpan(id_);
+    }
+  }
+
+  // Context that makes new spans (and downstream wire messages) children
+  // of this span. Untraced when no tracer is bound.
+  TraceContext context() const {
+    return tracer_ != nullptr ? tracer_->ContextOf(id_) : TraceContext{};
+  }
+
+  void AddArg(std::string_view key, std::string_view value) {
+    if (tracer_ != nullptr) {
+      tracer_->AddSpanArg(id_, key, value);
+    }
+  }
+  void AddArg(std::string_view key, uint64_t value) {
+    if (tracer_ != nullptr) {
+      tracer_->AddSpanArg(id_, key, value);
     }
   }
 

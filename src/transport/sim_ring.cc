@@ -136,6 +136,9 @@ Task<Status> SimRing::TrySend(std::span<const uint8_t> payload) {
   ring_.CopyToRbBuf(rb_buf, payload.data(),
                     static_cast<uint32_t>(payload.size()));
   ring_.SetReady(rb_buf);
+  if (sim_->tracer() != nullptr) {
+    ready_at_[rb_buf] = sim_->now();
+  }
   ++sent_;
   static Counter* const sends =
       MetricRegistry::Default().GetCounter("transport.ring.messages_sent");
@@ -193,6 +196,15 @@ Task<Result<std::vector<uint8_t>>> SimRing::TryReceive() {
     co_return WouldBlockError();
   }
   CHECK_EQ(rc, kRbOk);
+  if (sim_->tracer() != nullptr) {
+    auto it = ready_at_.find(rb_buf);
+    if (it != ready_at_.end()) {
+      last_dequeue_stamp_ = DequeueStamp{it->second, sim_->now()};
+      ready_at_.erase(it);
+    } else {
+      last_dequeue_stamp_.reset();  // message predates tracer binding
+    }
+  }
   co_await ChargeCopy(RingSide::kConsumer, size);
   std::vector<uint8_t> out(size);
   ring_.CopyFromRbBuf(out.data(), rb_buf, size);

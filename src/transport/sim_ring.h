@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "src/base/status.h"
@@ -77,6 +78,20 @@ class SimRing {
   uint64_t messages_sent() const { return sent_; }
   uint64_t messages_received() const { return received_; }
 
+  // Queue-wait attribution (only maintained while a tracer is bound, so
+  // untraced runs skip the bookkeeping entirely): the producer stamps each
+  // message when SetReady makes it visible; the consumer records
+  // [ready_at, dequeue_at] for the message its last successful
+  // TryReceive claimed. nullopt when the message predates tracer binding.
+  // Meaningful for single-consumer rings (all RPC rings are).
+  struct DequeueStamp {
+    SimTime ready_at = 0;
+    SimTime dequeue_at = 0;
+  };
+  std::optional<DequeueStamp> last_dequeue_stamp() const {
+    return last_dequeue_stamp_;
+  }
+
  private:
   // Remote head/tail accesses serialize on the variable's home cache line
   // and the PCIe link — modeled as a per-ring FIFO resource. This is what
@@ -104,6 +119,9 @@ class SimRing {
   bool closed_ = false;
   uint64_t sent_ = 0;
   uint64_t received_ = 0;
+  // In-flight ready stamps keyed by ring slot (see last_dequeue_stamp()).
+  std::unordered_map<const void*, SimTime> ready_at_;
+  std::optional<DequeueStamp> last_dequeue_stamp_;
 };
 
 }  // namespace solros

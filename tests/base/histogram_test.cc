@@ -111,6 +111,36 @@ TEST(HistogramTest, ResetClears) {
   EXPECT_EQ(h.max(), 0u);
 }
 
+TEST(HistogramTest, EmptyHistogramQuantilesAreZero) {
+  Histogram h;
+  for (double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_EQ(h.ValueAtQuantile(q), 0u) << "q=" << q;
+  }
+  // Out-of-range quantiles clamp rather than crash.
+  EXPECT_EQ(h.ValueAtQuantile(-1.0), 0u);
+  EXPECT_EQ(h.ValueAtQuantile(2.0), 0u);
+}
+
+TEST(HistogramTest, SingleSampleQuantilesReturnThatSample) {
+  Histogram h;
+  h.Record(12345);
+  for (double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_EQ(h.ValueAtQuantile(q), 12345u) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, QuantilesStayWithinObservedRange) {
+  Histogram h;
+  h.Record(1000);
+  h.Record(2000);
+  h.Record(3000);
+  for (double q : {0.0, 0.01, 0.5, 0.99, 1.0}) {
+    uint64_t v = h.ValueAtQuantile(q);
+    EXPECT_GE(v, h.min()) << "q=" << q;
+    EXPECT_LE(v, h.max()) << "q=" << q;
+  }
+}
+
 TEST(HistogramTest, LargeValuesDoNotCrash) {
   Histogram h;
   h.Record(~0ull);

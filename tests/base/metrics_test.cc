@@ -142,6 +142,24 @@ TEST(MetricRegistryTest, ResetAllZeroesButKeepsHandles) {
   EXPECT_EQ(registry.GetCounter("n"), c);
 }
 
+TEST(MetricRegistryTest, ResetHistogramsLeavesCountersAndGauges) {
+  MetricRegistry registry;
+  Counter* c = registry.GetCounter("kept.counter");
+  Gauge* g = registry.GetGauge("kept.gauge");
+  LatencyHistogram* h = registry.GetHistogram("cleared.hist");
+  c->Increment(7);
+  g->Set(-3);
+  h->Record(5000);
+  registry.ResetHistograms();
+  EXPECT_EQ(c->value(), 7u);
+  EXPECT_EQ(g->value(), -3);
+  EXPECT_EQ(h->count(), 0u);
+  // The registered pointer stays valid and usable after the reset — a
+  // warmup/measured-window boundary must not invalidate cached handles.
+  h->Record(9000);
+  EXPECT_EQ(registry.GetHistogram("cleared.hist")->count(), 1u);
+}
+
 TEST(MetricRegistryTest, ConcurrentUpdatesAreLossless) {
   MetricRegistry registry;
   Counter* c = registry.GetCounter("threads");

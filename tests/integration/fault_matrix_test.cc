@@ -17,7 +17,9 @@
 #include "src/base/metrics.h"
 #include "src/base/prng.h"
 #include "src/core/machine.h"
+#include "src/sim/flight_recorder.h"
 #include "src/sim/sync.h"
+#include "src/sim/trace.h"
 
 namespace solros {
 namespace {
@@ -286,6 +288,108 @@ TEST_F(FaultMatrixTest, P2pDegradesToBufferedOnNvmeTimeout) {
   EXPECT_GT(
       MetricRegistry::Default().GetCounter("fs.proxy.p2p_degraded")->value(),
       0u);
+}
+
+// Flight recorder, fault trigger: the same deterministic degradation
+// scenario with a recorder armed must produce a dump named after the
+// firing point, carrying the trace events leading up to it.
+TEST_F(FaultMatrixTest, FaultFireDumpsFlightRecorderWithPrecedingEvents) {
+  Tracer tracer;  // outlives the machine (frames hold ScopedSpans)
+  MachineConfig config;
+  config.num_phis = 1;
+  config.nvme_capacity = MiB(64);
+  config.enable_network = false;
+  config.nvme_retry.max_attempts = 1;
+  Machine machine(std::move(config));
+  CHECK_OK(RunSim(machine.sim(), machine.FormatFs()));
+  FsStub& stub = machine.fs_stub(0);
+  auto ino = RunSim(machine.sim(), stub.Create("/recorder"));
+  ASSERT_TRUE(ino.ok());
+  DeviceBuffer src(machine.phi_device(0), KiB(256));
+  CHECK_OK(RunSim(machine.sim(), stub.Write(*ino, 0, MemRef::Of(src))));
+
+  tracer.Bind(&machine.sim());
+  FlightRecorder recorder(64);
+  tracer.set_flight_recorder(&recorder);
+  recorder.ArmFaultTrigger();
+
+  ASSERT_TRUE(Faults().Arm("nvme.cmd.timeout", FaultSpec::OneShot()).ok());
+  DeviceBuffer dst(machine.phi_device(0), KiB(256));
+  auto n = RunSim(machine.sim(), stub.Read(*ino, 0, MemRef::Of(dst)));
+  Faults().DisarmAll();
+  ASSERT_TRUE(n.ok()) << n.status().ToString();  // degradation recovered
+
+  ASSERT_GE(recorder.total_dumps(), 1u);
+  const FlightRecorder::DumpRecord& dump = recorder.dumps()[0];
+  EXPECT_EQ(dump.trigger, "fault: nvme.cmd.timeout");
+  // The moments before the fault are in the dump: the request had entered
+  // the proxy and reached the device by the time the point fired.
+  bool saw_service = false;
+  bool saw_nvme = false;
+  for (const FlightRecorder::Entry& e : dump.entries) {
+    if (e.name == "fs.proxy.service" && e.kind == 'B') {
+      saw_service = true;
+    }
+    if (e.name == "nvme.cmd" && e.kind == 'B') {
+      saw_nvme = true;
+    }
+  }
+  EXPECT_TRUE(saw_service);
+  EXPECT_TRUE(saw_nvme);
+}
+
+// Flight recorder, proxy-error trigger: when every attempt times out and a
+// system error escapes the proxy to the data plane, the proxy itself dumps
+// the recorder ("fs.proxy error: ..."), independent of the fault trigger.
+TEST_F(FaultMatrixTest, ProxySystemErrorDumpsFlightRecorder) {
+  Tracer tracer;
+  MachineConfig config;
+  config.num_phis = 1;
+  config.nvme_capacity = MiB(64);
+  config.enable_network = false;
+  config.nvme_retry.max_attempts = 1;
+  Machine machine(std::move(config));
+  CHECK_OK(RunSim(machine.sim(), machine.FormatFs()));
+  FsStub& stub = machine.fs_stub(0);
+  auto ino = RunSim(machine.sim(), stub.Create("/proxyerr"));
+  ASSERT_TRUE(ino.ok());
+  DeviceBuffer src(machine.phi_device(0), KiB(64));
+  CHECK_OK(RunSim(machine.sim(), stub.Write(*ino, 0, MemRef::Of(src))));
+
+  tracer.Bind(&machine.sim());
+  FlightRecorder recorder(64);
+  tracer.set_flight_recorder(&recorder);
+  // No ArmFaultTrigger: only the proxy-error path may dump.
+
+  // Every NVMe command times out, so P2P, its buffered fallback, and every
+  // stub retry fail; a kTimedOut escapes the proxy on each attempt.
+  ASSERT_TRUE(Faults().Arm("nvme.cmd.timeout", FaultSpec::EveryNth(1)).ok());
+  DeviceBuffer dst(machine.phi_device(0), KiB(64));
+  auto n = RunSim(machine.sim(), stub.Read(*ino, 0, MemRef::Of(dst)));
+  Faults().DisarmAll();
+  EXPECT_FALSE(n.ok());
+
+  ASSERT_GE(recorder.total_dumps(), 1u);
+  EXPECT_EQ(recorder.dumps()[0].trigger, "fs.proxy error: TIMED_OUT");
+}
+
+// Benign errors (kNotFound on a bad path) must NOT dump: the recorder is
+// for system failures, not expected outcomes.
+TEST_F(FaultMatrixTest, BenignErrorsDoNotDumpFlightRecorder) {
+  Tracer tracer;
+  MachineConfig config;
+  config.num_phis = 1;
+  config.nvme_capacity = MiB(64);
+  config.enable_network = false;
+  Machine machine(std::move(config));
+  CHECK_OK(RunSim(machine.sim(), machine.FormatFs()));
+  tracer.Bind(&machine.sim());
+  FlightRecorder recorder(64);
+  tracer.set_flight_recorder(&recorder);
+  recorder.ArmFaultTrigger();
+  EXPECT_EQ(RunSim(machine.sim(), machine.fs_stub(0).Open("/missing")).code(),
+            ErrorCode::kNotFound);
+  EXPECT_EQ(recorder.total_dumps(), 0u);
 }
 
 // Network checksum workload: a KV server behind the TCP proxy while the RPC

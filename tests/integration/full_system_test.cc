@@ -5,12 +5,14 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <sstream>
 #include <string_view>
 
 #include "src/apps/kv_store.h"
 #include "src/base/metrics.h"
 #include "src/base/prng.h"
 #include "src/core/machine.h"
+#include "src/sim/attribution.h"
 #include "src/sim/sync.h"
 #include "src/sim/trace.h"
 
@@ -256,6 +258,126 @@ TEST(ObservabilityTest, FsReadRpcProducesExpectedSpanSequence) {
       1u);
   EXPECT_GE(MetricRegistry::Default().GetHistogram("fs.stub.call_ns")->max(),
             1u);
+
+  // --- Causal linkage: the nest above is one connected span tree keyed by
+  // the trace id allocated at the stub and carried on the wire. ---
+  EXPECT_NE(call->trace_id, 0u);
+  EXPECT_EQ(call->parent, 0u);  // the root
+  EXPECT_EQ(service->trace_id, call->trace_id);
+  EXPECT_EQ(service->parent, call->uid);
+  EXPECT_EQ(p2p->trace_id, call->trace_id);
+  EXPECT_EQ(p2p->parent, service->uid);
+  EXPECT_EQ(batch->trace_id, call->trace_id);
+  EXPECT_EQ(batch->parent, p2p->uid);
+  // Ring queue-wait spans: one per direction, children of the root, each a
+  // [SetReady, dequeue] interval inside the root span.
+  EXPECT_EQ(tracer.CountSpans("rpc.queue.req"), 1u);
+  EXPECT_EQ(tracer.CountSpans("rpc.queue.resp"), 1u);
+  for (std::string_view queue_name : {"rpc.queue.req", "rpc.queue.resp"}) {
+    const SpanRecord* queue = find(queue_name);
+    ASSERT_NE(queue, nullptr);
+    EXPECT_EQ(queue->trace_id, call->trace_id);
+    EXPECT_EQ(queue->parent, call->uid);
+    EXPECT_GE(queue->begin, call->begin);
+    EXPECT_LE(queue->end, call->end);
+  }
+  // Per-command device spans are grandchildren through the batch span.
+  const SpanRecord* cmd = find("nvme.cmd");
+  ASSERT_NE(cmd, nullptr);
+  EXPECT_EQ(cmd->trace_id, call->trace_id);
+  EXPECT_EQ(cmd->parent, batch->uid);
+
+  // --- Per-request stage attribution: the one traced RPC yields one exact
+  // breakdown whose stages sum to the end-to-end root span. ---
+  auto breakdowns = ComputeStageBreakdowns(tracer);
+  ASSERT_EQ(breakdowns.size(), 1u);
+  const StageBreakdown& b = breakdowns[0];
+  EXPECT_EQ(b.trace_id, call->trace_id);
+  EXPECT_TRUE(b.exact);
+  EXPECT_EQ(b.total, call->end - call->begin);
+  EXPECT_EQ(b.stub + b.queue_wait + b.proxy + b.copy_dma + b.device,
+            b.total);
+  EXPECT_GT(b.device, 0u);      // the read hit the device
+  EXPECT_GT(b.queue_wait, 0u);  // both rings were crossed
+  EXPECT_EQ(b.copy_dma, 0u);    // P2P path: no host DMA staging
+}
+
+// Runs one traced buffered read on a fresh machine and returns the Chrome
+// trace export. Everything — span uids, trace ids, flow-event ids — must be
+// deterministic, so two runs compare byte-identical.
+std::string TracedReadExport() {
+  Tracer tracer;
+  MachineConfig config;
+  config.num_phis = 1;
+  config.nvme_capacity = MiB(64);
+  config.enable_network = false;
+  Machine machine(std::move(config));
+  CHECK_OK(RunSim(machine.sim(), machine.FormatFs()));
+  FsStub& stub = machine.fs_stub(0);
+  auto ino = RunSim(machine.sim(), stub.Create("/det"));
+  CHECK_OK(ino);
+  DeviceBuffer src(machine.phi_device(0), KiB(64));
+  CHECK_OK(RunSim(machine.sim(), stub.Write(*ino, 0, MemRef::Of(src))));
+  tracer.Bind(&machine.sim());
+  // Buffered (cache-staged) read: exercises cache + DMA spans on top of
+  // the P2P test's stub/ring/proxy/NVMe tree.
+  DeviceBuffer dst(machine.phi_device(0), KiB(64));
+  CHECK_OK(RunSim(machine.sim(),
+                  stub.Read(*ino, KiB(1), MemRef::Of(dst).Sub(0, KiB(4)))));
+  std::ostringstream os;
+  tracer.ExportChromeTrace(os);
+  return os.str();
+}
+
+TEST(ObservabilityTest, CausallyLinkedExportIsDeterministic) {
+  std::string first = TracedReadExport();
+  std::string second = TracedReadExport();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+  // The compared export really contains the causal machinery: span args
+  // with trace ids, cache outcome annotations, and flow linkage.
+  EXPECT_NE(first.find("\"trace\":"), std::string::npos);
+  EXPECT_NE(first.find("\"parent\":"), std::string::npos);
+  EXPECT_NE(first.find("cache.read"), std::string::npos);
+  EXPECT_NE(first.find("\"cat\":\"flow\""), std::string::npos);
+  EXPECT_NE(first.find("dma.copy"), std::string::npos);
+}
+
+TEST(ObservabilityTest, BufferedReadAnnotatesCacheOutcome) {
+  // Both tracers outlive the machine (frames holding ScopedSpans may be
+  // destroyed during machine teardown).
+  Tracer tracer;
+  Tracer hot;
+  MachineConfig config;
+  config.num_phis = 1;
+  config.nvme_capacity = MiB(64);
+  config.enable_network = false;
+  Machine machine(std::move(config));
+  CHECK_OK(RunSim(machine.sim(), machine.FormatFs()));
+  FsStub& stub = machine.fs_stub(0);
+  auto ino = RunSim(machine.sim(), stub.Create("/cache"));
+  ASSERT_TRUE(ino.ok());
+  DeviceBuffer src(machine.phi_device(0), KiB(64));
+  CHECK_OK(RunSim(machine.sim(), stub.Write(*ino, 0, MemRef::Of(src))));
+  tracer.Bind(&machine.sim());
+  // Unaligned read => buffered path => cache.read span. Cold cache: the
+  // demand blocks are misses.
+  DeviceBuffer dst(machine.phi_device(0), KiB(8));
+  CHECK_OK(RunSim(machine.sim(), stub.Read(*ino, 512, MemRef::Of(dst))));
+  ASSERT_EQ(tracer.CountSpans("cache.read"), 1u);
+  std::ostringstream os;
+  tracer.ExportChromeTrace(os);
+  std::string json = os.str();
+  EXPECT_NE(json.find("\"misses\":"), std::string::npos);
+  EXPECT_NE(json.find("\"hits\":"), std::string::npos);
+
+  // Same read again: now cache-hot, zero misses, nonzero hits.
+  hot.Bind(&machine.sim());
+  CHECK_OK(RunSim(machine.sim(), stub.Read(*ino, 512, MemRef::Of(dst))));
+  ASSERT_EQ(hot.CountSpans("cache.read"), 1u);
+  std::ostringstream os2;
+  hot.ExportChromeTrace(os2);
+  EXPECT_NE(os2.str().find("\"misses\":\"0\""), std::string::npos);
 }
 
 TEST(FullSystemTest, StubErrorsPropagateCleanly) {

@@ -1,0 +1,126 @@
+#include "src/sim/attribution.h"
+
+#include <gtest/gtest.h>
+
+#include "src/base/metrics.h"
+#include "src/sim/trace.h"
+
+namespace solros {
+namespace {
+
+// Builds one synthetic request trace shaped like a real RPC:
+//   root [0, 100]
+//     queue.req    [10, 15]   (retroactive)
+//     service      [15, 80]
+//       nvme.batch [20, 60]
+//       dma.copy   [60, 70]
+//     queue.resp   [85, 90]   (retroactive)
+// Expected: total=100 queue=10 device=40 copy=10 proxy=15 stub=25, exact.
+uint64_t EmitRequest(Tracer& tracer, Simulator& sim, SimTime base) {
+  TraceContext root_ctx{tracer.NewTraceId(), 0};
+  sim.RunUntil(base);
+  uint64_t root = tracer.BeginSpan("stub", "fs.stub.call", root_ctx);
+  TraceContext ctx = tracer.ContextOf(root);
+  tracer.RecordSpan("ring", "rpc.queue.req", base + 10, base + 15, ctx);
+  sim.RunUntil(base + 15);
+  uint64_t svc = tracer.BeginSpan("proxy", "fs.proxy.service", ctx);
+  TraceContext svc_ctx = tracer.ContextOf(svc);
+  sim.RunUntil(base + 20);
+  uint64_t dev = tracer.BeginSpan("nvme", "nvme.batch", svc_ctx);
+  sim.RunUntil(base + 60);
+  tracer.EndSpan(dev);
+  uint64_t dma = tracer.BeginSpan("dma", "dma.copy", svc_ctx);
+  sim.RunUntil(base + 70);
+  tracer.EndSpan(dma);
+  sim.RunUntil(base + 80);
+  tracer.EndSpan(svc);
+  tracer.RecordSpan("ring", "rpc.queue.resp", base + 85, base + 90, ctx);
+  sim.RunUntil(base + 100);
+  tracer.EndSpan(root);
+  return root_ctx.trace_id;
+}
+
+TEST(AttributionTest, SingleRequestSplitsExactly) {
+  Simulator sim;
+  Tracer tracer(&sim);
+  uint64_t trace_id = EmitRequest(tracer, sim, 0);
+  auto breakdowns = ComputeStageBreakdowns(tracer);
+  ASSERT_EQ(breakdowns.size(), 1u);
+  const StageBreakdown& b = breakdowns[0];
+  EXPECT_EQ(b.trace_id, trace_id);
+  EXPECT_TRUE(b.exact);
+  EXPECT_EQ(b.total, 100u);
+  EXPECT_EQ(b.queue_wait, 10u);
+  EXPECT_EQ(b.device, 40u);
+  EXPECT_EQ(b.copy_dma, 10u);
+  EXPECT_EQ(b.proxy, 15u);
+  EXPECT_EQ(b.stub, 25u);
+  EXPECT_EQ(b.stub + b.queue_wait + b.proxy + b.copy_dma + b.device,
+            b.total);
+}
+
+TEST(AttributionTest, MultipleRequestsAreOrderedByTraceId) {
+  Simulator sim;
+  Tracer tracer(&sim);
+  uint64_t first = EmitRequest(tracer, sim, 0);
+  uint64_t second = EmitRequest(tracer, sim, 1000);
+  auto breakdowns = ComputeStageBreakdowns(tracer);
+  ASSERT_EQ(breakdowns.size(), 2u);
+  EXPECT_EQ(breakdowns[0].trace_id, first);
+  EXPECT_EQ(breakdowns[1].trace_id, second);
+  for (const StageBreakdown& b : breakdowns) {
+    EXPECT_TRUE(b.exact);
+    EXPECT_EQ(b.stub + b.queue_wait + b.proxy + b.copy_dma + b.device,
+              b.total);
+  }
+}
+
+TEST(AttributionTest, UntracedAndOpenSpansAreIgnored) {
+  Simulator sim;
+  Tracer tracer(&sim);
+  // Untraced bench-style span (trace_id 0).
+  uint64_t plain = tracer.BeginSpan("bench", "fs.op");
+  sim.RunUntil(10);
+  tracer.EndSpan(plain);
+  // Root that never closes (e.g. the run stopped mid-request).
+  tracer.BeginSpan("stub", "fs.stub.call",
+                   TraceContext{tracer.NewTraceId(), 0});
+  EXPECT_TRUE(ComputeStageBreakdowns(tracer).empty());
+}
+
+TEST(AttributionTest, OverrunningServiceSpanClampsAndClearsExact) {
+  Simulator sim;
+  Tracer tracer(&sim);
+  // A dropped-response retry shape: the server span outlives the root
+  // (client timed out and finished first), so total < queue + service.
+  TraceContext root_ctx{tracer.NewTraceId(), 0};
+  uint64_t root = tracer.BeginSpan("stub", "fs.stub.call", root_ctx);
+  TraceContext ctx = tracer.ContextOf(root);
+  sim.RunUntil(50);
+  tracer.EndSpan(root);
+  tracer.RecordSpan("proxy", "fs.proxy.service", 10, 120, ctx);
+  auto breakdowns = ComputeStageBreakdowns(tracer);
+  ASSERT_EQ(breakdowns.size(), 1u);
+  EXPECT_FALSE(breakdowns[0].exact);
+  EXPECT_EQ(breakdowns[0].stub, 0u);  // clamped, not negative
+  EXPECT_EQ(breakdowns[0].total, 50u);
+}
+
+TEST(AttributionTest, RecordStageMetricsFeedsHistograms) {
+  Simulator sim;
+  Tracer tracer(&sim);
+  EmitRequest(tracer, sim, 0);
+  MetricRegistry& registry = MetricRegistry::Default();
+  registry.ResetHistograms();
+  RecordStageMetrics(ComputeStageBreakdowns(tracer));
+  EXPECT_EQ(registry.GetHistogram("fs.stage.total_ns")->count(), 1u);
+  EXPECT_EQ(registry.GetHistogram("fs.stage.total_ns")->max(), 100u);
+  EXPECT_EQ(registry.GetHistogram("fs.stage.device_ns")->max(), 40u);
+  EXPECT_EQ(registry.GetHistogram("fs.stage.queue_wait_ns")->max(), 10u);
+  EXPECT_EQ(registry.GetHistogram("fs.stage.stub_ns")->max(), 25u);
+  EXPECT_EQ(registry.GetHistogram("fs.stage.proxy_ns")->max(), 15u);
+  EXPECT_EQ(registry.GetHistogram("fs.stage.copy_dma_ns")->max(), 10u);
+}
+
+}  // namespace
+}  // namespace solros
