@@ -79,10 +79,10 @@ inline bool InitBench(int argc, char** argv) {
 
 // Environment knobs (read by the bench configs, set by tools/ scripts):
 //   SOLROS_BENCH_QUICK=1   shrink the measurement matrix (CI smoke runs)
-//   SOLROS_BENCH_LEGACY=1  disable the staged-path cache features
-//                          (scan-resistant eviction, readahead, write-back
-//                          absorption, vectored fs I/O) so output matches
-//                          the pre-cache-overhaul behavior
+//   SOLROS_BENCH_LEGACY=1  disable the staged-path features (scan-resistant
+//                          eviction, readahead, write-back absorption,
+//                          vectored fs I/O, the I/O scheduler) so output
+//                          matches the pre-overhaul behavior
 inline bool BenchEnvSet(const char* name) {
   const char* value = std::getenv(name);
   return value != nullptr && value[0] != '\0' && value[0] != '0';
@@ -100,6 +100,7 @@ inline void DisableStagedPathFeatures(FsOptions& fs) {
   fs.writeback_cache = false;
   fs.coalesced_writeback = false;
   fs.fs_vectored_io = false;
+  fs.iosched = false;
 }
 
 // The process-wide flight recorder created by --flight-recorder=N (null

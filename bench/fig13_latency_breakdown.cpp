@@ -52,6 +52,7 @@ struct SolrosStages {
   Nanos total = 0;
   Nanos stub = 0;
   Nanos queue_wait = 0;
+  Nanos iosched_wait = 0;
   Nanos proxy = 0;
   Nanos copy_dma = 0;
   Nanos device = 0;
@@ -115,12 +116,14 @@ SolrosStages MeasureSolrosRead() {
   for (const StageBreakdown& b : breakdowns) {
     if (clean_run) {
       CHECK(b.exact);
-      CHECK_EQ(b.stub + b.queue_wait + b.proxy + b.copy_dma + b.device,
+      CHECK_EQ(b.stub + b.queue_wait + b.iosched_wait + b.proxy +
+                   b.copy_dma + b.device,
                b.total);
     }
     avg.total += b.total;
     avg.stub += b.stub;
     avg.queue_wait += b.queue_wait;
+    avg.iosched_wait += b.iosched_wait;
     avg.proxy += b.proxy;
     avg.copy_dma += b.copy_dma;
     avg.device += b.device;
@@ -129,6 +132,7 @@ SolrosStages MeasureSolrosRead() {
   avg.total /= kOps;
   avg.stub /= kOps;
   avg.queue_wait /= kOps;
+  avg.iosched_wait /= kOps;
   avg.proxy /= kOps;
   avg.copy_dma /= kOps;
   avg.device /= kOps;
@@ -166,7 +170,8 @@ void PrintFsPanel() {
   SolrosStages solros = MeasureSolrosRead();
   FsBreakdown virtio = MeasureVirtioRead();
   const Nanos solros_fs = solros.stub + solros.proxy;
-  const Nanos solros_transport = solros.queue_wait + solros.copy_dma;
+  const Nanos solros_transport =
+      solros.queue_wait + solros.iosched_wait + solros.copy_dma;
   TablePrinter table({"component", "Phi-virtio us", "Phi-Solros us"});
   table.AddRow({"File system", Usec1(virtio.fs), Usec1(solros_fs)});
   table.AddRow({"Block/Transport", Usec1(virtio.transport),
@@ -175,10 +180,11 @@ void PrintFsPanel() {
   table.AddRow({"TOTAL", Usec1(virtio.total), Usec1(solros.total)});
   EmitTable(table);
   // The Solros column measured per request via causal trace attribution;
-  // the finer five-stage split behind its three rows:
+  // the finer six-stage split behind its three rows:
   TablePrinter stages({"solros stage (per-request)", "us"});
   stages.AddRow({"stub (syscall + framing)", Usec1(solros.stub)});
   stages.AddRow({"ring queue wait", Usec1(solros.queue_wait)});
+  stages.AddRow({"io scheduler queue", Usec1(solros.iosched_wait)});
   stages.AddRow({"proxy (CPU + cache + metadata)", Usec1(solros.proxy)});
   stages.AddRow({"host DMA copy", Usec1(solros.copy_dma)});
   stages.AddRow({"NVMe device", Usec1(solros.device)});

@@ -155,6 +155,14 @@ void Machine::DumpStats(std::ostream& os) {
     }
     os << "\n";
   }
+  if (IoScheduler* sched = fs_proxy_->io_scheduler(); sched != nullptr) {
+    os << "io-scheduler: " << sched->batches() << " batches, "
+       << sched->plugs() << " plugs, " << sched->merges() << " merges, "
+       << sched->dedup_hits() << " dedup hits; dispatched d/w/r "
+       << sched->dispatched(IoClass::kDemand) << "/"
+       << sched->dispatched(IoClass::kWriteback) << "/"
+       << sched->dispatched(IoClass::kReadahead) << "\n";
+  }
   os << "nvme: " << nvme_->commands_completed() << " commands, "
      << nvme_->doorbells_rung() << " doorbells, "
      << nvme_->interrupts_raised() << " interrupts, "

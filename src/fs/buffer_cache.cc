@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "src/base/logging.h"
+#include "src/fs/io_scheduler.h"
 
 namespace solros {
 
@@ -19,6 +20,31 @@ size_t ProtectedCap(const BufferCacheOptions& options, size_t capacity) {
 }
 
 }  // namespace
+
+Task<Status> BufferCache::BackingRead(uint64_t lba, uint32_t nblocks,
+                                      std::span<uint8_t> out) {
+  if (sched_ != nullptr) {
+    co_return co_await sched_->Read(lba, nblocks, out, IoClass::kDemand);
+  }
+  co_return co_await backing_->Read(lba, nblocks, out);
+}
+
+Task<Status> BufferCache::BackingWrite(uint64_t lba, uint32_t nblocks,
+                                       std::span<const uint8_t> in) {
+  if (sched_ != nullptr) {
+    co_return co_await sched_->Write(lba, nblocks, in, IoClass::kWriteback);
+  }
+  co_return co_await backing_->Write(lba, nblocks, in);
+}
+
+Task<Status> BufferCache::BackingWriteV(std::span<const ConstBlockRun> runs,
+                                        bool coalesce) {
+  if (sched_ != nullptr) {
+    // The scheduler applies its own coalescing policy for the round.
+    co_return co_await sched_->WriteV(runs, IoClass::kWriteback);
+  }
+  co_return co_await backing_->WriteV(runs, coalesce);
+}
 
 BufferCache::BufferCache(BlockStore* backing, DeviceId arena_device,
                          size_t capacity_blocks,
@@ -196,7 +222,7 @@ Task<Status> BufferCache::WritebackRuns(WritebackPlan plan) {
   auto inflight = inflight_.insert(
       inflight_.end(),
       InflightWriteback{plan.lbas.front(), plan.lbas.back()});
-  Status status = co_await backing_->WriteV(
+  Status status = co_await BackingWriteV(
       plan.runs, options_.coalesced_writeback && options_.coalesce_nvme);
   inflight_.erase(inflight);
   NotifyInflight();
@@ -262,7 +288,7 @@ Task<Status> BufferCache::EvictOne() {
       SetDirty(it->second, false);
       auto inflight = inflight_.insert(inflight_.end(),
                                        InflightWriteback{victim, victim});
-      Status status = co_await backing_->Write(
+      Status status = co_await BackingWrite(
           victim, 1, SlotRef(it->second.slot).span());
       inflight_.erase(inflight);
       NotifyInflight();
@@ -320,7 +346,7 @@ Task<Result<MemRef>> BufferCache::GetBlock(uint64_t lba) {
   size_t slot = free_slots_.back();
   free_slots_.pop_back();
   MemRef ref = SlotRef(slot);
-  SOLROS_CO_RETURN_IF_ERROR(co_await backing_->Read(lba, 1, ref.span()));
+  SOLROS_CO_RETURN_IF_ERROR(co_await BackingRead(lba, 1, ref.span()));
   // Another task may have faulted the same block while we were reading
   // (the backing Read suspends); keep the established page and return our
   // slot to the free list.
@@ -494,7 +520,7 @@ Task<Status> BufferCache::Flush() {
   for (auto& [lba, page] : map_) {
     if (page.dirty) {
       SOLROS_CO_RETURN_IF_ERROR(
-          co_await backing_->Write(lba, 1, SlotRef(page.slot).span()));
+          co_await BackingWrite(lba, 1, SlotRef(page.slot).span()));
       SetDirty(page, false);
     }
   }

@@ -52,6 +52,8 @@
 
 namespace solros {
 
+class IoScheduler;
+
 struct BufferCacheOptions {
   // Segmented-LRU scan resistance. Off => single-list LRU (seed behavior).
   bool scan_resistant = true;
@@ -72,6 +74,11 @@ class BufferCache {
   BufferCache(BlockStore* backing, DeviceId arena_device,
               size_t capacity_blocks,
               const BufferCacheOptions& options = BufferCacheOptions());
+
+  // Routes backing-store traffic through `sched` (demand class for miss
+  // fills, write-back class for flushes) instead of hitting the store
+  // directly. Null (the default) preserves the direct legacy path.
+  void set_io_scheduler(IoScheduler* sched) { sched_ = sched; }
 
   // Returns a reference to the cached page for `lba`, faulting it in from
   // the backing store on a miss (possibly evicting). The MemRef stays valid
@@ -159,6 +166,13 @@ class BufferCache {
   };
 
   Task<Status> EvictOne();
+  // Backing-store I/O, routed through the I/O scheduler when one is set.
+  Task<Status> BackingRead(uint64_t lba, uint32_t nblocks,
+                           std::span<uint8_t> out);
+  Task<Status> BackingWrite(uint64_t lba, uint32_t nblocks,
+                            std::span<const uint8_t> in);
+  Task<Status> BackingWriteV(std::span<const ConstBlockRun> runs,
+                             bool coalesce);
   // Writes `plan` to the backing store as one vectored submission tracked
   // as an in-flight range, re-marking still-cached pages dirty if the
   // write fails.
@@ -186,6 +200,7 @@ class BufferCache {
   MemRef SlotRef(size_t slot);
 
   BlockStore* backing_;
+  IoScheduler* sched_ = nullptr;
   size_t capacity_;
   uint32_t block_size_;
   BufferCacheOptions options_;

@@ -73,6 +73,22 @@ FsProxy::FsProxy(Simulator* sim, PcieFabric* fabric, const HwParams& params,
                                            options_.cache_blocks,
                                            cache_options);
   }
+  if (options_.iosched) {
+    IoSchedulerOptions sched_options;
+    sched_options.single_flight = options_.iosched_single_flight;
+    sched_options.plug = options_.iosched_plug;
+    sched_options.plug_window = options_.iosched_plug_window;
+    sched_options.plug_max_batch = options_.iosched_plug_max_batch;
+    sched_options.priority = options_.iosched_priority;
+    sched_options.fairness = options_.iosched_fairness;
+    sched_options.drr_quantum_blocks = options_.iosched_drr_quantum;
+    sched_options.max_inflight_batches = options_.iosched_max_inflight;
+    sched_options.coalesce_nvme = options_.coalesce_nvme;
+    iosched_ = std::make_unique<IoScheduler>(sim, store, sched_options);
+    if (cache_ != nullptr) {
+      cache_->set_io_scheduler(iosched_.get());
+    }
+  }
 }
 
 void FsProxy::Serve(SimRing* request_ring, SimRing* response_ring) {
@@ -145,9 +161,17 @@ Task<Status> FsProxy::Prefetch(const std::string& path) {
   for (const FsExtent& extent : extents) {
     uint64_t bytes = uint64_t{extent.len} * kFsBlockSize;
     DeviceBuffer bounce(host_cpu_->device(), bytes);
-    std::vector<FsExtent> one = {extent};
-    SOLROS_CO_RETURN_IF_ERROR(co_await store_->ReadExtents(
-        one, MemRef::Of(bounce), options_.coalesce_nvme));
+    if (iosched_ != nullptr) {
+      // Prefetch is speculation: readahead class, so it never queues ahead
+      // of a demand miss.
+      SOLROS_CO_RETURN_IF_ERROR(co_await iosched_->Read(
+          extent.start, extent.len, {bounce.data(), bytes},
+          IoClass::kReadahead));
+    } else {
+      std::vector<FsExtent> one = {extent};
+      SOLROS_CO_RETURN_IF_ERROR(co_await store_->ReadExtents(
+          one, MemRef::Of(bounce), options_.coalesce_nvme));
+    }
     for (uint64_t b = 0; b < extent.len; ++b) {
       SOLROS_CO_RETURN_IF_ERROR(co_await cache_->InsertClean(
           extent.start + b,
@@ -462,7 +486,8 @@ Task<FsResponse> FsProxy::HandleRead(const FsRequest& request,
     ScopedSpan data(sim_, "proxy", "fs.data.buffered", ctx);
     Status status = co_await BufferedRead(request.ino, request.offset, length,
                                           request.memory, ra_blocks,
-                                          stat->size, data.context());
+                                          stat->size, request.client,
+                                          data.context());
     if (!status.ok()) {
       co_return ErrorResponse(status);
     }
@@ -559,7 +584,7 @@ Task<Status> FsProxy::DmaCopyWithRetry(MemRef dst, MemRef src,
 Task<Status> FsProxy::BufferedRead(uint64_t ino, uint64_t offset,
                                    uint64_t length, MemRef target,
                                    uint32_t ra_blocks, uint64_t file_size,
-                                   TraceContext ctx) {
+                                   uint32_t client, TraceContext ctx) {
   // Stage the byte range in a host bounce buffer. Cached blocks come from
   // the cache; missing runs are fetched with one coalesced NVMe vector and
   // then populate the cache. A readahead window extends the staged range
@@ -635,10 +660,21 @@ Task<Status> FsProxy::BufferedRead(uint64_t ino, uint64_t offset,
              (cache_ == nullptr || !cache_->Contains(extent.start + i + run))) {
         ++run;
       }
-      std::vector<FsExtent> miss = {{lba, static_cast<uint32_t>(run), 0}};
-      SOLROS_CO_RETURN_IF_ERROR(co_await store_->ReadExtents(
-          miss, MemRef::Of(bounce, bounce_off, run * kFsBlockSize),
-          options_.coalesce_nvme, io_ctx));
+      if (iosched_ != nullptr) {
+        // The whole miss run — demand blocks plus any piggybacked
+        // readahead tail — is ONE demand-class request: a caller is
+        // blocked on its head, and splitting it would cost a second
+        // command for a fetch the device could do in one.
+        SOLROS_CO_RETURN_IF_ERROR(co_await iosched_->Read(
+            lba, static_cast<uint32_t>(run),
+            {bounce.data() + bounce_off, run * kFsBlockSize},
+            IoClass::kDemand, client, io_ctx));
+      } else {
+        std::vector<FsExtent> miss = {{lba, static_cast<uint32_t>(run), 0}};
+        SOLROS_CO_RETURN_IF_ERROR(co_await store_->ReadExtents(
+            miss, MemRef::Of(bounce, bounce_off, run * kFsBlockSize),
+            options_.coalesce_nvme, io_ctx));
+      }
       // Populate the cache with the fetched blocks (clean pages, no
       // second device read — the bytes are in the bounce buffer).
       if (cache_ != nullptr) {

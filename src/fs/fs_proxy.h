@@ -27,6 +27,7 @@
 
 #include "src/base/status.h"
 #include "src/fs/buffer_cache.h"
+#include "src/fs/io_scheduler.h"
 #include "src/fs/nvme_block_store.h"
 #include "src/fs/solros_fs.h"
 #include "src/hw/dma.h"
@@ -94,6 +95,27 @@ class FsProxy {
     // SolrosFs::ReadAt/WriteAt batch their full-block runs into one
     // vectored store submission (applied by Machine at wiring time).
     bool fs_vectored_io = true;
+
+    // --- host-side I/O scheduler (staged-path submission policy; each
+    // mechanism independently ablatable, `iosched = false` restores the
+    // direct cache->store path) ---
+
+    // Route staged-path device traffic through the I/O scheduler.
+    bool iosched = true;
+    // Concurrent overlapping reads share one in-flight fetch.
+    bool iosched_single_flight = true;
+    // Plug the queue briefly on idle arrivals so batches form.
+    bool iosched_plug = true;
+    Nanos iosched_plug_window = Microseconds(4);
+    uint32_t iosched_plug_max_batch = 32;
+    // Strict demand > write-back > readahead dispatch ordering.
+    bool iosched_priority = true;
+    // Deficit-round-robin across co-processors within a class.
+    bool iosched_fairness = true;
+    uint32_t iosched_drr_quantum = 64;
+    // Pipeline depth: dispatched-but-uncompleted submissions before
+    // arrivals back-pressure at the scheduler (nr_requests analogue).
+    uint32_t iosched_max_inflight = 4;
   };
 
   FsProxy(Simulator* sim, PcieFabric* fabric, const HwParams& params,
@@ -114,6 +136,8 @@ class FsProxy {
 
   const FsProxyStats& stats() const { return stats_; }
   BufferCache* cache() { return cache_.get(); }
+  // The staged-path I/O scheduler (null when options.iosched is off).
+  IoScheduler* io_scheduler() { return iosched_.get(); }
   SolrosFs* fs() { return fs_; }
 
  private:
@@ -148,7 +172,8 @@ class FsProxy {
   // with readahead-tagged clean pages.
   Task<Status> BufferedRead(uint64_t ino, uint64_t offset, uint64_t length,
                             MemRef target, uint32_t ra_blocks,
-                            uint64_t file_size, TraceContext ctx);
+                            uint64_t file_size, uint32_t client,
+                            TraceContext ctx);
   Task<Status> BufferedWrite(uint64_t ino, uint64_t offset, uint64_t length,
                              MemRef source, TraceContext ctx);
   // Write-back coherence: pushes dirty cached pages covering `extents` to
@@ -178,6 +203,7 @@ class FsProxy {
   Options options_;
   DmaEngine host_dma_;
   std::unique_ptr<BufferCache> cache_;
+  std::unique_ptr<IoScheduler> iosched_;
   std::vector<std::unique_ptr<RpcServer<FsRequest, FsResponse>>> servers_;
   FsProxyStats stats_;
   std::map<StreamKey, ReadStream> streams_;

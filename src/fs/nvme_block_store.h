@@ -55,6 +55,13 @@ class NvmeBlockStore : public BlockStore {
   Task<Status> WriteV(std::span<const ConstBlockRun> runs,
                       bool coalesce) override;
 
+  // ReadV/WriteV with an originating trace context, so a scheduler batch's
+  // device spans link back to the request that triggered the round.
+  Task<Status> ReadRuns(std::span<const BlockRun> runs, bool coalesce,
+                        TraceContext ctx = {});
+  Task<Status> WriteRuns(std::span<const ConstBlockRun> runs, bool coalesce,
+                         TraceContext ctx = {});
+
   // Zero-copy vectorized I/O: one (extent -> target sub-range) command per
   // extent; `coalesce` batches them under a single doorbell/interrupt.
   // `target.length` must equal the total extent bytes. `ctx` is the

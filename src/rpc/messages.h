@@ -187,7 +187,9 @@ std::vector<uint8_t> EncodePodWithPayload(const T& header,
                                           std::span<const uint8_t> payload) {
   std::vector<uint8_t> out(sizeof(T) + payload.size());
   std::memcpy(out.data(), &header, sizeof(T));
-  std::memcpy(out.data() + sizeof(T), payload.data(), payload.size());
+  if (!payload.empty()) {
+    std::memcpy(out.data() + sizeof(T), payload.data(), payload.size());
+  }
   return out;
 }
 

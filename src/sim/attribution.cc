@@ -15,6 +15,7 @@ struct TraceSums {
   Nanos service = 0;  // fs.proxy.service / net.proxy.rpc
   Nanos device = 0;   // nvme.batch
   Nanos copy = 0;     // dma.copy
+  Nanos iosched = 0;  // iosched.queue
   bool root_closed = false;
 };
 
@@ -57,6 +58,8 @@ std::vector<StageBreakdown> ComputeStageBreakdowns(const Tracer& tracer) {
       s.device += dur;
     } else if (span.name == "dma.copy") {
       s.copy += dur;
+    } else if (span.name == "iosched.queue") {
+      s.iosched += dur;
     }
   }
 
@@ -72,7 +75,8 @@ std::vector<StageBreakdown> ComputeStageBreakdowns(const Tracer& tracer) {
     b.queue_wait = s.queue;
     b.device = s.device;
     b.copy_dma = s.copy;
-    b.proxy = ClampSub(s.service, s.device + s.copy, &b.exact);
+    b.iosched_wait = s.iosched;
+    b.proxy = ClampSub(s.service, s.device + s.copy + s.iosched, &b.exact);
     b.stub = ClampSub(s.total, s.queue + s.service, &b.exact);
     out.push_back(b);
   }
@@ -87,6 +91,8 @@ void RecordStageMetrics(const std::vector<StageBreakdown>& breakdowns) {
   LatencyHistogram* proxy = registry.GetHistogram("fs.stage.proxy_ns");
   LatencyHistogram* copy = registry.GetHistogram("fs.stage.copy_dma_ns");
   LatencyHistogram* device = registry.GetHistogram("fs.stage.device_ns");
+  LatencyHistogram* iosched =
+      registry.GetHistogram("fs.stage.iosched_wait_ns");
   for (const StageBreakdown& b : breakdowns) {
     total->Record(b.total);
     stub->Record(b.stub);
@@ -94,6 +100,7 @@ void RecordStageMetrics(const std::vector<StageBreakdown>& breakdowns) {
     proxy->Record(b.proxy);
     copy->Record(b.copy_dma);
     device->Record(b.device);
+    iosched->Record(b.iosched_wait);
   }
 }
 

@@ -14,8 +14,11 @@
 //   device      nvme.batch: doorbell-to-interrupt device time;
 //   copy_dma    dma.copy: host-initiated DMA moving bytes to/from the
 //               co-processor;
-//   proxy       service-span time not spent in device or DMA spans —
-//               proxy CPU, cache staging, metadata I/O;
+//   iosched     iosched.queue: time the request's device I/O sat queued in
+//               the host-side I/O scheduler (plug window, class ordering,
+//               DRR) before its batch was submitted;
+//   proxy       service-span time not spent in device, DMA, or scheduler
+//               spans — proxy CPU, cache staging, metadata I/O;
 //   stub        the remainder of total: stub CPU, ring copy in/out, and
 //               RPC framing on the data-plane side.
 //
@@ -44,6 +47,7 @@ struct StageBreakdown {
   Nanos proxy = 0;
   Nanos copy_dma = 0;
   Nanos device = 0;
+  Nanos iosched_wait = 0;
   // True when the stages sum to `total` exactly (always, fault-free).
   bool exact = true;
 };
@@ -53,8 +57,8 @@ struct StageBreakdown {
 std::vector<StageBreakdown> ComputeStageBreakdowns(const Tracer& tracer);
 
 // Feeds each breakdown's stages into the process MetricRegistry latency
-// histograms fs.stage.{total,stub,queue_wait,proxy,copy_dma,device}_ns,
-// so `--metrics` reports per-stage p50/p95/p99.
+// histograms fs.stage.{total,stub,queue_wait,proxy,copy_dma,device,
+// iosched_wait}_ns, so `--metrics` reports per-stage p50/p95/p99.
 void RecordStageMetrics(const std::vector<StageBreakdown>& breakdowns);
 
 }  // namespace solros

@@ -146,7 +146,9 @@ int RingBuffer::Dequeue(uint32_t* size, void** rb_buf) {
 
 void RingBuffer::CopyToRbBuf(void* rb_buf, const void* data, uint32_t size) {
   DCHECK(rb_buf != nullptr);
-  std::memcpy(rb_buf, data, size);
+  if (size != 0) {
+    std::memcpy(rb_buf, data, size);
+  }
   producer_stats_.bytes_copied.fetch_add(size, std::memory_order_relaxed);
 }
 

@@ -106,6 +106,63 @@ TEST(AttributionTest, OverrunningServiceSpanClampsAndClearsExact) {
   EXPECT_EQ(breakdowns[0].total, 50u);
 }
 
+// Same request shape with the miss fetch queued in the I/O scheduler
+// before the device round:
+//   root [0, 100]
+//     queue.req        [10, 15]
+//     service          [15, 80]
+//       iosched.queue  [18, 25]   (retroactive, ends at submission)
+//       nvme.batch     [25, 60]
+//       dma.copy       [60, 70]
+//     queue.resp       [85, 90]
+// Expected: total=100 queue=10 iosched=7 device=35 copy=10 proxy=13
+// stub=25, and the six stages still sum to total exactly.
+TEST(AttributionTest, IoSchedulerQueueSpanStaysExact) {
+  Simulator sim;
+  Tracer tracer(&sim);
+  TraceContext root_ctx{tracer.NewTraceId(), 0};
+  uint64_t root = tracer.BeginSpan("stub", "fs.stub.call", root_ctx);
+  TraceContext ctx = tracer.ContextOf(root);
+  tracer.RecordSpan("ring", "rpc.queue.req", 10, 15, ctx);
+  sim.RunUntil(15);
+  uint64_t svc = tracer.BeginSpan("proxy", "fs.proxy.service", ctx);
+  TraceContext svc_ctx = tracer.ContextOf(svc);
+  tracer.RecordSpan("iosched", "iosched.queue", 18, 25, svc_ctx);
+  sim.RunUntil(25);
+  uint64_t dev = tracer.BeginSpan("nvme", "nvme.batch", svc_ctx);
+  sim.RunUntil(60);
+  tracer.EndSpan(dev);
+  uint64_t dma = tracer.BeginSpan("dma", "dma.copy", svc_ctx);
+  sim.RunUntil(70);
+  tracer.EndSpan(dma);
+  sim.RunUntil(80);
+  tracer.EndSpan(svc);
+  tracer.RecordSpan("ring", "rpc.queue.resp", 85, 90, ctx);
+  sim.RunUntil(100);
+  tracer.EndSpan(root);
+
+  auto breakdowns = ComputeStageBreakdowns(tracer);
+  ASSERT_EQ(breakdowns.size(), 1u);
+  const StageBreakdown& b = breakdowns[0];
+  EXPECT_TRUE(b.exact);
+  EXPECT_EQ(b.total, 100u);
+  EXPECT_EQ(b.queue_wait, 10u);
+  EXPECT_EQ(b.iosched_wait, 7u);
+  EXPECT_EQ(b.device, 35u);
+  EXPECT_EQ(b.copy_dma, 10u);
+  EXPECT_EQ(b.proxy, 13u);
+  EXPECT_EQ(b.stub, 25u);
+  EXPECT_EQ(b.stub + b.queue_wait + b.iosched_wait + b.proxy + b.copy_dma +
+                b.device,
+            b.total);
+
+  MetricRegistry& registry = MetricRegistry::Default();
+  registry.ResetHistograms();
+  RecordStageMetrics(breakdowns);
+  EXPECT_EQ(registry.GetHistogram("fs.stage.iosched_wait_ns")->count(), 1u);
+  EXPECT_EQ(registry.GetHistogram("fs.stage.iosched_wait_ns")->max(), 7u);
+}
+
 TEST(AttributionTest, RecordStageMetricsFeedsHistograms) {
   Simulator sim;
   Tracer tracer(&sim);

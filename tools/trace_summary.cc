@@ -150,6 +150,7 @@ struct Stages {
   uint64_t queue = 0;
   uint64_t device = 0;
   uint64_t copy = 0;
+  uint64_t iosched = 0;
   uint64_t service = 0;
   bool has_root = false;
 };
@@ -189,23 +190,26 @@ int Run(const char* path) {
       s.device += e.dur_ns;
     } else if (e.name == "dma.copy") {
       s.copy += e.dur_ns;
+    } else if (e.name == "iosched.queue") {
+      s.iosched += e.dur_ns;
     } else if (e.name == "fs.proxy.service" || e.name == "net.proxy.rpc") {
       s.service += e.dur_ns;
     }
   }
 
-  Histogram total, stub, queue, proxy, copy, device;
+  Histogram total, stub, queue, iosched, proxy, copy, device;
   size_t requests = 0;
   for (const auto& [trace_id, s] : by_trace) {
     if (!s.has_root) {
       continue;
     }
     ++requests;
-    uint64_t proxy_ns = ClampSub(s.service, s.device + s.copy);
+    uint64_t proxy_ns = ClampSub(s.service, s.device + s.copy + s.iosched);
     uint64_t stub_ns = ClampSub(s.total, s.queue + s.service);
     total.Record(s.total);
     stub.Record(stub_ns);
     queue.Record(s.queue);
+    iosched.Record(s.iosched);
     proxy.Record(proxy_ns);
     copy.Record(s.copy);
     device.Record(s.device);
@@ -229,6 +233,7 @@ int Run(const char* path) {
   };
   row("stub", stub);
   row("queue_wait", queue);
+  row("iosched_wait", iosched);
   row("proxy", proxy);
   row("copy_dma", copy);
   row("device", device);
