@@ -14,13 +14,21 @@
 //   --flight-recorder=N   keep a bounded ring of the last N trace events
 //                         and dump it on any fault-point fire (benches that
 //                         bind a Tracer attach it via ArmFlightRecorder)
+//   --telemetry-out=FILE  enable USE telemetry (benches that call
+//                         MaybeEnableTelemetry) and write the collected
+//                         per-run snapshots as JSON; each labeled run also
+//                         prints a "bottleneck[label] = component" line
+//   --slo-ns=N            per-request total-latency SLO for benches that
+//                         arm an SloWatchdog; its summary prints at exit
 #ifndef SOLROS_BENCH_BENCH_UTIL_H_
 #define SOLROS_BENCH_BENCH_UTIL_H_
 
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -28,6 +36,7 @@
 #include "src/base/metrics.h"
 #include "src/base/stats.h"
 #include "src/base/units.h"
+#include "src/sim/bottleneck.h"
 #include "src/sim/flight_recorder.h"
 #include "src/sim/trace.h"
 
@@ -38,6 +47,8 @@ struct BenchFlags {
   bool metrics = false;
   std::string trace_out;        // empty => no trace export
   uint64_t flight_recorder = 0;  // entries to keep; 0 => no recorder
+  std::string telemetry_out;     // empty => telemetry off
+  uint64_t slo_ns = 0;           // 0 => no SLO watchdog
 };
 
 inline BenchFlags& GetBenchFlags() {
@@ -68,9 +79,23 @@ inline bool InitBench(int argc, char** argv) {
         std::cerr << "--flight-recorder= requires a positive entry count\n";
         return false;
       }
+    } else if (arg.rfind("--telemetry-out=", 0) == 0) {
+      flags.telemetry_out =
+          std::string(arg.substr(strlen("--telemetry-out=")));
+      if (flags.telemetry_out.empty()) {
+        std::cerr << "--telemetry-out= requires a file name\n";
+        return false;
+      }
+    } else if (arg.rfind("--slo-ns=", 0) == 0) {
+      flags.slo_ns = static_cast<uint64_t>(
+          std::strtoull(argv[i] + strlen("--slo-ns="), nullptr, 10));
+      if (flags.slo_ns == 0) {
+        std::cerr << "--slo-ns= requires a positive nanosecond budget\n";
+        return false;
+      }
     } else if (arg == "--help" || arg == "-h") {
       std::cerr << "common flags: --csv --metrics --trace-out=FILE "
-                   "--flight-recorder=N\n";
+                   "--flight-recorder=N --telemetry-out=FILE --slo-ns=N\n";
       return false;
     }
   }
@@ -128,6 +153,59 @@ inline void ArmFlightRecorder(Tracer& tracer) {
   tracer.set_flight_recorder(BenchFlightRecorder());
 }
 
+// Under --telemetry-out, switches a machine config's telemetry on with a
+// 1 ms window (templated so this header stays independent of machine.h).
+// Telemetry recording never advances simulated time, so measured numbers
+// are byte-identical with or without the flag.
+template <typename Config>
+inline void MaybeEnableTelemetry(Config& config) {
+  if (GetBenchFlags().telemetry_out.empty()) {
+    return;
+  }
+  config.telemetry_window = Milliseconds(1);
+}
+
+// Call at the warmup/measured-window boundary (after setup I/O like
+// workload-file prep): clears accumulated telemetry history so the report
+// covers exactly the measured section. No-op when telemetry is off.
+template <typename MachineT>
+inline void ResetTelemetry(MachineT& machine) {
+  if (machine.telemetry() != nullptr) {
+    machine.telemetry()->Reset();
+  }
+}
+
+struct TelemetryReportEntry {
+  std::string label;
+  std::string json;
+};
+
+// Snapshots accumulated by AppendTelemetryReport, written by FinishBench.
+inline std::vector<TelemetryReportEntry>& TelemetryReports() {
+  static std::vector<TelemetryReportEntry> reports;
+  return reports;
+}
+
+// Call after a measured run: snapshots the machine's telemetry, prints the
+// analyzer's overall verdict as "bottleneck[label] = component", and queues
+// the snapshot for the --telemetry-out file. No-op when telemetry is off.
+template <typename MachineT>
+inline void AppendTelemetryReport(const std::string& label,
+                                  MachineT& machine) {
+  if (GetBenchFlags().telemetry_out.empty() ||
+      machine.telemetry() == nullptr) {
+    return;
+  }
+  TelemetrySnapshot snapshot =
+      machine.telemetry()->Snapshot(machine.sim().now());
+  std::ostringstream json;
+  snapshot.WriteJson(json);
+  TelemetryReports().push_back({label, json.str()});
+  BottleneckReport report = AnalyzeBottlenecks(snapshot);
+  std::cout << "bottleneck[" << label << "] = "
+            << (report.overall.empty() ? "none" : report.overall) << "\n";
+}
+
 // Prints `table` aligned, plus CSV when --csv was given.
 inline void EmitTable(const TablePrinter& table) {
   table.Print(std::cout);
@@ -143,6 +221,26 @@ inline void FinishBench() {
   if (GetBenchFlags().metrics) {
     std::cout << "\n--- metrics (--metrics) ---\n";
     MetricRegistry::Default().DumpText(std::cout);
+  }
+  if (!GetBenchFlags().telemetry_out.empty() &&
+      !TelemetryReports().empty()) {
+    std::ofstream out(GetBenchFlags().telemetry_out);
+    if (!out) {
+      std::cerr << "cannot open " << GetBenchFlags().telemetry_out << "\n";
+    } else {
+      out << "{\"reports\":[";
+      bool first = true;
+      for (const TelemetryReportEntry& entry : TelemetryReports()) {
+        std::string json = entry.json;
+        while (!json.empty() && json.back() == '\n') {
+          json.pop_back();
+        }
+        out << (first ? "" : ",") << "\n{\"label\":\"" << entry.label
+            << "\",\"telemetry\":" << json << "}";
+        first = false;
+      }
+      out << "\n]}\n";
+    }
   }
   FlightRecorder* recorder = BenchFlightRecorder();
   if (recorder != nullptr && recorder->total_dumps() > 0) {

@@ -25,12 +25,14 @@
 // fs.stage.*_ns histograms (freshly reset, so --metrics shows only the
 // measured window).
 #include <iostream>
+#include <memory>
 
 #include "bench/bench_util.h"
 #include "bench/fs_configs.h"
 #include "bench/net_workload.h"
 #include "src/base/fault.h"
 #include "src/sim/attribution.h"
+#include "src/sim/slo_watchdog.h"
 #include "src/sim/trace.h"
 
 using namespace solros;
@@ -91,6 +93,18 @@ SolrosStages MeasureSolrosRead() {
   // histograms so --metrics reports exactly this window.
   tracer.Bind(&machine.sim());
   ArmFlightRecorder(tracer);
+  // Per-stage SLO budgets from SOLROS_SLO_STAGES, plus --slo-ns as the
+  // total-latency budget. The watchdog evaluates every root span as it
+  // closes and fires the flight recorder on a sustained violation streak.
+  SloBudgets budgets = SloBudgetsFromEnv();
+  if (GetBenchFlags().slo_ns > 0) {
+    budgets.total = GetBenchFlags().slo_ns;
+  }
+  std::unique_ptr<SloWatchdog> watchdog;
+  if (budgets.any()) {
+    watchdog = std::make_unique<SloWatchdog>(&machine.sim(), budgets);
+    watchdog->Bind(&tracer);
+  }
   MetricRegistry::Default().ResetHistograms();
   const int kOps = 16;
   for (int i = 0; i < kOps; ++i) {
@@ -104,6 +118,9 @@ SolrosStages MeasureSolrosRead() {
     CHECK_OK(tracer.ExportChromeTraceToFile(trace_out));
     std::cout << "trace written to " << trace_out
               << " (open in ui.perfetto.dev)\n";
+  }
+  if (watchdog != nullptr) {
+    std::cout << watchdog->Summary() << "\n";
   }
   // Per-request attribution: one breakdown per RPC, each exact (the five
   // stages sum to the request's end-to-end span) in this fault-free run.

@@ -155,6 +155,7 @@ RunStats RunSharedStorm(bool iosched) {
   constexpr int kOps = 40;
   MachineConfig config = StormConfig(kPhis);
   config.fs_options.iosched = iosched && !BenchLegacyMode();
+  MaybeEnableTelemetry(config);
   Machine machine(std::move(config));
   CHECK_OK(RunSim(machine.sim(), machine.FormatFs()));
   auto ino = RunSim(machine.sim(),
@@ -169,6 +170,8 @@ RunStats RunSharedStorm(bool iosched) {
   RunStats stats;
   stats.per_phi_ops.assign(kPhis, 0);
   WaitGroup wg(&machine.sim());
+  // Report the storm itself, not the nvme-bound workload-file prep above.
+  ResetTelemetry(machine);
   DeviceCost c0 = SnapshotCost(machine);
   SimTime t0 = machine.sim().now();
   for (int p = 0; p < kPhis; ++p) {
@@ -184,6 +187,9 @@ RunStats RunSharedStorm(bool iosched) {
   uint64_t rpcs = uint64_t{kPhis} * kWorkers * kOps;
   stats.krpcs = rpcs / ToSeconds(machine.sim().now() - t0) / 1e3;
   stats.cost = CostSince(machine, c0);
+  AppendTelemetryReport(
+      iosched ? "shared-storm/iosched-on" : "shared-storm/iosched-off",
+      machine);
   return stats;
 }
 

@@ -46,9 +46,13 @@ double MeasureSolros(uint64_t block, int threads, bool is_write) {
 }
 
 // The staged (buffered) path under O_BUFFER: every request goes through the
-// host shared buffer cache — the path the cache overhaul targets.
+// host shared buffer cache — the path the cache overhaul targets. Under
+// --telemetry-out each measured point also emits a labeled bottleneck
+// report (the staged path is where "what binds?" is non-obvious).
 double MeasureSolrosBuffered(uint64_t block, int threads, bool is_write) {
-  Machine machine(BenchMachine());
+  MachineConfig machine_config = BenchMachine();
+  MaybeEnableTelemetry(machine_config);
+  Machine machine(std::move(machine_config));
   CHECK_OK(RunSim(machine.sim(), machine.FormatFs()));
   auto ino = RunSim(machine.sim(),
                     PrepareWorkloadFile(&machine.fs(), "/work", kFileBytes));
@@ -60,9 +64,17 @@ double MeasureSolrosBuffered(uint64_t block, int threads, bool is_write) {
   config.threads = threads;
   config.ops_per_thread = std::max<int>(4, 64 / threads);
   config.is_write = is_write;
-  return RunFsWorkload(&machine.sim(), &machine.fs_stub(0), *ino,
-                       machine.phi_device(0), config)
-      .bandwidth();
+  // Report the measured workload, not the workload-file prep above.
+  ResetTelemetry(machine);
+  double bandwidth =
+      RunFsWorkload(&machine.sim(), &machine.fs_stub(0), *ino,
+                    machine.phi_device(0), config)
+          .bandwidth();
+  AppendTelemetryReport(std::string(is_write ? "fs-write" : "fs-read") +
+                            "/buffered/" + HumanSize(block) + "x" +
+                            std::to_string(threads),
+                        machine);
+  return bandwidth;
 }
 
 double MeasureHost(uint64_t block, int threads, bool is_write) {

@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "src/base/histogram.h"
 #include "src/base/prng.h"
 #include "src/core/machine.h"
@@ -122,6 +123,7 @@ struct NetRig {
     MachineConfig config;
     config.num_phis = num_phis;
     config.nvme_capacity = MiB(64);
+    MaybeEnableTelemetry(config);
     machine = std::make_unique<Machine>(std::move(config));
     switch (kind) {
       case NetConfigKind::kSolros:
@@ -163,6 +165,8 @@ inline Histogram MeasureNetLatency(NetConfigKind kind, uint32_t size,
   machine.sim().RunUntilIdle();
   Processor client_cpu(&machine.sim(), machine.host_device(), 64, 1.0,
                        "client");
+  // Report the ping-pong loop, not server/listener setup.
+  ResetTelemetry(machine);
   Histogram latencies;
   WaitGroup wg(&machine.sim());
   for (int c = 0; c < clients; ++c) {
@@ -174,6 +178,9 @@ inline Histogram MeasureNetLatency(NetConfigKind kind, uint32_t size,
   }
   machine.sim().RunUntilIdle();
   CHECK_EQ(wg.outstanding(), 0u);
+  AppendTelemetryReport(std::string("net-latency/") + NetConfigName(kind) +
+                            "/" + std::to_string(size) + "B",
+                        machine);
   return latencies;
 }
 

@@ -12,6 +12,11 @@ namespace solros {
 
 Machine::Machine(MachineConfig config) : config_(std::move(config)) {
   const HwParams& params = config_.params;
+  if (config_.telemetry_window > 0) {
+    telemetry_ = std::make_unique<TelemetryHub>(config_.telemetry_window,
+                                                config_.telemetry_windows);
+    sim_.set_telemetry(telemetry_.get());
+  }
   fabric_ = std::make_unique<PcieFabric>(&sim_, params);
   host_device_ = fabric_->HostDevice(0);
 
@@ -68,9 +73,11 @@ Machine::Machine(MachineConfig config) : config_(std::move(config)) {
     DeviceId phi = phi_devices_[i];
     Processor* phi_cpu = phi_cpus_[i].get();
 
-    auto make_ring = [&](size_t capacity, DeviceId master, bool phi_produces)
+    auto make_ring = [&](const std::string& name, size_t capacity,
+                         DeviceId master, bool phi_produces)
         -> std::unique_ptr<SimRing> {
       SimRingConfig rc;
+      rc.name = name + std::to_string(i);
       rc.capacity = capacity;
       rc.master_device = master;
       rc.producer_device = phi_produces ? phi : host_device_;
@@ -81,8 +88,10 @@ Machine::Machine(MachineConfig config) : config_(std::move(config)) {
     };
 
     // FS RPC rings: masters at the co-processor (§4.3.1).
-    rings.fs_request = make_ring(config_.rpc_ring_capacity, phi, true);
-    rings.fs_response = make_ring(config_.rpc_ring_capacity, phi, false);
+    rings.fs_request =
+        make_ring("fs.req", config_.rpc_ring_capacity, phi, true);
+    rings.fs_response =
+        make_ring("fs.resp", config_.rpc_ring_capacity, phi, false);
     fs_stubs_.push_back(std::make_unique<FsStub>(
         &sim_, params, phi_cpu, rings.fs_request.get(),
         rings.fs_response.get(), static_cast<uint32_t>(i)));
@@ -90,13 +99,16 @@ Machine::Machine(MachineConfig config) : config_(std::move(config)) {
     fs_proxy_->Serve(rings.fs_request.get(), rings.fs_response.get());
 
     if (config_.enable_network) {
-      rings.net_request = make_ring(config_.rpc_ring_capacity, phi, true);
-      rings.net_response = make_ring(config_.rpc_ring_capacity, phi, false);
+      rings.net_request =
+          make_ring("net.req", config_.rpc_ring_capacity, phi, true);
+      rings.net_response =
+          make_ring("net.resp", config_.rpc_ring_capacity, phi, false);
       // Outbound master at the Phi; inbound master at the host (§4.4.1).
       rings.outbound =
-          make_ring(config_.outbound_ring_capacity, phi, true);
+          make_ring("net.out", config_.outbound_ring_capacity, phi, true);
       rings.inbound =
-          make_ring(config_.inbound_ring_capacity, host_device_, false);
+          make_ring("net.in", config_.inbound_ring_capacity, host_device_,
+                    false);
       tcp_proxy_->AttachDataPlane(static_cast<uint32_t>(i),
                                   rings.net_request.get(),
                                   rings.net_response.get(),
@@ -106,6 +118,26 @@ Machine::Machine(MachineConfig config) : config_(std::move(config)) {
           rings.net_response.get(), rings.inbound.get(),
           rings.outbound.get()));
       net_stubs_.back()->set_retry_options(config_.rpc_retry);
+    }
+  }
+
+  if (telemetry_ != nullptr) {
+    // Request-path containment edges for the bottleneck analyzer: a child's
+    // queue depth is a subset of its parent's (an FS request counted in
+    // fs.proxy is also counted while parked in an iosched class queue, at
+    // the NVMe device, or in a host DMA copy), so the analyzer subtracts
+    // child depth to get the proxy's own exclusive backlog.
+    const std::string host_dma = "dma." + fabric_->NameOf(host_device_);
+    const std::string nvme_name = fabric_->NameOf(nvme_device_);
+    for (const char* cls : {"iosched.demand", "iosched.writeback",
+                            "iosched.readahead"}) {
+      telemetry_->DeclareEdge("fs.proxy", cls);
+    }
+    telemetry_->DeclareEdge("fs.proxy", nvme_name);
+    telemetry_->DeclareEdge("fs.proxy", host_dma);
+    if (config_.enable_network) {
+      telemetry_->DeclareEdge("net.proxy", "net.wire.up");
+      telemetry_->DeclareEdge("net.proxy", "net.wire.down");
     }
   }
 }

@@ -22,6 +22,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/base/metrics.h"
 #include "src/fs/fs_proxy.h"
 #include "src/fs/fs_stub.h"
 #include "src/fs/nvme_block_store.h"
@@ -61,6 +62,14 @@ struct MachineConfig {
   bool enable_network = true;
   // Forwarding policy for shared listening sockets.
   std::unique_ptr<ForwardingPolicy> policy;  // default: round robin
+
+  // USE telemetry: a non-zero window creates a TelemetryHub and binds it to
+  // the simulator before any component is built, so every ring, DMA engine,
+  // fabric link, NVMe queue, scheduler class, and proxy loop registers a
+  // series. Zero (the default) keeps telemetry fully off — no series, no
+  // recording, byte-identical timing either way.
+  Nanos telemetry_window = 0;
+  uint32_t telemetry_windows = 256;
 };
 
 class Machine {
@@ -97,6 +106,9 @@ class Machine {
   TcpProxy& tcp_proxy() { return *tcp_proxy_; }
   NetStub& net_stub(int i) { return *net_stubs_.at(i); }
 
+  // Null unless config.telemetry_window > 0.
+  TelemetryHub* telemetry() { return telemetry_.get(); }
+
  private:
   struct DataPlaneRings {
     std::unique_ptr<SimRing> fs_request;
@@ -109,6 +121,9 @@ class Machine {
 
   MachineConfig config_;
   Simulator sim_;
+  // Declared before every component so it is destroyed after them all —
+  // components hold raw UseSeries pointers into the hub.
+  std::unique_ptr<TelemetryHub> telemetry_;
   std::unique_ptr<PcieFabric> fabric_;
   DeviceId host_device_;
   DeviceId nvme_device_;

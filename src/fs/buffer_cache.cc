@@ -5,6 +5,7 @@
 
 #include "src/base/logging.h"
 #include "src/fs/io_scheduler.h"
+#include "src/sim/simulator.h"
 
 namespace solros {
 
@@ -74,6 +75,14 @@ BufferCache::BufferCache(BlockStore* backing, DeviceId arena_device,
   dirty_gauge_ = registry.GetGauge("cache.dirty_pages");
 }
 
+void BufferCache::set_telemetry(Simulator* sim) {
+  if (sim == nullptr || sim->telemetry() == nullptr) {
+    return;
+  }
+  telemetry_sim_ = sim;
+  use_ = sim->telemetry()->GetSeries("fs.cache");
+}
+
 bool BufferCache::OverlapsInflight(uint64_t lba, uint64_t nblocks) const {
   if (inflight_.empty() || nblocks == 0) {
     return false;
@@ -123,6 +132,9 @@ void BufferCache::SetDirty(Page& page, bool dirty) {
   page.dirty = dirty;
   dirty_count_ += dirty ? 1 : -1;
   dirty_gauge_->Set(static_cast<int64_t>(dirty_count_));
+  if (use_ != nullptr) {
+    use_->QueueDelta(telemetry_sim_->now(), dirty ? +1 : -1);
+  }
 }
 
 void BufferCache::UpdateGauges() {
@@ -322,6 +334,9 @@ Task<Status> BufferCache::EvictOne() {
 }
 
 Task<Result<MemRef>> BufferCache::GetBlock(uint64_t lba) {
+  if (use_ != nullptr) {
+    use_->CompleteOp(telemetry_sim_->now(), 0);
+  }
   auto it = map_.find(lba);
   if (it != map_.end()) {
     hits_->Increment();

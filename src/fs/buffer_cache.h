@@ -80,6 +80,12 @@ class BufferCache {
   // directly. Null (the default) preserves the direct legacy path.
   void set_io_scheduler(IoScheduler* sched) { sched_ = sched; }
 
+  // Attaches USE telemetry ("fs.cache"): depth = dirty pages awaiting
+  // write-back, ops = lookups, wait unused. No-op when the simulator has
+  // no telemetry hub. The cache is built without a Simulator, so the owner
+  // (FsProxy, tests) wires this explicitly.
+  void set_telemetry(Simulator* sim);
+
   // Returns a reference to the cached page for `lba`, faulting it in from
   // the backing store on a miss (possibly evicting). The MemRef stays valid
   // until the page is evicted — use it immediately (single-threaded sim).
@@ -228,6 +234,8 @@ class BufferCache {
   Gauge* probation_gauge_;
   Gauge* protected_gauge_;
   Gauge* dirty_gauge_;
+  Simulator* telemetry_sim_ = nullptr;  // time source for use_ stamps
+  UseSeries* use_ = nullptr;
   // Instance-local mirrors of the global counters, so the accessors never
   // see another live cache's traffic.
   uint64_t local_hits_ = 0;

@@ -89,6 +89,12 @@ FsProxy::FsProxy(Simulator* sim, PcieFabric* fabric, const HwParams& params,
       cache_->set_io_scheduler(iosched_.get());
     }
   }
+  if (sim->telemetry() != nullptr) {
+    use_ = sim->telemetry()->GetSeries("fs.proxy");
+  }
+  if (cache_ != nullptr) {
+    cache_->set_telemetry(sim);
+  }
 }
 
 void FsProxy::Serve(SimRing* request_ring, SimRing* response_ring) {
@@ -114,6 +120,9 @@ Task<FsResponse> FsProxy::Handle(FsRequest request) {
       MetricRegistry::Default().GetHistogram("fs.proxy.service_ns");
   requests->Increment();
   SimTime t0 = sim_->now();
+  if (use_ != nullptr) {
+    use_->QueueDelta(t0, +1);
+  }
   // The service span hangs off the stub's root span via the wire context.
   ScopedSpan span(sim_, "proxy", "fs.proxy.service",
                   TraceContext{request.trace_id, request.parent_span});
@@ -141,7 +150,14 @@ Task<FsResponse> FsProxy::Handle(FsRequest request) {
       break;
   }
   service_ns->Record(sim_->now() - t0);
+  if (use_ != nullptr) {
+    use_->QueueDelta(sim_->now(), -1);
+    use_->CompleteOp(sim_->now(), 0);
+  }
   if (IsSystemError(response.error)) {
+    if (use_ != nullptr) {
+      use_->AddError(sim_->now());
+    }
     MaybeDumpFlightRecorder(
         sim_, "fs.proxy error: " + std::string(ErrorCodeName(response.error)));
   }

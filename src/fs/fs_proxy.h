@@ -206,6 +206,9 @@ class FsProxy {
   std::unique_ptr<IoScheduler> iosched_;
   std::vector<std::unique_ptr<RpcServer<FsRequest, FsResponse>>> servers_;
   FsProxyStats stats_;
+  // USE telemetry ("fs.proxy"): depth counts requests in service, errors
+  // count system-error responses.
+  UseSeries* use_ = nullptr;
   std::map<StreamKey, ReadStream> streams_;
   // MRU-first key list; back() is the victim when the table is full, so a
   // saturated table evicts in O(log n) instead of scanning every stream.

@@ -38,6 +38,14 @@ IoScheduler::IoScheduler(Simulator* sim, NvmeBlockStore* store,
   dispatched_[static_cast<int>(IoClass::kReadahead)] =
       registry.GetCounter("iosched.dispatched.readahead");
   queue_ns_ = registry.GetHistogram("iosched.queue_ns");
+  if (sim->telemetry() != nullptr) {
+    use_[static_cast<int>(IoClass::kDemand)] =
+        sim->telemetry()->GetSeries("iosched.demand");
+    use_[static_cast<int>(IoClass::kWriteback)] =
+        sim->telemetry()->GetSeries("iosched.writeback");
+    use_[static_cast<int>(IoClass::kReadahead)] =
+        sim->telemetry()->GetSeries("iosched.readahead");
+  }
 }
 
 Task<Status> IoScheduler::Read(uint64_t lba, uint32_t nblocks,
@@ -157,6 +165,9 @@ Task<Status> IoScheduler::Submit(IoRequest* req) {
   }
   it->second.fifo.push_back(req);
   ++pending_;
+  if (UseSeries* use = use_[static_cast<int>(req->cls)]; use != nullptr) {
+    use->QueueDelta(req->enqueued, +1);
+  }
   EnsureDispatcher();
   work_cond_.NotifyAll();
   if (plugged_ && pending_ >= options_.plug_max_batch) {
@@ -232,6 +243,10 @@ Task<void> IoScheduler::DispatchRound() {
     queue_ns_->Record(now - r->enqueued);
     dispatched_[static_cast<int>(r->cls)]->Increment();
     ++local_dispatched_[static_cast<int>(r->cls)];
+    if (UseSeries* use = use_[static_cast<int>(r->cls)]; use != nullptr) {
+      use->QueueDelta(now, -1);
+      use->CompleteOp(now, now - r->enqueued);
+    }
   }
   batches_->Increment();
   ++local_batches_;
@@ -240,6 +255,10 @@ Task<void> IoScheduler::DispatchRound() {
     stalls_->Increment();
     ++local_stalls_;
     TRACE_INSTANT(sim_, "iosched", "iosched.stall");
+    if (UseSeries* use = use_[static_cast<int>(batch.front()->cls)];
+        use != nullptr) {
+      use->AddError(sim_->now());
+    }
     co_await Delay(kStallDelay);
   }
   std::vector<IoRequest*> reads;

@@ -222,6 +222,10 @@ class IoScheduler {
   Counter* stalls_;
   Counter* dispatched_[kIoClassCount];
   LatencyHistogram* queue_ns_;
+  // USE telemetry per dispatch class ("iosched.demand" etc.): depth counts
+  // class-queue residency only — single-flight attach waiters are excluded
+  // so depth reflects the schedulable backlog, not piggybacked readers.
+  UseSeries* use_[kIoClassCount] = {nullptr, nullptr, nullptr};
   // Instance-local mirrors so accessors never see another scheduler's
   // traffic (same pattern as BufferCache).
   uint64_t local_batches_ = 0;

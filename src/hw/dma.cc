@@ -22,7 +22,14 @@ DmaEngine::DmaEngine(Simulator* sim, PcieFabric* fabric,
                         ? params.dma_init_host
                         : params.dma_init_phi),
       channels_(sim, static_cast<size_t>(params.dma_channels),
-                fabric->NameOf(owner) + "-dma") {}
+                fabric->NameOf(owner) + "-dma") {
+  if (sim->telemetry() != nullptr) {
+    use_ = sim->telemetry()->GetSeries("dma." + fabric->NameOf(owner),
+                                       static_cast<uint32_t>(
+                                           params.dma_channels));
+    channels_.set_use_series(use_);
+  }
+}
 
 Task<Status> DmaEngine::Copy(MemRef dst, MemRef src, TraceContext ctx) {
   CHECK_EQ(dst.length, src.length);
@@ -44,6 +51,9 @@ Task<Status> DmaEngine::Copy(MemRef dst, MemRef src, TraceContext ctx) {
         MetricRegistry::Default().GetCounter("hw.dma.errors");
     errors->Increment();
     TRACE_INSTANT(sim_, "dma", "fault.dma.error");
+    if (use_ != nullptr) {
+      use_->AddError(sim_->now());
+    }
     co_return IoError("injected dma engine error");
   }
   // Peer-to-peer when neither end terminates in host DRAM; those transfers

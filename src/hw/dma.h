@@ -55,6 +55,7 @@ class DmaEngine {
   Nanos init_latency_;
   MultiServerResource channels_;
   uint64_t copies_ = 0;
+  UseSeries* use_ = nullptr;  // channel busy intervals + engine errors
 };
 
 // CPU-driven copy through a system-mapped window.

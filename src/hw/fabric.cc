@@ -27,6 +27,9 @@ PcieFabric::PcieFabric(Simulator* sim, const HwParams& params)
     : sim_(sim), params_(params) {
   CHECK(sim != nullptr);
   qpi_.bw = params_.qpi_bw;
+  if (sim_->telemetry() != nullptr) {
+    qpi_.use = sim_->telemetry()->GetSeries("fabric.qpi");
+  }
   host_by_socket_.resize(params_.host_sockets);
   for (int s = 0; s < params_.host_sockets; ++s) {
     host_by_socket_[s] =
@@ -62,6 +65,11 @@ DeviceId PcieFabric::AddDevice(DeviceType type, int socket,
       dev.up.bw = params_.pcie_nic_bw;
       dev.down.bw = params_.pcie_nic_bw;
       break;
+  }
+  if (sim_->telemetry() != nullptr) {
+    dev.up.use = sim_->telemetry()->GetSeries("fabric." + dev.name + ".up");
+    dev.down.use =
+        sim_->telemetry()->GetSeries("fabric." + dev.name + ".down");
   }
   devices_.push_back(std::move(dev));
   return DeviceId{static_cast<int32_t>(devices_.size() - 1)};
@@ -163,6 +171,9 @@ Task<void> PcieFabric::Transfer(DeviceId src, DeviceId dst, uint64_t bytes,
   SimTime end = start + duration;
   for (Link* link : links) {
     link->busy_until = end;
+    if (link->use != nullptr) {
+      link->use->RecordUse(sim_->now(), start, end);
+    }
   }
   total_bytes_ += bytes;
   ++transfer_count_;

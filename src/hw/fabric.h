@@ -28,6 +28,8 @@
 
 namespace solros {
 
+class UseSeries;
+
 enum class DeviceType : uint8_t {
   kHost,  // a host socket's memory/root complex
   kPhi,
@@ -84,6 +86,9 @@ class PcieFabric {
   struct Link {
     double bw = 0.0;
     SimTime busy_until = 0;
+    // USE telemetry for this link ("fabric.<device>.up/.down",
+    // "fabric.qpi"); null when the simulator carries no TelemetryHub.
+    UseSeries* use = nullptr;
   };
   struct Device {
     DeviceType type;

@@ -24,9 +24,13 @@ class Processor {
             std::string name)
       : device_(device),
         speed_(speed),
-        threads_(sim, static_cast<size_t>(hw_threads), std::move(name)) {
+        threads_(sim, static_cast<size_t>(hw_threads), name) {
     CHECK_GT(speed, 0.0);
     CHECK_GT(hw_threads, 0);
+    if (sim->telemetry() != nullptr) {
+      threads_.set_use_series(sim->telemetry()->GetSeries(
+          "cpu." + name, static_cast<uint32_t>(hw_threads)));
+    }
   }
 
   // Runs `reference_ns` of host-speed CPU work on this processor.

@@ -10,7 +10,12 @@ EthernetFabric::EthernetFabric(Simulator* sim, const HwParams& params)
     : sim_(sim),
       params_(params),
       wire_up_(sim, params.nic_bw, params.nic_wire_latency, "eth-up"),
-      wire_down_(sim, params.nic_bw, params.nic_wire_latency, "eth-down") {}
+      wire_down_(sim, params.nic_bw, params.nic_wire_latency, "eth-down") {
+  if (sim->telemetry() != nullptr) {
+    wire_up_.set_use_series(sim->telemetry()->GetSeries("net.wire.up"));
+    wire_down_.set_use_series(sim->telemetry()->GetSeries("net.wire.down"));
+  }
+}
 
 void EthernetFabric::RegisterPort(uint16_t port, ServerPort* handler) {
   CHECK(handler != nullptr);

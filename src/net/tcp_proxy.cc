@@ -38,6 +38,9 @@ TcpProxy::TcpProxy(Simulator* sim, const HwParams& params,
       ethernet_(ethernet),
       policy_(std::move(policy)) {
   CHECK(policy_ != nullptr);
+  if (sim->telemetry() != nullptr) {
+    use_ = sim->telemetry()->GetSeries("net.proxy");
+  }
 }
 
 void TcpProxy::AttachDataPlane(uint32_t dataplane_id, SimRing* rpc_request,
@@ -72,6 +75,10 @@ Task<NetResponse> TcpProxy::HandleRpc(uint32_t dataplane_id,
   static Counter* const rpcs =
       MetricRegistry::Default().GetCounter("net.proxy.rpcs");
   rpcs->Increment();
+  SimTime rpc_start = sim_->now();
+  if (use_ != nullptr) {
+    use_->QueueDelta(rpc_start, +1);
+  }
   // Service span, linked back to the stub's root span via the wire context.
   ScopedSpan span(sim_, "netproxy", "net.proxy.rpc",
                   TraceContext{request.trace_id, request.parent_span});
@@ -137,7 +144,14 @@ Task<NetResponse> TcpProxy::HandleRpc(uint32_t dataplane_id,
       response.error = ErrorCode::kNotSupported;
       break;
   }
+  if (use_ != nullptr) {
+    use_->QueueDelta(sim_->now(), -1);
+    use_->CompleteOp(sim_->now(), 0);
+  }
   if (IsSystemError(response.error)) {
+    if (use_ != nullptr) {
+      use_->AddError(sim_->now());
+    }
     MaybeDumpFlightRecorder(
         sim_, "net.proxy error: " + std::string(ErrorCodeName(response.error)));
   }
@@ -204,6 +218,9 @@ Task<void> TcpProxy::OnClientData(uint64_t conn_id,
     co_return;
   }
   ProxySocket& socket = sock_it->second;
+  if (use_ != nullptr) {
+    use_->QueueDelta(sim_->now(), +1);
+  }
   TRACE_SPAN(sim_, "netproxy", "net.proxy.inbound");
   // Full TCP receive processing on host cores (the Solros win: this would
   // run 8x slower on the Phi).
@@ -223,10 +240,17 @@ Task<void> TcpProxy::OnClientData(uint64_t conn_id,
   event.sock = socket.handle;
   event.length = static_cast<uint32_t>(data.size());
   Status status = co_await SendEvent(socket.dataplane, event, data);
+  if (use_ != nullptr) {
+    use_->QueueDelta(sim_->now(), -1);
+    use_->CompleteOp(sim_->now(), 0);
+  }
   if (!status.ok()) {
     static Counter* const dropped =
         MetricRegistry::Default().GetCounter("net.proxy.events_dropped");
     dropped->Increment();
+    if (use_ != nullptr) {
+      use_->AddError(sim_->now());
+    }
     LOG(WARNING) << "inbound event drop: " << status.ToString();
   }
 }
@@ -268,6 +292,9 @@ Task<void> TcpProxy::OutboundPump(TcpProxy* self, DataPlane* dataplane) {
     if (it == self->sockets_.end() || !it->second.open) {
       continue;  // stale send after close
     }
+    if (self->use_ != nullptr) {
+      self->use_->QueueDelta(self->sim_->now(), +1);
+    }
     TRACE_SPAN(self->sim_, "netproxy", "net.proxy.outbound");
     // Host TCP transmit processing, then the wire.
     co_await self->host_cpu_->Compute(
@@ -283,6 +310,10 @@ Task<void> TcpProxy::OutboundPump(TcpProxy* self, DataPlane* dataplane) {
     outbound_bytes->Increment(payload.size());
     Status status = co_await self->ethernet_->DeliverToClient(
         it->second.conn_id, std::move(payload));
+    if (self->use_ != nullptr) {
+      self->use_->QueueDelta(self->sim_->now(), -1);
+      self->use_->CompleteOp(self->sim_->now(), 0);
+    }
     if (!status.ok() && status.code() != ErrorCode::kNotConnected) {
       LOG(WARNING) << "outbound deliver failed: " << status.ToString();
     }

@@ -96,6 +96,9 @@ class TcpProxy : public ServerPort {
   std::map<uint64_t, int64_t> conn_to_socket_;   // wire conn -> handle
   int64_t next_handle_ = 1;
   TcpProxyStats stats_;
+  // USE telemetry ("net.proxy"): depth counts RPCs plus in/outbound
+  // messages in service on the host loops.
+  UseSeries* use_ = nullptr;
 };
 
 }  // namespace solros

@@ -24,6 +24,9 @@ NvmeDevice::NvmeDevice(Simulator* sim, PcieFabric* fabric,
   CHECK(fabric->TypeOf(self) == DeviceType::kNvme);
   CHECK_EQ(capacity_bytes % params.nvme_block_size, 0u);
   CHECK(interrupt_cpu != nullptr);
+  if (sim->telemetry() != nullptr) {
+    use_ = sim->telemetry()->GetSeries(fabric->NameOf(self));
+  }
 }
 
 Status NvmeDevice::Validate(const NvmeCommand& command) const {
@@ -48,6 +51,10 @@ Task<Status> NvmeDevice::Execute(NvmeCommand command, TraceContext ctx) {
       MetricRegistry::Default().GetCounter("nvme.commands");
   static LatencyHistogram* const cmd_ns =
       MetricRegistry::Default().GetHistogram("nvme.cmd_ns");
+  SimTime arrived = sim_->now();
+  if (use_ != nullptr) {
+    use_->QueueDelta(arrived, +1);
+  }
   co_await queue_slots_.Acquire();
   depth->Add(1);
   commands->Increment();
@@ -68,6 +75,10 @@ Task<Status> NvmeDevice::Execute(NvmeCommand command, TraceContext ctx) {
     co_await Delay(params_.nvme_timeout);
     depth->Add(-1);
     queue_slots_.Release();
+    if (use_ != nullptr) {
+      use_->QueueDelta(sim_->now(), -1);
+      use_->AddError(sim_->now());
+    }
     co_return TimedOutError("injected nvme command timeout");
   }
   if (cmd_fail->ShouldFire()) {
@@ -77,6 +88,10 @@ Task<Status> NvmeDevice::Execute(NvmeCommand command, TraceContext ctx) {
     TRACE_INSTANT(sim_, "nvme", "fault.nvme.fail");
     depth->Add(-1);
     queue_slots_.Release();
+    if (use_ != nullptr) {
+      use_->QueueDelta(sim_->now(), -1);
+      use_->AddError(sim_->now());
+    }
     co_return IoError("injected nvme media error");
   }
 
@@ -114,6 +129,10 @@ Task<Status> NvmeDevice::Execute(NvmeCommand command, TraceContext ctx) {
   cmd_ns->Record(sim_->now() - cmd_start);
   depth->Add(-1);
   queue_slots_.Release();
+  if (use_ != nullptr) {
+    use_->QueueDelta(sim_->now(), -1);
+    use_->CompleteOp(sim_->now(), cmd_start - arrived);
+  }
   co_return OkStatus();
 }
 

@@ -91,6 +91,9 @@ class NvmeDevice {
   std::vector<uint8_t> flash_;
 
   Semaphore queue_slots_;
+  // USE telemetry ("<device name>", e.g. "nvme0"): depth counts commands
+  // from arrival (including queue-slot waiters) to completion.
+  UseSeries* use_ = nullptr;
 
   uint64_t doorbells_ = 0;
   uint64_t interrupts_ = 0;

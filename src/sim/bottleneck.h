@@ -1,0 +1,102 @@
+// Bottleneck analysis over USE telemetry snapshots.
+//
+// AnalyzeBottlenecks walks every retained telemetry window and names the
+// binding resource with a two-tier USE verdict:
+//
+//   1. If some component is *pinned* (effective utilization at or above
+//      kPinnedUtilPermille), the hottest pinned component wins — with
+//      exclusive queue depth as the tie-breaker among components within
+//      kUtilTiePermille of the maximum.
+//   2. Otherwise nothing is bandwidth-bound and the window is queue-bound:
+//      the component with the deepest *exclusive* queue wins (saturation
+//      names the culprit), falling back to the utilization ranking when no
+//      component holds any queue at all.
+//
+// "Exclusive" depth subtracts the mean depths of a component's declared
+// children (TelemetryHub::DeclareEdge); for a component with declared
+// children the effective utilization is additionally scaled by its
+// exclusive share of its own queue (excl/mean), because an event loop is
+// "active" the whole time a request it merely relays sits in a saturated
+// child — without the discount the proxy would always out-rank the device
+// it is waiting on. Leaves (no declared children) rank on their raw
+// utilization. Each component also gets a Little's-law queueing-delay
+// estimate (recorded wait per op where the component measures it,
+// depth-integral / completions otherwise).
+//
+// All verdict math is integer arithmetic on the snapshot's integer fields,
+// so two identical runs produce byte-identical rendered reports. The same
+// analyzer serves the in-process bench wiring (--telemetry-out) and the
+// offline tools/solros_top renderer.
+#ifndef SOLROS_SRC_SIM_BOTTLENECK_H_
+#define SOLROS_SRC_SIM_BOTTLENECK_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/base/metrics.h"
+
+namespace solros {
+
+// One component's derived USE numbers inside one window.
+struct ComponentWindowStat {
+  std::string name;
+  // busy/(width*capacity) or active/width, in integer permille (0..1000).
+  int64_t util_permille = 0;
+  // Utilization used for the verdict: for components with declared
+  // children, util scaled by excl_depth/mean_depth; raw util otherwise.
+  int64_t eff_util_permille = 0;
+  // Mean queue depth over the window, scaled by 1000.
+  int64_t mean_depth_milli = 0;
+  // Mean depth minus the children's mean depths (clamped at 0), x1000.
+  int64_t excl_depth_milli = 0;
+  int64_t peak_depth = 0;
+  uint64_t ops = 0;
+  uint64_t errors = 0;
+  // Estimated queueing delay per completed op.
+  uint64_t est_wait_ns = 0;
+};
+
+struct WindowVerdict {
+  uint64_t index = 0;
+  // Binding resource for this window; empty when the window is idle
+  // (max effective utilization below the busy threshold).
+  std::string bottleneck;
+  // Maximum eff_util_permille across the window's components.
+  int64_t max_util_permille = 0;
+  std::vector<ComponentWindowStat> components;  // name-sorted
+};
+
+struct BottleneckReport {
+  Nanos window_ns = 0;
+  std::vector<WindowVerdict> windows;  // ascending by index
+  // Bottleneck named over the whole run: the component winning the most
+  // busy windows (ties break to the lexicographically smallest name).
+  // Empty when every window was idle.
+  std::string overall;
+  std::map<std::string, int> wins;  // per-component busy-window wins
+};
+
+// Windows whose hottest component is below this are considered idle and
+// get no verdict; the overall verdict only counts windows at or above
+// kBusyUtilPermille.
+inline constexpr int64_t kIdleUtilPermille = 100;   // 10%
+inline constexpr int64_t kBusyUtilPermille = 500;   // 50%
+// At or above this a component counts as pinned (bandwidth-bound) and the
+// utilization tier of the verdict applies.
+inline constexpr int64_t kPinnedUtilPermille = 900;  // 90%
+// Components within this margin of the window's max utilization compete
+// on exclusive depth instead of raw utilization.
+inline constexpr int64_t kUtilTiePermille = 50;     // 5%
+
+BottleneckReport AnalyzeBottlenecks(const TelemetrySnapshot& snapshot);
+
+// Deterministic human-readable report: one table per window (components
+// with their USE columns, bottleneck flagged) plus the overall verdict.
+void RenderBottleneckReport(const BottleneckReport& report, std::ostream& os);
+
+}  // namespace solros
+
+#endif  // SOLROS_SRC_SIM_BOTTLENECK_H_

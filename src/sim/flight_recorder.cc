@@ -24,9 +24,23 @@ size_t CapacityFromEnv(bool* env_present) {
   return static_cast<size_t>(value);
 }
 
+Nanos SloThresholdFromEnv() {
+  const char* env = std::getenv("SOLROS_FLIGHT_RECORDER_SLO_NS");
+  if (env == nullptr || env[0] == '\0') {
+    return 0;
+  }
+  char* end = nullptr;
+  unsigned long long value = std::strtoull(env, &end, 10);
+  if (end == nullptr || *end != '\0') {
+    return 0;
+  }
+  return static_cast<Nanos>(value);
+}
+
 }  // namespace
 
-FlightRecorder::FlightRecorder(size_t capacity) : capacity_(capacity) {
+FlightRecorder::FlightRecorder(size_t capacity)
+    : capacity_(capacity), slo_threshold_ns_(SloThresholdFromEnv()) {
   if (capacity_ == 0) {
     capacity_ = CapacityFromEnv(&echo_to_stderr_);
   }

@@ -12,7 +12,11 @@
 //     listener; the dump's trigger names the point, e.g.
 //     "fault: nvme.cmd.timeout");
 //   * a proxy is about to return a system error to a data plane
-//     (MaybeDumpFlightRecorder, trigger "fs.proxy error: kIoError" etc.).
+//     (MaybeDumpFlightRecorder, trigger "fs.proxy error: kIoError" etc.);
+//   * a traced request's root span closes slower than the SLO threshold
+//     (SOLROS_FLIGHT_RECORDER_SLO_NS, or set_slo_threshold_ns) — so a
+//     slow-but-fault-free request leaves forensics too (trigger
+//     "slo: <root span> <observed>ns > <threshold>ns").
 //
 // Dumps are bounded (the oldest is discarded past kMaxDumps) and each
 // carries the triggering reason, the simulated time of the last recorded
@@ -83,6 +87,13 @@ class FlightRecorder {
   // survive even if the process aborts before the report is printed.
   void set_echo_to_stderr(bool echo) { echo_to_stderr_ = echo; }
 
+  // Latency threshold for the SLO trigger: a traced root span closing
+  // slower than this dumps the ring (0 = disabled). Initialized from
+  // SOLROS_FLIGHT_RECORDER_SLO_NS; the Tracer checks it on every root
+  // span close.
+  void set_slo_threshold_ns(Nanos threshold) { slo_threshold_ns_ = threshold; }
+  Nanos slo_threshold_ns() const { return slo_threshold_ns_; }
+
   size_t capacity() const { return capacity_; }
   uint64_t total_dumps() const { return total_dumps_; }
   const std::deque<DumpRecord>& dumps() const { return dumps_; }
@@ -93,6 +104,7 @@ class FlightRecorder {
 
  private:
   size_t capacity_;
+  Nanos slo_threshold_ns_ = 0;
   bool echo_to_stderr_ = false;
   bool fault_trigger_armed_ = false;
   // Ring: entries_[(head_ + i) % capacity_] for i in [0, size_).

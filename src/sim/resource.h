@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/base/logging.h"
+#include "src/base/metrics.h"
 #include "src/base/units.h"
 #include "src/sim/simulator.h"
 #include "src/sim/task.h"
@@ -45,6 +46,9 @@ class FifoResource {
       resource->busy_until_ = end;
       resource->busy_time_ += duration;
       ++resource->uses_;
+      if (resource->use_ != nullptr) {
+        resource->use_->RecordUse(sim->now(), start, end);
+      }
       sim->ResumeAt(end, handle);
     }
     void await_resume() const noexcept {}
@@ -52,6 +56,10 @@ class FifoResource {
 
   // co_await resource.Use(duration);
   UseAwaiter Use(Nanos duration) { return UseAwaiter{this, duration}; }
+
+  // Optional USE telemetry target; every reservation is reported as one
+  // busy interval (with its queueing wait). Null = off.
+  void set_use_series(UseSeries* use) { use_ = use; }
 
   SimTime busy_until() const { return busy_until_; }
   Nanos total_busy_time() const { return busy_time_; }
@@ -64,6 +72,7 @@ class FifoResource {
   SimTime busy_until_ = 0;
   Nanos busy_time_ = 0;
   uint64_t uses_ = 0;
+  UseSeries* use_ = nullptr;
 };
 
 // k identical FIFO servers (e.g. the 8 DMA channels of a Xeon or Xeon Phi).
@@ -96,12 +105,19 @@ class MultiServerResource {
       resource->busy_until_[best] = end;
       resource->busy_time_ += duration;
       ++resource->uses_;
+      if (resource->use_ != nullptr) {
+        resource->use_->RecordUse(sim->now(), start, end);
+      }
       sim->ResumeAt(end, handle);
     }
     void await_resume() const noexcept {}
   };
 
   UseAwaiter Use(Nanos duration) { return UseAwaiter{this, duration}; }
+
+  // Optional USE telemetry target (register it with capacity ==
+  // server_count() so utilization is normalized per server). Null = off.
+  void set_use_series(UseSeries* use) { use_ = use; }
 
   size_t server_count() const { return busy_until_.size(); }
   Nanos total_busy_time() const { return busy_time_; }
@@ -114,6 +130,7 @@ class MultiServerResource {
   Nanos busy_time_ = 0;
   uint64_t uses_ = 0;
   std::string name_;
+  UseSeries* use_ = nullptr;
 };
 
 // A fixed-rate link. Transfer(bytes) occupies the link for bytes/rate and
@@ -146,6 +163,7 @@ class BandwidthResource {
   Nanos latency() const { return latency_; }
   uint64_t bytes_moved() const { return bytes_moved_; }
   Nanos total_busy_time() const { return server_.total_busy_time(); }
+  void set_use_series(UseSeries* use) { server_.set_use_series(use); }
 
  private:
   FifoResource server_;

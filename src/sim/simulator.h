@@ -23,6 +23,7 @@ namespace solros {
 using SimTime = Nanos;
 
 class Tracer;
+class TelemetryHub;
 
 class Simulator {
  public:
@@ -38,6 +39,13 @@ class Simulator {
   // test, or keep it alive past the Simulator's owner).
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
   Tracer* tracer() const { return tracer_; }
+
+  // Optional USE-telemetry hub (src/base/metrics.h). Same contract as the
+  // tracer: instrumentation sites skip all bookkeeping while unset, and the
+  // hub must outlive the components recording into it (the Machine owns it
+  // and binds it before constructing any component).
+  void set_telemetry(TelemetryHub* hub) { telemetry_ = hub; }
+  TelemetryHub* telemetry() const { return telemetry_; }
 
   // Schedules `fn` to run `delay` ns from now (0 = end of current event).
   void Post(Nanos delay, std::function<void()> fn) {
@@ -110,6 +118,7 @@ class Simulator {
 
   SimTime now_ = 0;
   Tracer* tracer_ = nullptr;
+  TelemetryHub* telemetry_ = nullptr;
   uint64_t seq_ = 0;
   std::priority_queue<Event, std::vector<Event>, EventAfter> queue_;
 };

@@ -1,0 +1,153 @@
+#include "src/sim/slo_watchdog.h"
+
+#include <cstdlib>
+
+#include "src/base/logging.h"
+#include "src/sim/flight_recorder.h"
+
+namespace solros {
+namespace {
+
+Nanos ClampSub(Nanos a, Nanos b) { return a > b ? a - b : 0; }
+
+}  // namespace
+
+SloBudgets SloBudgetsFromEnv() {
+  SloBudgets budgets;
+  const char* env = std::getenv("SOLROS_SLO_STAGES");
+  if (env == nullptr) {
+    return budgets;
+  }
+  std::string spec(env);
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) {
+      comma = spec.size();
+    }
+    std::string item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      continue;
+    }
+    std::string stage = item.substr(0, eq);
+    Nanos value = static_cast<Nanos>(
+        std::strtoull(item.c_str() + eq + 1, nullptr, 10));
+    if (stage == "total") {
+      budgets.total = value;
+    } else if (stage == "stub") {
+      budgets.stub = value;
+    } else if (stage == "queue") {
+      budgets.queue = value;
+    } else if (stage == "iosched") {
+      budgets.iosched = value;
+    } else if (stage == "proxy") {
+      budgets.proxy = value;
+    } else if (stage == "copy") {
+      budgets.copy = value;
+    } else if (stage == "device") {
+      budgets.device = value;
+    }
+  }
+  return budgets;
+}
+
+SloWatchdog::SloWatchdog(Simulator* sim, SloBudgets budgets, int sustain)
+    : sim_(sim), budgets_(budgets), sustain_(sustain < 1 ? 1 : sustain) {
+  CHECK(sim != nullptr);
+}
+
+void SloWatchdog::Bind(Tracer* tracer) {
+  CHECK(tracer != nullptr);
+  tracer->set_span_close_listener(
+      [this](const SpanRecord& record) { OnSpanClosed(record); });
+}
+
+void SloWatchdog::OnSpanClosed(const SpanRecord& record) {
+  if (record.trace_id == 0) {
+    return;
+  }
+  if (record.parent != 0) {
+    // Same stage bucketing as ComputeStageBreakdowns (src/sim/attribution).
+    Bucket& bucket = open_[record.trace_id];
+    Nanos dur = record.end - record.begin;
+    if (record.name == "rpc.queue.req" || record.name == "rpc.queue.resp") {
+      bucket.queue += dur;
+    } else if (record.name == "iosched.queue") {
+      bucket.iosched += dur;
+    } else if (record.name == "fs.proxy.service" ||
+               record.name == "net.proxy.rpc") {
+      bucket.service += dur;
+    } else if (record.name == "dma.copy") {
+      bucket.copy += dur;
+    } else if (record.name == "nvme.batch") {
+      bucket.device += dur;
+    }
+    return;
+  }
+  // Root close: every child stage already arrived (the pumps record queue
+  // spans before waking the caller), so evaluate and retire the bucket.
+  ++roots_seen_;
+  Bucket bucket;
+  auto it = open_.find(record.trace_id);
+  if (it != open_.end()) {
+    bucket = it->second;
+    open_.erase(it);
+  }
+  std::string stage = Evaluate(record.end - record.begin, bucket);
+  if (stage.empty()) {
+    streak_ = 0;
+    return;
+  }
+  ++violations_;
+  ++by_stage_[stage];
+  worst_stage_ = stage;
+  if (++streak_ >= sustain_) {
+    streak_ = 0;  // re-arm: one dump per sustained burst
+    ++dumps_fired_;
+    MaybeDumpFlightRecorder(sim_, "slo watchdog: " + stage +
+                                      " over budget on trace " +
+                                      std::to_string(record.trace_id));
+  }
+}
+
+std::string SloWatchdog::Evaluate(Nanos total, const Bucket& bucket) const {
+  Nanos proxy = ClampSub(bucket.service,
+                         bucket.device + bucket.copy + bucket.iosched);
+  Nanos stub = ClampSub(total, bucket.queue + bucket.service);
+  if (budgets_.total != 0 && total > budgets_.total) {
+    return "total";
+  }
+  if (budgets_.queue != 0 && bucket.queue > budgets_.queue) {
+    return "queue";
+  }
+  if (budgets_.iosched != 0 && bucket.iosched > budgets_.iosched) {
+    return "iosched";
+  }
+  if (budgets_.proxy != 0 && proxy > budgets_.proxy) {
+    return "proxy";
+  }
+  if (budgets_.copy != 0 && bucket.copy > budgets_.copy) {
+    return "copy";
+  }
+  if (budgets_.device != 0 && bucket.device > budgets_.device) {
+    return "device";
+  }
+  if (budgets_.stub != 0 && stub > budgets_.stub) {
+    return "stub";
+  }
+  return "";
+}
+
+std::string SloWatchdog::Summary() const {
+  std::string out = "slo_watchdog: roots=" + std::to_string(roots_seen_) +
+                    " violations=" + std::to_string(violations_) +
+                    " dumps=" + std::to_string(dumps_fired_);
+  if (!worst_stage_.empty()) {
+    out += " worst=" + worst_stage_;
+  }
+  return out;
+}
+
+}  // namespace solros

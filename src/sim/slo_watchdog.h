@@ -1,0 +1,96 @@
+// SLO watchdog: per-stage latency budgets evaluated live, with flight
+// recorder forensics on sustained violation.
+//
+// The watchdog hangs off the Tracer's span-close listener and buckets each
+// closed span into the same six stages as src/sim/attribution.h (queue wait,
+// iosched wait, proxy, DMA copy, device, stub remainder). When a traced
+// request's *root* span closes, the request's stages are compared against
+// the armed budgets (0 = stage unarmed):
+//
+//   * any stage over budget counts one violation (the first offending
+//     stage, in fixed stage order, is recorded as the reason);
+//   * `sustain` consecutive violating requests trigger one flight-recorder
+//     dump ("slo watchdog: <stage> ...") — so overload forensics fire
+//     without any fault injected; the streak then re-arms.
+//
+// Root spans are evaluated as they close; the RPC pumps record queue spans
+// before waking the caller, so every child stage of a request is already
+// bucketed when its root closes. Budgets come from the bench --slo-ns flag
+// (total) and the SOLROS_SLO_STAGES env ("device=200000,queue=50000,...").
+#ifndef SOLROS_SRC_SIM_SLO_WATCHDOG_H_
+#define SOLROS_SRC_SIM_SLO_WATCHDOG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/sim/simulator.h"
+#include "src/sim/trace.h"
+
+namespace solros {
+
+struct SloBudgets {
+  Nanos total = 0;
+  Nanos stub = 0;
+  Nanos queue = 0;
+  Nanos iosched = 0;
+  Nanos proxy = 0;
+  Nanos copy = 0;
+  Nanos device = 0;
+
+  bool any() const {
+    return total | stub | queue | iosched | proxy | copy | device;
+  }
+};
+
+// Parses SOLROS_SLO_STAGES ("stage=ns" pairs, comma-separated; stages:
+// total stub queue iosched proxy copy device). Unknown stages are ignored.
+SloBudgets SloBudgetsFromEnv();
+
+class SloWatchdog {
+ public:
+  // `sustain` = consecutive violating requests before the flight recorder
+  // fires. The watchdog must outlive the tracer binding (or the tracer must
+  // not close spans after the watchdog dies); benches scope both together.
+  SloWatchdog(Simulator* sim, SloBudgets budgets, int sustain = 3);
+
+  // Installs this watchdog as `tracer`'s span-close listener.
+  void Bind(Tracer* tracer);
+
+  uint64_t roots_seen() const { return roots_seen_; }
+  uint64_t violations() const { return violations_; }
+  uint64_t dumps_fired() const { return dumps_fired_; }
+  const std::string& worst_stage() const { return worst_stage_; }
+
+  // "slo_watchdog: roots=N violations=M dumps=K worst=<stage>" — one
+  // deterministic line for bench output and CI gating.
+  std::string Summary() const;
+
+ private:
+  struct Bucket {
+    Nanos queue = 0;
+    Nanos iosched = 0;
+    Nanos service = 0;  // fs.proxy.service / net.proxy.rpc (proxy incl.)
+    Nanos copy = 0;
+    Nanos device = 0;
+  };
+
+  void OnSpanClosed(const SpanRecord& record);
+  // Returns the first over-budget stage name, or "" when within budget.
+  std::string Evaluate(Nanos total, const Bucket& bucket) const;
+
+  Simulator* sim_;
+  SloBudgets budgets_;
+  int sustain_;
+  std::map<uint64_t, Bucket> open_;  // trace id -> stages closed so far
+  uint64_t roots_seen_ = 0;
+  uint64_t violations_ = 0;
+  uint64_t dumps_fired_ = 0;
+  int streak_ = 0;
+  std::string worst_stage_;           // stage of the latest violation
+  std::map<std::string, uint64_t> by_stage_;
+};
+
+}  // namespace solros
+
+#endif  // SOLROS_SRC_SIM_SLO_WATCHDOG_H_

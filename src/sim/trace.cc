@@ -81,6 +81,26 @@ void Tracer::EndSpan(uint64_t span_id) {
     flight_recorder_->Note('E', track_names_[record.track], record.name,
                            record.trace_id, record.end);
   }
+  NotifySpanClosed(record);
+}
+
+void Tracer::NotifySpanClosed(const SpanRecord& record) {
+  // Slow-but-fault-free forensics: a traced root span (the end-to-end view
+  // of one request) closing past the flight recorder's SLO threshold dumps
+  // the recent trace window, exactly like a fault fire would.
+  if (flight_recorder_ != nullptr && record.trace_id != 0 &&
+      record.parent == 0) {
+    Nanos threshold = flight_recorder_->slo_threshold_ns();
+    Nanos took = record.end - record.begin;
+    if (threshold != 0 && took > threshold) {
+      flight_recorder_->Dump("slo: " + record.name + " " +
+                             std::to_string(took) + "ns > " +
+                             std::to_string(threshold) + "ns");
+    }
+  }
+  if (on_span_close_) {
+    on_span_close_(record);
+  }
 }
 
 uint64_t Tracer::RecordSpan(TrackId track, std::string_view name,
@@ -101,6 +121,7 @@ uint64_t Tracer::RecordSpan(TrackId track, std::string_view name,
     flight_recorder_->Note('R', track_names_[track], spans_.back().name,
                            ctx.trace_id, end);
   }
+  NotifySpanClosed(spans_.back());
   return id;
 }
 

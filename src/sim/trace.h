@@ -37,6 +37,7 @@
 #define SOLROS_SRC_SIM_TRACE_H_
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <map>
 #include <string>
@@ -172,6 +173,14 @@ class Tracer {
   }
   FlightRecorder* flight_recorder() const { return flight_recorder_; }
 
+  // Optional listener invoked with every span as it closes (EndSpan and
+  // RecordSpan). The SLO watchdog buckets per-request stages incrementally
+  // through this instead of rescanning spans(). Unset = no extra work.
+  using SpanCloseFn = std::function<void(const SpanRecord&)>;
+  void set_span_close_listener(SpanCloseFn fn) {
+    on_span_close_ = std::move(fn);
+  }
+
   // -- Export ----------------------------------------------------------------
   // Chrome trace-event JSON; open spans are omitted (pump loops blocked in
   // Receive at the end of a run never close their current wait span).
@@ -179,6 +188,10 @@ class Tracer {
   Status ExportChromeTraceToFile(const std::string& path) const;
 
  private:
+  // Flight-recorder SLO check + span-close listener dispatch, shared by
+  // EndSpan and RecordSpan.
+  void NotifySpanClosed(const SpanRecord& record);
+
   Simulator* sim_ = nullptr;
   std::vector<std::string> track_names_;
   std::map<std::string, TrackId, std::less<>> tracks_by_name_;
@@ -186,6 +199,7 @@ class Tracer {
   std::vector<InstantRecord> instants_;
   uint64_t next_trace_id_ = 0;
   FlightRecorder* flight_recorder_ = nullptr;
+  SpanCloseFn on_span_close_;
 };
 
 // RAII span: opens on construction, closes when the scope (including a

@@ -35,6 +35,9 @@ SimRing::SimRing(Simulator* sim, PcieFabric* fabric, const HwParams& params,
   CHECK(config.master_device == config.producer_device ||
         config.master_device == config.consumer_device)
       << "master must be one of the two port devices";
+  if (sim->telemetry() != nullptr && !config.name.empty()) {
+    use_ = sim->telemetry()->GetSeries("ring." + config.name);
+  }
 }
 
 bool SimRing::PortRemote(RingSide side) const {
@@ -117,6 +120,9 @@ Task<Status> SimRing::TrySend(std::span<const uint8_t> payload) {
         "transport.ring.send_stalls");
     stalls->Increment();
     TRACE_INSTANT(sim_, "ring", "fault.ring.send_stall");
+    if (use_ != nullptr) {
+      use_->AddError(sim_->now());
+    }
     co_await Delay(params_.ring_stall_latency);
   }
 
@@ -136,8 +142,11 @@ Task<Status> SimRing::TrySend(std::span<const uint8_t> payload) {
   ring_.CopyToRbBuf(rb_buf, payload.data(),
                     static_cast<uint32_t>(payload.size()));
   ring_.SetReady(rb_buf);
-  if (sim_->tracer() != nullptr) {
+  if (sim_->tracer() != nullptr || use_ != nullptr) {
     ready_at_[rb_buf] = sim_->now();
+  }
+  if (use_ != nullptr) {
+    use_->QueueDelta(sim_->now(), +1);
   }
   ++sent_;
   static Counter* const sends =
@@ -183,6 +192,9 @@ Task<Result<std::vector<uint8_t>>> SimRing::TryReceive() {
         "transport.ring.recv_stalls");
     stalls->Increment();
     TRACE_INSTANT(sim_, "ring", "fault.ring.recv_stall");
+    if (use_ != nullptr) {
+      use_->AddError(sim_->now());
+    }
     co_await Delay(params_.ring_stall_latency);
   }
 
@@ -196,7 +208,7 @@ Task<Result<std::vector<uint8_t>>> SimRing::TryReceive() {
     co_return WouldBlockError();
   }
   CHECK_EQ(rc, kRbOk);
-  if (sim_->tracer() != nullptr) {
+  if (sim_->tracer() != nullptr || use_ != nullptr) {
     auto it = ready_at_.find(rb_buf);
     if (it != ready_at_.end()) {
       last_dequeue_stamp_ = DequeueStamp{it->second, sim_->now()};
@@ -204,6 +216,14 @@ Task<Result<std::vector<uint8_t>>> SimRing::TryReceive() {
     } else {
       last_dequeue_stamp_.reset();  // message predates tracer binding
     }
+  }
+  if (use_ != nullptr) {
+    use_->QueueDelta(sim_->now(), -1);
+    Nanos waited = last_dequeue_stamp_.has_value()
+                       ? last_dequeue_stamp_->dequeue_at -
+                             last_dequeue_stamp_->ready_at
+                       : 0;
+    use_->CompleteOp(sim_->now(), waited);
   }
   co_await ChargeCopy(RingSide::kConsumer, size);
   std::vector<uint8_t> out(size);

@@ -39,6 +39,9 @@
 namespace solros {
 
 struct SimRingConfig {
+  // Telemetry identity: when set and the simulator carries a TelemetryHub,
+  // the ring reports occupancy/waits into the "ring.<name>" USE series.
+  std::string name;
   size_t capacity = 1 << 20;
   // Where the master ring buffer's memory lives (§4.2.2: "deciding where to
   // locate a master ring buffer is one of the major decisions").
@@ -78,8 +81,9 @@ class SimRing {
   uint64_t messages_sent() const { return sent_; }
   uint64_t messages_received() const { return received_; }
 
-  // Queue-wait attribution (only maintained while a tracer is bound, so
-  // untraced runs skip the bookkeeping entirely): the producer stamps each
+  // Queue-wait attribution (only maintained while a tracer or telemetry
+  // series is bound, so plain runs skip the bookkeeping): the producer
+  // stamps each
   // message when SetReady makes it visible; the consumer records
   // [ready_at, dequeue_at] for the message its last successful
   // TryReceive claimed. nullopt when the message predates tracer binding.
@@ -122,6 +126,9 @@ class SimRing {
   // In-flight ready stamps keyed by ring slot (see last_dequeue_stamp()).
   std::unordered_map<const void*, SimTime> ready_at_;
   std::optional<DequeueStamp> last_dequeue_stamp_;
+  // USE telemetry (null = off): occupancy depth between SetReady and
+  // dequeue, per-message queue wait, stall faults as errors.
+  UseSeries* use_ = nullptr;
 };
 
 }  // namespace solros

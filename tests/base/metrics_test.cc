@@ -28,6 +28,25 @@ TEST(GaugeTest, SetAddAndNegative) {
   EXPECT_EQ(g.value(), 0);
 }
 
+TEST(GaugeTest, MaxTracksTheHighWatermark) {
+  Gauge g;
+  EXPECT_EQ(g.max_value(), 0);
+  g.Set(10);
+  g.Add(5);   // 15 — new peak
+  g.Add(-12);  // 3 — peak stays
+  EXPECT_EQ(g.value(), 3);
+  EXPECT_EQ(g.max_value(), 15);
+  g.Set(8);  // below the peak
+  EXPECT_EQ(g.max_value(), 15);
+  g.Reset();
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(g.max_value(), 0);
+  // Negative excursions never raise the watermark above zero.
+  g.Add(-4);
+  EXPECT_EQ(g.value(), -4);
+  EXPECT_EQ(g.max_value(), 0);
+}
+
 TEST(LatencyHistogramTest, RecordsAndQueries) {
   LatencyHistogram h;
   for (uint64_t i = 1; i <= 100; ++i) {
@@ -73,6 +92,7 @@ TEST(MetricRegistryTest, SnapshotIsNameSorted) {
   EXPECT_EQ(snapshot.counters[1].name, "zz");
   ASSERT_EQ(snapshot.gauges.size(), 1u);
   EXPECT_EQ(snapshot.gauges[0].value, -7);
+  EXPECT_EQ(snapshot.gauges[0].max_value, 0);
   ASSERT_EQ(snapshot.histograms.size(), 1u);
   EXPECT_EQ(snapshot.histograms[0].count, 1u);
 }
@@ -125,6 +145,19 @@ TEST(MetricRegistryTest, DumpJsonIsWellFormedEnoughToBalance) {
   EXPECT_NE(json.find("\"counters\""), std::string::npos);
   EXPECT_NE(json.find("\"gauges\""), std::string::npos);
   EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+TEST(MetricRegistryTest, DumpJsonEmitsGaugeValueAndWatermark) {
+  MetricRegistry registry;
+  Gauge* g = registry.GetGauge("q.depth");
+  g->Set(9);
+  g->Set(2);
+  std::ostringstream os;
+  registry.DumpJson(os);
+  std::string json = os.str();
+  EXPECT_NE(json.find("\"q.depth\":{\"value\":2,\"max\":9}"),
+            std::string::npos)
+      << json;
 }
 
 TEST(MetricRegistryTest, ResetAllZeroesButKeepsHandles) {

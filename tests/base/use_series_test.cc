@@ -1,0 +1,218 @@
+// UseSeries / TelemetryHub: window accounting at exact boundaries, ring
+// rollover, snapshot determinism, and isolation from MetricRegistry.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "src/base/metrics.h"
+
+namespace solros {
+namespace {
+
+constexpr Nanos kWindow = 100;
+
+// One retained window per series in the snapshot, keyed by index.
+const UseWindowData* FindWindow(const TelemetrySnapshot& snap,
+                                const std::string& name, uint64_t index) {
+  for (const UseSeriesData& s : snap.series) {
+    if (s.name != name) {
+      continue;
+    }
+    for (const UseWindowData& w : s.windows) {
+      if (w.index == index) {
+        return &w;
+      }
+    }
+  }
+  return nullptr;
+}
+
+TEST(UseSeriesTest, RecordUseSplitsBusyAcrossWindows) {
+  TelemetryHub hub(kWindow);
+  UseSeries* s = hub.GetSeries("dev", 2);
+  // Arrived at 10, served [50, 250): 40ns wait, busy spans three windows.
+  s->RecordUse(10, 50, 250);
+  TelemetrySnapshot snap = hub.Snapshot(250);
+  const UseWindowData* w0 = FindWindow(snap, "dev", 0);
+  const UseWindowData* w1 = FindWindow(snap, "dev", 1);
+  const UseWindowData* w2 = FindWindow(snap, "dev", 2);
+  ASSERT_NE(w0, nullptr);
+  ASSERT_NE(w1, nullptr);
+  ASSERT_NE(w2, nullptr);
+  EXPECT_EQ(w0->busy_ns, 50u);
+  EXPECT_EQ(w1->busy_ns, 100u);
+  EXPECT_EQ(w2->busy_ns, 50u);
+  // The op and its wait land in the window containing the service start.
+  EXPECT_EQ(w0->ops, 1u);
+  EXPECT_EQ(w0->wait_ns, 40u);
+  EXPECT_EQ(w1->ops, 0u);
+  ASSERT_EQ(snap.series.size(), 1u);
+  EXPECT_EQ(snap.series[0].capacity, 2u);
+}
+
+TEST(UseSeriesTest, RecordUseAtExactWindowBoundary) {
+  TelemetryHub hub(kWindow);
+  UseSeries* s = hub.GetSeries("dev");
+  // Start exactly on a boundary: everything belongs to window 1; window 0
+  // is never touched and must not appear in the snapshot.
+  s->RecordUse(100, 100, 200);
+  TelemetrySnapshot snap = hub.Snapshot(200);
+  EXPECT_EQ(FindWindow(snap, "dev", 0), nullptr);
+  const UseWindowData* w1 = FindWindow(snap, "dev", 1);
+  ASSERT_NE(w1, nullptr);
+  EXPECT_EQ(w1->busy_ns, 100u);
+  EXPECT_EQ(w1->ops, 1u);
+  EXPECT_EQ(w1->wait_ns, 0u);
+}
+
+TEST(UseSeriesTest, QueueDeltaIntegratesDepthActiveAndPeak) {
+  TelemetryHub hub(kWindow);
+  UseSeries* s = hub.GetSeries("q");
+  s->QueueDelta(0, +1);
+  s->QueueDelta(30, +1);
+  s->QueueDelta(60, -1);
+  TelemetrySnapshot snap = hub.Snapshot(100);
+  const UseWindowData* w0 = FindWindow(snap, "q", 0);
+  ASSERT_NE(w0, nullptr);
+  // 1*30 + 2*30 + 1*40 of depth-time, busy (depth > 0) the whole window.
+  EXPECT_EQ(w0->depth_ns, 130u);
+  EXPECT_EQ(w0->active_ns, 100u);
+  EXPECT_EQ(w0->peak_depth, 2);
+  EXPECT_EQ(s->depth(), 1);
+}
+
+TEST(UseSeriesTest, DepthIntegralSplitsAtExactWindowBoundaries) {
+  TelemetryHub hub(kWindow);
+  UseSeries* s = hub.GetSeries("q");
+  s->QueueDelta(0, +1);
+  // Flush at 250: two full windows plus half of the third, no smearing.
+  TelemetrySnapshot snap = hub.Snapshot(250);
+  const UseWindowData* w0 = FindWindow(snap, "q", 0);
+  const UseWindowData* w1 = FindWindow(snap, "q", 1);
+  const UseWindowData* w2 = FindWindow(snap, "q", 2);
+  ASSERT_NE(w0, nullptr);
+  ASSERT_NE(w1, nullptr);
+  ASSERT_NE(w2, nullptr);
+  EXPECT_EQ(w0->depth_ns, 100u);
+  EXPECT_EQ(w0->active_ns, 100u);
+  EXPECT_EQ(w1->depth_ns, 100u);
+  EXPECT_EQ(w1->active_ns, 100u);
+  EXPECT_EQ(w2->depth_ns, 50u);
+  EXPECT_EQ(w2->active_ns, 50u);
+  EXPECT_EQ(w0->peak_depth, 1);
+  EXPECT_EQ(w2->peak_depth, 1);
+}
+
+TEST(UseSeriesTest, NegativeDepthIsClampedForLateRegistration) {
+  TelemetryHub hub(kWindow);
+  UseSeries* s = hub.GetSeries("q");
+  s->QueueDelta(10, -1);  // decrement for an enqueue the series never saw
+  EXPECT_EQ(s->depth(), 0);
+  s->QueueDelta(20, +1);
+  EXPECT_EQ(s->depth(), 1);
+}
+
+TEST(UseSeriesTest, RingRolloverDropsWritesBehindTheRetainedHistory) {
+  TelemetryHub hub(kWindow, /*ring_windows=*/4);
+  UseSeries* s = hub.GetSeries("dev");
+  s->CompleteOp(0);    // window 0
+  s->CompleteOp(850);  // window 8 recycles window 0's ring slot
+  s->CompleteOp(50);   // stale write into evicted window 0: dropped
+  TelemetrySnapshot snap = hub.Snapshot(900);
+  EXPECT_EQ(FindWindow(snap, "dev", 0), nullptr);
+  const UseWindowData* w8 = FindWindow(snap, "dev", 8);
+  ASSERT_NE(w8, nullptr);
+  // Only the in-ring op; the stale write must not leak into window 8.
+  EXPECT_EQ(w8->ops, 1u);
+}
+
+TEST(UseSeriesTest, IdenticalStimulusYieldsIdenticalSnapshots) {
+  auto drive = [](TelemetryHub* hub) {
+    UseSeries* dev = hub->GetSeries("dev", 4);
+    UseSeries* q = hub->GetSeries("q");
+    hub->DeclareEdge("q", "dev");
+    for (Nanos t = 0; t < 1000; t += 70) {
+      q->QueueDelta(t, +1);
+      dev->RecordUse(t, t + 5, t + 65);
+      q->QueueDelta(t + 60, -1);
+      q->CompleteOp(t + 60, 60);
+    }
+    dev->AddError(500);
+    return hub->Snapshot(1000);
+  };
+  TelemetryHub a(kWindow), b(kWindow);
+  TelemetrySnapshot sa = drive(&a);
+  TelemetrySnapshot sb = drive(&b);
+  EXPECT_EQ(sa, sb);
+  std::ostringstream ja, jb;
+  sa.WriteJson(ja);
+  sb.WriteJson(jb);
+  EXPECT_EQ(ja.str(), jb.str());
+  EXPECT_FALSE(ja.str().empty());
+}
+
+TEST(UseSeriesTest, SnapshotIsNameSortedAndSkipsEmptySeries) {
+  TelemetryHub hub(kWindow);
+  hub.GetSeries("zz")->CompleteOp(10);
+  hub.GetSeries("aa")->CompleteOp(10);
+  hub.GetSeries("untouched");  // no data: omitted from the snapshot
+  TelemetrySnapshot snap = hub.Snapshot(100);
+  ASSERT_EQ(snap.series.size(), 2u);
+  EXPECT_EQ(snap.series[0].name, "aa");
+  EXPECT_EQ(snap.series[1].name, "zz");
+}
+
+TEST(UseSeriesTest, HandlesAreStableAndCapacityFixedOnFirstUse) {
+  TelemetryHub hub(kWindow);
+  UseSeries* a = hub.GetSeries("dev", 8);
+  UseSeries* b = hub.GetSeries("dev", 2);  // capacity argument ignored now
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a->capacity(), 8u);
+}
+
+TEST(UseSeriesTest, HubResetClearsHistoryButNotLiveDepthOrRegistry) {
+  MetricRegistry registry;
+  Counter* c = registry.GetCounter("kept");
+  Gauge* g = registry.GetGauge("kept.gauge");
+  c->Increment(5);
+  g->Set(3);
+
+  TelemetryHub hub(kWindow);
+  UseSeries* s = hub.GetSeries("q");
+  s->QueueDelta(0, +1);
+  s->CompleteOp(50, 10);
+  hub.Snapshot(100);
+  hub.Reset();
+
+  // History is gone...
+  TelemetrySnapshot after = hub.Snapshot(100);
+  EXPECT_TRUE(after.series.empty());
+  // ...but the live depth persists: the component still holds one item, so
+  // new windows keep integrating it.
+  EXPECT_EQ(s->depth(), 1);
+  TelemetrySnapshot later = hub.Snapshot(200);
+  const UseWindowData* w1 = FindWindow(later, "q", 1);
+  ASSERT_NE(w1, nullptr);
+  EXPECT_EQ(w1->active_ns, 100u);
+  // Counters/gauges live in MetricRegistry and are untouched by hub resets.
+  EXPECT_EQ(c->value(), 5u);
+  EXPECT_EQ(g->value(), 3);
+  EXPECT_EQ(g->max_value(), 3);
+}
+
+TEST(UseSeriesTest, WriteJsonShapeIsExactAndIntegerOnly) {
+  TelemetryHub hub(kWindow);
+  hub.GetSeries("dev", 2)->RecordUse(0, 10, 60);
+  hub.DeclareEdge("proxy", "dev");
+  std::ostringstream os;
+  hub.Snapshot(100).WriteJson(os);
+  EXPECT_EQ(os.str(),
+            "{\"window_ns\":100,\"end_ns\":100,\"series\":[\n"
+            "{\"name\":\"dev\",\"capacity\":2,\"windows\":[{\"i\":0,"
+            "\"busy\":50,\"depth\":0,\"active\":0,\"wait\":10,\"ops\":1,"
+            "\"err\":0,\"peak\":0}]}],\"edges\":[[\"proxy\",\"dev\"]]}\n");
+}
+
+}  // namespace
+}  // namespace solros

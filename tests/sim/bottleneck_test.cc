@@ -1,0 +1,175 @@
+// Bottleneck analyzer: verdicts over hand-built telemetry snapshots.
+#include "src/sim/bottleneck.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/base/metrics.h"
+
+namespace solros {
+namespace {
+
+constexpr Nanos kWindow = 1000;
+
+UseWindowData Window(uint64_t index, uint64_t busy_ns, uint64_t depth_ns,
+                     uint64_t active_ns, uint64_t ops, uint64_t wait_ns = 0) {
+  UseWindowData w;
+  w.index = index;
+  w.busy_ns = busy_ns;
+  w.depth_ns = depth_ns;
+  w.active_ns = active_ns;
+  w.wait_ns = wait_ns;
+  w.ops = ops;
+  return w;
+}
+
+UseSeriesData Series(std::string name, uint32_t capacity,
+                     std::vector<UseWindowData> windows) {
+  UseSeriesData s;
+  s.name = std::move(name);
+  s.capacity = capacity;
+  s.windows = std::move(windows);
+  return s;
+}
+
+TEST(BottleneckTest, NamesTheHottestComponent) {
+  TelemetrySnapshot snap;
+  snap.window_ns = kWindow;
+  // Device pinned at 95% busy; proxy active 40% of the window.
+  snap.series.push_back(Series("nvme0", 1, {Window(0, 950, 0, 0, 10)}));
+  snap.series.push_back(Series("fs.proxy", 1, {Window(0, 0, 400, 400, 10)}));
+  BottleneckReport report = AnalyzeBottlenecks(snap);
+  ASSERT_EQ(report.windows.size(), 1u);
+  EXPECT_EQ(report.windows[0].bottleneck, "nvme0");
+  EXPECT_EQ(report.windows[0].max_util_permille, 950);
+  EXPECT_EQ(report.overall, "nvme0");
+  EXPECT_EQ(report.wins.at("nvme0"), 1);
+}
+
+TEST(BottleneckTest, CapacityNormalizesIntervalUtilization) {
+  TelemetrySnapshot snap;
+  snap.window_ns = kWindow;
+  // 4 servers x 1000ns window: 2000ns busy = 50% utilization, not 200%.
+  snap.series.push_back(Series("dma", 4, {Window(0, 2000, 0, 0, 8)}));
+  BottleneckReport report = AnalyzeBottlenecks(snap);
+  ASSERT_EQ(report.windows.size(), 1u);
+  ASSERT_EQ(report.windows[0].components.size(), 1u);
+  EXPECT_EQ(report.windows[0].components[0].util_permille, 500);
+}
+
+TEST(BottleneckTest, SaturationBreaksUtilizationTies) {
+  TelemetrySnapshot snap;
+  snap.window_ns = kWindow;
+  // Both fully active; the deeper queue is the binding resource.
+  snap.series.push_back(
+      Series("ring.fs.req0", 1, {Window(0, 0, 8000, 1000, 10)}));
+  snap.series.push_back(Series("nvme0", 1, {Window(0, 1000, 500, 0, 10)}));
+  BottleneckReport report = AnalyzeBottlenecks(snap);
+  ASSERT_EQ(report.windows.size(), 1u);
+  EXPECT_EQ(report.windows[0].bottleneck, "ring.fs.req0");
+}
+
+TEST(BottleneckTest, ExclusiveDepthSubtractsDeclaredChildren) {
+  TelemetrySnapshot snap;
+  snap.window_ns = kWindow;
+  // The proxy holds 8 requests, but 7 of them are queued inside its child
+  // device — exclusive depth 1 vs the device's 7: blame the device.
+  snap.series.push_back(
+      Series("fs.proxy", 1, {Window(0, 0, 8000, 1000, 10)}));
+  snap.series.push_back(Series("nvme0", 1, {Window(0, 1000, 7000, 0, 10)}));
+  snap.edges.emplace_back("fs.proxy", "nvme0");
+  BottleneckReport report = AnalyzeBottlenecks(snap);
+  ASSERT_EQ(report.windows.size(), 1u);
+  const WindowVerdict& v = report.windows[0];
+  EXPECT_EQ(v.bottleneck, "nvme0");
+  ASSERT_EQ(v.components.size(), 2u);
+  // components are name-sorted: fs.proxy first.
+  EXPECT_EQ(v.components[0].name, "fs.proxy");
+  EXPECT_EQ(v.components[0].mean_depth_milli, 8000);
+  EXPECT_EQ(v.components[0].excl_depth_milli, 1000);
+  EXPECT_EQ(v.components[1].excl_depth_milli, 7000);
+}
+
+TEST(BottleneckTest, ParentUtilizationIsDiscountedByItsExclusiveShare) {
+  TelemetrySnapshot snap;
+  snap.window_ns = kWindow;
+  // The proxy loop is active the whole window (raw 100%) but 60% of its
+  // queue sits inside the device: effective util 40% loses to the device's
+  // 50% even though the device never reaches the proxy's raw number.
+  snap.series.push_back(
+      Series("fs.proxy", 1, {Window(0, 0, 10000, 1000, 10)}));
+  snap.series.push_back(Series("nvme0", 1, {Window(0, 500, 6000, 0, 10)}));
+  snap.edges.emplace_back("fs.proxy", "nvme0");
+  BottleneckReport report = AnalyzeBottlenecks(snap);
+  ASSERT_EQ(report.windows.size(), 1u);
+  const WindowVerdict& v = report.windows[0];
+  ASSERT_EQ(v.components.size(), 2u);
+  EXPECT_EQ(v.components[0].util_permille, 1000);
+  EXPECT_EQ(v.components[0].eff_util_permille, 400);
+  EXPECT_EQ(v.components[1].eff_util_permille, 500);  // leaf: raw util
+  EXPECT_EQ(v.bottleneck, "nvme0");
+  EXPECT_EQ(v.max_util_permille, 500);
+}
+
+TEST(BottleneckTest, IdleWindowsGetNoVerdict) {
+  TelemetrySnapshot snap;
+  snap.window_ns = kWindow;
+  // 5% utilization is below kIdleUtilPermille: no bottleneck named, and
+  // the overall verdict stays empty.
+  snap.series.push_back(Series("nvme0", 1, {Window(0, 50, 0, 0, 1)}));
+  BottleneckReport report = AnalyzeBottlenecks(snap);
+  ASSERT_EQ(report.windows.size(), 1u);
+  EXPECT_TRUE(report.windows[0].bottleneck.empty());
+  EXPECT_TRUE(report.overall.empty());
+  EXPECT_TRUE(report.wins.empty());
+}
+
+TEST(BottleneckTest, OverallCountsOnlyBusyWindowWins) {
+  TelemetrySnapshot snap;
+  snap.window_ns = kWindow;
+  // Window 0: device busy (95%). Windows 1+2: proxy warm (30%) — named per
+  // window but below kBusyUtilPermille, so it earns no overall wins.
+  snap.series.push_back(Series("nvme0", 1, {Window(0, 950, 0, 0, 10)}));
+  snap.series.push_back(Series("fs.proxy", 1,
+                               {Window(1, 0, 300, 300, 5),
+                                Window(2, 0, 300, 300, 5)}));
+  BottleneckReport report = AnalyzeBottlenecks(snap);
+  ASSERT_EQ(report.windows.size(), 3u);
+  EXPECT_EQ(report.windows[1].bottleneck, "fs.proxy");
+  EXPECT_EQ(report.overall, "nvme0");
+  EXPECT_EQ(report.wins.size(), 1u);
+}
+
+TEST(BottleneckTest, EstimatedWaitPrefersMeasuredThenLittlesLaw) {
+  TelemetrySnapshot snap;
+  snap.window_ns = kWindow;
+  // Hub snapshots are name-sorted; hand-built ones must match.
+  snap.series.push_back(Series("derived", 1, {Window(0, 0, 9000, 900, 10)}));
+  snap.series.push_back(
+      Series("measured", 1, {Window(0, 900, 0, 0, 10, 5000)}));
+  BottleneckReport report = AnalyzeBottlenecks(snap);
+  ASSERT_EQ(report.windows.size(), 1u);
+  ASSERT_EQ(report.windows[0].components.size(), 2u);
+  EXPECT_EQ(report.windows[0].components[0].name, "derived");
+  EXPECT_EQ(report.windows[0].components[0].est_wait_ns, 900u);  // 9000/10
+  EXPECT_EQ(report.windows[0].components[1].est_wait_ns, 500u);  // 5000/10
+}
+
+TEST(BottleneckTest, RenderedReportIsDeterministicAndFlagsTheVerdict) {
+  TelemetrySnapshot snap;
+  snap.window_ns = kWindow;
+  snap.series.push_back(Series("nvme0", 1, {Window(0, 950, 0, 0, 10)}));
+  snap.series.push_back(Series("fs.proxy", 1, {Window(0, 0, 400, 400, 10)}));
+  snap.edges.emplace_back("fs.proxy", "nvme0");
+  BottleneckReport report = AnalyzeBottlenecks(snap);
+  std::ostringstream a, b;
+  RenderBottleneckReport(report, a);
+  RenderBottleneckReport(AnalyzeBottlenecks(snap), b);
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_NE(a.str().find("<-- bottleneck"), std::string::npos);
+  EXPECT_NE(a.str().find("overall bottleneck: nvme0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace solros

@@ -1,0 +1,299 @@
+// solros_top — offline bottleneck renderer for --telemetry-out dumps.
+//
+// usage: solros_top FILE
+//
+// Accepts either a bare snapshot (TelemetrySnapshot::WriteJson) or the
+// bench wrapper {"reports":[{"label":...,"telemetry":{...}},...]} and
+// prints RenderBottleneckReport for each snapshot: one USE table per
+// retained window (utilization, mean/exclusive queue depth, peak depth,
+// ops, errors, estimated queueing delay) with the binding component
+// flagged, plus the overall verdict. Output is byte-deterministic for a
+// given input — the analyzer is pure integer arithmetic.
+//
+// The parser covers exactly the integer-and-plain-string JSON subset those
+// writers emit; it is not a general JSON reader.
+#include <cctype>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/base/metrics.h"
+#include "src/sim/bottleneck.h"
+
+namespace solros {
+namespace {
+
+struct JsonValue {
+  enum class Kind { kNull, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  uint64_t number = 0;
+  std::string str;
+  std::vector<JsonValue> items;                            // kArray
+  std::vector<std::pair<std::string, JsonValue>> fields;   // kObject
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [name, value] : fields) {
+      if (name == key) {
+        return &value;
+      }
+    }
+    return nullptr;
+  }
+  uint64_t Number(const std::string& key) const {
+    const JsonValue* v = Find(key);
+    return v != nullptr ? v->number : 0;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    return ParseValue(out) && (SkipWs(), pos_ == text_.size());
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipWs();
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    char c = text_[pos_];
+    if (c == '{') {
+      return ParseObject(out);
+    }
+    if (c == '[') {
+      return ParseArray(out);
+    }
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->str);
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      out->kind = JsonValue::Kind::kNumber;
+      uint64_t value = 0;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        value = value * 10 + static_cast<uint64_t>(text_[pos_] - '0');
+        ++pos_;
+      }
+      out->number = value;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseString(std::string* out) {
+    if (text_[pos_] != '"') {
+      return false;
+    }
+    ++pos_;
+    size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        return false;  // the writers never emit escapes
+      }
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    out->assign(text_.substr(start, pos_ - start));
+    ++pos_;
+    return true;
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      std::string key;
+      if (pos_ >= text_.size() || !ParseString(&key)) {
+        return false;
+      }
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return false;
+      }
+      ++pos_;
+      JsonValue value;
+      if (!ParseValue(&value)) {
+        return false;
+      }
+      out->fields.emplace_back(std::move(key), std::move(value));
+      SkipWs();
+      if (pos_ >= text_.size()) {
+        return false;
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      JsonValue value;
+      if (!ParseValue(&value)) {
+        return false;
+      }
+      out->items.push_back(std::move(value));
+      SkipWs();
+      if (pos_ >= text_.size()) {
+        return false;
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+bool SnapshotFromJson(const JsonValue& root, TelemetrySnapshot* out) {
+  if (root.kind != JsonValue::Kind::kObject ||
+      root.Find("window_ns") == nullptr) {
+    return false;
+  }
+  out->window_ns = root.Number("window_ns");
+  out->end_ns = root.Number("end_ns");
+  if (const JsonValue* series = root.Find("series"); series != nullptr) {
+    for (const JsonValue& s : series->items) {
+      UseSeriesData data;
+      if (const JsonValue* name = s.Find("name"); name != nullptr) {
+        data.name = name->str;
+      }
+      data.capacity = static_cast<uint32_t>(s.Number("capacity"));
+      if (const JsonValue* windows = s.Find("windows"); windows != nullptr) {
+        for (const JsonValue& w : windows->items) {
+          UseWindowData window;
+          window.index = w.Number("i");
+          window.busy_ns = w.Number("busy");
+          window.depth_ns = w.Number("depth");
+          window.active_ns = w.Number("active");
+          window.wait_ns = w.Number("wait");
+          window.ops = w.Number("ops");
+          window.errors = w.Number("err");
+          window.peak_depth = static_cast<int64_t>(w.Number("peak"));
+          data.windows.push_back(window);
+        }
+      }
+      out->series.push_back(std::move(data));
+    }
+  }
+  if (const JsonValue* edges = root.Find("edges"); edges != nullptr) {
+    for (const JsonValue& e : edges->items) {
+      if (e.items.size() == 2) {
+        out->edges.emplace_back(e.items[0].str, e.items[1].str);
+      }
+    }
+  }
+  return true;
+}
+
+void Render(const std::string& label, const TelemetrySnapshot& snapshot) {
+  if (!label.empty()) {
+    std::cout << "=== " << label << " ===\n";
+  }
+  BottleneckReport report = AnalyzeBottlenecks(snapshot);
+  RenderBottleneckReport(report, std::cout);
+  if (!label.empty()) {
+    std::cout << "\n";
+  }
+}
+
+int Run(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot open " << path << "\n";
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string text = buffer.str();
+
+  JsonValue root;
+  if (!JsonParser(text).Parse(&root)) {
+    std::cerr << "parse error: " << path
+              << " is not a telemetry dump this tool understands\n";
+    return 1;
+  }
+  if (const JsonValue* reports = root.Find("reports"); reports != nullptr) {
+    // Bench wrapper: one labeled snapshot per measured run.
+    for (const JsonValue& entry : reports->items) {
+      std::string label;
+      if (const JsonValue* l = entry.Find("label"); l != nullptr) {
+        label = l->str;
+      }
+      const JsonValue* telemetry = entry.Find("telemetry");
+      TelemetrySnapshot snapshot;
+      if (telemetry == nullptr || !SnapshotFromJson(*telemetry, &snapshot)) {
+        std::cerr << "skipping report \"" << label
+                  << "\": no parsable telemetry\n";
+        continue;
+      }
+      Render(label, snapshot);
+    }
+    return 0;
+  }
+  TelemetrySnapshot snapshot;
+  if (!SnapshotFromJson(root, &snapshot)) {
+    std::cerr << "parse error: neither a bare snapshot nor a bench "
+                 "wrapper\n";
+    return 1;
+  }
+  Render("", snapshot);
+  return 0;
+}
+
+}  // namespace
+}  // namespace solros
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: solros_top FILE\n"
+                 "FILE is a --telemetry-out dump (bench wrapper) or a bare "
+                 "TelemetrySnapshot JSON\n";
+    return 2;
+  }
+  return solros::Run(argv[1]);
+}

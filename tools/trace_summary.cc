@@ -6,7 +6,10 @@
 // end-to-end view, and its time is split into queue-wait, device, DMA
 // copy, proxy, and stub remainders. Prints one row per stage with count,
 // p50, p99, and max, so a captured trace can be summarized without
-// re-running the benchmark.
+// re-running the benchmark. Untraced net data-path pump spans
+// (net.proxy.inbound/outbound) get their own rows instead of being
+// dropped — the pumps serve no single request, so they never carry a
+// trace id.
 //
 // Usage: trace_summary <trace.json>
 //
@@ -175,9 +178,18 @@ int Run(const char* path) {
 
   // Same bucketing as ComputeStageBreakdowns: root spans carry the
   // end-to-end time; queue/device/copy/service sums come off named spans.
+  // Net data-path pump spans (net.proxy.inbound/outbound) are untraced —
+  // the pumps serve no single request — so they are collected globally
+  // here instead of per trace id.
   std::map<uint64_t, Stages> by_trace;
+  Histogram net_inbound, net_outbound;
   for (const Event& e : events) {
     if (e.trace_id == 0) {
+      if (e.name == "net.proxy.inbound") {
+        net_inbound.Record(e.dur_ns);
+      } else if (e.name == "net.proxy.outbound") {
+        net_outbound.Record(e.dur_ns);
+      }
       continue;
     }
     Stages& s = by_trace[e.trace_id];
@@ -214,7 +226,8 @@ int Run(const char* path) {
     copy.Record(s.copy);
     device.Record(s.device);
   }
-  if (requests == 0) {
+  if (requests == 0 && net_inbound.count() == 0 &&
+      net_outbound.count() == 0) {
     std::cerr << "trace_summary: no closed traced requests in " << path
               << " (" << events.size() << " spans scanned)\n";
     return 1;
@@ -231,13 +244,21 @@ int Run(const char* path) {
                 FormatUs(h.ValueAtQuantile(0.99)).c_str(),
                 FormatUs(h.max()).c_str());
   };
-  row("stub", stub);
-  row("queue_wait", queue);
-  row("iosched_wait", iosched);
-  row("proxy", proxy);
-  row("copy_dma", copy);
-  row("device", device);
-  row("total", total);
+  if (requests > 0) {
+    row("stub", stub);
+    row("queue_wait", queue);
+    row("iosched_wait", iosched);
+    row("proxy", proxy);
+    row("copy_dma", copy);
+    row("device", device);
+    row("total", total);
+  }
+  if (net_inbound.count() > 0) {
+    row("net_inbound", net_inbound);
+  }
+  if (net_outbound.count() > 0) {
+    row("net_outbound", net_outbound);
+  }
   return 0;
 }
 
