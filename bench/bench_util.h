@@ -108,6 +108,10 @@ inline bool InitBench(int argc, char** argv) {
 //                          eviction, readahead, write-back absorption,
 //                          vectored fs I/O, the I/O scheduler) so output
 //                          matches the pre-overhaul behavior
+//   SOLROS_JOURNAL=metadata|data  format the bench FS with a write-ahead
+//                          journal in that mode (and the volatile-write-
+//                          cache durability model); unset/off = no journal,
+//                          byte-identical to the committed baselines
 inline bool BenchEnvSet(const char* name) {
   const char* value = std::getenv(name);
   return value != nullptr && value[0] != '\0' && value[0] != '0';
@@ -115,6 +119,16 @@ inline bool BenchEnvSet(const char* name) {
 
 inline bool BenchQuickMode() { return BenchEnvSet("SOLROS_BENCH_QUICK"); }
 inline bool BenchLegacyMode() { return BenchEnvSet("SOLROS_BENCH_LEGACY"); }
+
+// "metadata", "data", or "" (no journal).
+inline std::string BenchJournalMode() {
+  const char* value = std::getenv("SOLROS_JOURNAL");
+  if (value == nullptr || value[0] == '\0' ||
+      std::string(value) == "off" || std::string(value) == "0") {
+    return "";
+  }
+  return value;
+}
 
 // Turns off every staged-path cache feature introduced by the cache
 // overhaul (templated so this header stays independent of fs_proxy.h).

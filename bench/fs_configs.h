@@ -25,6 +25,13 @@ MachineConfig BenchMachine() {
   if (BenchLegacyMode()) {
     DisableStagedPathFeatures(config.fs_options);
   }
+  // SOLROS_JOURNAL=metadata|data: measure the crash-consistency ablation.
+  std::string journal = BenchJournalMode();
+  if (journal == "metadata") {
+    config.journal_mode = JournalMode::kMetadata;
+  } else if (journal == "data") {
+    config.journal_mode = JournalMode::kData;
+  }
   return config;
 }
 

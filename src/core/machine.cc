@@ -48,8 +48,14 @@ Machine::Machine(MachineConfig config) : config_(std::move(config)) {
                                        host_cpu_.get());
   store_ = std::make_unique<NvmeBlockStore>(nvme_.get(), host_cpu_.get());
   store_->set_retry_policy(config_.nvme_retry);
+  // Journaling implies the realistic durability model: the device's write
+  // cache is volatile and BlockStore::Flush issues real NVMe Flush
+  // commands. With journaling off (the default) the store stays
+  // write-through and every seed configuration is byte-identical.
+  store_->set_volatile_write_cache(config_.journal_mode != JournalMode::kOff);
   fs_ = std::make_unique<SolrosFs>(store_.get(), &sim_);
   fs_->set_vectored_io(config_.fs_options.fs_vectored_io);
+  fs_->set_journal_mode(config_.journal_mode);
   fs_proxy_ = std::make_unique<FsProxy>(&sim_, fabric_.get(), params,
                                         host_cpu_.get(), store_.get(),
                                         fs_.get(), config_.fs_options);
@@ -129,8 +135,8 @@ Machine::Machine(MachineConfig config) : config_(std::move(config)) {
     // child depth to get the proxy's own exclusive backlog.
     const std::string host_dma = "dma." + fabric_->NameOf(host_device_);
     const std::string nvme_name = fabric_->NameOf(nvme_device_);
-    for (const char* cls : {"iosched.demand", "iosched.writeback",
-                            "iosched.readahead"}) {
+    for (const char* cls : {"iosched.ordered", "iosched.demand",
+                            "iosched.writeback", "iosched.readahead"}) {
       telemetry_->DeclareEdge("fs.proxy", cls);
     }
     telemetry_->DeclareEdge("fs.proxy", nvme_name);
@@ -159,7 +165,7 @@ Machine::~Machine() {
 }
 
 Task<Status> Machine::FormatFs(uint64_t inode_count) {
-  co_return co_await fs_->Format(inode_count);
+  co_return co_await fs_->Format(inode_count, config_.journal_blocks);
 }
 
 void Machine::DumpStats(std::ostream& os) {

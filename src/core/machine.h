@@ -50,6 +50,11 @@ struct MachineConfig {
   uint64_t nvme_capacity = GiB(2);
 
   FsProxy::Options fs_options;
+  // Crash consistency: journal mode the FS is formatted with. Anything but
+  // kOff also switches the NVMe store to the volatile-write-cache
+  // durability model (real Flush commands, ordered barriers on fsync).
+  JournalMode journal_mode = JournalMode::kOff;
+  uint64_t journal_blocks = 0;  // 0 = kDefaultJournalBlocks
   // Recovery policies, consulted only while fault injection is armed.
   RpcRetryOptions rpc_retry;                 // FS and net stub calls
   NvmeBlockStore::RetryPolicy nvme_retry;    // block-store resubmission

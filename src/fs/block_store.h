@@ -48,6 +48,12 @@ class BlockStore {
                             std::span<uint8_t> out) = 0;
   virtual Task<Status> Write(uint64_t lba, uint32_t nblocks,
                              std::span<const uint8_t> in) = 0;
+  // Durability barrier: on Ok return, every Write acked before this call is
+  // on stable media and survives a power cut. Write-through stores (no
+  // volatile cache) satisfy the contract vacuously and may return
+  // immediately; write-back stores must issue a real device flush. Callers
+  // needing FUA-like semantics issue Write then Flush — there is no
+  // per-command forced-unit-access flag.
   virtual Task<Status> Flush() = 0;
 
   // Vectored multi-run I/O. The default implementations issue one plain
@@ -103,6 +109,8 @@ class MemBlockStore : public BlockStore {
     co_return OkStatus();
   }
 
+  // Write-through by construction: every acked Write already landed in
+  // data_, so the durability barrier is a documented no-op.
   Task<Status> Flush() override { co_return OkStatus(); }
 
   std::span<uint8_t> raw() { return {data_.data(), data_.size()}; }

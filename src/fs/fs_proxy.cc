@@ -297,6 +297,33 @@ Task<FsResponse> FsProxy::HandleMeta(const FsRequest& request) {
       break;
     }
     case FsOp::kFsync: {
+      if (store_->volatile_write_cache()) {
+        // Durable order: push dirty pages to the device first, then fence
+        // them behind every in-flight scheduler batch with an ordered
+        // barrier, and only then commit metadata — the journal commit's
+        // device flushes make the already-completed data writes stable, so
+        // an acked fsync survives a power cut.
+        if (cache_ != nullptr) {
+          Status flushed = co_await cache_->Flush();
+          if (!flushed.ok()) {
+            co_return ErrorResponse(flushed);
+          }
+        }
+        if (iosched_ != nullptr) {
+          Status fenced = co_await iosched_->Flush(request.client);
+          if (!fenced.ok()) {
+            co_return ErrorResponse(fenced);
+          }
+        }
+        Status status = co_await fs_->Sync();
+        if (!status.ok()) {
+          co_return ErrorResponse(status);
+        }
+        break;
+      }
+      // Write-through store: acked writes are already stable, so the
+      // historical order (metadata first, then cache write-back) is kept
+      // bit-for-bit for the seed configurations.
       Status status = co_await fs_->Sync();
       if (!status.ok()) {
         co_return ErrorResponse(status);

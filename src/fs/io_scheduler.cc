@@ -31,6 +31,8 @@ IoScheduler::IoScheduler(Simulator* sim, NvmeBlockStore* store,
   plugs_ = registry.GetCounter("iosched.plugs");
   dedup_hits_ = registry.GetCounter("iosched.dedup_hits");
   stalls_ = registry.GetCounter("iosched.stalls");
+  dispatched_[static_cast<int>(IoClass::kOrdered)] =
+      registry.GetCounter("iosched.dispatched.ordered");
   dispatched_[static_cast<int>(IoClass::kDemand)] =
       registry.GetCounter("iosched.dispatched.demand");
   dispatched_[static_cast<int>(IoClass::kWriteback)] =
@@ -39,6 +41,8 @@ IoScheduler::IoScheduler(Simulator* sim, NvmeBlockStore* store,
       registry.GetCounter("iosched.dispatched.readahead");
   queue_ns_ = registry.GetHistogram("iosched.queue_ns");
   if (sim->telemetry() != nullptr) {
+    use_[static_cast<int>(IoClass::kOrdered)] =
+        sim->telemetry()->GetSeries("iosched.ordered");
     use_[static_cast<int>(IoClass::kDemand)] =
         sim->telemetry()->GetSeries("iosched.demand");
     use_[static_cast<int>(IoClass::kWriteback)] =
@@ -110,6 +114,16 @@ Task<Status> IoScheduler::WriteV(std::span<const ConstBlockRun> runs,
     req.wruns.push_back(ConstBlockRun{run.lba, run.nblocks,
                                       run.data.first(bytes)});
   }
+  co_return co_await Submit(&req);
+}
+
+Task<Status> IoScheduler::Flush(uint32_t client, TraceContext ctx) {
+  IoRequest req;
+  req.is_flush = true;
+  req.cls = IoClass::kOrdered;
+  req.client = client;
+  req.ctx = ctx;
+  req.blocks = 1;  // DRR accounting: a barrier charges one block
   co_return co_await Submit(&req);
 }
 
@@ -200,9 +214,11 @@ Task<void> IoScheduler::DispatchLoop() {
     }
     // Back-pressure: past max_inflight_batches the backlog stays queued
     // here, where SelectBatch can still reorder it, instead of draining
-    // into the device's FIFO queue slots.
-    while (inflight_batches_ >=
-           std::max<uint32_t>(options_.max_inflight_batches, 1)) {
+    // into the device's FIFO queue slots. A pending barrier fences the
+    // pipeline completely: nothing dispatches past an ordered flush.
+    while (barrier_pending_ > 0 ||
+           inflight_batches_ >=
+               std::max<uint32_t>(options_.max_inflight_batches, 1)) {
       co_await done_cond_.Wait();
     }
     co_await DispatchRound();
@@ -239,6 +255,12 @@ Task<void> IoScheduler::DispatchRound() {
   }
   const SimTime now = sim_->now();
   for (IoRequest* r : batch) {
+    if (r->is_flush) {
+      // Barriers record their span and telemetry at completion (inside
+      // SubmitFlushes) so the drain + device-flush time is attributed to
+      // them rather than vanishing between stages.
+      continue;
+    }
     RecordQueueSpan(*r, now);
     queue_ns_->Record(now - r->enqueued);
     dispatched_[static_cast<int>(r->cls)]->Increment();
@@ -263,8 +285,9 @@ Task<void> IoScheduler::DispatchRound() {
   }
   std::vector<IoRequest*> reads;
   std::vector<IoRequest*> writes;
+  std::vector<IoRequest*> flushes;
   for (IoRequest* r : batch) {
-    (r->is_write ? writes : reads).push_back(r);
+    (r->is_flush ? flushes : r->is_write ? writes : reads).push_back(r);
   }
   // Fire-and-forget: the round's submissions complete on their own frames
   // so the dispatcher can keep the device's queue slots fed with further
@@ -276,6 +299,11 @@ Task<void> IoScheduler::DispatchRound() {
   if (!writes.empty()) {
     ++inflight_batches_;
     Spawn(*sim_, SubmitWrites(std::move(writes)));
+  }
+  if (!flushes.empty()) {
+    ++inflight_batches_;
+    ++barrier_pending_;  // fences DispatchLoop until the flush completes
+    Spawn(*sim_, SubmitFlushes(std::move(flushes)));
   }
 }
 
@@ -439,6 +467,36 @@ Task<void> IoScheduler::SubmitWrites(std::vector<IoRequest*> writes) {
     FinishRequest(r, status);
   }
   --inflight_batches_;
+  done_cond_.NotifyAll();
+}
+
+Task<void> IoScheduler::SubmitFlushes(std::vector<IoRequest*> flushes) {
+  // The barrier half: every submission dispatched before this round (reads
+  // or writes, possibly spawned in the same round) must complete before
+  // the flush command goes down, so the flush covers them. Our own batch
+  // holds one inflight slot.
+  while (inflight_batches_ > 1) {
+    co_await done_cond_.Wait();
+  }
+  Status status = co_await store_->Flush();
+  const SimTime now = sim_->now();
+  for (IoRequest* r : flushes) {
+    RecordQueueSpan(*r, now);
+    queue_ns_->Record(now - r->enqueued);
+    dispatched_[static_cast<int>(IoClass::kOrdered)]->Increment();
+    ++local_dispatched_[static_cast<int>(IoClass::kOrdered)];
+    if (UseSeries* use = use_[static_cast<int>(IoClass::kOrdered)];
+        use != nullptr) {
+      use->QueueDelta(now, -1);
+      use->CompleteOp(now, now - r->enqueued);
+      if (!status.ok()) {
+        use->AddError(now);
+      }
+    }
+    FinishRequest(r, status);
+  }
+  --inflight_batches_;
+  --barrier_pending_;
   done_cond_.NotifyAll();
 }
 

@@ -62,11 +62,13 @@ namespace solros {
 
 // Dispatch classes, best first. Values are the strict dispatch order.
 enum class IoClass : uint8_t {
-  kDemand = 0,     // a caller is blocked on these bytes
-  kWriteback = 1,  // dirty-page flushes (eviction, fsync)
-  kReadahead = 2,  // speculation; nobody waits yet
+  kOrdered = 0,    // durability barriers (journal/fsync flushes); a barrier
+                   // also fences the dispatch pipeline, see Flush()
+  kDemand = 1,     // a caller is blocked on these bytes
+  kWriteback = 2,  // dirty-page flushes (eviction, fsync)
+  kReadahead = 3,  // speculation; nobody waits yet
 };
-inline constexpr int kIoClassCount = 3;
+inline constexpr int kIoClassCount = 4;
 
 // Fairness key for host-originated I/O (cache internals, prefetch) as
 // opposed to a data-plane client id.
@@ -116,6 +118,15 @@ class IoScheduler {
                       IoClass cls = IoClass::kWriteback,
                       uint32_t client = kIoSchedHostClient,
                       TraceContext ctx = {});
+  // Durability barrier (kOrdered class, above demand): waits for every
+  // already-dispatched device submission to complete, then issues one
+  // BlockStore::Flush; no later round dispatches until the flush returns.
+  // The request's whole residency (queue + barrier drain + device flush)
+  // is recorded as its iosched.queue span, so stage attribution still sums
+  // exactly. A free no-op flush (write-through store) still pays the
+  // ordering fence but no device time.
+  Task<Status> Flush(uint32_t client = kIoSchedHostClient,
+                     TraceContext ctx = {});
 
   const IoSchedulerOptions& options() const { return options_; }
 
@@ -137,6 +148,7 @@ class IoScheduler {
  private:
   struct IoRequest {
     bool is_write = false;
+    bool is_flush = false;
     IoClass cls = IoClass::kDemand;
     uint32_t client = kIoSchedHostClient;
     TraceContext ctx;
@@ -190,6 +202,9 @@ class IoScheduler {
   std::vector<IoRequest*> SelectBatch();
   Task<void> SubmitReads(std::vector<IoRequest*> reads);
   Task<void> SubmitWrites(std::vector<IoRequest*> writes);
+  // Drains every other in-flight submission, then one store Flush for the
+  // whole group of barrier requests.
+  Task<void> SubmitFlushes(std::vector<IoRequest*> flushes);
   // The in-flight batch whose merged runs fully contain
   // [lba, lba+nblocks), or null when no such batch is at the device.
   InflightReads* FindInflightCover(uint64_t lba, uint32_t nblocks);
@@ -208,6 +223,9 @@ class IoScheduler {
   bool plugged_ = false;
   uint64_t plug_epoch_ = 0;
   uint32_t inflight_batches_ = 0;  // dispatched, device not yet done
+  // Barriers dispatched but not yet completed: the dispatch loop stalls
+  // while nonzero so nothing overtakes an ordered flush.
+  uint32_t barrier_pending_ = 0;
   // In-flight read batches (each lives on its SubmitReads frame); several
   // may be at the device at once since rounds pipeline.
   std::vector<InflightReads*> inflight_reads_;
@@ -225,7 +243,7 @@ class IoScheduler {
   // USE telemetry per dispatch class ("iosched.demand" etc.): depth counts
   // class-queue residency only — single-flight attach waiters are excluded
   // so depth reflects the schedulable backlog, not piggybacked readers.
-  UseSeries* use_[kIoClassCount] = {nullptr, nullptr, nullptr};
+  UseSeries* use_[kIoClassCount] = {nullptr, nullptr, nullptr, nullptr};
   // Instance-local mirrors so accessors never see another scheduler's
   // traffic (same pattern as BufferCache).
   uint64_t local_batches_ = 0;
@@ -233,7 +251,7 @@ class IoScheduler {
   uint64_t local_plugs_ = 0;
   uint64_t local_dedup_hits_ = 0;
   uint64_t local_stalls_ = 0;
-  uint64_t local_dispatched_[kIoClassCount] = {0, 0, 0};
+  uint64_t local_dispatched_[kIoClassCount] = {0, 0, 0, 0};
   uint64_t peak_queued_ = 0;
 };
 

@@ -1,0 +1,269 @@
+#include "src/fs/journal.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/base/logging.h"
+#include "src/base/metrics.h"
+
+namespace solros {
+namespace {
+
+// FNV-1a 64-bit, the commit-record checksum. Torn commit records (power cut
+// between the payload flush and the commit flush) fail this and the replay
+// scan discards the transaction.
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+uint64_t FnvMix(uint64_t h, const void* data, size_t len) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+Counter* JournalCounter(const char* name) {
+  return MetricRegistry::Default().GetCounter(name);
+}
+
+}  // namespace
+
+const char* JournalModeName(JournalMode mode) {
+  switch (mode) {
+    case JournalMode::kOff:
+      return "off";
+    case JournalMode::kMetadata:
+      return "metadata";
+    case JournalMode::kData:
+      return "data";
+  }
+  return "unknown";
+}
+
+Journal::Journal(BlockStore* store, uint64_t start, uint64_t blocks)
+    : store_(store), start_(start), capacity_(blocks > 0 ? blocks - 1 : 0) {
+  CHECK(store != nullptr);
+  CHECK_GE(blocks, kMinJournalBlocks) << "journal region too small";
+  CHECK_EQ(store->block_size(), kFsBlockSize);
+  CHECK_LE(start + blocks, store->block_count());
+}
+
+uint64_t Journal::Checksum(uint64_t sequence,
+                           const std::vector<JournalBlockImage>& images,
+                           size_t first, size_t count) {
+  uint64_t h = kFnvOffset;
+  h = FnvMix(h, &sequence, sizeof(sequence));
+  uint32_t count32 = static_cast<uint32_t>(count);
+  h = FnvMix(h, &count32, sizeof(count32));
+  for (size_t i = first; i < first + count; ++i) {
+    h = FnvMix(h, &images[i].lba, sizeof(images[i].lba));
+    h = FnvMix(h, images[i].data.data(), images[i].data.size());
+  }
+  return h;
+}
+
+Task<Status> Journal::Format() {
+  // Zero the whole log area so descriptors from a previous format cannot
+  // masquerade as committed transactions of this journal's sequence space.
+  std::vector<uint8_t> zeros(kFsBlockSize * 256, 0);
+  uint64_t off = start_ + 1;
+  uint64_t end = start_ + 1 + capacity_;
+  while (off < end) {
+    uint32_t n = static_cast<uint32_t>(
+        std::min<uint64_t>(end - off, zeros.size() / kFsBlockSize));
+    SOLROS_CO_RETURN_IF_ERROR(co_await store_->Write(
+        off, n, std::span<const uint8_t>(zeros.data(),
+                                         uint64_t{n} * kFsBlockSize)));
+    off += n;
+  }
+  head_ = 0;
+  sequence_ = 1;
+  SOLROS_CO_RETURN_IF_ERROR(co_await WriteSuper());
+  co_return co_await store_->Flush();
+}
+
+Task<Status> Journal::Load() {
+  std::vector<uint8_t> block(kFsBlockSize);
+  SOLROS_CO_RETURN_IF_ERROR(
+      co_await store_->Read(start_, 1, std::span<uint8_t>(block)));
+  JournalSuper super;
+  std::memcpy(&super, block.data(), sizeof(super));
+  if (super.magic != kJournalSuperMagic) {
+    co_return IoError("journal superblock magic mismatch");
+  }
+  if (super.version != kJournalVersion) {
+    co_return NotSupportedError("journal version unsupported");
+  }
+  if (super.capacity != capacity_) {
+    co_return IoError("journal capacity mismatch with fs superblock");
+  }
+  head_ = super.head;
+  sequence_ = super.sequence;
+  co_return OkStatus();
+}
+
+Task<Status> Journal::WriteSuper() {
+  std::vector<uint8_t> block(kFsBlockSize, 0);
+  JournalSuper super{kJournalSuperMagic, kJournalVersion, capacity_, head_,
+                     sequence_};
+  std::memcpy(block.data(), &super, sizeof(super));
+  co_return co_await store_->Write(start_, 1,
+                                   std::span<const uint8_t>(block));
+}
+
+Task<Status> Journal::Commit(const std::vector<JournalBlockImage>& images) {
+  if (images.empty()) {
+    co_return OkStatus();
+  }
+  static Counter* const commits = JournalCounter("journal.commits");
+  commits->Increment();
+  ++local_commits_;
+  // A transaction needs count+2 log blocks; cap count so even a journal at
+  // the kMinJournalBlocks floor can take the largest single transaction.
+  size_t max_per_txn = std::min<size_t>(kJournalMaxPayload, capacity_ - 2);
+  size_t first = 0;
+  while (first < images.size()) {
+    size_t count = std::min(max_per_txn, images.size() - first);
+    SOLROS_CO_RETURN_IF_ERROR(co_await CommitOne(images, first, count));
+    first += count;
+  }
+  co_return OkStatus();
+}
+
+Task<Status> Journal::CommitOne(const std::vector<JournalBlockImage>& images,
+                                size_t first, size_t count) {
+  static Counter* const txns = JournalCounter("journal.txns");
+  static Counter* const logged = JournalCounter("journal.blocks_logged");
+
+  // 1. Descriptor + payload into the log.
+  std::vector<uint8_t> block(kFsBlockSize, 0);
+  JournalDescHeader desc{kJournalDescMagic, static_cast<uint32_t>(count),
+                         sequence_};
+  std::memcpy(block.data(), &desc, sizeof(desc));
+  auto* lbas = reinterpret_cast<uint64_t*>(block.data() + sizeof(desc));
+  for (size_t i = 0; i < count; ++i) {
+    lbas[i] = images[first + i].lba;
+  }
+  SOLROS_CO_RETURN_IF_ERROR(co_await store_->Write(
+      LogBlock(head_), 1, std::span<const uint8_t>(block)));
+  for (size_t i = 0; i < count; ++i) {
+    DCHECK_EQ(images[first + i].data.size(), kFsBlockSize);
+    SOLROS_CO_RETURN_IF_ERROR(co_await store_->Write(
+        LogBlock(head_ + 1 + i), 1,
+        std::span<const uint8_t>(images[first + i].data)));
+  }
+  // 2. Payload must be durable before the commit record can exist.
+  SOLROS_CO_RETURN_IF_ERROR(co_await store_->Flush());
+
+  // 3-4. Commit record; once this flush returns the transaction survives
+  // any crash and the caller may ack.
+  std::fill(block.begin(), block.end(), 0);
+  JournalCommitBlock commit{kJournalCommitMagic, static_cast<uint32_t>(count),
+                            sequence_, Checksum(sequence_, images, first,
+                                                count)};
+  std::memcpy(block.data(), &commit, sizeof(commit));
+  SOLROS_CO_RETURN_IF_ERROR(co_await store_->Write(
+      LogBlock(head_ + 1 + count), 1, std::span<const uint8_t>(block)));
+  SOLROS_CO_RETURN_IF_ERROR(co_await store_->Flush());
+
+  // 5-6. Checkpoint immediately: write the after-images home and make them
+  // durable. Keeping checkpoint synchronous means the log never holds more
+  // than one live transaction, so free-space management reduces to the
+  // max_per_txn cap while wraparound still exercises circular offsets.
+  for (size_t i = 0; i < count; ++i) {
+    SOLROS_CO_RETURN_IF_ERROR(co_await store_->Write(
+        images[first + i].lba, 1,
+        std::span<const uint8_t>(images[first + i].data)));
+  }
+  SOLROS_CO_RETURN_IF_ERROR(co_await store_->Flush());
+
+  // 7. Retire the transaction. The super write is deliberately unflushed:
+  // if it is lost, replay re-applies the checkpointed images (idempotent).
+  head_ += 2 + count;
+  ++sequence_;
+  SOLROS_CO_RETURN_IF_ERROR(co_await WriteSuper());
+
+  txns->Increment();
+  logged->Increment(count);
+  ++local_txns_;
+  local_blocks_logged_ += count;
+  co_return OkStatus();
+}
+
+Task<Status> Journal::Replay(JournalReplayStats* stats) {
+  static Counter* const applied = JournalCounter("journal.replay.applied");
+  static Counter* const discarded =
+      JournalCounter("journal.replay.discarded");
+
+  JournalReplayStats local;
+  std::vector<uint8_t> block(kFsBlockSize);
+  uint64_t max_per_txn = std::min<uint64_t>(kJournalMaxPayload, capacity_ - 2);
+  for (;;) {
+    SOLROS_CO_RETURN_IF_ERROR(
+        co_await store_->Read(LogBlock(head_), 1, std::span<uint8_t>(block)));
+    JournalDescHeader desc;
+    std::memcpy(&desc, block.data(), sizeof(desc));
+    if (desc.magic != kJournalDescMagic || desc.sequence != sequence_ ||
+        desc.count == 0 || desc.count > max_per_txn) {
+      // No (further) transaction was started at head: clean end of log.
+      break;
+    }
+    std::vector<JournalBlockImage> images(desc.count);
+    auto* lbas = reinterpret_cast<const uint64_t*>(block.data() +
+                                                   sizeof(desc));
+    bool valid = true;
+    for (uint32_t i = 0; i < desc.count; ++i) {
+      images[i].lba = lbas[i];
+      if (images[i].lba >= store_->block_count()) {
+        valid = false;
+        break;
+      }
+    }
+    for (uint32_t i = 0; valid && i < desc.count; ++i) {
+      images[i].data.resize(kFsBlockSize);
+      SOLROS_CO_RETURN_IF_ERROR(
+          co_await store_->Read(LogBlock(head_ + 1 + i), 1,
+                                std::span<uint8_t>(images[i].data)));
+    }
+    JournalCommitBlock commit{};
+    if (valid) {
+      SOLROS_CO_RETURN_IF_ERROR(
+          co_await store_->Read(LogBlock(head_ + 1 + desc.count), 1,
+                                std::span<uint8_t>(block)));
+      std::memcpy(&commit, block.data(), sizeof(commit));
+      valid = commit.magic == kJournalCommitMagic &&
+              commit.sequence == sequence_ && commit.count == desc.count &&
+              commit.checksum ==
+                  Checksum(sequence_, images, 0, images.size());
+    }
+    if (!valid) {
+      // Descriptor written but the commit record never became durable: the
+      // transaction is torn. Nothing after it can be committed either.
+      ++local.discarded_txns;
+      break;
+    }
+    for (const JournalBlockImage& image : images) {
+      SOLROS_CO_RETURN_IF_ERROR(co_await store_->Write(
+          image.lba, 1, std::span<const uint8_t>(image.data)));
+    }
+    ++local.applied_txns;
+    local.replayed_blocks += desc.count;
+    head_ += 2 + desc.count;
+    ++sequence_;
+  }
+  // Persist the advanced head so the applied transactions are not replayed
+  // on the next mount (harmless, but the scan would redo the writes).
+  SOLROS_CO_RETURN_IF_ERROR(co_await WriteSuper());
+  SOLROS_CO_RETURN_IF_ERROR(co_await store_->Flush());
+
+  applied->Increment(local.applied_txns);
+  discarded->Increment(local.discarded_txns);
+  if (stats != nullptr) {
+    *stats = local;
+  }
+  co_return OkStatus();
+}
+
+}  // namespace solros

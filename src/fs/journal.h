@@ -1,0 +1,154 @@
+// Write-ahead journal for SolrosFS.
+//
+// Physical block journaling in the jbd2 style: a transaction is a batch of
+// whole-block after-images (superblock, bitmaps, inode-table blocks,
+// indirect extent blocks, and — in data mode — file contents) written into
+// a circular on-disk log before any home location is touched. The commit
+// record carries a checksum over the descriptor and payload, so a torn
+// commit is detected at replay and the transaction discarded.
+//
+// On-disk layout of the journal region [start, start + blocks):
+//
+//   block 0:       JournalSuper (head offset + next expected sequence)
+//   blocks 1..N:   circular log of transactions, each
+//                  [ descriptor | payload block(s) ... | commit record ]
+//
+// Transaction lifecycle (each barrier is a BlockStore::Flush, a real NVMe
+// Flush command when the device models a volatile write cache):
+//
+//   1. write descriptor + payload into the log
+//   2. FLUSH            -- payload durable before the commit record
+//   3. write commit record (checksummed)
+//   4. FLUSH            -- the transaction is now durable; the FS op acks
+//   5. checkpoint: write the after-images to their home locations
+//   6. FLUSH            -- home locations durable
+//   7. advance head/sequence in the JournalSuper (unflushed: replaying an
+//      already-checkpointed transaction is idempotent)
+//
+// A power cut at any point either leaves the transaction fully replayable
+// (committed) or fully discardable (torn): physical after-images make
+// replay idempotent, so the crash-consistency matrix can cut at every
+// stage and remount.
+#ifndef SOLROS_SRC_FS_JOURNAL_H_
+#define SOLROS_SRC_FS_JOURNAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/fs/block_store.h"
+#include "src/fs/layout.h"
+#include "src/sim/task.h"
+
+namespace solros {
+
+// What the file system journals. Metadata journaling covers the
+// superblock, bitmaps, inode table, indirect extent blocks, and directory
+// contents; data mode additionally journals regular-file block images so
+// acked write contents are exact after a crash.
+enum class JournalMode : uint8_t { kOff, kMetadata, kData };
+
+const char* JournalModeName(JournalMode mode);
+
+inline constexpr uint32_t kJournalSuperMagic = 0x501f0a01;
+inline constexpr uint32_t kJournalDescMagic = 0x501f0a02;
+inline constexpr uint32_t kJournalCommitMagic = 0x501f0a03;
+inline constexpr uint32_t kJournalVersion = 1;
+inline constexpr uint64_t kDefaultJournalBlocks = 1024;
+inline constexpr uint64_t kMinJournalBlocks = 8;
+
+struct JournalSuper {
+  uint32_t magic;
+  uint32_t version;
+  uint64_t capacity;  // log blocks (journal_blocks - 1)
+  uint64_t head;      // log offset of the next transaction to replay
+  uint64_t sequence;  // sequence expected at head
+};
+static_assert(sizeof(JournalSuper) <= kFsBlockSize);
+
+// Descriptor block: header followed by `count` target LBAs (uint64 each).
+struct JournalDescHeader {
+  uint32_t magic;
+  uint32_t count;
+  uint64_t sequence;
+};
+inline constexpr uint32_t kJournalMaxPayload =
+    (kFsBlockSize - sizeof(JournalDescHeader)) / sizeof(uint64_t);
+
+struct JournalCommitBlock {
+  uint32_t magic;
+  uint32_t count;
+  uint64_t sequence;
+  uint64_t checksum;  // FNV-1a over sequence, count, LBAs, payload bytes
+};
+static_assert(sizeof(JournalCommitBlock) <= kFsBlockSize);
+
+// One whole-block after-image queued into a transaction.
+struct JournalBlockImage {
+  uint64_t lba = 0;
+  std::vector<uint8_t> data;  // kFsBlockSize bytes
+};
+
+struct JournalReplayStats {
+  uint64_t applied_txns = 0;
+  uint64_t discarded_txns = 0;
+  uint64_t replayed_blocks = 0;
+};
+
+class Journal {
+ public:
+  // `start`/`blocks` name the journal region (from the superblock).
+  Journal(BlockStore* store, uint64_t start, uint64_t blocks);
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  // mkfs: zeroes the log area (stale descriptors from a previous life must
+  // not replay) and writes a fresh JournalSuper.
+  Task<Status> Format();
+
+  // Reads the JournalSuper of an existing journal.
+  Task<Status> Load();
+
+  // Logs, commits, and checkpoints `images` (split into as many
+  // transactions as the log capacity requires). When Commit returns OK the
+  // images are durable — both journaled and checkpointed to their home
+  // locations. A failure mid-pipeline (e.g. an injected power cut) leaves
+  // the on-disk state replayable or discardable, never half-applied.
+  Task<Status> Commit(const std::vector<JournalBlockImage>& images);
+
+  // Mount-time recovery: scans from head, applies every committed
+  // transaction to its home locations, stops at the first torn or absent
+  // one, then persists the advanced head. Idempotent.
+  Task<Status> Replay(JournalReplayStats* stats);
+
+  uint64_t capacity() const { return capacity_; }
+  uint64_t head() const { return head_; }
+  uint64_t sequence() const { return sequence_; }
+  // Instance-local counters (mirrored into journal.* registry metrics).
+  uint64_t commits() const { return local_commits_; }
+  uint64_t txns() const { return local_txns_; }
+  uint64_t blocks_logged() const { return local_blocks_logged_; }
+
+ private:
+  // Physical block of circular log offset `off`.
+  uint64_t LogBlock(uint64_t off) const { return start_ + 1 + off % capacity_; }
+  Task<Status> WriteSuper();
+  Task<Status> CommitOne(const std::vector<JournalBlockImage>& images,
+                         size_t first, size_t count);
+  static uint64_t Checksum(uint64_t sequence,
+                           const std::vector<JournalBlockImage>& images,
+                           size_t first, size_t count);
+
+  BlockStore* store_;
+  uint64_t start_;
+  uint64_t capacity_;
+  uint64_t head_ = 0;
+  uint64_t sequence_ = 1;
+  uint64_t local_commits_ = 0;
+  uint64_t local_txns_ = 0;
+  uint64_t local_blocks_logged_ = 0;
+};
+
+}  // namespace solros
+
+#endif  // SOLROS_SRC_FS_JOURNAL_H_

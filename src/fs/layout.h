@@ -58,6 +58,13 @@ struct SuperBlock {
   uint64_t data_start;
   uint64_t free_blocks;
   uint64_t free_inodes;
+  // Write-ahead journal region [journal_start, journal_start +
+  // journal_blocks), placed between the inode table and the data region.
+  // Zero on images formatted without a journal: the superblock block is
+  // zero-filled before the struct is copied in, so pre-journal images read
+  // these fields as 0 and mount exactly as before.
+  uint64_t journal_start;
+  uint64_t journal_blocks;
 };
 static_assert(sizeof(SuperBlock) <= kFsBlockSize);
 

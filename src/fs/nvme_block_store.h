@@ -38,6 +38,16 @@ class NvmeBlockStore : public BlockStore {
   void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
   const RetryPolicy& retry_policy() const { return retry_; }
 
+  // Durability model. Off (default): the device is treated as
+  // write-through — every acknowledged write is already stable, Flush() is
+  // a free no-op, and the seed's behaviour and bench output are unchanged.
+  // On (the journaled configurations): acknowledged writes sit in the
+  // device's volatile write buffer until a real NVMe Flush command drains
+  // it, so Flush() costs device time and is what the journal's barriers
+  // ride on.
+  void set_volatile_write_cache(bool on) { volatile_write_cache_ = on; }
+  bool volatile_write_cache() const { return volatile_write_cache_; }
+
   uint32_t block_size() const override;
   uint64_t block_count() const override;
 
@@ -88,6 +98,7 @@ class NvmeBlockStore : public BlockStore {
   NvmeDevice* nvme_;
   Processor* cpu_;
   RetryPolicy retry_;
+  bool volatile_write_cache_ = false;
 };
 
 }  // namespace solros

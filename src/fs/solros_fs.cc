@@ -47,7 +47,7 @@ void SolrosFs::BitSet(std::vector<uint8_t>& bits, uint64_t index,
 // Lifecycle
 // ---------------------------------------------------------------------------
 
-Task<Status> SolrosFs::Format(uint64_t inode_count) {
+Task<Status> SolrosFs::Format(uint64_t inode_count, uint64_t journal_blocks) {
   CHECK_GE(inode_count, 2u);
   uint64_t total = store_->block_count();
 
@@ -64,6 +64,13 @@ Task<Status> SolrosFs::Format(uint64_t inode_count) {
   sb.inode_table_start = sb.inode_bitmap_start + sb.inode_bitmap_blocks;
   sb.inode_table_blocks = CeilDiv(inode_count, kInodesPerBlock);
   sb.data_start = sb.inode_table_start + sb.inode_table_blocks;
+  if (journal_mode_ != JournalMode::kOff) {
+    sb.journal_start = sb.data_start;
+    sb.journal_blocks = std::max<uint64_t>(
+        journal_blocks != 0 ? journal_blocks : kDefaultJournalBlocks,
+        kMinJournalBlocks);
+    sb.data_start += sb.journal_blocks;
+  }
   if (sb.data_start >= total) {
     co_return InvalidArgumentError("device too small for this inode count");
   }
@@ -105,6 +112,10 @@ Task<Status> SolrosFs::Format(uint64_t inode_count) {
     SOLROS_CO_RETURN_IF_ERROR(
         co_await store_->Write(sb.inode_table_start + b, 1, zero_block));
   }
+  if (sb.journal_blocks != 0) {
+    Journal fresh(store_, sb.journal_start, sb.journal_blocks);
+    SOLROS_CO_RETURN_IF_ERROR(co_await fresh.Format());
+  }
   SOLROS_CO_RETURN_IF_ERROR(co_await store_->Flush());
   co_return co_await Mount();
 }
@@ -124,6 +135,25 @@ Task<Status> SolrosFs::Mount() {
     co_return IoError("superblock larger than backing device");
   }
 
+  // Crash recovery before anything else is read: replay every committed
+  // journal transaction into its home location (idempotent), discard a
+  // torn tail, then re-read the superblock — it may itself have been
+  // replayed.
+  journal_.reset();
+  replay_stats_ = JournalReplayStats{};
+  if (super_.journal_blocks != 0) {
+    if (super_.journal_start < 1 ||
+        super_.journal_start + super_.journal_blocks > super_.total_blocks) {
+      co_return IoError("journal region out of bounds");
+    }
+    journal_ = std::make_unique<Journal>(store_, super_.journal_start,
+                                         super_.journal_blocks);
+    SOLROS_CO_RETURN_IF_ERROR(co_await journal_->Load());
+    SOLROS_CO_RETURN_IF_ERROR(co_await journal_->Replay(&replay_stats_));
+    SOLROS_CO_RETURN_IF_ERROR(co_await store_->Read(0, 1, block));
+    std::memcpy(&super_, block.data(), sizeof(super_));
+  }
+
   block_bitmap_.assign(super_.block_bitmap_blocks * kFsBlockSize, 0);
   SOLROS_CO_RETURN_IF_ERROR(co_await store_->Read(
       super_.block_bitmap_start,
@@ -138,6 +168,8 @@ Task<Status> SolrosFs::Mount() {
   inode_bitmap_dirty_ = false;
   super_dirty_ = false;
   inode_cache_.clear();
+  staged_writes_.clear();
+  meta_txn_required_ = false;
   mounted_ = true;
   co_return OkStatus();
 }
@@ -152,7 +184,8 @@ Task<Status> SolrosFs::Unmount() {
 
 Task<Status> SolrosFs::Sync() {
   SOLROS_CO_RETURN_IF_ERROR(CheckMounted());
-  SOLROS_CO_RETURN_IF_ERROR(co_await FlushMetadata());
+  // force: a journaled Sync must commit even pure-mtime dirt.
+  SOLROS_CO_RETURN_IF_ERROR(co_await FlushMetadata(/*force=*/true));
   co_return co_await store_->Flush();
 }
 
@@ -204,39 +237,128 @@ void SolrosFs::MarkInodeDirty(uint64_t ino) {
   it->second.dirty = true;
 }
 
-Task<Status> SolrosFs::FlushMetadata() {
+Task<Status> SolrosFs::FlushMetadata(bool force) {
+  if (journal_ == nullptr) {
+    if (super_dirty_) {
+      std::vector<uint8_t> block(kFsBlockSize, 0);
+      std::memcpy(block.data(), &super_, sizeof(super_));
+      SOLROS_CO_RETURN_IF_ERROR(co_await store_->Write(0, 1, block));
+      super_dirty_ = false;
+    }
+    if (block_bitmap_dirty_) {
+      SOLROS_CO_RETURN_IF_ERROR(co_await store_->Write(
+          super_.block_bitmap_start,
+          static_cast<uint32_t>(super_.block_bitmap_blocks), block_bitmap_));
+      block_bitmap_dirty_ = false;
+    }
+    if (inode_bitmap_dirty_) {
+      SOLROS_CO_RETURN_IF_ERROR(co_await store_->Write(
+          super_.inode_bitmap_start,
+          static_cast<uint32_t>(super_.inode_bitmap_blocks), inode_bitmap_));
+      inode_bitmap_dirty_ = false;
+    }
+    // Dirty inodes: read-modify-write their table blocks.
+    std::vector<uint8_t> buf(kFsBlockSize);
+    for (auto& [ino, cached] : inode_cache_) {
+      if (!cached.dirty) {
+        continue;
+      }
+      uint64_t block = super_.inode_table_start + (ino - 1) / kInodesPerBlock;
+      uint32_t slot = (ino - 1) % kInodesPerBlock;
+      SOLROS_CO_RETURN_IF_ERROR(co_await store_->Read(block, 1, buf));
+      std::memcpy(buf.data() + slot * kInodeSize, &cached.inode, kInodeSize);
+      SOLROS_CO_RETURN_IF_ERROR(co_await store_->Write(block, 1, buf));
+      cached.dirty = false;
+    }
+    co_return OkStatus();
+  }
+
+  // Journaled path: one transaction carries everything this operation
+  // changed. A pure-mtime update (overwrite inside a file's allocation)
+  // defers — the dirt rides the next structural commit or Sync — which is
+  // what keeps steady-state random writes commit-free in metadata mode.
+  if (!force && !meta_txn_required_ && staged_writes_.empty()) {
+    co_return OkStatus();
+  }
+  std::vector<JournalBlockImage> images;
+  // Staged content first (map order = ascending LBA, data region after
+  // metadata): if an oversized transaction is ever split, metadata goes in
+  // the last sub-transaction, so durable metadata never references content
+  // from a discarded one.
+  for (auto& [lba, data] : staged_writes_) {
+    images.push_back(JournalBlockImage{lba, std::move(data)});
+  }
+  staged_writes_.clear();
   if (super_dirty_) {
-    std::vector<uint8_t> block(kFsBlockSize, 0);
-    std::memcpy(block.data(), &super_, sizeof(super_));
-    SOLROS_CO_RETURN_IF_ERROR(co_await store_->Write(0, 1, block));
-    super_dirty_ = false;
+    JournalBlockImage image{0, std::vector<uint8_t>(kFsBlockSize, 0)};
+    std::memcpy(image.data.data(), &super_, sizeof(super_));
+    images.push_back(std::move(image));
   }
   if (block_bitmap_dirty_) {
-    SOLROS_CO_RETURN_IF_ERROR(co_await store_->Write(
-        super_.block_bitmap_start,
-        static_cast<uint32_t>(super_.block_bitmap_blocks), block_bitmap_));
-    block_bitmap_dirty_ = false;
+    for (uint64_t b = 0; b < super_.block_bitmap_blocks; ++b) {
+      images.push_back(JournalBlockImage{
+          super_.block_bitmap_start + b,
+          {block_bitmap_.begin() + b * kFsBlockSize,
+           block_bitmap_.begin() + (b + 1) * kFsBlockSize}});
+    }
   }
   if (inode_bitmap_dirty_) {
-    SOLROS_CO_RETURN_IF_ERROR(co_await store_->Write(
-        super_.inode_bitmap_start,
-        static_cast<uint32_t>(super_.inode_bitmap_blocks), inode_bitmap_));
-    inode_bitmap_dirty_ = false;
-  }
-  // Dirty inodes: read-modify-write their table blocks.
-  std::vector<uint8_t> buf(kFsBlockSize);
-  for (auto& [ino, cached] : inode_cache_) {
-    if (!cached.dirty) {
-      continue;
+    for (uint64_t b = 0; b < super_.inode_bitmap_blocks; ++b) {
+      images.push_back(JournalBlockImage{
+          super_.inode_bitmap_start + b,
+          {inode_bitmap_.begin() + b * kFsBlockSize,
+           inode_bitmap_.begin() + (b + 1) * kFsBlockSize}});
     }
-    uint64_t block = super_.inode_table_start + (ino - 1) / kInodesPerBlock;
-    uint32_t slot = (ino - 1) % kInodesPerBlock;
-    SOLROS_CO_RETURN_IF_ERROR(co_await store_->Read(block, 1, buf));
-    std::memcpy(buf.data() + slot * kInodeSize, &cached.inode, kInodeSize);
-    SOLROS_CO_RETURN_IF_ERROR(co_await store_->Write(block, 1, buf));
+  }
+  // Dirty inodes, grouped per table block so each block becomes one image
+  // no matter how many of its slots changed.
+  std::map<uint64_t, std::vector<uint64_t>> dirty_by_block;
+  for (auto& [ino, cached] : inode_cache_) {
+    if (cached.dirty) {
+      dirty_by_block[(ino - 1) / kInodesPerBlock].push_back(ino);
+    }
+  }
+  for (const auto& [table_block, inos] : dirty_by_block) {
+    JournalBlockImage image{super_.inode_table_start + table_block,
+                            std::vector<uint8_t>(kFsBlockSize)};
+    SOLROS_CO_RETURN_IF_ERROR(
+        co_await store_->Read(image.lba, 1, image.data));
+    for (uint64_t ino : inos) {
+      std::memcpy(
+          image.data.data() + ((ino - 1) % kInodesPerBlock) * kInodeSize,
+          &inode_cache_[ino].inode, kInodeSize);
+    }
+    images.push_back(std::move(image));
+  }
+  if (images.empty()) {
+    meta_txn_required_ = false;
+    co_return OkStatus();
+  }
+  SOLROS_CO_RETURN_IF_ERROR(co_await journal_->Commit(images));
+  super_dirty_ = false;
+  block_bitmap_dirty_ = false;
+  inode_bitmap_dirty_ = false;
+  meta_txn_required_ = false;
+  for (auto& [ino, cached] : inode_cache_) {
     cached.dirty = false;
   }
   co_return OkStatus();
+}
+
+void SolrosFs::StageWrite(uint64_t lba, std::span<const uint8_t> block) {
+  DCHECK_EQ(block.size(), kFsBlockSize);
+  staged_writes_[lba].assign(block.begin(), block.end());
+}
+
+Task<Status> SolrosFs::ReadMetaBlock(uint64_t lba, std::span<uint8_t> out) {
+  if (journal_ != nullptr) {
+    auto it = staged_writes_.find(lba);
+    if (it != staged_writes_.end()) {
+      std::memcpy(out.data(), it->second.data(), kFsBlockSize);
+      co_return OkStatus();
+    }
+  }
+  co_return co_await store_->Read(lba, 1, out);
 }
 
 Result<uint64_t> SolrosFs::AllocInode() {
@@ -249,6 +371,7 @@ Result<uint64_t> SolrosFs::AllocInode() {
       inode_bitmap_dirty_ = true;
       --super_.free_inodes;
       super_dirty_ = true;
+      meta_txn_required_ = true;
       uint64_t ino = i + 1;
       CachedInode fresh;
       fresh.inode = DiskInode{};
@@ -265,6 +388,7 @@ void SolrosFs::FreeInode(uint64_t ino) {
   inode_bitmap_dirty_ = true;
   ++super_.free_inodes;
   super_dirty_ = true;
+  meta_txn_required_ = true;
   auto it = inode_cache_.find(ino);
   if (it != inode_cache_.end()) {
     // Write back a cleared inode so the slot reads as free.
@@ -312,6 +436,7 @@ Result<FsExtent> SolrosFs::AllocExtent(uint32_t want) {
       block_bitmap_dirty_ = true;
       super_.free_blocks -= extent.len;
       super_dirty_ = true;
+      meta_txn_required_ = true;
       alloc_cursor_ = run_end;
       return extent;
     }
@@ -327,6 +452,7 @@ void SolrosFs::FreeBlocks(const FsExtent& extent) {
   block_bitmap_dirty_ = true;
   super_.free_blocks += extent.len;
   super_dirty_ = true;
+  meta_txn_required_ = true;
   if (extent.start < alloc_cursor_) {
     alloc_cursor_ = extent.start;
   }
@@ -349,8 +475,10 @@ Task<Result<std::vector<FsExtent>>> SolrosFs::LoadExtents(
       co_return IoError("inode missing indirect extent block");
     }
     std::vector<uint8_t> buf(kFsBlockSize);
-    SOLROS_CO_RETURN_IF_ERROR(co_await store_->Read(inode.indirect_block, 1,
-                                                 buf));
+    // Through the staging map: within one op the indirect block may have
+    // been rewritten by StoreExtents but not yet committed.
+    SOLROS_CO_RETURN_IF_ERROR(
+        co_await ReadMetaBlock(inode.indirect_block, buf));
     uint32_t extra = inode.extent_count - kDirectExtents;
     for (uint32_t i = 0; i < extra; ++i) {
       FsExtent e;
@@ -389,8 +517,15 @@ Task<Status> SolrosFs::StoreExtents(uint64_t ino,
       std::memcpy(buf.data() + (i - kDirectExtents) * sizeof(FsExtent),
                   &extents[i], sizeof(FsExtent));
     }
-    SOLROS_CO_RETURN_IF_ERROR(
-        co_await store_->Write(inode->indirect_block, 1, buf));
+    if (journal_ != nullptr) {
+      // The indirect block is metadata: it must land in the same
+      // transaction as the inode that points at it.
+      StageWrite(inode->indirect_block, buf);
+      meta_txn_required_ = true;
+    } else {
+      SOLROS_CO_RETURN_IF_ERROR(
+          co_await store_->Write(inode->indirect_block, 1, buf));
+    }
   } else if (inode->indirect_block != 0) {
     FreeBlocks(FsExtent{inode->indirect_block, 1, 0});
     inode->indirect_block = 0;
@@ -539,6 +674,10 @@ Task<Result<uint64_t>> SolrosFs::WriteAt(uint64_t ino, uint64_t offset,
     }
   }
 
+  // Directory contents always ride the journal (they are metadata); file
+  // contents do too in data mode. Staged blocks commit atomically with the
+  // inode/bitmap updates at the FlushMetadata below.
+  const bool journal_content = JournalsContent(*inode);
   std::vector<uint8_t> scratch(kFsBlockSize);
   // Vectored mode defers the full-block runs into one store submission
   // (disjoint from any partial-block RMW, so ordering is preserved).
@@ -554,7 +693,11 @@ Task<Result<uint64_t>> SolrosFs::WriteAt(uint64_t ino, uint64_t offset,
     uint64_t chunk = std::min(end - pos, run_bytes);
     if (in_off == 0 && chunk >= kFsBlockSize) {
       chunk = chunk / kFsBlockSize * kFsBlockSize;
-      if (vectored_io_) {
+      if (journal_content) {
+        for (uint64_t b = 0; b < chunk / kFsBlockSize; ++b) {
+          StageWrite(lba + b, {src + b * kFsBlockSize, kFsBlockSize});
+        }
+      } else if (vectored_io_) {
         runs.push_back(ConstBlockRun{
             lba, static_cast<uint32_t>(chunk / kFsBlockSize), {src, chunk}});
       } else {
@@ -563,9 +706,15 @@ Task<Result<uint64_t>> SolrosFs::WriteAt(uint64_t ino, uint64_t offset,
       }
     } else {
       chunk = std::min<uint64_t>(chunk, kFsBlockSize - in_off);
-      SOLROS_CO_RETURN_IF_ERROR(co_await store_->Read(lba, 1, scratch));
-      std::memcpy(scratch.data() + in_off, src, chunk);
-      SOLROS_CO_RETURN_IF_ERROR(co_await store_->Write(lba, 1, scratch));
+      if (journal_content) {
+        SOLROS_CO_RETURN_IF_ERROR(co_await ReadMetaBlock(lba, scratch));
+        std::memcpy(scratch.data() + in_off, src, chunk);
+        StageWrite(lba, scratch);
+      } else {
+        SOLROS_CO_RETURN_IF_ERROR(co_await store_->Read(lba, 1, scratch));
+        std::memcpy(scratch.data() + in_off, src, chunk);
+        SOLROS_CO_RETURN_IF_ERROR(co_await store_->Write(lba, 1, scratch));
+      }
     }
     pos += chunk;
     src += chunk;
@@ -577,6 +726,7 @@ Task<Result<uint64_t>> SolrosFs::WriteAt(uint64_t ino, uint64_t offset,
 
   if (end > inode->size) {
     inode->size = end;
+    meta_txn_required_ = true;
   }
   inode->mtime = NowNs();
   MarkInodeDirty(ino);
@@ -653,6 +803,9 @@ Task<Status> SolrosFs::Truncate(uint64_t ino, uint64_t new_size) {
     }
     SOLROS_CO_RETURN_IF_ERROR(co_await StoreExtents(ino, kept));
   }
+  if (new_size != inode->size) {
+    meta_txn_required_ = true;
+  }
   inode->size = new_size;
   inode->mtime = NowNs();
   MarkInodeDirty(ino);
@@ -676,6 +829,7 @@ Task<Result<std::vector<FsExtent>>> SolrosFs::PrepareWrite(uint64_t ino,
       co_await EnsureAllocated(ino, CeilDiv(end, kFsBlockSize)));
   if (end > inode->size) {
     inode->size = end;
+    meta_txn_required_ = true;
   }
   inode->mtime = NowNs();
   MarkInodeDirty(ino);

@@ -11,13 +11,21 @@
 // mutating operations mid-flight by the caller (the proxy serializes
 // metadata operations per mount, as the paper's single proxy server does).
 // Metadata is cached in memory and written back at the end of each mutating
-// operation (bitmaps, inodes) — crash consistency via journaling is out of
-// scope (the paper relies on the host file system for that).
+// operation (bitmaps, inodes). Crash consistency comes from an optional
+// write-ahead journal (journal.h): with a journal present, structural
+// metadata changes (and, in data mode, file contents) are committed as
+// checksummed transactions before their home locations change, and mount
+// replays committed transactions / discards torn ones. Pure mtime updates
+// are deferred (ext4-style async mtime) until the next structural commit
+// or Sync(), so steady-state overwrites of a preallocated file stay
+// commit-free in metadata mode. Without a journal the write-back behaviour
+// is bit-for-bit the historical one.
 #ifndef SOLROS_SRC_FS_SOLROS_FS_H_
 #define SOLROS_SRC_FS_SOLROS_FS_H_
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <set>
 #include <span>
 #include <string>
@@ -26,6 +34,7 @@
 
 #include "src/base/status.h"
 #include "src/fs/block_store.h"
+#include "src/fs/journal.h"
 #include "src/fs/layout.h"
 #include "src/sim/simulator.h"
 #include "src/sim/task.h"
@@ -37,9 +46,19 @@ class SolrosFs {
   // `sim` provides mtime stamps; may be nullptr (mtime stays 0).
   explicit SolrosFs(BlockStore* store, Simulator* sim = nullptr);
 
+  // Selects what Format() journals. Must be set before Format; on Mount the
+  // on-disk image decides whether a journal exists (an image formatted with
+  // one is always replayed and journaled regardless of this knob — only
+  // kData vs kMetadata matters for new writes).
+  void set_journal_mode(JournalMode mode) { journal_mode_ = mode; }
+  JournalMode journal_mode() const { return journal_mode_; }
+
   // -- Lifecycle -------------------------------------------------------------
-  // Writes a fresh file system (clobbers the store) and mounts it.
-  Task<Status> Format(uint64_t inode_count = 4096);
+  // Writes a fresh file system (clobbers the store) and mounts it. With a
+  // journal mode set, `journal_blocks` blocks (default kDefaultJournalBlocks
+  // when 0) are reserved between the inode table and the data region.
+  Task<Status> Format(uint64_t inode_count = 4096,
+                      uint64_t journal_blocks = 0);
   Task<Status> Mount();
   Task<Status> Unmount();
   bool mounted() const { return mounted_; }
@@ -93,6 +112,10 @@ class SolrosFs {
   uint64_t free_inodes() const { return super_.free_inodes; }
   uint64_t total_blocks() const { return super_.total_blocks; }
   uint32_t block_size() const { return kFsBlockSize; }
+  // Non-null while a journaled image is mounted.
+  Journal* journal() { return journal_.get(); }
+  // What the most recent Mount() replay found.
+  const JournalReplayStats& last_replay() const { return replay_stats_; }
 
  private:
   // Inode cache entry.
@@ -104,7 +127,12 @@ class SolrosFs {
   // --- inode & bitmap plumbing ---
   Task<Result<DiskInode*>> GetInode(uint64_t ino);
   void MarkInodeDirty(uint64_t ino);
-  Task<Status> FlushMetadata();
+  // Unjournaled: writes dirty metadata straight to its home locations.
+  // Journaled: builds one transaction from the staged data/dir blocks plus
+  // every dirty metadata block and commits it — unless nothing structural
+  // changed (`force` false, pure-mtime dirt only), which defers to the next
+  // structural commit or Sync.
+  Task<Status> FlushMetadata(bool force = false);
   Result<uint64_t> AllocInode();
   void FreeInode(uint64_t ino);
   // Allocates up to `want` contiguous blocks (at least 1); returns the run.
@@ -137,6 +165,22 @@ class SolrosFs {
   Status CheckMounted() const;
   uint64_t NowNs() const;
 
+  // --- journal staging ---
+  // True when writes of `inode`'s contents must go through the journal:
+  // directory contents always (they are metadata), file contents in data
+  // mode.
+  bool JournalsContent(const DiskInode& inode) const {
+    return journal_ != nullptr &&
+           (inode.IsDir() || journal_mode_ == JournalMode::kData);
+  }
+  // Queues a whole-block after-image for the next transaction (overwrites
+  // any image already staged for that LBA).
+  void StageWrite(uint64_t lba, std::span<const uint8_t> block);
+  // Reads a metadata block, preferring a staged image over the (stale)
+  // home location — needed when one operation re-reads a block it staged
+  // earlier (e.g. the indirect extent block right after StoreExtents).
+  Task<Status> ReadMetaBlock(uint64_t lba, std::span<uint8_t> out);
+
   // bitmap helpers over cached bitmap bytes
   static bool BitGet(const std::vector<uint8_t>& bits, uint64_t index);
   static void BitSet(std::vector<uint8_t>& bits, uint64_t index, bool value);
@@ -153,6 +197,16 @@ class SolrosFs {
   bool super_dirty_ = false;
   uint64_t alloc_cursor_ = 0;  // rotating first-fit start
   std::map<uint64_t, CachedInode> inode_cache_;
+
+  JournalMode journal_mode_ = JournalMode::kOff;
+  std::unique_ptr<Journal> journal_;
+  JournalReplayStats replay_stats_;
+  // Whole-block after-images awaiting the next commit (journaled mounts
+  // only); drained by FlushMetadata at the end of every mutating op.
+  std::map<uint64_t, std::vector<uint8_t>> staged_writes_;
+  // Set by every structural change (allocation, free, extent or size
+  // update); distinguishes commits that matter from pure-mtime deferrals.
+  bool meta_txn_required_ = false;
 };
 
 }  // namespace solros

@@ -96,6 +96,10 @@ struct HwParams {
   // Interrupt delivery + handler cost on the receiving CPU; §5 credits part
   // of Solros' win to "reducing the number of interrupts".
   Nanos nvme_interrupt_cost = Microseconds(4);
+  // Flush command: drain the device's volatile write buffer to flash.
+  // Consumer-NVMe flushes are tens of microseconds to milliseconds; 100us
+  // keeps journal barriers visible in fig12 without dominating it.
+  Nanos nvme_flush_latency = Microseconds(100);
   int nvme_queue_depth = 128;
   uint32_t nvme_block_size = 4096;
 

@@ -30,6 +30,12 @@ NvmeDevice::NvmeDevice(Simulator* sim, PcieFabric* fabric,
 }
 
 Status NvmeDevice::Validate(const NvmeCommand& command) const {
+  if (command.op == NvmeCommand::Op::kFlush) {
+    if (command.nblocks != 0 || command.target.valid()) {
+      return InvalidArgumentError("nvme flush carries no range or target");
+    }
+    return OkStatus();
+  }
   if (command.nblocks == 0) {
     return InvalidArgumentError("zero-length nvme command");
   }
@@ -42,6 +48,17 @@ Status NvmeDevice::Validate(const NvmeCommand& command) const {
     return InvalidArgumentError("nvme target length mismatch");
   }
   return OkStatus();
+}
+
+void NvmeDevice::LosePower() {
+  // Reverse order: overlapping writes to the same range roll back to the
+  // bytes that were stable at the last Flush.
+  for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) {
+    std::memcpy(flash_.data() + it->flash_off, it->pre.data(),
+                it->pre.size());
+  }
+  undo_.clear();
+  crashed_ = true;
 }
 
 Task<Status> NvmeDevice::Execute(NvmeCommand command, TraceContext ctx) {
@@ -95,6 +112,66 @@ Task<Status> NvmeDevice::Execute(NvmeCommand command, TraceContext ctx) {
     co_return IoError("injected nvme media error");
   }
 
+  static FaultPoint* const powercut = Faults().GetPoint("nvme.powercut");
+  static FaultPoint* const tornwrite = Faults().GetPoint("nvme.tornwrite");
+  // A crashed device completes nothing until PowerCycle(). The planned
+  // crash errors use kFailedPrecondition precisely so the block store's
+  // retry layer does not treat them as transient.
+  if (crashed_) {
+    depth->Add(-1);
+    queue_slots_.Release();
+    if (use_ != nullptr) {
+      use_->QueueDelta(sim_->now(), -1);
+      use_->AddError(sim_->now());
+    }
+    co_return FailedPreconditionError("nvme device lost power");
+  }
+
+  if (command.op == NvmeCommand::Op::kFlush) {
+    static Counter* const flushes =
+        MetricRegistry::Default().GetCounter("nvme.flush.commands");
+    static LatencyHistogram* const flush_ns =
+        MetricRegistry::Default().GetHistogram("nvme.flush.cmd_ns");
+    if (powercut->ShouldFire()) {
+      static Counter* const powercuts =
+          MetricRegistry::Default().GetCounter("nvme.powercuts");
+      powercuts->Increment();
+      TRACE_INSTANT(sim_, "nvme", "fault.nvme.powercut");
+      LosePower();
+      depth->Add(-1);
+      queue_slots_.Release();
+      if (use_ != nullptr) {
+        use_->QueueDelta(sim_->now(), -1);
+        use_->AddError(sim_->now());
+      }
+      co_return FailedPreconditionError("injected nvme power cut");
+    }
+    co_await Delay(params_.nvme_flush_latency);
+    if (crashed_) {
+      // Another in-flight command's cut landed during the drain: the
+      // flush must not acknowledge durability it no longer provides.
+      depth->Add(-1);
+      queue_slots_.Release();
+      if (use_ != nullptr) {
+        use_->QueueDelta(sim_->now(), -1);
+        use_->AddError(sim_->now());
+      }
+      co_return FailedPreconditionError("nvme device lost power");
+    }
+    undo_.clear();  // the write buffer reached stable media
+    flushes->Increment();
+    flush_ns->Record(sim_->now() - cmd_start);
+    ++commands_completed_;
+    cmd_ns->Record(sim_->now() - cmd_start);
+    depth->Add(-1);
+    queue_slots_.Release();
+    if (use_ != nullptr) {
+      use_->QueueDelta(sim_->now(), -1);
+      use_->CompleteOp(sim_->now(), cmd_start - arrived);
+    }
+    co_return OkStatus();
+  }
+
   uint64_t bytes = uint64_t{command.nblocks} * params_.nvme_block_size;
   uint64_t flash_off = command.lba * params_.nvme_block_size;
   // P2P when the data buffer is not host DRAM: the SSD's DMA engine then
@@ -108,6 +185,16 @@ Task<Status> NvmeDevice::Execute(NvmeCommand command, TraceContext ctx) {
     co_await Delay(params_.nvme_read_latency);
     co_await fabric_->Transfer(self_, command.target.device(), bytes,
                                /*initiator_rate=*/0.0, p2p);
+    if (crashed_) {
+      // The cut fired while this read was in flight.
+      depth->Add(-1);
+      queue_slots_.Release();
+      if (use_ != nullptr) {
+        use_->QueueDelta(sim_->now(), -1);
+        use_->AddError(sim_->now());
+      }
+      co_return FailedPreconditionError("nvme device lost power");
+    }
     std::memcpy(command.target.span().data(), flash_.data() + flash_off,
                 bytes);
     bytes_read_ += bytes;
@@ -118,6 +205,66 @@ Task<Status> NvmeDevice::Execute(NvmeCommand command, TraceContext ctx) {
     co_await Delay(params_.nvme_write_latency);
     co_await fabric_->Transfer(command.target.device(), self_, bytes,
                                /*initiator_rate=*/0.0, p2p);
+    if (crashed_) {
+      // The cut fired while this write was in flight: its data never
+      // reached the write buffer.
+      depth->Add(-1);
+      queue_slots_.Release();
+      if (use_ != nullptr) {
+        use_->QueueDelta(sim_->now(), -1);
+        use_->AddError(sim_->now());
+      }
+      co_return FailedPreconditionError("nvme device lost power");
+    }
+    // While a crash fault is armed, remember the pre-image so a later cut
+    // can roll this (still volatile) write back. armed() is a relaxed
+    // load, so fault-free runs pay one branch here.
+    if (powercut->armed() || tornwrite->armed()) {
+      undo_.push_back(UndoEntry{
+          flash_off,
+          {flash_.begin() + flash_off, flash_.begin() + flash_off + bytes}});
+    }
+    if (powercut->ShouldFire()) {
+      static Counter* const powercuts =
+          MetricRegistry::Default().GetCounter("nvme.powercuts");
+      powercuts->Increment();
+      TRACE_INSTANT(sim_, "nvme", "fault.nvme.powercut");
+      LosePower();
+      depth->Add(-1);
+      queue_slots_.Release();
+      if (use_ != nullptr) {
+        use_->QueueDelta(sim_->now(), -1);
+        use_->AddError(sim_->now());
+      }
+      co_return FailedPreconditionError("injected nvme power cut");
+    }
+    if (tornwrite->ShouldFire()) {
+      static Counter* const tornwrites =
+          MetricRegistry::Default().GetCounter("nvme.tornwrites");
+      tornwrites->Increment();
+      TRACE_INSTANT(sim_, "nvme", "fault.nvme.tornwrite");
+      // Lose everything volatile, then persist a deterministic
+      // sector-aligned prefix of the interrupted command — the classic
+      // torn write a checksummed commit record must catch.
+      uint64_t sectors = bytes / 512;
+      uint64_t h = 0xcbf29ce484222325ull;
+      for (uint64_t v : {Faults().seed(), tornwrite->fires(), command.lba}) {
+        for (int i = 0; i < 8; ++i) {
+          h = (h ^ ((v >> (8 * i)) & 0xff)) * 0x100000001b3ull;
+        }
+      }
+      uint64_t torn_bytes = (h % (sectors + 1)) * 512;
+      LosePower();
+      std::memcpy(flash_.data() + flash_off, command.target.span().data(),
+                  torn_bytes);
+      depth->Add(-1);
+      queue_slots_.Release();
+      if (use_ != nullptr) {
+        use_->QueueDelta(sim_->now(), -1);
+        use_->AddError(sim_->now());
+      }
+      co_return FailedPreconditionError("injected nvme torn write");
+    }
     std::memcpy(flash_.data() + flash_off, command.target.span().data(),
                 bytes);
     bytes_written_ += bytes;

@@ -36,7 +36,9 @@
 namespace solros {
 
 struct NvmeCommand {
-  enum class Op : uint8_t { kRead, kWrite };
+  // kFlush drains the device's volatile write buffer to stable flash; it
+  // carries no LBA range or target (nblocks must be 0, target unset).
+  enum class Op : uint8_t { kRead, kWrite, kFlush };
   Op op = Op::kRead;
   uint64_t lba = 0;       // logical block address
   uint32_t nblocks = 0;   // in device blocks
@@ -72,6 +74,22 @@ class NvmeDevice {
   // Zero-cost flash access for test setup and mkfs bootstrap.
   std::span<uint8_t> RawFlash() { return {flash_.data(), flash_.size()}; }
 
+  // Crash model. While the `nvme.powercut` / `nvme.tornwrite` fault points
+  // are armed, every write records an undo image of the flash bytes it is
+  // about to overwrite; a Flush clears the undo log (the write buffer
+  // reached stable media). When a cut fires, the undo log is rolled back —
+  // un-flushed writes vanish, exactly the volatile-write-cache loss a real
+  // power failure causes — and the device rejects all further commands
+  // until PowerCycle(). A torn-write cut additionally persists a
+  // deterministic sector-aligned prefix of the interrupted command.
+  bool crashed() const { return crashed_; }
+  // "Plug it back in": clears the crashed state (flash keeps whatever
+  // survived the cut). The mount-time journal replay runs after this.
+  void PowerCycle() {
+    crashed_ = false;
+    undo_.clear();
+  }
+
   uint64_t doorbells_rung() const { return doorbells_; }
   uint64_t interrupts_raised() const { return interrupts_; }
   uint64_t commands_completed() const { return commands_completed_; }
@@ -79,8 +97,18 @@ class NvmeDevice {
   uint64_t bytes_written() const { return bytes_written_; }
 
  private:
+  // One undo record per write issued since the last Flush while a crash
+  // fault is armed: the pre-image of the overwritten flash range.
+  struct UndoEntry {
+    uint64_t flash_off = 0;
+    std::vector<uint8_t> pre;
+  };
+
   Task<Status> Execute(NvmeCommand command, TraceContext ctx = {});
   Status Validate(const NvmeCommand& command) const;
+  // Rolls back every write since the last Flush (reverse order) and marks
+  // the device crashed.
+  void LosePower();
 
   Simulator* sim_;
   PcieFabric* fabric_;
@@ -100,6 +128,9 @@ class NvmeDevice {
   uint64_t commands_completed_ = 0;
   uint64_t bytes_read_ = 0;
   uint64_t bytes_written_ = 0;
+
+  bool crashed_ = false;
+  std::vector<UndoEntry> undo_;
 };
 
 }  // namespace solros
