@@ -18,6 +18,9 @@
 //            trickle sequential reads until a sim-time deadline; the
 //            min/max per-phi completed-ops columns show DRR fairness
 //            keeping the victims alive.
+//   shards   the same storm with the control plane sharded across 1, 2,
+//            and 4 pinned host cores (proxy_shards); RPC/s must scale
+//            >= 1.6x at 2 shards and >= 2.5x at 4 (CI gates the CSV).
 #include <array>
 #include <iostream>
 
@@ -323,6 +326,127 @@ void PrintSkewed() {
                "the demand class.\n";
 }
 
+// --- section 4: proxy-shard scaling storm ---
+
+Task<void> ShardStormWorker(FsStub* stub, DeviceId device, uint64_t ino,
+                            uint64_t start, int ops, uint64_t* completed,
+                            WaitGroup* wg) {
+  DeviceBuffer buffer(device, KiB(4));
+  for (int i = 0; i < ops; ++i) {
+    auto n = co_await stub->Read(
+        ino, start + uint64_t{static_cast<uint64_t>(i)} * KiB(4),
+        MemRef::Of(buffer));
+    CHECK_OK(n);
+    ++*completed;
+  }
+  wg->Done();
+}
+
+struct ShardRun {
+  RunStats stats;
+  std::vector<uint64_t> per_shard_reqs;
+};
+
+ShardRun RunShardStorm(int shards) {
+  constexpr int kPhis = 4;
+  constexpr int kWorkers = 8;
+  constexpr int kOps = 40;
+  MachineConfig config = StormConfig(kPhis);
+  config.proxy_shards = shards;
+  // Testbed-shaped placement: phis across both sockets, matching the
+  // shard cores (which stripe across sockets) and their DMA paths.
+  config.phi_sockets = {0, 1, 0, 1};
+  MaybeEnableTelemetry(config);
+  Machine machine(std::move(config));
+  CHECK_OK(RunSim(machine.sim(), machine.FormatFs()));
+  auto ino = RunSim(machine.sim(),
+                    PrepareWorkloadFile(&machine.fs(), "/storm", MiB(16)));
+  CHECK_OK(ino);
+  // Buffered mode so every RPC runs the full per-shard stack (ring, cache
+  // segment, scheduler) on the shard's pinned core.
+  for (int p = 0; p < kPhis; ++p) {
+    machine.fs_stub(p).set_buffered(true);
+  }
+
+  ShardRun run;
+  run.stats.per_phi_ops.assign(kPhis, 0);
+  // Two passes over distinct 160KB sub-regions per worker (the block-group
+  // partition spreads the 32 streams across shards instead of collapsing
+  // them onto one stripe). The first pass warms each shard's cache segment
+  // from the SSD; only the second, hit-dominated pass is measured — the
+  // control-plane cost is the point here, not the device.
+  auto spawn_pass = [&](WaitGroup* wg) {
+    for (int p = 0; p < kPhis; ++p) {
+      for (int w = 0; w < kWorkers; ++w) {
+        uint64_t id = uint64_t{static_cast<uint64_t>(p)} * kWorkers + w;
+        wg->Add(1);
+        Spawn(machine.sim(),
+              ShardStormWorker(&machine.fs_stub(p), machine.phi_device(p),
+                               *ino, id * kOps * KiB(4), kOps,
+                               &run.stats.per_phi_ops[p], wg));
+      }
+    }
+  };
+  WaitGroup warm(&machine.sim());
+  spawn_pass(&warm);
+  machine.sim().RunUntilIdle();
+  CHECK_EQ(warm.outstanding(), 0u);
+
+  std::vector<uint64_t> reqs0;
+  for (int k = 0; k < machine.proxy_shards(); ++k) {
+    reqs0.push_back(machine.fs_proxy_shard(k).stats().requests);
+  }
+  WaitGroup wg(&machine.sim());
+  ResetTelemetry(machine);
+  DeviceCost c0 = SnapshotCost(machine);
+  SimTime t0 = machine.sim().now();
+  spawn_pass(&wg);
+  machine.sim().RunUntilIdle();
+  CHECK_EQ(wg.outstanding(), 0u);
+  uint64_t rpcs = uint64_t{kPhis} * kWorkers * kOps;
+  run.stats.krpcs = rpcs / ToSeconds(machine.sim().now() - t0) / 1e3;
+  run.stats.cost = CostSince(machine, c0);
+  for (int k = 0; k < machine.proxy_shards(); ++k) {
+    run.per_shard_reqs.push_back(
+        machine.fs_proxy_shard(k).stats().requests - reqs0[k]);
+  }
+  AppendTelemetryReport("shard-storm/shards=" + std::to_string(shards),
+                        machine);
+  return run;
+}
+
+void PrintShardScaling() {
+  std::cout << "\n--- proxy-shard scaling: same storm, control plane "
+               "sharded across pinned cores ---\n";
+  TablePrinter table({"config", "kRPC/s", "speedup", "shard max/mean",
+                      "nvme cmds"});
+  double base = 0;
+  for (int shards : {1, 2, 4}) {
+    ShardRun run = RunShardStorm(shards);
+    if (shards == 1) {
+      base = run.stats.krpcs;
+    }
+    uint64_t total = 0;
+    uint64_t hi = 0;
+    for (uint64_t reqs : run.per_shard_reqs) {
+      total += reqs;
+      hi = std::max(hi, reqs);
+    }
+    double mean =
+        static_cast<double>(total) / std::max<size_t>(run.per_shard_reqs.size(), 1);
+    table.AddRow({"shards=" + std::to_string(shards),
+                  TablePrinter::Num(run.stats.krpcs, 1),
+                  TablePrinter::Num(run.stats.krpcs / base, 2),
+                  TablePrinter::Num(mean > 0 ? hi / mean : 0, 2),
+                  std::to_string(run.stats.cost.commands)});
+  }
+  EmitTable(table);
+  std::cout << "shape: RPC/s scales near-linearly with shards because each "
+               "shard's full FS stack is serialized on its own pinned core; "
+               "max/mean per-shard requests near 1.0 shows the inode-range "
+               "+ block-group partition balancing the streams.\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -334,6 +458,7 @@ int main(int argc, char** argv) {
   PrintMatrix();
   PrintStorm();
   PrintSkewed();
+  PrintShardScaling();
   std::cout << "\nshape: aggregate RPC/s grows with data planes and "
                "per-plane concurrency until host cores or the SSD "
                "saturate — the control plane itself is not the "

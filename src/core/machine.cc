@@ -1,5 +1,7 @@
 #include "src/core/machine.h"
 
+#include <algorithm>
+#include <cstdlib>
 #include <ostream>
 #include <string>
 #include <utility>
@@ -9,6 +11,20 @@
 #include "src/base/metrics.h"
 
 namespace solros {
+namespace {
+
+// Resolved shard count: explicit config wins, then SOLROS_PROXY_SHARDS,
+// then 1. Clamped to a sane ceiling (a shard is a dedicated host core).
+int ResolveProxyShards(int configured) {
+  int shards = configured;
+  if (shards <= 0) {
+    const char* env = std::getenv("SOLROS_PROXY_SHARDS");
+    shards = env != nullptr ? std::atoi(env) : 1;
+  }
+  return std::clamp(shards, 1, 16);
+}
+
+}  // namespace
 
 Machine::Machine(MachineConfig config) : config_(std::move(config)) {
   const HwParams& params = config_.params;
@@ -17,6 +33,7 @@ Machine::Machine(MachineConfig config) : config_(std::move(config)) {
                                                 config_.telemetry_windows);
     sim_.set_telemetry(telemetry_.get());
   }
+  proxy_shards_ = ResolveProxyShards(config_.proxy_shards);
   fabric_ = std::make_unique<PcieFabric>(&sim_, params);
   host_device_ = fabric_->HostDevice(0);
 
@@ -41,6 +58,12 @@ Machine::Machine(MachineConfig config) : config_(std::move(config)) {
         params.phi_core_speed, "phi-cpu" + std::to_string(i)));
   }
 
+  // Dedicated control-plane cores, built BEFORE the proxies so each core
+  // registers the "fs.proxy[k]"/"net.proxy[k]" series with capacity 1 (the
+  // first registration fixes a series' capacity).
+  fs_shards_ = std::make_unique<ShardSet>(&sim_, fabric_.get(), params,
+                                          "fs.proxy", proxy_shards_);
+
   nvme_device_ = fabric_->AddDevice(DeviceType::kNvme, config_.nvme_socket,
                                     "nvme0");
   nvme_ = std::make_unique<NvmeDevice>(&sim_, fabric_.get(), params,
@@ -56,9 +79,31 @@ Machine::Machine(MachineConfig config) : config_(std::move(config)) {
   fs_ = std::make_unique<SolrosFs>(store_.get(), &sim_);
   fs_->set_vectored_io(config_.fs_options.fs_vectored_io);
   fs_->set_journal_mode(config_.journal_mode);
-  fs_proxy_ = std::make_unique<FsProxy>(&sim_, fabric_.get(), params,
-                                        host_cpu_.get(), store_.get(),
-                                        fs_.get(), config_.fs_options);
+
+  // The only cross-shard FS state: the versioned extent map (invalidated by
+  // the FS itself whenever an inode's extents change) and the coordinator
+  // the broadcast/barrier protocol walks.
+  extent_map_ = std::make_unique<SharedExtentMap>();
+  fs_->set_extent_observer(
+      [map = extent_map_.get()](uint64_t ino) { map->Invalidate(ino); });
+  fs_coordinator_ = std::make_unique<FsShardCoordinator>();
+
+  for (int k = 0; k < proxy_shards_; ++k) {
+    FsProxy::Options shard_options = config_.fs_options;
+    if (proxy_shards_ > 1 && shard_options.cache_blocks > 0) {
+      // The host cache is one budget split into per-shard segments.
+      shard_options.cache_blocks = std::max<size_t>(
+          1, shard_options.cache_blocks / static_cast<size_t>(proxy_shards_));
+    }
+    FsShardContext shard;
+    shard.shard_id = k;
+    shard.shard_count = proxy_shards_;
+    shard.extent_map = extent_map_.get();
+    shard.coordinator = fs_coordinator_.get();
+    fs_proxies_.push_back(std::make_unique<FsProxy>(
+        &sim_, fabric_.get(), params, fs_shards_->core(k), store_.get(),
+        fs_.get(), shard_options, shard));
+  }
 
   if (config_.enable_network) {
     nic_device_ = fabric_->AddDevice(DeviceType::kNic, config_.nic_socket,
@@ -68,9 +113,17 @@ Machine::Machine(MachineConfig config) : config_(std::move(config)) {
     if (policy == nullptr) {
       policy = std::make_unique<RoundRobinPolicy>();
     }
+    net_shards_ = std::make_unique<ShardSet>(&sim_, fabric_.get(), params,
+                                             "net.proxy", proxy_shards_);
+    std::vector<Processor*> net_cores;
+    net_cores.reserve(static_cast<size_t>(proxy_shards_));
+    for (int k = 0; k < proxy_shards_; ++k) {
+      net_cores.push_back(net_shards_->core(k));
+    }
     tcp_proxy_ = std::make_unique<TcpProxy>(&sim_, params, host_cpu_.get(),
                                             ethernet_.get(),
-                                            std::move(policy));
+                                            std::move(policy),
+                                            std::move(net_cores));
   }
 
   rings_.resize(config_.num_phis);
@@ -79,42 +132,66 @@ Machine::Machine(MachineConfig config) : config_(std::move(config)) {
     DeviceId phi = phi_devices_[i];
     Processor* phi_cpu = phi_cpus_[i].get();
 
+    // `host_dev`/`host_proc` are the host-side port of the ring: the shard
+    // core that owns the ring for FS pairs, the shared pool for net rings
+    // (only TCP *processing* is sharded; ring pumping stays on the pool).
     auto make_ring = [&](const std::string& name, size_t capacity,
-                         DeviceId master, bool phi_produces)
+                         DeviceId master, bool phi_produces,
+                         DeviceId host_dev, Processor* host_proc)
         -> std::unique_ptr<SimRing> {
       SimRingConfig rc;
-      rc.name = name + std::to_string(i);
+      rc.name = name;
       rc.capacity = capacity;
       rc.master_device = master;
-      rc.producer_device = phi_produces ? phi : host_device_;
-      rc.consumer_device = phi_produces ? host_device_ : phi;
-      rc.producer_cpu = phi_produces ? phi_cpu : host_cpu_.get();
-      rc.consumer_cpu = phi_produces ? host_cpu_.get() : phi_cpu;
+      rc.producer_device = phi_produces ? phi : host_dev;
+      rc.consumer_device = phi_produces ? host_dev : phi;
+      rc.producer_cpu = phi_produces ? phi_cpu : host_proc;
+      rc.consumer_cpu = phi_produces ? host_proc : phi_cpu;
       return std::make_unique<SimRing>(&sim_, fabric_.get(), params, rc);
     };
 
-    // FS RPC rings: masters at the co-processor (§4.3.1).
-    rings.fs_request =
-        make_ring("fs.req", config_.rpc_ring_capacity, phi, true);
-    rings.fs_response =
-        make_ring("fs.resp", config_.rpc_ring_capacity, phi, false);
+    // FS RPC rings: masters at the co-processor (§4.3.1), one pair per
+    // proxy shard, host port on the shard's dedicated core. At shards=1
+    // the names stay the legacy "fs.req{i}"/"fs.resp{i}".
+    std::vector<std::pair<SimRing*, SimRing*>> stub_rings;
+    for (int k = 0; k < proxy_shards_; ++k) {
+      const std::string suffix =
+          proxy_shards_ > 1 ? ".s" + std::to_string(k) : "";
+      Processor* shard_core = fs_shards_->core(k);
+      rings.fs_request.push_back(
+          make_ring("fs.req" + std::to_string(i) + suffix,
+                    config_.rpc_ring_capacity, phi, true,
+                    shard_core->device(), shard_core));
+      rings.fs_response.push_back(
+          make_ring("fs.resp" + std::to_string(i) + suffix,
+                    config_.rpc_ring_capacity, phi, false,
+                    shard_core->device(), shard_core));
+      fs_proxies_[k]->Serve(rings.fs_request.back().get(),
+                            rings.fs_response.back().get());
+      stub_rings.emplace_back(rings.fs_request.back().get(),
+                              rings.fs_response.back().get());
+    }
     fs_stubs_.push_back(std::make_unique<FsStub>(
-        &sim_, params, phi_cpu, rings.fs_request.get(),
-        rings.fs_response.get(), static_cast<uint32_t>(i)));
+        &sim_, params, phi_cpu, std::move(stub_rings),
+        static_cast<uint32_t>(i)));
     fs_stubs_.back()->set_retry_options(config_.rpc_retry);
-    fs_proxy_->Serve(rings.fs_request.get(), rings.fs_response.get());
 
     if (config_.enable_network) {
       rings.net_request =
-          make_ring("net.req", config_.rpc_ring_capacity, phi, true);
+          make_ring("net.req" + std::to_string(i), config_.rpc_ring_capacity,
+                    phi, true, host_device_, host_cpu_.get());
       rings.net_response =
-          make_ring("net.resp", config_.rpc_ring_capacity, phi, false);
+          make_ring("net.resp" + std::to_string(i), config_.rpc_ring_capacity,
+                    phi, false, host_device_, host_cpu_.get());
       // Outbound master at the Phi; inbound master at the host (§4.4.1).
       rings.outbound =
-          make_ring("net.out", config_.outbound_ring_capacity, phi, true);
+          make_ring("net.out" + std::to_string(i),
+                    config_.outbound_ring_capacity, phi, true, host_device_,
+                    host_cpu_.get());
       rings.inbound =
-          make_ring("net.in", config_.inbound_ring_capacity, host_device_,
-                    false);
+          make_ring("net.in" + std::to_string(i),
+                    config_.inbound_ring_capacity, host_device_, false,
+                    host_device_, host_cpu_.get());
       tcp_proxy_->AttachDataPlane(static_cast<uint32_t>(i),
                                   rings.net_request.get(),
                                   rings.net_response.get(),
@@ -130,20 +207,29 @@ Machine::Machine(MachineConfig config) : config_(std::move(config)) {
   if (telemetry_ != nullptr) {
     // Request-path containment edges for the bottleneck analyzer: a child's
     // queue depth is a subset of its parent's (an FS request counted in
-    // fs.proxy is also counted while parked in an iosched class queue, at
-    // the NVMe device, or in a host DMA copy), so the analyzer subtracts
-    // child depth to get the proxy's own exclusive backlog.
-    const std::string host_dma = "dma." + fabric_->NameOf(host_device_);
+    // fs.proxy[k] is also counted while parked in that shard's iosched
+    // class queue, at the NVMe device, or in a host DMA copy), so the
+    // analyzer subtracts child depth to get the shard's own exclusive
+    // backlog. Each shard gets its own edge set to its own children.
     const std::string nvme_name = fabric_->NameOf(nvme_device_);
-    for (const char* cls : {"iosched.ordered", "iosched.demand",
-                            "iosched.writeback", "iosched.readahead"}) {
-      telemetry_->DeclareEdge("fs.proxy", cls);
+    for (int k = 0; k < proxy_shards_; ++k) {
+      const std::string label = ShardLabel("fs.proxy", k, proxy_shards_);
+      const std::string suffix =
+          proxy_shards_ > 1 ? "[" + std::to_string(k) + "]" : "";
+      for (const char* cls : {"iosched.ordered", "iosched.demand",
+                              "iosched.writeback", "iosched.readahead"}) {
+        telemetry_->DeclareEdge(label, cls + suffix);
+      }
+      telemetry_->DeclareEdge(label, nvme_name);
+      telemetry_->DeclareEdge(
+          label, "dma." + fabric_->NameOf(fs_shards_->core(k)->device()));
     }
-    telemetry_->DeclareEdge("fs.proxy", nvme_name);
-    telemetry_->DeclareEdge("fs.proxy", host_dma);
     if (config_.enable_network) {
-      telemetry_->DeclareEdge("net.proxy", "net.wire.up");
-      telemetry_->DeclareEdge("net.proxy", "net.wire.down");
+      for (int k = 0; k < proxy_shards_; ++k) {
+        const std::string label = ShardLabel("net.proxy", k, proxy_shards_);
+        telemetry_->DeclareEdge(label, "net.wire.up");
+        telemetry_->DeclareEdge(label, "net.wire.down");
+      }
     }
   }
 }
@@ -153,10 +239,14 @@ Machine::~Machine() {
   // again; detached frames still parked at process exit are reclaimed by
   // the OS.
   for (DataPlaneRings& rings : rings_) {
-    for (SimRing* ring :
-         {rings.fs_request.get(), rings.fs_response.get(),
-          rings.net_request.get(), rings.net_response.get(),
-          rings.inbound.get(), rings.outbound.get()}) {
+    for (auto& ring : rings.fs_request) {
+      ring->Close();
+    }
+    for (auto& ring : rings.fs_response) {
+      ring->Close();
+    }
+    for (SimRing* ring : {rings.net_request.get(), rings.net_response.get(),
+                          rings.inbound.get(), rings.outbound.get()}) {
       if (ring != nullptr) {
         ring->Close();
       }
@@ -170,19 +260,42 @@ Task<Status> Machine::FormatFs(uint64_t inode_count) {
 
 void Machine::DumpStats(std::ostream& os) {
   os << "=== machine stats @ " << ToMillis(sim_.now()) << " ms sim time\n";
-  const FsProxyStats& fs = fs_proxy_->stats();
+  FsProxyStats fs;  // aggregated over shards
+  for (auto& proxy : fs_proxies_) {
+    const FsProxyStats& s = proxy->stats();
+    fs.requests += s.requests;
+    fs.p2p_reads += s.p2p_reads;
+    fs.p2p_writes += s.p2p_writes;
+    fs.buffered_reads += s.buffered_reads;
+    fs.buffered_writes += s.buffered_writes;
+    fs.degraded_reads += s.degraded_reads;
+    fs.degraded_writes += s.degraded_writes;
+  }
   os << "fs-proxy: " << fs.requests << " rpcs; reads p2p/buffered "
      << fs.p2p_reads << "/" << fs.buffered_reads << "; writes p2p/buffered "
-     << fs.p2p_writes << "/" << fs.buffered_writes << "\n";
+     << fs.p2p_writes << "/" << fs.buffered_writes;
+  if (proxy_shards_ > 1) {
+    os << "; shards";
+    for (auto& proxy : fs_proxies_) {
+      os << " " << proxy->stats().requests;
+    }
+  }
+  os << "\n";
   if (fs.degraded_reads + fs.degraded_writes > 0) {
     os << "fs-proxy degradations: reads " << fs.degraded_reads
        << ", writes " << fs.degraded_writes << "\n";
   }
-  if (fs_proxy_->cache() != nullptr) {
-    BufferCache* cache = fs_proxy_->cache();
-    os << "buffer-cache: " << cache->hits() << " hits, " << cache->misses()
-       << " misses, " << cache->evictions() << " evictions, "
-       << cache->size() << "/" << cache->capacity() << " pages";
+  for (auto& proxy : fs_proxies_) {
+    if (proxy->cache() == nullptr) {
+      continue;
+    }
+    BufferCache* cache = proxy->cache();
+    os << (proxy_shards_ > 1 ? "buffer-cache[" + std::to_string(
+                                   proxy->shard_id()) + "]: "
+                             : std::string("buffer-cache: "))
+       << cache->hits() << " hits, " << cache->misses() << " misses, "
+       << cache->evictions() << " evictions, " << cache->size() << "/"
+       << cache->capacity() << " pages";
     if (cache->options().scan_resistant) {
       os << " (probation/protected " << cache->probation_pages() << "/"
          << cache->protected_pages() << ")";
@@ -193,13 +306,24 @@ void Machine::DumpStats(std::ostream& os) {
     }
     os << "\n";
   }
-  if (IoScheduler* sched = fs_proxy_->io_scheduler(); sched != nullptr) {
-    os << "io-scheduler: " << sched->batches() << " batches, "
-       << sched->plugs() << " plugs, " << sched->merges() << " merges, "
-       << sched->dedup_hits() << " dedup hits; dispatched d/w/r "
+  for (auto& proxy : fs_proxies_) {
+    IoScheduler* sched = proxy->io_scheduler();
+    if (sched == nullptr) {
+      continue;
+    }
+    os << (proxy_shards_ > 1 ? "io-scheduler[" + std::to_string(
+                                   proxy->shard_id()) + "]: "
+                             : std::string("io-scheduler: "))
+       << sched->batches() << " batches, " << sched->plugs() << " plugs, "
+       << sched->merges() << " merges, " << sched->dedup_hits()
+       << " dedup hits; dispatched d/w/r "
        << sched->dispatched(IoClass::kDemand) << "/"
        << sched->dispatched(IoClass::kWriteback) << "/"
        << sched->dispatched(IoClass::kReadahead) << "\n";
+  }
+  if (proxy_shards_ > 1) {
+    os << "extent-map: " << extent_map_->invalidations()
+       << " invalidations\n";
   }
   os << "nvme: " << nvme_->commands_completed() << " commands, "
      << nvme_->doorbells_rung() << " doorbells, "
@@ -212,12 +336,19 @@ void Machine::DumpStats(std::ostream& os) {
        << net.connections_forwarded << " connections, in/out messages "
        << net.inbound_messages << "/" << net.outbound_messages
        << ", in/out bytes " << net.inbound_bytes << "/"
-       << net.outbound_bytes << "\n";
+       << net.outbound_bytes;
+    if (net.shard_handoffs > 0) {
+      os << ", shard handoffs " << net.shard_handoffs;
+    }
+    os << "\n";
   }
   for (int i = 0; i < config_.num_phis; ++i) {
     const DataPlaneRings& rings = rings_[i];
-    os << "dataplane " << i << ": fs-rpc "
-       << rings.fs_request->messages_sent() << " reqs";
+    uint64_t fs_reqs = 0;
+    for (const auto& ring : rings.fs_request) {
+      fs_reqs += ring->messages_sent();
+    }
+    os << "dataplane " << i << ": fs-rpc " << fs_reqs << " reqs";
     if (rings.inbound != nullptr) {
       os << "; net inbound/outbound msgs "
          << rings.inbound->messages_received() << "/"

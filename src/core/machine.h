@@ -23,7 +23,9 @@
 #include <vector>
 
 #include "src/base/metrics.h"
+#include "src/core/shard.h"
 #include "src/fs/fs_proxy.h"
+#include "src/fs/shared_extent_map.h"
 #include "src/fs/fs_stub.h"
 #include "src/fs/nvme_block_store.h"
 #include "src/fs/solros_fs.h"
@@ -68,6 +70,15 @@ struct MachineConfig {
   // Forwarding policy for shared listening sockets.
   std::unique_ptr<ForwardingPolicy> policy;  // default: round robin
 
+  // Control-plane shards: each FsProxy/TcpProxy shard runs pinned to its
+  // own dedicated host core with isolated state (cache segment, scheduler,
+  // stream table / sockets); only the extent map and the shared listening
+  // socket stay shared. FS traffic partitions by inode range with
+  // block-group striping, net traffic by connection hash. 0 (the default)
+  // reads SOLROS_PROXY_SHARDS from the environment and falls back to 1;
+  // the resolved value 1 is a single pinned shard under every legacy name.
+  int proxy_shards = 0;
+
   // USE telemetry: a non-zero window creates a TelemetryHub and binds it to
   // the simulator before any component is built, so every ring, DMA engine,
   // fabric link, NVMe queue, scheduler class, and proxy loop registers a
@@ -104,7 +115,11 @@ class Machine {
   NvmeDevice& nvme() { return *nvme_; }
   NvmeBlockStore& store() { return *store_; }
   SolrosFs& fs() { return *fs_; }
-  FsProxy& fs_proxy() { return *fs_proxy_; }
+  // Shard 0 (the designated barrier shard; the only shard at shards=1).
+  FsProxy& fs_proxy() { return *fs_proxies_.front(); }
+  FsProxy& fs_proxy_shard(int k) { return *fs_proxies_.at(k); }
+  int proxy_shards() const { return proxy_shards_; }
+  SharedExtentMap& extent_map() { return *extent_map_; }
   FsStub& fs_stub(int i) { return *fs_stubs_.at(i); }
 
   EthernetFabric& ethernet() { return *ethernet_; }
@@ -116,8 +131,10 @@ class Machine {
 
  private:
   struct DataPlaneRings {
-    std::unique_ptr<SimRing> fs_request;
-    std::unique_ptr<SimRing> fs_response;
+    // One FS ring pair per proxy shard (exactly one at shards=1, under
+    // the legacy "fs.req{i}"/"fs.resp{i}" names).
+    std::vector<std::unique_ptr<SimRing>> fs_request;
+    std::vector<std::unique_ptr<SimRing>> fs_response;
     std::unique_ptr<SimRing> net_request;
     std::unique_ptr<SimRing> net_response;
     std::unique_ptr<SimRing> inbound;
@@ -129,6 +146,10 @@ class Machine {
   // Declared before every component so it is destroyed after them all —
   // components hold raw UseSeries pointers into the hub.
   std::unique_ptr<TelemetryHub> telemetry_;
+  // Declared before the FS/proxies: the FS extent observer and every
+  // shard's ShardView point into it.
+  std::unique_ptr<SharedExtentMap> extent_map_;
+  std::unique_ptr<FsShardCoordinator> fs_coordinator_;
   std::unique_ptr<PcieFabric> fabric_;
   DeviceId host_device_;
   DeviceId nvme_device_;
@@ -136,10 +157,15 @@ class Machine {
   std::vector<DeviceId> phi_devices_;
   std::unique_ptr<Processor> host_cpu_;
   std::vector<std::unique_ptr<Processor>> phi_cpus_;
+  int proxy_shards_ = 1;
+  // Dedicated per-shard cores (outlive the proxies and rings bound to
+  // them).
+  std::unique_ptr<ShardSet> fs_shards_;
+  std::unique_ptr<ShardSet> net_shards_;
   std::unique_ptr<NvmeDevice> nvme_;
   std::unique_ptr<NvmeBlockStore> store_;
   std::unique_ptr<SolrosFs> fs_;
-  std::unique_ptr<FsProxy> fs_proxy_;
+  std::vector<std::unique_ptr<FsProxy>> fs_proxies_;
   std::vector<DataPlaneRings> rings_;
   std::vector<std::unique_ptr<FsStub>> fs_stubs_;
   std::unique_ptr<EthernetFabric> ethernet_;

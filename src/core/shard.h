@@ -1,0 +1,59 @@
+// Dedicated cores for the sharded control plane.
+//
+// A ShardSet owns one single-thread host Processor per control-plane shard.
+// Pinning each shard to its own core is the point of the design: a shard's
+// event loop (ring polling, RPC handling, the full FS or TCP stack) runs
+// serialized on that core, so N shards scale service capacity N-fold while
+// each shard's state (cache segment, scheduler, stream table, sockets)
+// stays single-writer and lock-free — the classic per-core "share nothing
+// by default, share the allocator by design" control-plane layout.
+//
+// Cores are striped round-robin across host sockets so a multi-socket host
+// splits shard work evenly, and each core registers its busy time directly
+// into the owning service's USE series ("fs.proxy[k]", "net.proxy[k]"; the
+// bare service name at count == 1), so shard utilization and shard queue
+// depth land in one series and the bottleneck analyzer names the shard.
+#ifndef SOLROS_SRC_CORE_SHARD_H_
+#define SOLROS_SRC_CORE_SHARD_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/sharding.h"
+#include "src/hw/fabric.h"
+#include "src/hw/params.h"
+#include "src/hw/processor.h"
+
+namespace solros {
+
+class ShardSet {
+ public:
+  // `service` is the telemetry family ("fs.proxy", "net.proxy"); core k
+  // records into ShardLabel(service, k, count). Build the set BEFORE the
+  // service registers its own series: the first GetSeries call fixes the
+  // series capacity at this core's one hardware thread.
+  ShardSet(Simulator* sim, PcieFabric* fabric, const HwParams& params,
+           std::string_view service, int count) {
+    cores_.reserve(static_cast<size_t>(count));
+    for (int k = 0; k < count; ++k) {
+      const int socket = k % params.host_sockets;
+      cores_.push_back(std::make_unique<Processor>(
+          sim, fabric->HostDevice(socket), /*hw_threads=*/1,
+          params.host_core_speed,
+          std::string(service) + "-shard" + std::to_string(k),
+          ShardLabel(service, k, count)));
+    }
+  }
+
+  int count() const { return static_cast<int>(cores_.size()); }
+  Processor* core(int k) { return cores_.at(static_cast<size_t>(k)).get(); }
+
+ private:
+  std::vector<std::unique_ptr<Processor>> cores_;
+};
+
+}  // namespace solros
+
+#endif  // SOLROS_SRC_CORE_SHARD_H_

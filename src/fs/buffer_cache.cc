@@ -75,12 +75,12 @@ BufferCache::BufferCache(BlockStore* backing, DeviceId arena_device,
   dirty_gauge_ = registry.GetGauge("cache.dirty_pages");
 }
 
-void BufferCache::set_telemetry(Simulator* sim) {
+void BufferCache::set_telemetry(Simulator* sim, const std::string& series) {
   if (sim == nullptr || sim->telemetry() == nullptr) {
     return;
   }
   telemetry_sim_ = sim;
-  use_ = sim->telemetry()->GetSeries("fs.cache");
+  use_ = sim->telemetry()->GetSeries(series);
 }
 
 bool BufferCache::OverlapsInflight(uint64_t lba, uint64_t nblocks) const {

@@ -40,6 +40,7 @@
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -80,11 +81,12 @@ class BufferCache {
   // directly. Null (the default) preserves the direct legacy path.
   void set_io_scheduler(IoScheduler* sched) { sched_ = sched; }
 
-  // Attaches USE telemetry ("fs.cache"): depth = dirty pages awaiting
-  // write-back, ops = lookups, wait unused. No-op when the simulator has
-  // no telemetry hub. The cache is built without a Simulator, so the owner
-  // (FsProxy, tests) wires this explicitly.
-  void set_telemetry(Simulator* sim);
+  // Attaches USE telemetry (default series "fs.cache"; a sharded proxy
+  // passes "fs.cache[k]"): depth = dirty pages awaiting write-back, ops =
+  // lookups, wait unused. No-op when the simulator has no telemetry hub.
+  // The cache is built without a Simulator, so the owner (FsProxy, tests)
+  // wires this explicitly.
+  void set_telemetry(Simulator* sim, const std::string& series = "fs.cache");
 
   // Returns a reference to the cached page for `lba`, faulting it in from
   // the backing store on a miss (possibly evicting). The MemRef stays valid

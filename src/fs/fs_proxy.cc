@@ -53,7 +53,7 @@ bool IsSystemError(ErrorCode code) {
 
 FsProxy::FsProxy(Simulator* sim, PcieFabric* fabric, const HwParams& params,
                  Processor* host_cpu, NvmeBlockStore* store, SolrosFs* fs,
-                 const Options& options)
+                 const Options& options, const FsShardContext& shard)
     : sim_(sim),
       fabric_(fabric),
       params_(params),
@@ -61,7 +61,14 @@ FsProxy::FsProxy(Simulator* sim, PcieFabric* fabric, const HwParams& params,
       store_(store),
       fs_(fs),
       options_(options),
+      shard_(shard),
+      label_(ShardLabel("fs.proxy", shard.shard_id, shard.shard_count)),
       host_dma_(sim, fabric, params, host_cpu->device()) {
+  // Per-shard suffix for the isolated-state components (cache, scheduler
+  // classes); empty for a standalone proxy so every legacy name survives.
+  const std::string suffix =
+      shard_.shard_count > 1 ? "[" + std::to_string(shard_.shard_id) + "]"
+                             : "";
   if (options_.cache_blocks > 0) {
     BufferCacheOptions cache_options;
     cache_options.scan_resistant = options_.cache_scan_resistant;
@@ -69,6 +76,8 @@ FsProxy::FsProxy(Simulator* sim, PcieFabric* fabric, const HwParams& params,
     cache_options.coalesced_writeback = options_.coalesced_writeback;
     cache_options.writeback_max_batch = options_.writeback_max_batch;
     cache_options.coalesce_nvme = options_.coalesce_nvme;
+    // The arena lives on the shard core's socket, so a hit never crosses
+    // QPI to reach its staging pages.
     cache_ = std::make_unique<BufferCache>(store, host_cpu->device(),
                                            options_.cache_blocks,
                                            cache_options);
@@ -84,16 +93,24 @@ FsProxy::FsProxy(Simulator* sim, PcieFabric* fabric, const HwParams& params,
     sched_options.drr_quantum_blocks = options_.iosched_drr_quantum;
     sched_options.max_inflight_batches = options_.iosched_max_inflight;
     sched_options.coalesce_nvme = options_.coalesce_nvme;
+    sched_options.telemetry_suffix = suffix;
     iosched_ = std::make_unique<IoScheduler>(sim, store, sched_options);
     if (cache_ != nullptr) {
       cache_->set_io_scheduler(iosched_.get());
     }
   }
+  if (shard_.extent_map != nullptr) {
+    extent_view_ =
+        std::make_unique<SharedExtentMap::ShardView>(shard_.extent_map);
+  }
   if (sim->telemetry() != nullptr) {
-    use_ = sim->telemetry()->GetSeries("fs.proxy");
+    use_ = sim->telemetry()->GetSeries(label_);
   }
   if (cache_ != nullptr) {
-    cache_->set_telemetry(sim);
+    cache_->set_telemetry(sim, "fs.cache" + suffix);
+  }
+  if (shard_.coordinator != nullptr) {
+    shard_.coordinator->Register(this);
   }
 }
 
@@ -233,18 +250,17 @@ Task<FsResponse> FsProxy::HandleMeta(const FsRequest& request) {
       break;
     }
     case FsOp::kUnlink: {
-      // Freed blocks may be reallocated to another file; drop any cached
-      // copies first so later reads cannot hit stale pages.
+      // Freed blocks may be reallocated to another file — possibly one
+      // served by a different shard — so drop cached copies on EVERY
+      // shard before the blocks return to the allocator.
       if (cache_ != nullptr) {
         auto ino = co_await fs_->Lookup(request.Path());
         if (ino.ok()) {
           auto stat = co_await fs_->StatInode(*ino);
           if (stat.ok()) {
-            auto extents = co_await fs_->Fiemap(*ino, 0, stat->size);
+            auto extents = co_await CachedFiemap(*ino, 0, stat->size);
             if (extents.ok()) {
-              for (const FsExtent& e : *extents) {
-                cache_->InvalidateRange(e.start, e.len);
-              }
+              BroadcastInvalidate(*extents);
             }
           }
         }
@@ -277,16 +293,15 @@ Task<FsResponse> FsProxy::HandleMeta(const FsRequest& request) {
       break;
     }
     case FsOp::kTruncate: {
-      // Invalidate cached pages of any region a shrink is about to free.
+      // Invalidate cached pages of any region a shrink is about to free —
+      // on every shard, since the freed blocks go back to a shared pool.
       if (cache_ != nullptr) {
         auto stat = co_await fs_->StatInode(request.ino);
         if (stat.ok() && request.length < stat->size) {
-          auto extents = co_await fs_->Fiemap(
+          auto extents = co_await CachedFiemap(
               request.ino, request.length, stat->size - request.length);
           if (extents.ok()) {
-            for (const FsExtent& e : *extents) {
-              cache_->InvalidateRange(e.start, e.len);
-            }
+            BroadcastInvalidate(*extents);
           }
         }
       }
@@ -297,42 +312,9 @@ Task<FsResponse> FsProxy::HandleMeta(const FsRequest& request) {
       break;
     }
     case FsOp::kFsync: {
-      if (store_->volatile_write_cache()) {
-        // Durable order: push dirty pages to the device first, then fence
-        // them behind every in-flight scheduler batch with an ordered
-        // barrier, and only then commit metadata — the journal commit's
-        // device flushes make the already-completed data writes stable, so
-        // an acked fsync survives a power cut.
-        if (cache_ != nullptr) {
-          Status flushed = co_await cache_->Flush();
-          if (!flushed.ok()) {
-            co_return ErrorResponse(flushed);
-          }
-        }
-        if (iosched_ != nullptr) {
-          Status fenced = co_await iosched_->Flush(request.client);
-          if (!fenced.ok()) {
-            co_return ErrorResponse(fenced);
-          }
-        }
-        Status status = co_await fs_->Sync();
-        if (!status.ok()) {
-          co_return ErrorResponse(status);
-        }
-        break;
-      }
-      // Write-through store: acked writes are already stable, so the
-      // historical order (metadata first, then cache write-back) is kept
-      // bit-for-bit for the seed configurations.
-      Status status = co_await fs_->Sync();
+      Status status = co_await FsyncBarrier(request.client);
       if (!status.ok()) {
         co_return ErrorResponse(status);
-      }
-      if (cache_ != nullptr) {
-        Status flushed = co_await cache_->Flush();
-        if (!flushed.ok()) {
-          co_return ErrorResponse(flushed);
-        }
       }
       break;
     }
@@ -356,7 +338,7 @@ void FsProxy::NoteP2pFault() {
 
 uint32_t FsProxy::UpdateReadStream(uint32_t client, uint64_t ino,
                                    uint64_t offset, uint64_t length) {
-  auto key = std::make_pair(client, ino);
+  StreamKey key{static_cast<uint32_t>(shard_.shard_id), client, ino};
   auto it = streams_.find(key);
   if (it == streams_.end()) {
     if (streams_.size() >= kMaxReadStreams) {
@@ -392,6 +374,106 @@ Task<Status> FsProxy::FlushExtents(const std::vector<FsExtent>& extents) {
   }
   for (const FsExtent& e : extents) {
     SOLROS_CO_RETURN_IF_ERROR(co_await cache_->FlushRange(e.start, e.len));
+  }
+  co_return OkStatus();
+}
+
+Task<Result<std::vector<FsExtent>>> FsProxy::CachedFiemap(uint64_t ino,
+                                                          uint64_t offset,
+                                                          uint64_t length) {
+  if (extent_view_ != nullptr) {
+    const std::vector<FsExtent>* hit =
+        extent_view_->Lookup(ino, offset, length);
+    if (hit != nullptr) {
+      co_return *hit;
+    }
+  }
+  SOLROS_CO_ASSIGN_OR_RETURN(std::vector<FsExtent> extents,
+                             co_await fs_->Fiemap(ino, offset, length));
+  if (extent_view_ != nullptr) {
+    extent_view_->Insert(ino, offset, length, extents);
+  }
+  co_return extents;
+}
+
+void FsProxy::BroadcastInvalidate(const std::vector<FsExtent>& extents) {
+  // An LBA may be cached by any shard: a freed block can be reallocated to
+  // a file (or block group) another shard serves, so staleness does not
+  // respect the partitioning. Synchronous within the single-threaded sim —
+  // no cross-core charge, matching a store to a shared invalidation queue.
+  if (shard_.coordinator != nullptr) {
+    for (FsProxy* peer : shard_.coordinator->shards()) {
+      if (peer->cache_ == nullptr) {
+        continue;
+      }
+      for (const FsExtent& e : extents) {
+        peer->cache_->InvalidateRange(e.start, e.len);
+      }
+    }
+    return;
+  }
+  if (cache_ == nullptr) {
+    return;
+  }
+  for (const FsExtent& e : extents) {
+    cache_->InvalidateRange(e.start, e.len);
+  }
+}
+
+Task<Status> FsProxy::BroadcastFlushExtents(
+    const std::vector<FsExtent>& extents) {
+  if (shard_.coordinator != nullptr) {
+    for (FsProxy* peer : shard_.coordinator->shards()) {
+      SOLROS_CO_RETURN_IF_ERROR(co_await peer->FlushExtents(extents));
+    }
+    co_return OkStatus();
+  }
+  co_return co_await FlushExtents(extents);
+}
+
+Task<Status> FsProxy::FsyncBarrier(uint32_t client) {
+  std::vector<FsProxy*> self = {this};
+  const std::vector<FsProxy*>& shards =
+      shard_.coordinator != nullptr && !shard_.coordinator->shards().empty()
+          ? shard_.coordinator->shards()
+          : self;
+  if (store_->volatile_write_cache()) {
+    // Durable order, shard-wide: push every shard's dirty pages to the
+    // device first, then fence them behind every shard's in-flight
+    // scheduler batches with ordered barriers, and only then commit
+    // metadata — the journal commit's device flushes make the
+    // already-completed data writes stable, so an acked fsync survives a
+    // power cut no matter which shard's cache held the pages.
+    for (FsProxy* peer : shards) {
+      if (peer->cache_ != nullptr) {
+        SOLROS_CO_RETURN_IF_ERROR(co_await peer->cache_->Flush());
+      }
+    }
+    for (FsProxy* peer : shards) {
+      if (peer->iosched_ != nullptr) {
+        SOLROS_CO_RETURN_IF_ERROR(co_await peer->iosched_->Flush(client));
+      }
+    }
+    // The journal commit runs via the designated barrier shard so
+    // ordered-class flushes serialize at one place and the journal keeps
+    // one global commit order. A caller on another shard pays the
+    // cross-shard handoff on the barrier shard's core.
+    FsProxy* barrier =
+        shard_.coordinator != nullptr ? shard_.coordinator->barrier_shard()
+                                      : this;
+    if (barrier != nullptr && barrier != this) {
+      co_await barrier->host_cpu_->Compute(params_.fs_proxy_cpu);
+    }
+    co_return co_await fs_->Sync();
+  }
+  // Write-through store: acked writes are already stable, so the
+  // historical order (metadata first, then cache write-back) is kept
+  // bit-for-bit for the seed configurations.
+  SOLROS_CO_RETURN_IF_ERROR(co_await fs_->Sync());
+  for (FsProxy* peer : shards) {
+    if (peer->cache_ != nullptr) {
+      SOLROS_CO_RETURN_IF_ERROR(co_await peer->cache_->Flush());
+    }
   }
   co_return OkStatus();
 }
@@ -437,10 +519,10 @@ Task<Result<bool>> FsProxy::ShouldUseP2p(const FsRequest& request,
   // Cache-hot data is served from the host cache. Probe the first few
   // blocks of the range.
   if (cache_ != nullptr) {
-    auto extents = co_await fs_->Fiemap(request.ino, request.offset,
-                                        std::min<uint64_t>(
-                                            length,
-                                            kCacheProbeBlocks * kFsBlockSize));
+    auto extents = co_await CachedFiemap(request.ino, request.offset,
+                                         std::min<uint64_t>(
+                                             length,
+                                             kCacheProbeBlocks * kFsBlockSize));
     if (extents.ok()) {
       for (const FsExtent& e : *extents) {
         for (uint64_t b = 0; b < e.len; ++b) {
@@ -491,13 +573,13 @@ Task<FsResponse> FsProxy::HandleRead(const FsRequest& request,
         MetricRegistry::Default().GetCounter("fs.proxy.p2p_reads");
     p2p_reads->Increment();
     ScopedSpan data(sim_, "proxy", "fs.data.p2p", ctx);
-    auto extents = co_await fs_->Fiemap(request.ino, request.offset, length);
+    auto extents = co_await CachedFiemap(request.ino, request.offset, length);
     if (!extents.ok()) {
       co_return ErrorResponse(extents.status());
     }
-    // P2P bypasses the cache; push any dirty cached pages of this range
-    // out first so the device read returns the newest bytes.
-    Status coherent = co_await FlushExtents(*extents);
+    // P2P bypasses the caches; push any dirty cached pages of this range
+    // out of EVERY shard first so the device read returns the newest bytes.
+    Status coherent = co_await BroadcastFlushExtents(*extents);
     if (!coherent.ok()) {
       co_return ErrorResponse(coherent);
     }
@@ -560,12 +642,9 @@ Task<FsResponse> FsProxy::HandleWrite(const FsRequest& request,
           MetricRegistry::Default().GetCounter("fs.proxy.p2p_writes");
       p2p_writes->Increment();
       ScopedSpan data(sim_, "proxy", "fs.data.p2p", ctx);
-      // The data on disk is about to change under any cached copies.
-      if (cache_ != nullptr) {
-        for (const FsExtent& e : *extents) {
-          cache_->InvalidateRange(e.start, e.len);
-        }
-      }
+      // The data on disk is about to change under any cached copies —
+      // drop them on every shard.
+      BroadcastInvalidate(*extents);
       Status status = co_await store_->WriteExtents(
           *extents, request.memory.Sub(0, length), options_.coalesce_nvme,
           data.context());
@@ -643,6 +722,15 @@ Task<Status> FsProxy::BufferedRead(uint64_t ino, uint64_t offset,
         file_blocks > last_block ? file_blocks - last_block : 0;
     stage_blocks += std::min<uint64_t>(ra_blocks, headroom);
   }
+  if (shard_.shard_count > 1) {
+    // Clip speculation at the block-group stripe boundary: blocks past it
+    // route to a different shard, whose own stream detector readaheads
+    // them into ITS cache — fetching them here would duplicate pages
+    // across segments and fight that shard's window.
+    uint64_t stripe_end = (last_block + kShardStripeBlocks - 1) /
+                          kShardStripeBlocks * kShardStripeBlocks;
+    stage_blocks = std::min(stage_blocks, stripe_end - first_block);
+  }
   if (stage_blocks > nblocks) {
     TRACE_INSTANT(sim_, "proxy", "fs.proxy.readahead");
   }
@@ -650,8 +738,8 @@ Task<Status> FsProxy::BufferedRead(uint64_t ino, uint64_t offset,
 
   SOLROS_CO_ASSIGN_OR_RETURN(
       std::vector<FsExtent> extents,
-      co_await fs_->Fiemap(ino, first_block * kFsBlockSize,
-                           stage_blocks * kFsBlockSize));
+      co_await CachedFiemap(ino, first_block * kFsBlockSize,
+                            stage_blocks * kFsBlockSize));
 
   // The staging walk runs under a cache span (child of the buffered data
   // span) whose args record the per-request outcome: demand blocks served
@@ -803,13 +891,26 @@ Task<Status> FsProxy::BufferedWrite(uint64_t ino, uint64_t offset,
     // Gap past EOF: fall through to the write-through path below.
   }
   // The write-through path read-modify-writes partial blocks from the
-  // device; push overlapping dirty cached pages out first so the RMW sees
-  // the newest bytes.
-  if (cache_ != nullptr &&
-      (cache_->dirty_pages() > 0 || cache_->writeback_in_flight())) {
-    auto dirty_extents = co_await fs_->Fiemap(ino, offset, length);
+  // device; push overlapping dirty cached pages out of every shard first
+  // so the RMW sees the newest bytes. Skip the extent walk when no shard
+  // holds dirty pages at all (the common case stays Fiemap-free).
+  bool any_dirty = false;
+  if (shard_.coordinator != nullptr) {
+    for (FsProxy* peer : shard_.coordinator->shards()) {
+      if (peer->cache_ != nullptr && (peer->cache_->dirty_pages() > 0 ||
+                                      peer->cache_->writeback_in_flight())) {
+        any_dirty = true;
+        break;
+      }
+    }
+  } else {
+    any_dirty = cache_ != nullptr && (cache_->dirty_pages() > 0 ||
+                                      cache_->writeback_in_flight());
+  }
+  if (any_dirty) {
+    auto dirty_extents = co_await CachedFiemap(ino, offset, length);
     if (dirty_extents.ok()) {
-      SOLROS_CO_RETURN_IF_ERROR(co_await FlushExtents(*dirty_extents));
+      SOLROS_CO_RETURN_IF_ERROR(co_await BroadcastFlushExtents(*dirty_extents));
     }
   }
   SOLROS_CO_ASSIGN_OR_RETURN(
@@ -819,13 +920,11 @@ Task<Status> FsProxy::BufferedWrite(uint64_t ino, uint64_t offset,
   if (written != length) {
     co_return IoError("short write");
   }
-  // Keep the cache coherent with the freshly written disk blocks.
+  // Keep every shard's cache coherent with the freshly written blocks.
   if (cache_ != nullptr) {
-    auto extents = co_await fs_->Fiemap(ino, offset, length);
+    auto extents = co_await CachedFiemap(ino, offset, length);
     if (extents.ok()) {
-      for (const FsExtent& e : *extents) {
-        cache_->InvalidateRange(e.start, e.len);
-      }
+      BroadcastInvalidate(*extents);
     }
   }
   co_return OkStatus();

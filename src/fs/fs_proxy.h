@@ -22,11 +22,15 @@
 #include <list>
 #include <map>
 #include <memory>
+#include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
+#include "src/base/sharding.h"
 #include "src/base/status.h"
 #include "src/fs/buffer_cache.h"
+#include "src/fs/shared_extent_map.h"
 #include "src/fs/io_scheduler.h"
 #include "src/fs/nvme_block_store.h"
 #include "src/fs/solros_fs.h"
@@ -52,6 +56,38 @@ struct FsProxyStats {
   // P2P transfers that faulted and were re-served via the buffered path.
   uint64_t degraded_reads = 0;
   uint64_t degraded_writes = 0;
+};
+
+class FsProxy;
+
+// Registry for the sharded control plane: every FsProxy shard registers
+// here and the broadcast operations (cross-shard cache invalidation,
+// write-back flushes, fsync barriers) walk it. The first registered shard
+// (shard 0) is the *designated barrier shard*: journal commits route
+// through its core so ordered-class flushes keep one global order and the
+// crash-consistency guarantees survive sharding unchanged.
+class FsShardCoordinator {
+ public:
+  void Register(FsProxy* shard) { shards_.push_back(shard); }
+  const std::vector<FsProxy*>& shards() const { return shards_; }
+  FsProxy* barrier_shard() const {
+    return shards_.empty() ? nullptr : shards_.front();
+  }
+
+ private:
+  std::vector<FsProxy*> shards_;
+};
+
+// Identity of one proxy shard inside the sharded control plane. The
+// defaults describe a standalone (unsharded) proxy, which behaves exactly
+// like the historical single instance.
+struct FsShardContext {
+  int shard_id = 0;
+  int shard_count = 1;
+  // Shared versioned extent map (may be null: every Fiemap goes to the FS).
+  SharedExtentMap* extent_map = nullptr;
+  // Cross-shard registry (null: broadcasts degenerate to this shard only).
+  FsShardCoordinator* coordinator = nullptr;
 };
 
 class FsProxy {
@@ -118,9 +154,14 @@ class FsProxy {
     uint32_t iosched_max_inflight = 4;
   };
 
+  // `host_cpu` is the processor the proxy's per-request CPU work runs on —
+  // the shared host pool for a standalone proxy, or this shard's dedicated
+  // core in a sharded control plane. `shard` identifies the shard and wires
+  // the explicitly shared structures (extent map, coordinator).
   FsProxy(Simulator* sim, PcieFabric* fabric, const HwParams& params,
           Processor* host_cpu, NvmeBlockStore* store, SolrosFs* fs,
-          const Options& options);
+          const Options& options,
+          const FsShardContext& shard = FsShardContext());
 
   // Binds an RPC server on the given ring pair and starts serving.
   void Serve(SimRing* request_ring, SimRing* response_ring);
@@ -140,6 +181,17 @@ class FsProxy {
   IoScheduler* io_scheduler() { return iosched_.get(); }
   SolrosFs* fs() { return fs_; }
 
+  // -- shard introspection ----------------------------------------------------
+  int shard_id() const { return shard_.shard_id; }
+  int shard_count() const { return shard_.shard_count; }
+  // Telemetry/analyzer component name: "fs.proxy" or "fs.proxy[k]".
+  const std::string& label() const { return label_; }
+  // Per-shard memo over the shared extent map (null when unwired).
+  SharedExtentMap::ShardView* extent_view() { return extent_view_.get(); }
+  // Live sequential-stream table size (regression surface for the
+  // shard-qualified stream keys).
+  size_t read_streams() const { return streams_.size(); }
+
  private:
   // `ctx` is the request's trace context rooted at the service span; data
   // ops thread it down to the cache/NVMe/DMA spans they cause (metadata I/O
@@ -155,8 +207,11 @@ class FsProxy {
   Task<Result<bool>> ShouldUseP2p(const FsRequest& request, uint64_t length,
                                   uint32_t readahead_window = 0);
 
-  // Per-(coprocessor, file) sequential-stream state for readahead.
-  using StreamKey = std::pair<uint32_t, uint64_t>;
+  // Per-(shard, coprocessor, file) sequential-stream state for readahead.
+  // The shard id is part of the key so streams can never alias across a
+  // re-partitioning when the shard count changes (two shards may both see
+  // the same (client, ino) for different block groups of one file).
+  using StreamKey = std::tuple<uint32_t, uint32_t, uint64_t>;
   struct ReadStream {
     uint64_t next_offset = 0;   // where a sequential successor would start
     uint32_t window_blocks = 0; // current readahead window (0 = no stream)
@@ -181,6 +236,23 @@ class FsProxy {
   // read-modify-write). Cheap no-op when nothing is dirty.
   Task<Status> FlushExtents(const std::vector<FsExtent>& extents);
 
+  // -- cross-shard coherence protocol -----------------------------------------
+  // Fiemap through the per-shard memo of the shared versioned extent map;
+  // falls through to the FS (and re-memoizes) on a stale or missing entry.
+  Task<Result<std::vector<FsExtent>>> CachedFiemap(uint64_t ino,
+                                                   uint64_t offset,
+                                                   uint64_t length);
+  // Drops cached copies of `extents` on EVERY shard (freed or rewritten
+  // blocks may be cached by whichever shard served them).
+  void BroadcastInvalidate(const std::vector<FsExtent>& extents);
+  // FlushExtents on every shard: any shard may hold dirty pages of a block
+  // the caller is about to read from the device.
+  Task<Status> BroadcastFlushExtents(const std::vector<FsExtent>& extents);
+  // The fsync path under a volatile write cache, shard-wide: flush every
+  // shard's cache, fence every shard's scheduler with an ordered barrier,
+  // then run the one journal commit via the designated barrier shard.
+  Task<Status> FsyncBarrier(uint32_t client);
+
   // Host DMA with bounded resubmission while faults are armed (the engine
   // aborts before moving bytes, so a reissue is safe).
   Task<Status> DmaCopyWithRetry(MemRef dst, MemRef src,
@@ -201,13 +273,17 @@ class FsProxy {
   NvmeBlockStore* store_;
   SolrosFs* fs_;
   Options options_;
+  FsShardContext shard_;
+  std::string label_;  // "fs.proxy" or "fs.proxy[k]"
   DmaEngine host_dma_;
   std::unique_ptr<BufferCache> cache_;
   std::unique_ptr<IoScheduler> iosched_;
+  std::unique_ptr<SharedExtentMap::ShardView> extent_view_;
   std::vector<std::unique_ptr<RpcServer<FsRequest, FsResponse>>> servers_;
   FsProxyStats stats_;
-  // USE telemetry ("fs.proxy"): depth counts requests in service, errors
-  // count system-error responses.
+  // USE telemetry (label_): depth counts requests in service, errors count
+  // system-error responses; the shard's dedicated core records its busy
+  // intervals into the same series.
   UseSeries* use_ = nullptr;
   std::map<StreamKey, ReadStream> streams_;
   // MRU-first key list; back() is the victim when the table is full, so a

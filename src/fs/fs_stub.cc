@@ -35,12 +35,46 @@ bool IsIdempotent(FsOp op) {
 FsStub::FsStub(Simulator* sim, const HwParams& params, Processor* phi_cpu,
                SimRing* request_ring, SimRing* response_ring,
                uint32_t client_id)
+    : FsStub(sim, params, phi_cpu,
+             {std::make_pair(request_ring, response_ring)}, client_id) {}
+
+FsStub::FsStub(Simulator* sim, const HwParams& params, Processor* phi_cpu,
+               std::vector<std::pair<SimRing*, SimRing*>> shard_rings,
+               uint32_t client_id)
     : sim_(sim),
       params_(params),
       phi_cpu_(phi_cpu),
-      client_(sim, request_ring, response_ring),
       client_id_(client_id) {
-  client_.Start();
+  clients_.reserve(shard_rings.size());
+  for (auto& [req, resp] : shard_rings) {
+    clients_.push_back(
+        std::make_unique<RpcClient<FsRequest, FsResponse>>(sim, req, resp));
+    clients_.back()->Start();
+  }
+}
+
+int FsStub::RouteShard(const FsRequest& request) const {
+  const int shards = static_cast<int>(clients_.size());
+  if (shards <= 1) {
+    return 0;
+  }
+  switch (request.op) {
+    case FsOp::kRead:
+    case FsOp::kWrite:
+      // Block-group striping: large files spread across shards, small
+      // files land whole on their inode's shard.
+      return ShardOfFileRange(request.ino, request.offset, kFsBlockSize,
+                              shards);
+    case FsOp::kStat:
+      return request.path[0] != '\0' ? ShardOfPath(request.Path(), shards)
+                                     : ShardOfInode(request.ino, shards);
+    case FsOp::kTruncate:
+    case FsOp::kFsync:
+      return ShardOfInode(request.ino, shards);
+    default:
+      // Namespace ops carry a path.
+      return ShardOfPath(request.Path(), shards);
+  }
 }
 
 Task<Result<FsResponse>> FsStub::Call(FsRequest request) {
@@ -81,11 +115,12 @@ Task<Result<FsResponse>> FsStub::Call(FsRequest request) {
   const Nanos timeout =
       Faults().any_armed() ? retry_.timeout + request.length * 4 : 0;
   Nanos backoff = retry_.backoff;
+  RpcClient<FsRequest, FsResponse>& client = *clients_[RouteShard(request)];
   Result<FsResponse> rpc = Status(ErrorCode::kInternal);
   for (int attempt = 1;; ++attempt) {
     {
       ScopedSpan wait(sim_, "stub", "fs.stage.rpc_wait", ctx);
-      rpc = co_await client_.Call(request, timeout);
+      rpc = co_await client.Call(request, timeout);
     }
     const bool transport_error = !rpc.ok();
     ErrorCode code = transport_error ? rpc.code() : rpc.value().error;

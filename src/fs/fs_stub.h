@@ -13,7 +13,10 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "src/base/sharding.h"
 #include "src/fs/file_service.h"
 #include "src/hw/params.h"
 #include "src/hw/processor.h"
@@ -27,6 +30,15 @@ class FsStub : public FileService {
  public:
   FsStub(Simulator* sim, const HwParams& params, Processor* phi_cpu,
          SimRing* request_ring, SimRing* response_ring, uint32_t client_id);
+
+  // Sharded control plane: one ring pair per proxy shard, in shard order.
+  // Each call is routed with the same partition functions the shards use —
+  // reads/writes by (inode, block-group stripe), path ops by path hash,
+  // inode ops by inode range — so a request lands on the shard that owns
+  // its cache segment and stream state.
+  FsStub(Simulator* sim, const HwParams& params, Processor* phi_cpu,
+         std::vector<std::pair<SimRing*, SimRing*>> shard_rings,
+         uint32_t client_id);
 
   // Opens files in buffered (O_BUFFER) mode when set (§4.3.2 ablation;
   // applies to subsequent Open/Create calls and all I/O on this stub).
@@ -67,11 +79,14 @@ class FsStub : public FileService {
 
  private:
   Task<Result<FsResponse>> Call(FsRequest request);
+  // Which proxy shard (client index) serves this request.
+  int RouteShard(const FsRequest& request) const;
 
   Simulator* sim_;
   HwParams params_;
   Processor* phi_cpu_;
-  RpcClient<FsRequest, FsResponse> client_;
+  // One RPC client per proxy shard; exactly one for an unsharded proxy.
+  std::vector<std::unique_ptr<RpcClient<FsRequest, FsResponse>>> clients_;
   RpcRetryOptions retry_;
   uint32_t client_id_;
   bool buffered_ = false;

@@ -41,14 +41,15 @@ IoScheduler::IoScheduler(Simulator* sim, NvmeBlockStore* store,
       registry.GetCounter("iosched.dispatched.readahead");
   queue_ns_ = registry.GetHistogram("iosched.queue_ns");
   if (sim->telemetry() != nullptr) {
+    const std::string& sfx = options_.telemetry_suffix;
     use_[static_cast<int>(IoClass::kOrdered)] =
-        sim->telemetry()->GetSeries("iosched.ordered");
+        sim->telemetry()->GetSeries("iosched.ordered" + sfx);
     use_[static_cast<int>(IoClass::kDemand)] =
-        sim->telemetry()->GetSeries("iosched.demand");
+        sim->telemetry()->GetSeries("iosched.demand" + sfx);
     use_[static_cast<int>(IoClass::kWriteback)] =
-        sim->telemetry()->GetSeries("iosched.writeback");
+        sim->telemetry()->GetSeries("iosched.writeback" + sfx);
     use_[static_cast<int>(IoClass::kReadahead)] =
-        sim->telemetry()->GetSeries("iosched.readahead");
+        sim->telemetry()->GetSeries("iosched.readahead" + sfx);
   }
 }
 

@@ -49,6 +49,7 @@
 #include <deque>
 #include <map>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "src/base/metrics.h"
@@ -93,6 +94,10 @@ struct IoSchedulerOptions {
   uint32_t max_inflight_batches = 4;
   // Submit each round's vector under one doorbell/interrupt.
   bool coalesce_nvme = true;
+  // Appended to the USE series names ("iosched.demand<suffix>" etc.) so
+  // each control-plane shard's scheduler instance reports as its own
+  // component (e.g. "[2]"). Empty preserves the unsharded names.
+  std::string telemetry_suffix;
 };
 
 class IoScheduler {

@@ -24,6 +24,7 @@
 #define SOLROS_SRC_FS_SOLROS_FS_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
@@ -107,6 +108,15 @@ class SolrosFs {
   void set_vectored_io(bool enabled) { vectored_io_ = enabled; }
   bool vectored_io() const { return vectored_io_; }
 
+  // Called with the inode number after every extent-map mutation
+  // (StoreExtents, FreeInode). The sharded control plane hangs its
+  // cross-shard invalidation protocol off this: the shared extent map
+  // bumps the inode's version so every shard's memoized Fiemap results go
+  // stale. Unset (the default) costs nothing.
+  void set_extent_observer(std::function<void(uint64_t)> observer) {
+    extent_observer_ = std::move(observer);
+  }
+
   // -- Introspection ----------------------------------------------------------
   uint64_t free_blocks() const { return super_.free_blocks; }
   uint64_t free_inodes() const { return super_.free_inodes; }
@@ -187,6 +197,7 @@ class SolrosFs {
 
   BlockStore* store_;
   bool vectored_io_ = false;
+  std::function<void(uint64_t)> extent_observer_;
   Simulator* sim_;
   bool mounted_ = false;
   SuperBlock super_ = {};

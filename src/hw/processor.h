@@ -20,8 +20,13 @@ namespace solros {
 
 class Processor {
  public:
+  // `telemetry_series` overrides the USE series this processor's busy time
+  // is recorded into (default "cpu.<name>"). A sharded service passes its
+  // own component label (e.g. "fs.proxy[2]") so the core's utilization and
+  // the service's queue depth land in one series and the bottleneck
+  // analyzer names the shard directly.
   Processor(Simulator* sim, DeviceId device, int hw_threads, double speed,
-            std::string name)
+            std::string name, std::string telemetry_series = "")
       : device_(device),
         speed_(speed),
         threads_(sim, static_cast<size_t>(hw_threads), name) {
@@ -29,7 +34,8 @@ class Processor {
     CHECK_GT(hw_threads, 0);
     if (sim->telemetry() != nullptr) {
       threads_.set_use_series(sim->telemetry()->GetSeries(
-          "cpu." + name, static_cast<uint32_t>(hw_threads)));
+          telemetry_series.empty() ? "cpu." + name : telemetry_series,
+          static_cast<uint32_t>(hw_threads)));
     }
   }
 

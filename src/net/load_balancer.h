@@ -19,6 +19,11 @@ struct BalanceTarget {
   uint32_t dataplane = 0;       // data-plane OS id
   uint64_t active_conns = 0;    // currently assigned connections
   uint64_t total_assigned = 0;  // lifetime assignments
+  // Live backlog the proxy refreshes at pick time: inbound events sent to
+  // this data plane but not yet drained from its ring (the same sends that
+  // feed the ring's USE depth gauge). Connection counts age; this is what
+  // the target's service loop actually has queued right now.
+  uint64_t queue_depth = 0;
 };
 
 class ForwardingPolicy {
@@ -59,6 +64,28 @@ class LeastLoadedPolicy : public ForwardingPolicy {
     return best;
   }
   std::string_view name() const override { return "least-loaded"; }
+};
+
+// Load-aware on the *live* depth signal: least queued inbound events at
+// pick time, connection count as the tie-break. Unlike LeastLoadedPolicy,
+// a target whose long-lived connections have gone idle is preferred over
+// one with few but hot connections — "load on each co-processor" (§4.4.3)
+// measured as what its service loop has queued right now.
+class LiveLeastLoadedPolicy : public ForwardingPolicy {
+ public:
+  size_t Pick(uint32_t client_addr, uint16_t port,
+              std::span<const BalanceTarget> targets) override {
+    size_t best = 0;
+    for (size_t i = 1; i < targets.size(); ++i) {
+      if (targets[i].queue_depth < targets[best].queue_depth ||
+          (targets[i].queue_depth == targets[best].queue_depth &&
+           targets[i].active_conns < targets[best].active_conns)) {
+        best = i;
+      }
+    }
+    return best;
+  }
+  std::string_view name() const override { return "live-least-loaded"; }
 };
 
 // Content-based: clients stick to a co-processor by address hash (the

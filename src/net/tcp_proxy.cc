@@ -31,16 +31,54 @@ bool IsSystemError(ErrorCode code) {
 
 TcpProxy::TcpProxy(Simulator* sim, const HwParams& params,
                    Processor* host_cpu, EthernetFabric* ethernet,
-                   std::unique_ptr<ForwardingPolicy> policy)
+                   std::unique_ptr<ForwardingPolicy> policy,
+                   std::vector<Processor*> shard_cores)
     : sim_(sim),
       params_(params),
       host_cpu_(host_cpu),
       ethernet_(ethernet),
       policy_(std::move(policy)) {
   CHECK(policy_ != nullptr);
-  if (sim->telemetry() != nullptr) {
-    use_ = sim->telemetry()->GetSeries("net.proxy");
+  if (shard_cores.empty()) {
+    shard_cores.push_back(host_cpu);
   }
+  const int count = static_cast<int>(shard_cores.size());
+  shards_.reserve(shard_cores.size());
+  for (int k = 0; k < count; ++k) {
+    Shard shard;
+    shard.core = shard_cores[static_cast<size_t>(k)];
+    if (sim->telemetry() != nullptr) {
+      shard.use =
+          sim->telemetry()->GetSeries(ShardLabel("net.proxy", k, count));
+    }
+    shards_.push_back(shard);
+  }
+}
+
+uint32_t TcpProxy::PickShard(uint64_t conn_id) {
+  const int count = static_cast<int>(shards_.size());
+  if (count <= 1) {
+    return 0;
+  }
+  const int primary = ShardOfConnection(conn_id, count);
+  int lightest = 0;
+  for (int k = 1; k < count; ++k) {
+    if (ShardDepth(k) < ShardDepth(lightest)) {
+      lightest = k;
+    }
+  }
+  // Handoff only on a real imbalance: the primary is carrying more than
+  // double the lightest loop's depth. Hash placement stays the common case
+  // so connection state keeps core affinity.
+  if (primary != lightest &&
+      ShardDepth(primary) > 2 * ShardDepth(lightest) + 1) {
+    ++stats_.shard_handoffs;
+    static Counter* const handoffs =
+        MetricRegistry::Default().GetCounter("net.proxy.shard_handoffs");
+    handoffs->Increment();
+    return static_cast<uint32_t>(lightest);
+  }
+  return static_cast<uint32_t>(primary);
 }
 
 void TcpProxy::AttachDataPlane(uint32_t dataplane_id, SimRing* rpc_request,
@@ -75,14 +113,19 @@ Task<NetResponse> TcpProxy::HandleRpc(uint32_t dataplane_id,
   static Counter* const rpcs =
       MetricRegistry::Default().GetCounter("net.proxy.rpcs");
   rpcs->Increment();
+  // Socket-call RPCs shard by data plane: every call a given stub makes
+  // lands on the same event loop, so its socket state has core affinity.
+  const uint32_t shard_id =
+      static_cast<uint32_t>(dataplane_id % shards_.size());
+  Shard& shard = shards_[shard_id];
   SimTime rpc_start = sim_->now();
-  if (use_ != nullptr) {
-    use_->QueueDelta(rpc_start, +1);
+  if (shard.use != nullptr) {
+    shard.use->QueueDelta(rpc_start, +1);
   }
   // Service span, linked back to the stub's root span via the wire context.
   ScopedSpan span(sim_, "netproxy", "net.proxy.rpc",
                   TraceContext{request.trace_id, request.parent_span});
-  co_await host_cpu_->Compute(params_.net_proxy_cpu);
+  co_await shard.core->Compute(params_.net_proxy_cpu);
   NetResponse response;
   switch (request.op) {
     case NetOp::kSocket: {
@@ -90,6 +133,7 @@ Task<NetResponse> TcpProxy::HandleRpc(uint32_t dataplane_id,
       ProxySocket socket;
       socket.handle = handle;
       socket.dataplane = dataplane_id;
+      socket.shard = shard_id;
       sockets_.emplace(handle, socket);
       response.value = handle;
       break;
@@ -144,13 +188,13 @@ Task<NetResponse> TcpProxy::HandleRpc(uint32_t dataplane_id,
       response.error = ErrorCode::kNotSupported;
       break;
   }
-  if (use_ != nullptr) {
-    use_->QueueDelta(sim_->now(), -1);
-    use_->CompleteOp(sim_->now(), 0);
+  if (shard.use != nullptr) {
+    shard.use->QueueDelta(sim_->now(), -1);
+    shard.use->CompleteOp(sim_->now(), 0);
   }
   if (IsSystemError(response.error)) {
-    if (use_ != nullptr) {
-      use_->AddError(sim_->now());
+    if (shard.use != nullptr) {
+      shard.use->AddError(sim_->now());
     }
     MaybeDumpFlightRecorder(
         sim_, "net.proxy error: " + std::string(ErrorCodeName(response.error)));
@@ -164,10 +208,24 @@ Task<Status> TcpProxy::OnConnect(uint64_t conn_id, uint16_t port,
   if (it == listeners_.end() || it->second.members.empty()) {
     co_return Status(ErrorCode::kConnectionReset, "no listeners");
   }
-  // Host-side SYN handling.
-  co_await host_cpu_->Compute(params_.tcp_segment_cpu);
+  // The accept queue is shared: any shard may drain it, and the hash (or
+  // load handoff) decides which loop owns the connection from here on.
+  const uint32_t shard_id = PickShard(conn_id);
+  Shard& shard = shards_[shard_id];
+  // Host-side SYN handling on the owning shard's core.
+  co_await shard.core->Compute(params_.tcp_segment_cpu);
 
   PortListeners& group = it->second;
+  // Refresh the live per-target depth signal: the backlog of events the
+  // data plane has not drained from its inbound ring (the same sends that
+  // feed the ring's USE depth gauge). Load-aware policies read it.
+  for (BalanceTarget& target : group.targets) {
+    auto dp = dataplanes_.find(target.dataplane);
+    if (dp != dataplanes_.end() && dp->second.inbound != nullptr) {
+      target.queue_depth = dp->second.inbound->messages_sent() -
+                           dp->second.inbound->messages_received();
+    }
+  }
   size_t pick = policy_->Pick(client_addr, port, group.targets);
   if (pick >= group.members.size()) {
     // A broken policy pick refuses the connection instead of taking the
@@ -190,6 +248,7 @@ Task<Status> TcpProxy::OnConnect(uint64_t conn_id, uint16_t port,
   socket.handle = handle;
   socket.conn_id = conn_id;
   socket.dataplane = dataplane_id;
+  socket.shard = shard_id;
   sockets_.emplace(handle, socket);
   conn_to_socket_[conn_id] = handle;
 
@@ -218,15 +277,16 @@ Task<void> TcpProxy::OnClientData(uint64_t conn_id,
     co_return;
   }
   ProxySocket& socket = sock_it->second;
-  if (use_ != nullptr) {
-    use_->QueueDelta(sim_->now(), +1);
+  Shard& shard = shards_[socket.shard];
+  if (shard.use != nullptr) {
+    shard.use->QueueDelta(sim_->now(), +1);
   }
   TRACE_SPAN(sim_, "netproxy", "net.proxy.inbound");
-  // Full TCP receive processing on host cores (the Solros win: this would
-  // run 8x slower on the Phi).
-  co_await host_cpu_->Compute(params_.tcp_message_cpu +
-                              TcpSegments(data.size()) *
-                                  params_.tcp_segment_cpu);
+  // Full TCP receive processing on the connection's shard core (the Solros
+  // win: this would run 8x slower on the Phi).
+  co_await shard.core->Compute(params_.tcp_message_cpu +
+                               TcpSegments(data.size()) *
+                                   params_.tcp_segment_cpu);
   ++stats_.inbound_messages;
   stats_.inbound_bytes += data.size();
   static Counter* const inbound =
@@ -240,16 +300,16 @@ Task<void> TcpProxy::OnClientData(uint64_t conn_id,
   event.sock = socket.handle;
   event.length = static_cast<uint32_t>(data.size());
   Status status = co_await SendEvent(socket.dataplane, event, data);
-  if (use_ != nullptr) {
-    use_->QueueDelta(sim_->now(), -1);
-    use_->CompleteOp(sim_->now(), 0);
+  if (shard.use != nullptr) {
+    shard.use->QueueDelta(sim_->now(), -1);
+    shard.use->CompleteOp(sim_->now(), 0);
   }
   if (!status.ok()) {
     static Counter* const dropped =
         MetricRegistry::Default().GetCounter("net.proxy.events_dropped");
     dropped->Increment();
-    if (use_ != nullptr) {
-      use_->AddError(sim_->now());
+    if (shard.use != nullptr) {
+      shard.use->AddError(sim_->now());
     }
     LOG(WARNING) << "inbound event drop: " << status.ToString();
   }
@@ -292,12 +352,13 @@ Task<void> TcpProxy::OutboundPump(TcpProxy* self, DataPlane* dataplane) {
     if (it == self->sockets_.end() || !it->second.open) {
       continue;  // stale send after close
     }
-    if (self->use_ != nullptr) {
-      self->use_->QueueDelta(self->sim_->now(), +1);
+    Shard& shard = self->shards_[it->second.shard];
+    if (shard.use != nullptr) {
+      shard.use->QueueDelta(self->sim_->now(), +1);
     }
     TRACE_SPAN(self->sim_, "netproxy", "net.proxy.outbound");
-    // Host TCP transmit processing, then the wire.
-    co_await self->host_cpu_->Compute(
+    // Host TCP transmit processing on the socket's shard, then the wire.
+    co_await shard.core->Compute(
         self->params_.tcp_message_cpu +
         TcpSegments(payload.size()) * self->params_.tcp_segment_cpu);
     ++self->stats_.outbound_messages;
@@ -310,9 +371,9 @@ Task<void> TcpProxy::OutboundPump(TcpProxy* self, DataPlane* dataplane) {
     outbound_bytes->Increment(payload.size());
     Status status = co_await self->ethernet_->DeliverToClient(
         it->second.conn_id, std::move(payload));
-    if (self->use_ != nullptr) {
-      self->use_->QueueDelta(self->sim_->now(), -1);
-      self->use_->CompleteOp(self->sim_->now(), 0);
+    if (shard.use != nullptr) {
+      shard.use->QueueDelta(self->sim_->now(), -1);
+      shard.use->CompleteOp(self->sim_->now(), 0);
     }
     if (!status.ok() && status.code() != ErrorCode::kNotConnected) {
       LOG(WARNING) << "outbound deliver failed: " << status.ToString();

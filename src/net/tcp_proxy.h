@@ -19,6 +19,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/base/sharding.h"
 #include "src/hw/params.h"
 #include "src/hw/processor.h"
 #include "src/net/ethernet.h"
@@ -36,13 +37,24 @@ struct TcpProxyStats {
   uint64_t outbound_messages = 0;
   uint64_t inbound_bytes = 0;
   uint64_t outbound_bytes = 0;
+  // Connections steered away from their hash-primary shard because its
+  // event loop was overloaded (live load handoff).
+  uint64_t shard_handoffs = 0;
 };
 
 class TcpProxy : public ServerPort {
  public:
+  // `shard_cores` (optional) shards the proxy's event-loop work: each
+  // connection is pinned to one core by connection hash (with a live
+  // handoff to the lightest shard when the primary's depth runs away) and
+  // all of its TCP processing charges go to that core, reported under
+  // "net.proxy[k]". Empty => the historical single loop on `host_cpu`
+  // reported as "net.proxy". The listener table and forwarding policy stay
+  // shared — the shared listening socket (§4.4.3) is one accept queue no
+  // matter how many shards drain it.
   TcpProxy(Simulator* sim, const HwParams& params, Processor* host_cpu,
-           EthernetFabric* ethernet,
-           std::unique_ptr<ForwardingPolicy> policy);
+           EthernetFabric* ethernet, std::unique_ptr<ForwardingPolicy> policy,
+           std::vector<Processor*> shard_cores = {});
 
   // Wires one data-plane OS: its RPC rings (stub -> proxy socket calls) and
   // the inbound/outbound data rings. Starts the serving pumps.
@@ -59,6 +71,12 @@ class TcpProxy : public ServerPort {
 
   const TcpProxyStats& stats() const { return stats_; }
   ForwardingPolicy* policy() { return policy_.get(); }
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+  // Live event-loop depth of shard `k` (requests + events in service).
+  int64_t ShardDepth(int k) const {
+    const Shard& shard = shards_[static_cast<size_t>(k)];
+    return shard.use != nullptr ? shard.use->depth() : 0;
+  }
 
  private:
   struct DataPlane {
@@ -66,6 +84,12 @@ class TcpProxy : public ServerPort {
     SimRing* inbound = nullptr;
     SimRing* outbound = nullptr;
     std::unique_ptr<RpcServer<NetRequest, NetResponse>> rpc;
+  };
+  // One event-loop shard: a dedicated core plus its USE series
+  // ("net.proxy[k]"; the unsharded proxy is one shard named "net.proxy").
+  struct Shard {
+    Processor* core = nullptr;
+    UseSeries* use = nullptr;
   };
   // One listener entry on a (shared) port.
   struct PortListeners {
@@ -77,6 +101,7 @@ class TcpProxy : public ServerPort {
     int64_t handle = 0;
     uint64_t conn_id = 0;
     uint32_t dataplane = 0;
+    uint32_t shard = 0;  // event-loop shard all this socket's work runs on
     bool open = true;
   };
 
@@ -84,21 +109,23 @@ class TcpProxy : public ServerPort {
   static Task<void> OutboundPump(TcpProxy* self, DataPlane* dataplane);
   Task<Status> SendEvent(uint32_t dataplane_id, const NetEvent& event,
                          std::span<const uint8_t> payload);
+  // Shard for a new wire connection: connection hash, overridden by a
+  // handoff to the lightest shard when the primary's live depth runs away.
+  uint32_t PickShard(uint64_t conn_id);
 
   Simulator* sim_;
   HwParams params_;
   Processor* host_cpu_;
   EthernetFabric* ethernet_;
   std::unique_ptr<ForwardingPolicy> policy_;
+  // Event-loop shards; size 1 reproduces the historical single proxy loop.
+  std::vector<Shard> shards_;
   std::map<uint32_t, DataPlane> dataplanes_;
   std::map<uint16_t, PortListeners> listeners_;
   std::map<int64_t, ProxySocket> sockets_;       // by proxy handle
   std::map<uint64_t, int64_t> conn_to_socket_;   // wire conn -> handle
   int64_t next_handle_ = 1;
   TcpProxyStats stats_;
-  // USE telemetry ("net.proxy"): depth counts RPCs plus in/outbound
-  // messages in service on the host loops.
-  UseSeries* use_ = nullptr;
 };
 
 }  // namespace solros

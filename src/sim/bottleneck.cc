@@ -205,6 +205,47 @@ void RenderBottleneckReport(const BottleneckReport& report,
   } else {
     os << "overall bottleneck: none (no busy windows)\n";
   }
+
+  // Sharded services register one series per shard as "name[k]"; summarize
+  // each family's balance as max/mean completed ops across the shards
+  // (1.000 = a perfectly even partition). Integer permille math keeps the
+  // line byte-reproducible.
+  std::map<std::string, uint64_t> ops_by_name;
+  for (const WindowVerdict& verdict : report.windows) {
+    for (const ComponentWindowStat& stat : verdict.components) {
+      ops_by_name[stat.name] += stat.ops;
+    }
+  }
+  std::map<std::string, std::vector<uint64_t>> shard_families;
+  for (const auto& [name, ops] : ops_by_name) {
+    size_t bracket = name.find('[');
+    if (bracket != std::string::npos && !name.empty() &&
+        name.back() == ']') {
+      shard_families[name.substr(0, bracket)].push_back(ops);
+    }
+  }
+  for (const auto& [base, shard_ops] : shard_families) {
+    if (shard_ops.size() < 2) {
+      continue;
+    }
+    uint64_t total = 0;
+    uint64_t peak = 0;
+    for (uint64_t ops : shard_ops) {
+      total += ops;
+      peak = std::max(peak, ops);
+    }
+    if (total == 0) {
+      continue;
+    }
+    uint64_t milli = peak * 1000 * shard_ops.size() / total;
+    std::snprintf(line, sizeof(line),
+                  "shard balance: %s max/mean ops = %llu.%03llu over %zu "
+                  "shards\n",
+                  base.c_str(), static_cast<unsigned long long>(milli / 1000),
+                  static_cast<unsigned long long>(milli % 1000),
+                  shard_ops.size());
+    os << line;
+  }
 }
 
 }  // namespace solros

@@ -163,6 +163,42 @@ TEST(LatencyOrderingTest, PhiLinuxIsMuchSlowerThanHostStack) {
       << "host=" << host_p50 << " phi=" << phi_p50;
 }
 
+TEST(ForwardingPolicyTest, LiveLeastLoadedPicksShallowestQueue) {
+  LiveLeastLoadedPolicy policy;
+  // The live depth signal outranks connection counts: target 1 has the
+  // most connections but nothing queued right now.
+  std::vector<BalanceTarget> targets(3);
+  targets[0] = {.dataplane = 0, .active_conns = 1, .queue_depth = 7};
+  targets[1] = {.dataplane = 1, .active_conns = 9, .queue_depth = 0};
+  targets[2] = {.dataplane = 2, .active_conns = 2, .queue_depth = 3};
+  EXPECT_EQ(policy.Pick(0x0a000001, 80, targets), 1u);
+  // Depth ties fall back to the connection count.
+  targets[1].queue_depth = 3;
+  targets[2].active_conns = 0;
+  EXPECT_EQ(policy.Pick(0x0a000001, 80, targets), 2u);
+  EXPECT_EQ(policy.name(), "live-least-loaded");
+}
+
+TEST(MachineNetTest, EchoWorksWithShardedTcpProxy) {
+  MachineConfig config;
+  config.num_phis = 1;
+  config.nvme_capacity = MiB(64);
+  config.proxy_shards = 2;
+  Machine machine(std::move(config));
+  EXPECT_EQ(machine.tcp_proxy().shard_count(), 2);
+  Spawn(machine.sim(), OneShotEcho(&machine.net_stub(0), 5000));
+  machine.sim().RunUntilIdle();
+  Processor client(&machine.sim(), machine.host_device(), 32, 1.0, "cl");
+  Histogram latencies;
+  WaitGroup wg(&machine.sim());
+  wg.Add(1);
+  Spawn(machine.sim(), MeasurePing(&machine.ethernet(), &client, 5000, 50,
+                                   &machine.sim(), &latencies, &wg));
+  machine.sim().RunUntilIdle();
+  EXPECT_EQ(wg.outstanding(), 0u);
+  EXPECT_GT(latencies.count(), 0u);
+}
+
 TEST(MachineNetTest, SolrosLatencyTracksHostNotPhiLinux) {
   // End-to-end ordering: Solros ~ Host << Phi-Linux (Fig. 1(b)).
   auto solros_p50 = [] {
