@@ -20,6 +20,11 @@
 //                         prints a "bottleneck[label] = component" line
 //   --slo-ns=N            per-request total-latency SLO for benches that
 //                         arm an SloWatchdog; its summary prints at exit
+//   --trace-sample=N      tail-based trace sampling: keep only traces that
+//                         violated an SLO budget, hit a fault/error, or
+//                         match a deterministic 1-in-N hash of the trace
+//                         id (benches that call MaybeEnableTraceSampling);
+//                         SOLROS_TRACE_SAMPLE=N is the env equivalent
 #ifndef SOLROS_BENCH_BENCH_UTIL_H_
 #define SOLROS_BENCH_BENCH_UTIL_H_
 
@@ -49,6 +54,7 @@ struct BenchFlags {
   uint64_t flight_recorder = 0;  // entries to keep; 0 => no recorder
   std::string telemetry_out;     // empty => telemetry off
   uint64_t slo_ns = 0;           // 0 => no SLO watchdog
+  uint64_t trace_sample = 0;     // keep 1-in-N by hash; 0 => full capture
 };
 
 inline BenchFlags& GetBenchFlags() {
@@ -93,9 +99,17 @@ inline bool InitBench(int argc, char** argv) {
         std::cerr << "--slo-ns= requires a positive nanosecond budget\n";
         return false;
       }
+    } else if (arg.rfind("--trace-sample=", 0) == 0) {
+      flags.trace_sample = static_cast<uint64_t>(
+          std::strtoull(argv[i] + strlen("--trace-sample="), nullptr, 10));
+      if (flags.trace_sample == 0) {
+        std::cerr << "--trace-sample= requires a positive keep-1-in-N\n";
+        return false;
+      }
     } else if (arg == "--help" || arg == "-h") {
       std::cerr << "common flags: --csv --metrics --trace-out=FILE "
-                   "--flight-recorder=N --telemetry-out=FILE --slo-ns=N\n";
+                   "--flight-recorder=N --telemetry-out=FILE --slo-ns=N "
+                   "--trace-sample=N\n";
       return false;
     }
   }
@@ -167,6 +181,44 @@ inline void ArmFlightRecorder(Tracer& tracer) {
   tracer.set_flight_recorder(BenchFlightRecorder());
 }
 
+// Tail-sampling rate: the --trace-sample flag, falling back to the
+// SOLROS_TRACE_SAMPLE environment knob. 0 = full capture.
+inline uint64_t TraceSampleN() {
+  if (GetBenchFlags().trace_sample != 0) {
+    return GetBenchFlags().trace_sample;
+  }
+  const char* value = std::getenv("SOLROS_TRACE_SAMPLE");
+  if (value == nullptr || value[0] == '\0') {
+    return 0;
+  }
+  return static_cast<uint64_t>(std::strtoull(value, nullptr, 10));
+}
+
+// Switches `tracer` to tail-based retention under --trace-sample=N /
+// SOLROS_TRACE_SAMPLE=N. Must run before the tracer records any span.
+inline void MaybeEnableTraceSampling(Tracer& tracer) {
+  if (uint64_t n = TraceSampleN(); n != 0) {
+    tracer.EnableSampling(n);
+  }
+}
+
+// One line of retention accounting, printed by benches that sample.
+inline void PrintSamplerSummary(const Tracer& tracer) {
+  if (!tracer.sampling()) {
+    return;
+  }
+  const SamplerStats& s = tracer.sampler_stats();
+  std::cout << "trace sampler: kept=" << s.traces_kept
+            << " (slo=" << s.kept_slo << " error=" << s.kept_error
+            << " hash=" << s.kept_hash << ") dropped=" << s.traces_dropped
+            << " spans_kept=" << s.spans_kept
+            << " spans_dropped=" << s.spans_dropped
+            << " truncated=" << s.spans_truncated
+            << " late=" << s.late_spans
+            << " untraced_dropped=" << s.untraced_dropped
+            << " pending=" << tracer.pending_traces() << "\n";
+}
+
 // Under --telemetry-out, switches a machine config's telemetry on with a
 // 1 ms window (templated so this header stays independent of machine.h).
 // Telemetry recording never advances simulated time, so measured numbers
@@ -192,6 +244,7 @@ inline void ResetTelemetry(MachineT& machine) {
 struct TelemetryReportEntry {
   std::string label;
   std::string json;
+  std::string conntrack;  // top-K connection table JSON ("" = no net plane)
 };
 
 // Snapshots accumulated by AppendTelemetryReport, written by FinishBench.
@@ -214,7 +267,13 @@ inline void AppendTelemetryReport(const std::string& label,
       machine.telemetry()->Snapshot(machine.sim().now());
   std::ostringstream json;
   snapshot.WriteJson(json);
-  TelemetryReports().push_back({label, json.str()});
+  // Machines with a network plane contribute their top-8 connection table
+  // (conntrack); rigs without one report "".
+  std::string conntrack;
+  if constexpr (requires { machine.ConntrackJson(size_t{8}); }) {
+    conntrack = machine.ConntrackJson(8);
+  }
+  TelemetryReports().push_back({label, json.str(), std::move(conntrack)});
   BottleneckReport report = AnalyzeBottlenecks(snapshot);
   std::cout << "bottleneck[" << label << "] = "
             << (report.overall.empty() ? "none" : report.overall) << "\n";
@@ -250,7 +309,11 @@ inline void FinishBench() {
           json.pop_back();
         }
         out << (first ? "" : ",") << "\n{\"label\":\"" << entry.label
-            << "\",\"telemetry\":" << json << "}";
+            << "\",\"telemetry\":" << json;
+        if (!entry.conntrack.empty()) {
+          out << ",\"conntrack\":" << entry.conntrack;
+        }
+        out << "}";
         first = false;
       }
       out << "\n]}\n";

@@ -5,6 +5,7 @@
 #define SOLROS_BENCH_NET_WORKLOAD_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -12,6 +13,7 @@
 #include "src/base/prng.h"
 #include "src/core/machine.h"
 #include "src/net/direct_server.h"
+#include "src/sim/attribution.h"
 #include "src/sim/sync.h"
 
 namespace solros {
@@ -49,15 +51,26 @@ inline Task<void> PingPongClient(EthernetFabric* eth, Processor* cpu,
   CHECK_OK(conn);
   std::vector<uint8_t> payload(size, 0x11);
   Prng prng(addr * 7919 + port);  // deterministic per-client jitter
+  Tracer* tracer = sim->tracer();
   for (int i = 0; i < pings; ++i) {
     // Open-loop-ish think time desynchronizes clients so queueing (and
     // therefore the percentile spread) is realistic.
     co_await Delay(prng.NextInRange(0, Microseconds(50)));
     SimTime t0 = sim->now();
-    CHECK_OK(co_await eth->ClientSend(*conn, payload, cpu));
-    auto echoed = co_await eth->ClientRecv(*conn);
-    CHECK_OK(echoed);
-    CHECK_EQ(echoed->size(), payload.size());
+    {
+      // Root of this round trip's causal trace: every wire hop, ring wait,
+      // proxy/stack span, and dispatch handoff hangs off it (untraced when
+      // no tracer is bound).
+      TraceContext root_ctx;
+      if (tracer != nullptr) {
+        root_ctx.trace_id = tracer->NewTraceId();
+      }
+      ScopedSpan op(tracer, "client", "net.client.op", root_ctx);
+      CHECK_OK(co_await eth->ClientSend(*conn, payload, cpu, op.context()));
+      auto echoed = co_await eth->ClientRecv(*conn);
+      CHECK_OK(echoed);
+      CHECK_EQ(echoed->size(), payload.size());
+    }
     latencies->Record(sim->now() - t0);
   }
   co_await eth->ClientClose(*conn, cpu);
@@ -182,6 +195,42 @@ inline Histogram MeasureNetLatency(NetConfigKind kind, uint32_t size,
                             "/" + std::to_string(size) + "B",
                         machine);
   return latencies;
+}
+
+// Runs the ping-pong workload under a bound Tracer and returns one
+// measured StageBreakdown per closed trace (echo round trips root at
+// net.client.op; control RPCs like Listen/Accept root at net.stub.call —
+// filter on `wire > 0` for the data-path rows). Optionally exports the
+// Chrome trace to `trace_out`.
+inline std::vector<StageBreakdown> MeasureNetStages(
+    NetConfigKind kind, uint32_t size, int clients, int pings,
+    const std::string& trace_out = "") {
+  // Declared before the rig: coroutine frames owned by the simulator hold
+  // ScopedSpans into the tracer, so it must be destroyed last.
+  Tracer tracer;
+  NetRig rig(kind);
+  Machine& machine = *rig.machine;
+  tracer.Bind(&machine.sim());
+  Spawn(machine.sim(), BenchEchoServer(rig.api, 7000, clients));
+  machine.sim().RunUntilIdle();
+  Processor client_cpu(&machine.sim(), machine.host_device(), 64, 1.0,
+                       "client");
+  Histogram latencies;
+  WaitGroup wg(&machine.sim());
+  for (int c = 0; c < clients; ++c) {
+    wg.Add(1);
+    Spawn(machine.sim(),
+          PingPongClient(&machine.ethernet(), &client_cpu,
+                         0x0a000000u + static_cast<uint32_t>(c), 7000,
+                         pings, size, &machine.sim(), &latencies, &wg));
+  }
+  machine.sim().RunUntilIdle();
+  CHECK_EQ(wg.outstanding(), 0u);
+  if (!trace_out.empty()) {
+    CHECK_OK(tracer.ExportChromeTraceToFile(trace_out));
+    std::cout << "trace written to " << trace_out << "\n";
+  }
+  return ComputeStageBreakdowns(tracer);
 }
 
 // Measures one-way streaming throughput (bytes/sec).

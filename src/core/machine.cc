@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <ostream>
+#include <sstream>
 #include <string>
 #include <utility>
 
@@ -229,6 +230,9 @@ Machine::Machine(MachineConfig config) : config_(std::move(config)) {
         const std::string label = ShardLabel("net.proxy", k, proxy_shards_);
         telemetry_->DeclareEdge(label, "net.wire.up");
         telemetry_->DeclareEdge(label, "net.wire.down");
+        // Per-connection series (conntrack) hang off their event-loop shard.
+        telemetry_->DeclareEdge(label,
+                                ShardLabel("net.conn", k, proxy_shards_));
       }
     }
   }
@@ -252,6 +256,15 @@ Machine::~Machine() {
       }
     }
   }
+}
+
+std::string Machine::ConntrackJson(size_t top_k) const {
+  if (tcp_proxy_ == nullptr) {
+    return "";
+  }
+  std::ostringstream os;
+  tcp_proxy_->conntrack().WriteTopJson(os, top_k);
+  return os.str();
 }
 
 Task<Status> Machine::FormatFs(uint64_t inode_count) {

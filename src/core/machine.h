@@ -20,6 +20,7 @@
 
 #include <iosfwd>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/base/metrics.h"
@@ -125,6 +126,10 @@ class Machine {
   EthernetFabric& ethernet() { return *ethernet_; }
   TcpProxy& tcp_proxy() { return *tcp_proxy_; }
   NetStub& net_stub(int i) { return *net_stubs_.at(i); }
+
+  // Top-`top_k` connections (by total bytes) from the proxy's conntrack
+  // table as one JSON object; "" when the network plane is disabled.
+  std::string ConntrackJson(size_t top_k) const;
 
   // Null unless config.telemetry_window > 0.
   TelemetryHub* telemetry() { return telemetry_.get(); }

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/base/logging.h"
+#include "src/sim/trace.h"
 
 namespace solros {
 
@@ -87,12 +88,15 @@ Task<Result<std::vector<uint8_t>>> DirectServer::Recv(int64_t sock) {
     co_return InvalidArgumentError("bad socket handle");
   }
   co_await config_.stack_cpu->Compute(params_.tcp_segment_cpu / 2);
-  std::optional<std::vector<uint8_t>> data =
-      co_await it->second.recv_queue->Receive();
-  if (!data.has_value()) {
+  std::optional<RecvItem> item = co_await it->second.recv_queue->Receive();
+  if (!item.has_value()) {
     co_return Status(ErrorCode::kConnectionReset, "peer closed");
   }
-  co_return std::move(*data);
+  // Remember the request's context so the next Send on this socket (the
+  // reply, in request/response protocols) joins the same trace.
+  it->second.reply_trace_id = item->trace_id;
+  it->second.reply_parent = item->parent_span;
+  co_return std::move(item->data);
 }
 
 Task<Status> DirectServer::Send(int64_t sock, std::span<const uint8_t> data) {
@@ -100,9 +104,18 @@ Task<Status> DirectServer::Send(int64_t sock, std::span<const uint8_t> data) {
   if (it == sockets_.end() || !it->second.open) {
     co_return Status(ErrorCode::kNotConnected);
   }
-  co_await OutboundStack(data.size());
+  TraceContext ctx{it->second.reply_trace_id, it->second.reply_parent};
+  it->second.reply_trace_id = 0;
+  it->second.reply_parent = 0;
+  {
+    // Outbound TCP transmit processing — the direct stack's service stage.
+    ScopedSpan stack(ctx.traced() ? sim_->tracer() : nullptr, "directsrv",
+                     "net.server.stack", ctx);
+    co_await OutboundStack(data.size());
+  }
   co_return co_await ethernet_->DeliverToClient(
-      it->second.conn_id, std::vector<uint8_t>(data.begin(), data.end()));
+      it->second.conn_id, std::vector<uint8_t>(data.begin(), data.end()),
+      ctx);
 }
 
 Task<Status> DirectServer::Close(int64_t sock) {
@@ -129,8 +142,7 @@ Task<Status> DirectServer::OnConnect(uint64_t conn_id, uint16_t port,
   int64_t handle = next_handle_++;
   Socket socket;
   socket.conn_id = conn_id;
-  socket.recv_queue =
-      std::make_unique<Channel<std::vector<uint8_t>>>(sim_, 0);
+  socket.recv_queue = std::make_unique<Channel<RecvItem>>(sim_, 0);
   sockets_.emplace(handle, std::move(socket));
   conn_to_sock_[conn_id] = handle;
   if (!listener.accept_queue->TrySend(handle)) {
@@ -142,15 +154,27 @@ Task<Status> DirectServer::OnConnect(uint64_t conn_id, uint16_t port,
 }
 
 Task<void> DirectServer::OnClientData(uint64_t conn_id,
-                                      std::vector<uint8_t> data) {
+                                      std::vector<uint8_t> data,
+                                      TraceContext ctx) {
   auto it = conn_to_sock_.find(conn_id);
   if (it == conn_to_sock_.end()) {
     co_return;
   }
-  co_await InboundStack(data.size());
+  {
+    // Inbound TCP receive processing (bridge hop + softirq queueing
+    // included) — the direct stack's service stage.
+    ScopedSpan stack(ctx.traced() ? sim_->tracer() : nullptr, "directsrv",
+                     "net.server.stack", ctx);
+    co_await InboundStack(data.size());
+  }
   auto sit = sockets_.find(it->second);
   if (sit != sockets_.end() && sit->second.open) {
-    co_await sit->second.recv_queue->Send(std::move(data));
+    // Handoff wait until the application's Recv picks the message up —
+    // the direct stack's dispatch stage.
+    ScopedSpan dispatch(ctx.traced() ? sim_->tracer() : nullptr, "directsrv",
+                        "net.server.dispatch", ctx);
+    co_await sit->second.recv_queue->Send(
+        {std::move(data), ctx.trace_id, ctx.parent_span});
   }
 }
 

@@ -56,8 +56,8 @@ class DirectServer : public ServerPort, public ServerSocketApi {
   // -- ServerPort (the wire side) ---------------------------------------------
   Task<Status> OnConnect(uint64_t conn_id, uint16_t port,
                          uint32_t client_addr) override;
-  Task<void> OnClientData(uint64_t conn_id,
-                          std::vector<uint8_t> data) override;
+  Task<void> OnClientData(uint64_t conn_id, std::vector<uint8_t> data,
+                          TraceContext ctx) override;
   Task<void> OnClientClose(uint64_t conn_id) override;
 
  private:
@@ -66,10 +66,24 @@ class DirectServer : public ServerPort, public ServerSocketApi {
     int backlog;
     std::unique_ptr<Channel<int64_t>> accept_queue;
   };
+  // One received message plus its trace context. Deliberately not an
+  // aggregate — see NetStub::RecvItem for the GCC 12 coroutine-parameter
+  // pitfall.
+  struct RecvItem {
+    RecvItem() = default;
+    RecvItem(std::vector<uint8_t> d, uint64_t trace, uint64_t parent)
+        : data(std::move(d)), trace_id(trace), parent_span(parent) {}
+    std::vector<uint8_t> data;
+    uint64_t trace_id = 0;
+    uint64_t parent_span = 0;
+  };
   struct Socket {
     uint64_t conn_id = 0;
-    std::unique_ptr<Channel<std::vector<uint8_t>>> recv_queue;
+    std::unique_ptr<Channel<RecvItem>> recv_queue;
     bool open = true;
+    // Context of the last message Recv returned; the next Send replies to it.
+    uint64_t reply_trace_id = 0;
+    uint64_t reply_parent = 0;
   };
 
   // Inbound/outbound hop costs for this configuration.

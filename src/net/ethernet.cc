@@ -63,7 +63,8 @@ Task<Result<uint64_t>> EthernetFabric::ClientConnect(uint32_t client_addr,
 
 Task<Status> EthernetFabric::ClientSend(uint64_t conn_id,
                                         std::span<const uint8_t> data,
-                                        Processor* client_cpu) {
+                                        Processor* client_cpu,
+                                        TraceContext ctx) {
   auto it = conns_.find(conn_id);
   if (it == conns_.end() || !it->second.open) {
     co_return Status(ErrorCode::kNotConnected);
@@ -71,9 +72,15 @@ Task<Status> EthernetFabric::ClientSend(uint64_t conn_id,
   // Client stack cost per segment, then the wire.
   co_await client_cpu->Compute(TcpSegments(data.size()) *
                                params_.tcp_segment_cpu);
-  co_await WireToServer(data.size() + 64);
+  {
+    // Uplink transit (queueing + serialization + propagation), closed
+    // before the server port runs so the wire stage never overlaps service.
+    ScopedSpan wire(ctx.traced() ? sim_->tracer() : nullptr, "wire",
+                    "net.wire.transit", ctx);
+    co_await WireToServer(data.size() + 64);
+  }
   std::vector<uint8_t> payload(data.begin(), data.end());
-  co_await it->second.handler->OnClientData(conn_id, std::move(payload));
+  co_await it->second.handler->OnClientData(conn_id, std::move(payload), ctx);
   co_return OkStatus();
 }
 
@@ -105,12 +112,17 @@ Task<void> EthernetFabric::ClientClose(uint64_t conn_id,
 }
 
 Task<Status> EthernetFabric::DeliverToClient(uint64_t conn_id,
-                                             std::vector<uint8_t> data) {
+                                             std::vector<uint8_t> data,
+                                             TraceContext ctx) {
   auto it = conns_.find(conn_id);
   if (it == conns_.end() || !it->second.open) {
     co_return Status(ErrorCode::kNotConnected);
   }
-  co_await WireToClient(data.size() + 64);
+  {
+    ScopedSpan wire(ctx.traced() ? sim_->tracer() : nullptr, "wire",
+                    "net.wire.transit", ctx);
+    co_await WireToClient(data.size() + 64);
+  }
   co_await it->second.to_client->Send(std::move(data));
   co_return OkStatus();
 }

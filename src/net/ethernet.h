@@ -29,6 +29,7 @@
 #include "src/sim/resource.h"
 #include "src/sim/sync.h"
 #include "src/sim/task.h"
+#include "src/sim/trace.h"
 
 namespace solros {
 
@@ -47,9 +48,12 @@ class ServerPort {
   // `conn_id` is the fabric-global connection id.
   virtual Task<Status> OnConnect(uint64_t conn_id, uint16_t port,
                                  uint32_t client_addr) = 0;
-  // Client payload arriving at the NIC for this connection.
-  virtual Task<void> OnClientData(uint64_t conn_id,
-                                  std::vector<uint8_t> data) = 0;
+  // Client payload arriving at the NIC for this connection. `ctx` is the
+  // client's trace context for per-stage attribution (untraced when zero);
+  // implementations hang their service spans off it and thread it through
+  // to the reply.
+  virtual Task<void> OnClientData(uint64_t conn_id, std::vector<uint8_t> data,
+                                  TraceContext ctx) = 0;
   virtual Task<void> OnClientClose(uint64_t conn_id) = 0;
 };
 
@@ -65,16 +69,20 @@ class EthernetFabric {
   // Establishes a connection; returns the connection id.
   Task<Result<uint64_t>> ClientConnect(uint32_t client_addr, uint16_t port,
                                        Processor* client_cpu);
+  // `ctx`, when traced, wraps the uplink wire transfer in a
+  // "net.wire.transit" span and rides with the data to the ServerPort.
   Task<Status> ClientSend(uint64_t conn_id, std::span<const uint8_t> data,
-                          Processor* client_cpu);
+                          Processor* client_cpu, TraceContext ctx = {});
   // Waits for the next server->client message.
   Task<Result<std::vector<uint8_t>>> ClientRecv(uint64_t conn_id);
   Task<void> ClientClose(uint64_t conn_id, Processor* client_cpu);
 
   // -- server side -----------------------------------------------------------
   // Delivery back to the client (used by ServerPort implementations); the
-  // caller has already charged its server-side stack costs.
-  Task<Status> DeliverToClient(uint64_t conn_id, std::vector<uint8_t> data);
+  // caller has already charged its server-side stack costs. A traced `ctx`
+  // wraps the downlink wire transfer in a "net.wire.transit" span.
+  Task<Status> DeliverToClient(uint64_t conn_id, std::vector<uint8_t> data,
+                               TraceContext ctx = {});
   void CloseFromServer(uint64_t conn_id);
 
   uint64_t connections_opened() const { return next_conn_ - 1; }

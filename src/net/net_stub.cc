@@ -17,7 +17,13 @@ NetStub::NetStub(Simulator* sim, const HwParams& params, Processor* phi_cpu,
       phi_cpu_(phi_cpu),
       rpc_(sim, rpc_request, rpc_response),
       inbound_(inbound),
-      outbound_(outbound) {
+      outbound_(outbound),
+      c_events_(MetricRegistry::Default().GetCounter("net.stub.events")),
+      c_retries_(MetricRegistry::Default().GetCounter("net.stub.retries")),
+      c_recvs_(MetricRegistry::Default().GetCounter("net.stub.recvs")),
+      c_sends_(MetricRegistry::Default().GetCounter("net.stub.sends")),
+      c_send_bytes_(
+          MetricRegistry::Default().GetCounter("net.stub.send_bytes")) {
   rpc_.Start();
   Spawn(*sim_, EventDispatcher(this));
 }
@@ -28,8 +34,7 @@ NetStub::SocketState& NetStub::EnsureSocket(int64_t handle) {
     state.accept_queue = std::make_unique<Channel<int64_t>>(sim_, 0);
   }
   if (state.recv_queue == nullptr) {
-    state.recv_queue =
-        std::make_unique<Channel<std::vector<uint8_t>>>(sim_, 0);
+    state.recv_queue = std::make_unique<Channel<RecvItem>>(sim_, 0);
   }
   return state;
 }
@@ -43,11 +48,21 @@ Task<void> NetStub::EventDispatcher(NetStub* self) {
       break;  // ring closed
     }
     ++self->events_;
-    static Counter* const events =
-        MetricRegistry::Default().GetCounter("net.stub.events");
-    events->Increment();
-    TRACE_SPAN(self->sim_, "netstub", "net.stub.dispatch");
+    self->c_events_->Increment();
     NetEvent event = DecodePod<NetEvent>(*record);
+    TraceContext ctx{event.trace_id, event.parent_span};
+    // Retroactive inbound-ring wait: [event ready, dequeued here] — the
+    // slice of the round trip spent queued behind the single dispatcher
+    // (same idiom as the RPC response ring, rpc.h).
+    if (Tracer* tracer = self->sim_->tracer();
+        tracer != nullptr && ctx.traced()) {
+      auto stamp = self->inbound_->last_dequeue_stamp();
+      if (stamp.has_value()) {
+        tracer->RecordSpan("ring", "net.queue.event", stamp->ready_at,
+                           stamp->dequeue_at, ctx);
+      }
+    }
+    ScopedSpan span(self->sim_, "netstub", "net.stub.dispatch", ctx);
     switch (event.kind) {
       case NetEventKind::kAccepted: {
         // Make the connected socket's queues exist before any data event.
@@ -60,7 +75,8 @@ Task<void> NetStub::EventDispatcher(NetStub* self) {
         SocketState& socket = self->EnsureSocket(event.sock);
         std::vector<uint8_t> payload(record->begin() + sizeof(NetEvent),
                                      record->end());
-        co_await socket.recv_queue->Send(std::move(payload));
+        co_await socket.recv_queue->Send(
+            {std::move(payload), event.trace_id, event.parent_span});
         break;
       }
       case NetEventKind::kPeerClosed: {
@@ -98,12 +114,18 @@ Task<Result<NetResponse>> NetStub::Call(NetRequest request) {
     rpc = co_await rpc_.Call(request, timeout);
     if (rpc.ok() || rpc.code() != ErrorCode::kTimedOut ||
         attempt >= retry_.max_attempts) {
+      // A failed RPC marks the whole trace for retention under tail-based
+      // sampling (no-op in full-capture mode).
+      if (!rpc.ok() && tracer != nullptr && root_ctx.traced()) {
+        tracer->FlagTrace(root_ctx.trace_id, Tracer::TraceFlag::kError);
+      }
       co_return rpc;
     }
-    static Counter* const retries =
-        MetricRegistry::Default().GetCounter("net.stub.retries");
-    retries->Increment();
+    c_retries_->Increment();
     TRACE_INSTANT(sim_, "netstub", "net.stub.retry");
+    if (tracer != nullptr && root_ctx.traced()) {
+      tracer->FlagTrace(root_ctx.trace_id, Tracer::TraceFlag::kError);
+    }
     co_await Delay(backoff);
     backoff *= 2;
   }
@@ -145,33 +167,45 @@ Task<Result<int64_t>> NetStub::Accept(int64_t listener) {
 }
 
 Task<Result<std::vector<uint8_t>>> NetStub::Recv(int64_t sock) {
-  static Counter* const recvs =
-      MetricRegistry::Default().GetCounter("net.stub.recvs");
-  recvs->Increment();
+  c_recvs_->Increment();
   TRACE_SPAN(sim_, "netstub", "net.stub.recv");
   co_await phi_cpu_->Compute(params_.net_stub_cpu);
   SocketState& state = EnsureSocket(sock);
-  std::optional<std::vector<uint8_t>> data =
-      co_await state.recv_queue->Receive();
-  if (!data.has_value()) {
+  std::optional<RecvItem> item = co_await state.recv_queue->Receive();
+  if (!item.has_value()) {
     co_return Status(ErrorCode::kConnectionReset, "peer closed");
   }
-  co_return std::move(*data);
+  // Remember the request's context so the next Send on this socket (the
+  // reply, in request/response protocols) joins the same trace.
+  state.reply_trace_id = item->trace_id;
+  state.reply_parent = item->parent_span;
+  co_return std::move(item->data);
 }
 
 Task<Status> NetStub::Send(int64_t sock, std::span<const uint8_t> data) {
-  static Counter* const sends =
-      MetricRegistry::Default().GetCounter("net.stub.sends");
-  static Counter* const send_bytes =
-      MetricRegistry::Default().GetCounter("net.stub.send_bytes");
-  sends->Increment();
-  send_bytes->Increment(data.size());
-  TRACE_SPAN(sim_, "netstub", "net.stub.send");
+  c_sends_->Increment();
+  c_send_bytes_->Increment(data.size());
+  // Consume the reply context stashed by Recv (untraced if none pending);
+  // the outbound NetEvent carries it so the proxy's outbound-queue wait,
+  // shard service, and downlink wire spans attribute to the right trace.
+  TraceContext reply_ctx;
+  auto sit = sockets_.find(sock);
+  if (sit != sockets_.end()) {
+    reply_ctx = {sit->second.reply_trace_id, sit->second.reply_parent};
+    sit->second.reply_trace_id = 0;
+    sit->second.reply_parent = 0;
+  }
+  ScopedSpan span(sim_, "netstub", "net.stub.send", reply_ctx);
   co_await phi_cpu_->Compute(params_.net_stub_cpu);
   NetEvent header;
   header.kind = NetEventKind::kData;
   header.sock = sock;
   header.length = static_cast<uint32_t>(data.size());
+  if (reply_ctx.traced()) {
+    TraceContext child = span.context();
+    header.trace_id = child.trace_id;
+    header.parent_span = child.parent_span;
+  }
   std::vector<uint8_t> record = EncodePodWithPayload(header, data);
   co_return co_await outbound_->Send(record);
 }

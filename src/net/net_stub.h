@@ -13,6 +13,7 @@
 #include <map>
 #include <memory>
 
+#include "src/base/metrics.h"
 #include "src/hw/params.h"
 #include "src/hw/processor.h"
 #include "src/net/server_api.h"
@@ -47,9 +48,26 @@ class NetStub : public ServerSocketApi {
   const RpcRetryOptions& retry_options() const { return retry_; }
 
  private:
+  // One received message plus the trace context it rode in with, so the
+  // application-side Recv knows which trace its eventual reply belongs to.
+  // Deliberately NOT an aggregate: GCC 12 miscompiles aggregate coroutine
+  // by-value parameters (the Channel::Send frame copy aliases the caller's
+  // temporary, whose destruction then frees the received payload).
+  struct RecvItem {
+    RecvItem() = default;
+    RecvItem(std::vector<uint8_t> d, uint64_t trace, uint64_t parent)
+        : data(std::move(d)), trace_id(trace), parent_span(parent) {}
+    std::vector<uint8_t> data;
+    uint64_t trace_id = 0;
+    uint64_t parent_span = 0;
+  };
   struct SocketState {
-    std::unique_ptr<Channel<int64_t>> accept_queue;             // listeners
-    std::unique_ptr<Channel<std::vector<uint8_t>>> recv_queue;  // conns
+    std::unique_ptr<Channel<int64_t>> accept_queue;   // listeners
+    std::unique_ptr<Channel<RecvItem>> recv_queue;    // conns
+    // Context of the last message Recv returned; the next Send on this
+    // socket attributes its reply to it (request/response protocols).
+    uint64_t reply_trace_id = 0;
+    uint64_t reply_parent = 0;
   };
 
   static Task<void> EventDispatcher(NetStub* self);
@@ -67,6 +85,13 @@ class NetStub : public ServerSocketApi {
   SimRing* outbound_;
   std::map<int64_t, SocketState> sockets_;
   uint64_t events_ = 0;
+  // Process counters, resolved once instead of per event/call (see
+  // TcpProxy; same hoisting).
+  Counter* const c_events_;
+  Counter* const c_retries_;
+  Counter* const c_recvs_;
+  Counter* const c_sends_;
+  Counter* const c_send_bytes_;
 };
 
 }  // namespace solros

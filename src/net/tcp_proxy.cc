@@ -37,7 +37,24 @@ TcpProxy::TcpProxy(Simulator* sim, const HwParams& params,
       params_(params),
       host_cpu_(host_cpu),
       ethernet_(ethernet),
-      policy_(std::move(policy)) {
+      policy_(std::move(policy)),
+      c_rpcs_(MetricRegistry::Default().GetCounter("net.proxy.rpcs")),
+      c_shard_handoffs_(
+          MetricRegistry::Default().GetCounter("net.proxy.shard_handoffs")),
+      c_bad_policy_picks_(
+          MetricRegistry::Default().GetCounter("net.proxy.bad_policy_picks")),
+      c_connections_forwarded_(MetricRegistry::Default().GetCounter(
+          "net.proxy.connections_forwarded")),
+      c_inbound_messages_(
+          MetricRegistry::Default().GetCounter("net.proxy.inbound_messages")),
+      c_inbound_bytes_(
+          MetricRegistry::Default().GetCounter("net.proxy.inbound_bytes")),
+      c_outbound_messages_(
+          MetricRegistry::Default().GetCounter("net.proxy.outbound_messages")),
+      c_outbound_bytes_(
+          MetricRegistry::Default().GetCounter("net.proxy.outbound_bytes")),
+      c_events_dropped_(
+          MetricRegistry::Default().GetCounter("net.proxy.events_dropped")) {
   CHECK(policy_ != nullptr);
   if (shard_cores.empty()) {
     shard_cores.push_back(host_cpu);
@@ -52,6 +69,10 @@ TcpProxy::TcpProxy(Simulator* sim, const HwParams& params,
           sim->telemetry()->GetSeries(ShardLabel("net.proxy", k, count));
     }
     shards_.push_back(shard);
+  }
+  conntrack_ = std::make_unique<ConnTracker>(sim, count);
+  if (sim->telemetry() != nullptr) {
+    conntrack_->BindTelemetry(sim->telemetry());
   }
 }
 
@@ -73,9 +94,7 @@ uint32_t TcpProxy::PickShard(uint64_t conn_id) {
   if (primary != lightest &&
       ShardDepth(primary) > 2 * ShardDepth(lightest) + 1) {
     ++stats_.shard_handoffs;
-    static Counter* const handoffs =
-        MetricRegistry::Default().GetCounter("net.proxy.shard_handoffs");
-    handoffs->Increment();
+    c_shard_handoffs_->Increment();
     return static_cast<uint32_t>(lightest);
   }
   return static_cast<uint32_t>(primary);
@@ -110,9 +129,7 @@ Task<Status> TcpProxy::SendEvent(uint32_t dataplane_id, const NetEvent& event,
 Task<NetResponse> TcpProxy::HandleRpc(uint32_t dataplane_id,
                                       NetRequest request) {
   ++stats_.rpcs;
-  static Counter* const rpcs =
-      MetricRegistry::Default().GetCounter("net.proxy.rpcs");
-  rpcs->Increment();
+  c_rpcs_->Increment();
   // Socket-call RPCs shard by data plane: every call a given stub makes
   // lands on the same event loop, so its socket state has core affinity.
   const uint32_t shard_id =
@@ -161,6 +178,7 @@ Task<NetResponse> TcpProxy::HandleRpc(uint32_t dataplane_id,
         break;
       }
       if (it->second.conn_id != 0) {
+        conntrack_->OnClose(it->second.conn_id);
         if (it->second.open) {
           ethernet_->CloseFromServer(it->second.conn_id);
           // Balance bookkeeping.
@@ -196,6 +214,11 @@ Task<NetResponse> TcpProxy::HandleRpc(uint32_t dataplane_id,
     if (shard.use != nullptr) {
       shard.use->AddError(sim_->now());
     }
+    if (Tracer* tracer = sim_->tracer();
+        tracer != nullptr && request.trace_id != 0) {
+      // Under tail-based sampling, errored traces are always retained.
+      tracer->FlagTrace(request.trace_id, Tracer::TraceFlag::kError);
+    }
     MaybeDumpFlightRecorder(
         sim_, "net.proxy error: " + std::string(ErrorCodeName(response.error)));
   }
@@ -230,18 +253,14 @@ Task<Status> TcpProxy::OnConnect(uint64_t conn_id, uint16_t port,
   if (pick >= group.members.size()) {
     // A broken policy pick refuses the connection instead of taking the
     // whole proxy down with it.
-    static Counter* const bad_picks =
-        MetricRegistry::Default().GetCounter("net.proxy.bad_policy_picks");
-    bad_picks->Increment();
+    c_bad_policy_picks_->Increment();
     co_return InternalError("forwarding policy picked a bad member");
   }
   auto [dataplane_id, stub_listener] = group.members[pick];
   ++group.targets[pick].active_conns;
   ++group.targets[pick].total_assigned;
   ++stats_.connections_forwarded;
-  static Counter* const conns =
-      MetricRegistry::Default().GetCounter("net.proxy.connections_forwarded");
-  conns->Increment();
+  c_connections_forwarded_->Increment();
 
   int64_t handle = next_handle_++;
   ProxySocket socket;
@@ -251,6 +270,7 @@ Task<Status> TcpProxy::OnConnect(uint64_t conn_id, uint16_t port,
   socket.shard = shard_id;
   sockets_.emplace(handle, socket);
   conn_to_socket_[conn_id] = handle;
+  conntrack_->OnConnect(conn_id, shard_id, dataplane_id, port);
 
   NetEvent event;
   event.kind = NetEventKind::kAccepted;
@@ -261,8 +281,8 @@ Task<Status> TcpProxy::OnConnect(uint64_t conn_id, uint16_t port,
   co_return co_await SendEvent(dataplane_id, event, {});
 }
 
-Task<void> TcpProxy::OnClientData(uint64_t conn_id,
-                                  std::vector<uint8_t> data) {
+Task<void> TcpProxy::OnClientData(uint64_t conn_id, std::vector<uint8_t> data,
+                                  TraceContext ctx) {
   auto it = conn_to_socket_.find(conn_id);
   if (it == conn_to_socket_.end()) {
     co_return;
@@ -270,9 +290,8 @@ Task<void> TcpProxy::OnClientData(uint64_t conn_id,
   auto sock_it = sockets_.find(it->second);
   if (sock_it == sockets_.end()) {
     // Data raced with the socket's close; drop it like a real stack would.
-    static Counter* const dropped =
-        MetricRegistry::Default().GetCounter("net.proxy.events_dropped");
-    dropped->Increment();
+    c_events_dropped_->Increment();
+    conntrack_->OnDrop(conn_id);
     conn_to_socket_.erase(it);
     co_return;
   }
@@ -281,37 +300,48 @@ Task<void> TcpProxy::OnClientData(uint64_t conn_id,
   if (shard.use != nullptr) {
     shard.use->QueueDelta(sim_->now(), +1);
   }
-  TRACE_SPAN(sim_, "netproxy", "net.proxy.inbound");
-  // Full TCP receive processing on the connection's shard core (the Solros
-  // win: this would run 8x slower on the Phi).
-  co_await shard.core->Compute(params_.tcp_message_cpu +
-                               TcpSegments(data.size()) *
-                                   params_.tcp_segment_cpu);
-  ++stats_.inbound_messages;
-  stats_.inbound_bytes += data.size();
-  static Counter* const inbound =
-      MetricRegistry::Default().GetCounter("net.proxy.inbound_messages");
-  static Counter* const inbound_bytes =
-      MetricRegistry::Default().GetCounter("net.proxy.inbound_bytes");
-  inbound->Increment();
-  inbound_bytes->Increment(data.size());
-  NetEvent event;
-  event.kind = NetEventKind::kData;
-  event.sock = socket.handle;
-  event.length = static_cast<uint32_t>(data.size());
-  Status status = co_await SendEvent(socket.dataplane, event, data);
+  const uint64_t bytes = data.size();
+  Status status;
+  {
+    // Receive-side service span, a child of the client's op. It closes at
+    // the ring SetReady instant (nothing awaits between Send returning and
+    // scope exit), so it never overlaps the ring queue-wait span the
+    // dispatcher records retroactively.
+    ScopedSpan span(sim_, "netproxy", "net.proxy.inbound", ctx);
+    // Full TCP receive processing on the connection's shard core (the
+    // Solros win: this would run 8x slower on the Phi).
+    co_await shard.core->Compute(params_.tcp_message_cpu +
+                                 TcpSegments(data.size()) *
+                                     params_.tcp_segment_cpu);
+    ++stats_.inbound_messages;
+    stats_.inbound_bytes += data.size();
+    c_inbound_messages_->Increment();
+    c_inbound_bytes_->Increment(data.size());
+    NetEvent event;
+    event.kind = NetEventKind::kData;
+    event.sock = socket.handle;
+    event.length = static_cast<uint32_t>(data.size());
+    if (ctx.traced()) {
+      // Downstream spans (ring wait, stub dispatch) hang off this span.
+      TraceContext child = span.context();
+      event.trace_id = child.trace_id;
+      event.parent_span = child.parent_span;
+    }
+    status = co_await SendEvent(socket.dataplane, event, data);
+  }
   if (shard.use != nullptr) {
     shard.use->QueueDelta(sim_->now(), -1);
     shard.use->CompleteOp(sim_->now(), 0);
   }
   if (!status.ok()) {
-    static Counter* const dropped =
-        MetricRegistry::Default().GetCounter("net.proxy.events_dropped");
-    dropped->Increment();
+    c_events_dropped_->Increment();
+    conntrack_->OnDrop(conn_id);
     if (shard.use != nullptr) {
       shard.use->AddError(sim_->now());
     }
     LOG(WARNING) << "inbound event drop: " << status.ToString();
+  } else {
+    conntrack_->OnInbound(conn_id, bytes);
   }
 }
 
@@ -327,14 +357,13 @@ Task<void> TcpProxy::OnClientClose(uint64_t conn_id) {
   }
   ProxySocket& socket = sock_it->second;
   socket.open = false;
+  conntrack_->OnClose(conn_id);
   NetEvent event;
   event.kind = NetEventKind::kPeerClosed;
   event.sock = socket.handle;
   Status status = co_await SendEvent(socket.dataplane, event, {});
   if (!status.ok()) {
-    static Counter* const dropped =
-        MetricRegistry::Default().GetCounter("net.proxy.events_dropped");
-    dropped->Increment();
+    c_events_dropped_->Increment();
     LOG(WARNING) << "peer-close event drop: " << status.ToString();
   }
 }
@@ -348,29 +377,43 @@ Task<void> TcpProxy::OutboundPump(TcpProxy* self, DataPlane* dataplane) {
     NetEvent header = DecodePod<NetEvent>(*record);
     std::vector<uint8_t> payload(record->begin() + sizeof(NetEvent),
                                  record->end());
+    TraceContext ctx{header.trace_id, header.parent_span};
+    // Retroactive queue-wait span: how long the stub's send sat ready in
+    // the outbound ring before this pump claimed it.
+    if (Tracer* tracer = self->sim_->tracer();
+        tracer != nullptr && ctx.traced()) {
+      auto stamp = dataplane->outbound->last_dequeue_stamp();
+      if (stamp.has_value()) {
+        tracer->RecordSpan("ring", "net.queue.event", stamp->ready_at,
+                           stamp->dequeue_at, ctx);
+      }
+    }
     auto it = self->sockets_.find(header.sock);
     if (it == self->sockets_.end() || !it->second.open) {
       continue;  // stale send after close
     }
+    // The reply reached the proxy: backend-RTT endpoint for conntrack.
+    self->conntrack_->OnOutbound(it->second.conn_id, payload.size());
     Shard& shard = self->shards_[it->second.shard];
     if (shard.use != nullptr) {
       shard.use->QueueDelta(self->sim_->now(), +1);
     }
-    TRACE_SPAN(self->sim_, "netproxy", "net.proxy.outbound");
-    // Host TCP transmit processing on the socket's shard, then the wire.
-    co_await shard.core->Compute(
-        self->params_.tcp_message_cpu +
-        TcpSegments(payload.size()) * self->params_.tcp_segment_cpu);
-    ++self->stats_.outbound_messages;
-    self->stats_.outbound_bytes += payload.size();
-    static Counter* const outbound =
-        MetricRegistry::Default().GetCounter("net.proxy.outbound_messages");
-    static Counter* const outbound_bytes =
-        MetricRegistry::Default().GetCounter("net.proxy.outbound_bytes");
-    outbound->Increment();
-    outbound_bytes->Increment(payload.size());
+    {
+      // Transmit-side service span. Scoped to the shard compute only — it
+      // must close before DeliverToClient so it never overlaps the
+      // downlink net.wire.transit span of the same trace.
+      ScopedSpan span(self->sim_, "netproxy", "net.proxy.outbound", ctx);
+      // Host TCP transmit processing on the socket's shard, then the wire.
+      co_await shard.core->Compute(
+          self->params_.tcp_message_cpu +
+          TcpSegments(payload.size()) * self->params_.tcp_segment_cpu);
+      ++self->stats_.outbound_messages;
+      self->stats_.outbound_bytes += payload.size();
+      self->c_outbound_messages_->Increment();
+      self->c_outbound_bytes_->Increment(payload.size());
+    }
     Status status = co_await self->ethernet_->DeliverToClient(
-        it->second.conn_id, std::move(payload));
+        it->second.conn_id, std::move(payload), ctx);
     if (shard.use != nullptr) {
       shard.use->QueueDelta(self->sim_->now(), -1);
       shard.use->CompleteOp(self->sim_->now(), 0);

@@ -19,9 +19,11 @@
 #include <memory>
 #include <vector>
 
+#include "src/base/metrics.h"
 #include "src/base/sharding.h"
 #include "src/hw/params.h"
 #include "src/hw/processor.h"
+#include "src/net/conntrack.h"
 #include "src/net/ethernet.h"
 #include "src/net/load_balancer.h"
 #include "src/rpc/messages.h"
@@ -65,9 +67,13 @@ class TcpProxy : public ServerPort {
   // -- ServerPort (wire side) -------------------------------------------------
   Task<Status> OnConnect(uint64_t conn_id, uint16_t port,
                          uint32_t client_addr) override;
-  Task<void> OnClientData(uint64_t conn_id,
-                          std::vector<uint8_t> data) override;
+  Task<void> OnClientData(uint64_t conn_id, std::vector<uint8_t> data,
+                          TraceContext ctx) override;
   Task<void> OnClientClose(uint64_t conn_id) override;
+
+  // Per-connection table (always on; see src/net/conntrack.h).
+  ConnTracker& conntrack() { return *conntrack_; }
+  const ConnTracker& conntrack() const { return *conntrack_; }
 
   const TcpProxyStats& stats() const { return stats_; }
   ForwardingPolicy* policy() { return policy_.get(); }
@@ -126,6 +132,18 @@ class TcpProxy : public ServerPort {
   std::map<uint64_t, int64_t> conn_to_socket_;   // wire conn -> handle
   int64_t next_handle_ = 1;
   TcpProxyStats stats_;
+  std::unique_ptr<ConnTracker> conntrack_;
+  // Process counters, resolved once at construction instead of a registry
+  // map lookup per message on the hot paths (FsProxy does the same).
+  Counter* const c_rpcs_;
+  Counter* const c_shard_handoffs_;
+  Counter* const c_bad_policy_picks_;
+  Counter* const c_connections_forwarded_;
+  Counter* const c_inbound_messages_;
+  Counter* const c_inbound_bytes_;
+  Counter* const c_outbound_messages_;
+  Counter* const c_outbound_bytes_;
+  Counter* const c_events_dropped_;
 };
 
 }  // namespace solros

@@ -159,6 +159,12 @@ struct NetEvent {
   uint32_t peer_addr = 0;
   uint16_t peer_port = 0;
   uint16_t reserved2 = 0;
+  // Causal trace context (see FsRequest): kData events carry the context of
+  // the request they belong to, so data-ring queue waits and the stub's
+  // dispatch attribute to the right trace. Zero for untraced events and for
+  // connection lifecycle events (kAccepted / kPeerClosed).
+  uint64_t trace_id = 0;
+  uint64_t parent_span = 0;
 };
 
 // ---------------------------------------------------------------------------

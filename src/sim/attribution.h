@@ -22,6 +22,19 @@
 //   stub        the remainder of total: stub CPU, ring copy in/out, and
 //               RPC framing on the data-plane side.
 //
+// The net data path (fig14-16) uses the same machinery with its own
+// taxonomy. A net trace roots at net.client.op (one echo round trip) or
+// net.stub.call (one control RPC) and adds two stages the FS path lacks:
+//
+//   wire        net.wire.transit: client<->host NIC link time;
+//   dispatch    net.stub.dispatch / net.server.dispatch: the event
+//               dispatcher decoding a data event and handing it to the
+//               waiting application receive;
+//   queue_wait  additionally counts net.queue.event (data-ring waits);
+//   proxy       additionally counts net.proxy.inbound / net.proxy.outbound
+//               (TCP proxy segment work) and net.server.stack (the
+//               direct-server host/Phi-Linux network stacks).
+//
 // In a fault-free run the stages sum to total *exactly*: the service span
 // is contained in the root span, device/DMA spans are contained in the
 // service span, and the queue-wait intervals are disjoint from the service
@@ -48,6 +61,11 @@ struct StageBreakdown {
   Nanos copy_dma = 0;
   Nanos device = 0;
   Nanos iosched_wait = 0;
+  // Net-path stages (zero for FS traces).
+  Nanos wire = 0;
+  Nanos dispatch = 0;
+  // True when the root span's name starts with "net." (net taxonomy).
+  bool net = false;
   // True when the stages sum to `total` exactly (always, fault-free).
   bool exact = true;
 };
@@ -57,8 +75,10 @@ struct StageBreakdown {
 std::vector<StageBreakdown> ComputeStageBreakdowns(const Tracer& tracer);
 
 // Feeds each breakdown's stages into the process MetricRegistry latency
-// histograms fs.stage.{total,stub,queue_wait,proxy,copy_dma,device,
-// iosched_wait}_ns, so `--metrics` reports per-stage p50/p95/p99.
+// histograms: fs.stage.{total,stub,queue_wait,proxy,copy_dma,device,
+// iosched_wait}_ns for FS traces and net.stage.{total,stub,queue_wait,
+// dispatch,proxy,wire,copy_dma}_ns for net traces, so `--metrics` reports
+// per-stage p50/p95/p99 per path.
 void RecordStageMetrics(const std::vector<StageBreakdown>& breakdowns);
 
 }  // namespace solros

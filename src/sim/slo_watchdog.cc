@@ -48,6 +48,10 @@ SloBudgets SloBudgetsFromEnv() {
       budgets.copy = value;
     } else if (stage == "device") {
       budgets.device = value;
+    } else if (stage == "wire") {
+      budgets.wire = value;
+    } else if (stage == "dispatch") {
+      budgets.dispatch = value;
     }
   }
   return budgets;
@@ -60,6 +64,7 @@ SloWatchdog::SloWatchdog(Simulator* sim, SloBudgets budgets, int sustain)
 
 void SloWatchdog::Bind(Tracer* tracer) {
   CHECK(tracer != nullptr);
+  tracer_ = tracer;
   tracer->set_span_close_listener(
       [this](const SpanRecord& record) { OnSpanClosed(record); });
 }
@@ -72,17 +77,26 @@ void SloWatchdog::OnSpanClosed(const SpanRecord& record) {
     // Same stage bucketing as ComputeStageBreakdowns (src/sim/attribution).
     Bucket& bucket = open_[record.trace_id];
     Nanos dur = record.end - record.begin;
-    if (record.name == "rpc.queue.req" || record.name == "rpc.queue.resp") {
+    if (record.name == "rpc.queue.req" || record.name == "rpc.queue.resp" ||
+        record.name == "net.queue.event") {
       bucket.queue += dur;
     } else if (record.name == "iosched.queue") {
       bucket.iosched += dur;
     } else if (record.name == "fs.proxy.service" ||
-               record.name == "net.proxy.rpc") {
+               record.name == "net.proxy.rpc" ||
+               record.name == "net.proxy.inbound" ||
+               record.name == "net.proxy.outbound" ||
+               record.name == "net.server.stack") {
       bucket.service += dur;
     } else if (record.name == "dma.copy") {
       bucket.copy += dur;
     } else if (record.name == "nvme.batch") {
       bucket.device += dur;
+    } else if (record.name == "net.wire.transit") {
+      bucket.wire += dur;
+    } else if (record.name == "net.stub.dispatch" ||
+               record.name == "net.server.dispatch") {
+      bucket.dispatch += dur;
     }
     return;
   }
@@ -103,6 +117,11 @@ void SloWatchdog::OnSpanClosed(const SpanRecord& record) {
   ++violations_;
   ++by_stage_[stage];
   worst_stage_ = stage;
+  if (tracer_ != nullptr) {
+    // Under tail-based sampling this pins the trace before the root's
+    // keep/drop decision (the tracer notifies listeners first).
+    tracer_->FlagTrace(record.trace_id, Tracer::TraceFlag::kSloViolation);
+  }
   if (++streak_ >= sustain_) {
     streak_ = 0;  // re-arm: one dump per sustained burst
     ++dumps_fired_;
@@ -115,7 +134,8 @@ void SloWatchdog::OnSpanClosed(const SpanRecord& record) {
 std::string SloWatchdog::Evaluate(Nanos total, const Bucket& bucket) const {
   Nanos proxy = ClampSub(bucket.service,
                          bucket.device + bucket.copy + bucket.iosched);
-  Nanos stub = ClampSub(total, bucket.queue + bucket.service);
+  Nanos stub = ClampSub(total, bucket.queue + bucket.service + bucket.wire +
+                                   bucket.dispatch);
   if (budgets_.total != 0 && total > budgets_.total) {
     return "total";
   }
@@ -133,6 +153,12 @@ std::string SloWatchdog::Evaluate(Nanos total, const Bucket& bucket) const {
   }
   if (budgets_.device != 0 && bucket.device > budgets_.device) {
     return "device";
+  }
+  if (budgets_.wire != 0 && bucket.wire > budgets_.wire) {
+    return "wire";
+  }
+  if (budgets_.dispatch != 0 && bucket.dispatch > budgets_.dispatch) {
+    return "dispatch";
   }
   if (budgets_.stub != 0 && stub > budgets_.stub) {
     return "stub";

@@ -37,14 +37,19 @@ struct SloBudgets {
   Nanos proxy = 0;
   Nanos copy = 0;
   Nanos device = 0;
+  // Net-path stages (src/sim/attribution.h taxonomy).
+  Nanos wire = 0;
+  Nanos dispatch = 0;
 
   bool any() const {
-    return total | stub | queue | iosched | proxy | copy | device;
+    return total | stub | queue | iosched | proxy | copy | device | wire |
+           dispatch;
   }
 };
 
 // Parses SOLROS_SLO_STAGES ("stage=ns" pairs, comma-separated; stages:
-// total stub queue iosched proxy copy device). Unknown stages are ignored.
+// total stub queue iosched proxy copy device wire dispatch). Unknown
+// stages are ignored.
 SloBudgets SloBudgetsFromEnv();
 
 class SloWatchdog {
@@ -54,7 +59,9 @@ class SloWatchdog {
   // not close spans after the watchdog dies); benches scope both together.
   SloWatchdog(Simulator* sim, SloBudgets budgets, int sustain = 3);
 
-  // Installs this watchdog as `tracer`'s span-close listener.
+  // Installs this watchdog as `tracer`'s span-close listener. When the
+  // tracer samples (Tracer::EnableSampling), every violating root is also
+  // FlagTrace'd so tail-based retention keeps all SLO-violating traces.
   void Bind(Tracer* tracer);
 
   uint64_t roots_seen() const { return roots_seen_; }
@@ -70,9 +77,11 @@ class SloWatchdog {
   struct Bucket {
     Nanos queue = 0;
     Nanos iosched = 0;
-    Nanos service = 0;  // fs.proxy.service / net.proxy.rpc (proxy incl.)
+    Nanos service = 0;  // fs.proxy.service / net.proxy.* (proxy incl.)
     Nanos copy = 0;
     Nanos device = 0;
+    Nanos wire = 0;
+    Nanos dispatch = 0;
   };
 
   void OnSpanClosed(const SpanRecord& record);
@@ -82,6 +91,7 @@ class SloWatchdog {
   Simulator* sim_;
   SloBudgets budgets_;
   int sustain_;
+  Tracer* tracer_ = nullptr;  // for FlagTrace under sampling
   std::map<uint64_t, Bucket> open_;  // trace id -> stages closed so far
   uint64_t roots_seen_ = 0;
   uint64_t violations_ = 0;

@@ -55,7 +55,7 @@ TrackId Tracer::Track(std::string_view name) {
 uint64_t Tracer::BeginSpan(TrackId track, std::string_view name,
                            TraceContext ctx) {
   DCHECK(sim_ != nullptr) << "tracer not bound to a simulator";
-  uint64_t id = spans_.size();
+  uint64_t id = sampling_ ? next_span_id_++ : spans_.size();
   SpanRecord record;
   record.track = track;
   record.name = std::string(name);
@@ -63,15 +63,36 @@ uint64_t Tracer::BeginSpan(TrackId track, std::string_view name,
   record.uid = id + 1;
   record.trace_id = ctx.trace_id;
   record.parent = ctx.trace_id != 0 ? ctx.parent_span : 0;
-  spans_.push_back(std::move(record));
   if (flight_recorder_ != nullptr) {
-    flight_recorder_->Note('B', track_names_[track], spans_.back().name,
-                           ctx.trace_id, spans_.back().begin);
+    flight_recorder_->Note('B', track_names_[track], record.name,
+                           ctx.trace_id, record.begin);
+  }
+  if (sampling_) {
+    open_spans_.emplace(id, std::move(record));
+  } else {
+    spans_.push_back(std::move(record));
   }
   return id;
 }
 
 void Tracer::EndSpan(uint64_t span_id) {
+  if (sampling_) {
+    auto it = open_spans_.find(span_id);
+    DCHECK(it != open_spans_.end()) << "span " << span_id << " closed twice";
+    SpanRecord record = std::move(it->second);
+    open_spans_.erase(it);
+    record.end = sim_->now();
+    record.open = false;
+    if (flight_recorder_ != nullptr) {
+      flight_recorder_->Note('E', track_names_[record.track], record.name,
+                             record.trace_id, record.end);
+    }
+    // Notify before routing so the SLO watchdog's FlagTrace on a violating
+    // root lands before the keep/drop decision consumes the trace.
+    NotifySpanClosed(record);
+    RouteClosedSpan(std::move(record));
+    return;
+  }
   DCHECK_LT(span_id, spans_.size());
   SpanRecord& record = spans_[span_id];
   DCHECK(record.open) << "span " << record.name << " closed twice";
@@ -106,7 +127,7 @@ void Tracer::NotifySpanClosed(const SpanRecord& record) {
 uint64_t Tracer::RecordSpan(TrackId track, std::string_view name,
                             SimTime begin, SimTime end, TraceContext ctx) {
   DCHECK_LE(begin, end);
-  uint64_t id = spans_.size();
+  uint64_t id = sampling_ ? next_span_id_++ : spans_.size();
   SpanRecord record;
   record.track = track;
   record.name = std::string(name);
@@ -116,19 +137,44 @@ uint64_t Tracer::RecordSpan(TrackId track, std::string_view name,
   record.uid = id + 1;
   record.trace_id = ctx.trace_id;
   record.parent = ctx.trace_id != 0 ? ctx.parent_span : 0;
-  spans_.push_back(std::move(record));
   if (flight_recorder_ != nullptr) {
-    flight_recorder_->Note('R', track_names_[track], spans_.back().name,
+    flight_recorder_->Note('R', track_names_[track], record.name,
                            ctx.trace_id, end);
   }
-  NotifySpanClosed(spans_.back());
+  NotifySpanClosed(record);
+  if (sampling_) {
+    RouteClosedSpan(std::move(record));
+  } else {
+    spans_.push_back(std::move(record));
+  }
   return id;
 }
 
 void Tracer::AddSpanArg(uint64_t span_id, std::string_view key,
                         std::string_view value) {
+  if (sampling_) {
+    // Only open spans accept annotations in sampling mode; a closed span is
+    // already staged (or discarded) and no longer addressable by id.
+    auto it = open_spans_.find(span_id);
+    if (it != open_spans_.end()) {
+      it->second.args.emplace_back(std::string(key), std::string(value));
+    }
+    return;
+  }
   DCHECK_LT(span_id, spans_.size());
   spans_[span_id].args.emplace_back(std::string(key), std::string(value));
+}
+
+TraceContext Tracer::ContextOf(uint64_t span_id) const {
+  if (sampling_) {
+    auto it = open_spans_.find(span_id);
+    if (it == open_spans_.end()) {
+      return TraceContext{};
+    }
+    return TraceContext{it->second.trace_id, it->second.uid};
+  }
+  const SpanRecord& span = spans_[span_id];
+  return TraceContext{span.trace_id, span.uid};
 }
 
 void Tracer::Instant(TrackId track, std::string_view name) {
@@ -168,6 +214,116 @@ void Tracer::Clear() {
   spans_.clear();
   instants_.clear();
   next_trace_id_ = 0;
+  next_span_id_ = 0;
+  open_spans_.clear();
+  pending_.clear();
+  decided_.clear();
+  sampler_stats_ = SamplerStats{};
+}
+
+void Tracer::EnableSampling(uint64_t keep_one_in,
+                            size_t max_spans_per_trace) {
+  CHECK(spans_.empty() && open_spans_.empty())
+      << "EnableSampling must precede all span recording";
+  sampling_ = true;
+  sample_keep_one_in_ = keep_one_in;
+  sample_max_spans_ = max_spans_per_trace;
+  next_span_id_ = 0;
+}
+
+void Tracer::FlagTrace(uint64_t trace_id, TraceFlag flag) {
+  if (!sampling_ || trace_id == 0) {
+    return;
+  }
+  PendingTrace& pending = pending_[trace_id];
+  if (flag == TraceFlag::kSloViolation) {
+    pending.flagged_slo = true;
+  } else {
+    pending.flagged_error = true;
+  }
+}
+
+namespace {
+// FNV-1a over the trace id's bytes (same constants as FrameChecksum):
+// deterministic, well-mixed even for the sequential ids NewTraceId hands
+// out, and free of any RNG state.
+uint64_t TraceKeepHash(uint64_t trace_id) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (trace_id >> (i * 8)) & 0xff;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+}  // namespace
+
+void Tracer::RouteClosedSpan(SpanRecord record) {
+  if (record.trace_id == 0) {
+    ++sampler_stats_.untraced_dropped;
+    return;
+  }
+  if (record.parent != 0) {
+    if (decided_.count(record.trace_id) != 0) {
+      // Straggler: its root already decided. The span taxonomy closes every
+      // child before its root, so this only catches instrumentation bugs —
+      // counted, never buffered, so memory stays bounded.
+      ++sampler_stats_.late_spans;
+      return;
+    }
+    PendingTrace& pending = pending_[record.trace_id];
+    if (pending.spans.size() >= sample_max_spans_) {
+      pending.truncated = true;
+      ++sampler_stats_.spans_truncated;
+      return;
+    }
+    pending.spans.push_back(std::move(record));
+    return;
+  }
+  // Root close: decide the whole trace.
+  PendingTrace pending;
+  auto it = pending_.find(record.trace_id);
+  if (it != pending_.end()) {
+    pending = std::move(it->second);
+    pending_.erase(it);
+  }
+  decided_.insert(record.trace_id);
+  // Keep the decided set bounded: any id below every live (pending or
+  // still-open) trace can never close another span, so it needs no
+  // straggler guard. Amortized: only runs once the set is sizable.
+  if (decided_.size() > 4096) {
+    uint64_t min_live = next_trace_id_ + 1;
+    if (!pending_.empty()) {
+      min_live = std::min(min_live, pending_.begin()->first);
+    }
+    for (const auto& [id, open] : open_spans_) {
+      if (open.trace_id != 0) {
+        min_live = std::min(min_live, open.trace_id);
+      }
+    }
+    decided_.erase(decided_.begin(), decided_.lower_bound(min_live));
+  }
+  bool keep = pending.flagged_slo || pending.flagged_error ||
+              (sample_keep_one_in_ != 0 &&
+               TraceKeepHash(record.trace_id) % sample_keep_one_in_ == 0);
+  if (!keep) {
+    ++sampler_stats_.traces_dropped;
+    sampler_stats_.spans_dropped += pending.spans.size() + 1;
+    return;
+  }
+  ++sampler_stats_.traces_kept;
+  if (pending.flagged_slo) {
+    ++sampler_stats_.kept_slo;
+  } else if (pending.flagged_error) {
+    ++sampler_stats_.kept_error;
+  } else {
+    ++sampler_stats_.kept_hash;
+  }
+  for (SpanRecord& span : pending.spans) {
+    spans_.push_back(std::move(span));
+    ++sampler_stats_.spans_kept;
+  }
+  spans_.push_back(std::move(record));
+  ++sampler_stats_.spans_kept;
 }
 
 void Tracer::ExportChromeTrace(std::ostream& os) const {
@@ -199,8 +355,9 @@ void Tracer::ExportChromeTrace(std::ostream& os) const {
   // Per track: one open-interval stack of end times per lane.
   std::vector<std::vector<std::vector<SimTime>>> lanes(track_names_.size());
   std::vector<int> lane_count(track_names_.size(), 1);  // >=1 for instants
-  // tid per span uid, for flow-event endpoints (uid is 1-based).
-  std::vector<int> lane_of(spans_.size() + 1, -1);
+  // tid per span uid, for flow-event endpoints. Keyed by uid (not a dense
+  // vector): under sampling, uids of dropped traces leave gaps.
+  std::map<uint64_t, int> lane_of;
   for (const SpanRecord* span : closed) {
     auto& track_lanes = lanes[span->track];
     int lane = -1;
@@ -232,7 +389,8 @@ void Tracer::ExportChromeTrace(std::ostream& os) const {
     tid_base[t] = tid_base[t - 1] + lane_count[t - 1];
   }
   auto tid_of = [&](const SpanRecord& span) {
-    return tid_base[span.track] + lane_of[span.uid];
+    auto it = lane_of.find(span.uid);
+    return tid_base[span.track] + (it != lane_of.end() ? it->second : 0);
   };
 
   os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
@@ -297,15 +455,22 @@ void Tracer::ExportChromeTrace(std::ostream& os) const {
   // Flow edges parent -> child, one per causally-linked closed span whose
   // parent also closed. "s" binds to the parent slice, "f" (bp:"e") to the
   // child slice; both are stamped at the child's begin so the arrow spans
-  // the handoff. Iterated in record order => deterministic.
+  // the handoff. Iterated in record order => deterministic. Parents resolve
+  // through a uid index (under sampling, record position != uid - 1, and a
+  // kept child's parent may have been discarded).
+  std::map<uint64_t, const SpanRecord*> by_uid;
+  for (const SpanRecord& span : spans_) {
+    by_uid.emplace(span.uid, &span);
+  }
   for (const SpanRecord& span : spans_) {
     if (span.open || span.parent == 0 || span.trace_id == 0) {
       continue;
     }
-    const SpanRecord& parent = spans_[span.parent - 1];
-    if (parent.open) {
+    auto parent_it = by_uid.find(span.parent);
+    if (parent_it == by_uid.end() || parent_it->second->open) {
       continue;
     }
+    const SpanRecord& parent = *parent_it->second;
     std::string ts = MicrosWithNanos(span.begin);
     sep();
     os << "{\"ph\":\"s\",\"pid\":1,\"tid\":" << tid_of(parent)

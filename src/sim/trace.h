@@ -40,6 +40,7 @@
 #include <functional>
 #include <iosfwd>
 #include <map>
+#include <set>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -88,6 +89,23 @@ struct InstantRecord {
   TrackId track = 0;
   std::string name;
   SimTime at = 0;
+};
+
+// Retention accounting for the tail-based sampler (EnableSampling). The
+// counters partition every span the tracer saw, proving memory stays
+// bounded: spans_kept land in spans(); everything else was discarded at a
+// decision point.
+struct SamplerStats {
+  uint64_t traces_kept = 0;
+  uint64_t traces_dropped = 0;
+  uint64_t kept_slo = 0;    // kept because FlagTrace(kSloViolation)
+  uint64_t kept_error = 0;  // kept because FlagTrace(kError)
+  uint64_t kept_hash = 0;   // kept by the deterministic 1-in-N hash
+  uint64_t spans_kept = 0;
+  uint64_t spans_dropped = 0;     // spans of traces that were discarded
+  uint64_t spans_truncated = 0;   // over the per-trace buffer bound
+  uint64_t late_spans = 0;        // closed after their trace was decided
+  uint64_t untraced_dropped = 0;  // trace_id == 0 (never kept when sampling)
 };
 
 class Tracer {
@@ -141,10 +159,7 @@ class Tracer {
   }
 
   // Context that makes new spans children of `span_id`.
-  TraceContext ContextOf(uint64_t span_id) const {
-    const SpanRecord& span = spans_[span_id];
-    return TraceContext{span.trace_id, span.uid};
-  }
+  TraceContext ContextOf(uint64_t span_id) const;
 
   void Instant(TrackId track, std::string_view name);
   void Instant(std::string_view track, std::string_view name) {
@@ -164,7 +179,37 @@ class Tracer {
 
   // Drops all recorded events and resets trace-id allocation (track
   // registrations survive), so Clear + identical rerun exports identically.
+  // Sampling mode (if enabled) stays enabled; its buffers and stats reset.
   void Clear();
+
+  // -- Tail-based sampling (Dapper-style, deterministic) ---------------------
+  // Switches the tracer to tail-based retention: closed spans buffer in a
+  // bounded per-trace staging area (at most `max_spans_per_trace` non-root
+  // spans each) and the keep/drop decision happens when the trace's ROOT
+  // span closes. A trace is kept iff it was flagged (SLO violation or
+  // error) before the decision, or its trace id hashes to 1-in-
+  // `keep_one_in` (FNV-1a — no RNG, so two identical runs keep the byte-
+  // identical span set). Everything else is discarded and only counted.
+  // Untraced spans (trace_id == 0) are never retained in this mode.
+  //
+  // Must be enabled before any span is recorded. Span ids stay valid across
+  // the mode switch invariantly: uid == span_id + 1 in both modes.
+  //
+  // Boundedness caveat: a span that closes after its root already decided
+  // is dropped and counted in late_spans — the taxonomy used by this repo
+  // closes every child before its root, so in practice this path only
+  // catches instrumentation bugs.
+  void EnableSampling(uint64_t keep_one_in, size_t max_spans_per_trace = 64);
+  bool sampling() const { return sampling_; }
+  const SamplerStats& sampler_stats() const { return sampler_stats_; }
+  // Number of undecided traces currently buffered (for boundedness checks).
+  size_t pending_traces() const { return pending_.size(); }
+
+  // Marks a trace for retention before its root closes. The SLO watchdog
+  // calls this on every budget violation; stubs call it on retries and
+  // failed RPCs. No-op when sampling is off (full capture keeps all).
+  enum class TraceFlag { kSloViolation, kError };
+  void FlagTrace(uint64_t trace_id, TraceFlag flag);
 
   // Optional always-on flight recorder fed a copy of every begin/end/
   // instant event; see src/sim/flight_recorder.h. Not owned.
@@ -191,6 +236,16 @@ class Tracer {
   // Flight-recorder SLO check + span-close listener dispatch, shared by
   // EndSpan and RecordSpan.
   void NotifySpanClosed(const SpanRecord& record);
+  // Sampling mode: stages a closed span in its trace buffer, or decides the
+  // trace if `record` is a root.
+  void RouteClosedSpan(SpanRecord record);
+
+  struct PendingTrace {
+    std::vector<SpanRecord> spans;
+    bool truncated = false;
+    bool flagged_slo = false;
+    bool flagged_error = false;
+  };
 
   Simulator* sim_ = nullptr;
   std::vector<std::string> track_names_;
@@ -200,6 +255,16 @@ class Tracer {
   uint64_t next_trace_id_ = 0;
   FlightRecorder* flight_recorder_ = nullptr;
   SpanCloseFn on_span_close_;
+  // Sampling-mode state. span ids keep the uid == id + 1 invariant via a
+  // monotonic allocator; open spans live in open_spans_ until EndSpan.
+  bool sampling_ = false;
+  uint64_t sample_keep_one_in_ = 0;
+  size_t sample_max_spans_ = 64;
+  uint64_t next_span_id_ = 0;
+  std::map<uint64_t, SpanRecord> open_spans_;   // span_id -> open record
+  std::map<uint64_t, PendingTrace> pending_;    // trace_id -> staged spans
+  std::set<uint64_t> decided_;                  // straggler guard (pruned)
+  SamplerStats sampler_stats_;
 };
 
 // RAII span: opens on construction, closes when the scope (including a

@@ -1,0 +1,131 @@
+// Net-path attribution exactness through the full machine: in a fault-free
+// run every net trace's stages sum to its root span exactly; armed rpc.*
+// faults produce clamped (never negative) stages with `exact` cleared.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/base/fault.h"
+#include "src/core/machine.h"
+#include "src/sim/attribution.h"
+#include "src/sim/sync.h"
+
+namespace solros {
+namespace {
+
+Task<void> EchoServer(ServerSocketApi* api, uint16_t port) {
+  auto listener = co_await api->Listen(port, 8);
+  CHECK_OK(listener);
+  auto sock = co_await api->Accept(*listener);
+  CHECK_OK(sock);
+  while (true) {
+    auto message = co_await api->Recv(*sock);
+    if (!message.ok()) {
+      break;
+    }
+    CHECK_OK(co_await api->Send(*sock, *message));
+  }
+}
+
+// One connection, `pings` traced echo round trips (the fig14 client shape:
+// each ping roots a net.client.op span and threads its context down the
+// wire).
+Task<void> TracedPings(EthernetFabric* eth, Processor* cpu, uint16_t port,
+                       int pings, Simulator* sim, WaitGroup* wg) {
+  auto conn = co_await eth->ClientConnect(0x0a000001u, port, cpu);
+  CHECK_OK(conn);
+  std::vector<uint8_t> payload(256, 0x5a);
+  Tracer* tracer = sim->tracer();
+  for (int i = 0; i < pings; ++i) {
+    TraceContext root_ctx;
+    if (tracer != nullptr) {
+      root_ctx.trace_id = tracer->NewTraceId();
+    }
+    ScopedSpan op(tracer, "client", "net.client.op", root_ctx);
+    CHECK_OK(co_await eth->ClientSend(*conn, payload, cpu, op.context()));
+    auto echoed = co_await eth->ClientRecv(*conn);
+    CHECK_OK(echoed);
+  }
+  co_await eth->ClientClose(*conn, cpu);
+  wg->Done();
+}
+
+TEST(NetAttributionTest, FaultFreeEchoStagesSumExactly) {
+  ASSERT_FALSE(Faults().any_armed());
+  // Declared before the machine: coroutine frames owned by the simulator
+  // hold ScopedSpans into the tracer.
+  Tracer tracer;
+  MachineConfig config;
+  config.num_phis = 1;
+  config.nvme_capacity = MiB(64);
+  Machine machine(std::move(config));
+  tracer.Bind(&machine.sim());
+  Spawn(machine.sim(), EchoServer(&machine.net_stub(0), 6000));
+  machine.sim().RunUntilIdle();
+
+  Processor client(&machine.sim(), machine.host_device(), 32, 1.0, "cl");
+  WaitGroup wg(&machine.sim());
+  wg.Add(1);
+  Spawn(machine.sim(), TracedPings(&machine.ethernet(), &client, 6000, 20,
+                                   &machine.sim(), &wg));
+  machine.sim().RunUntilIdle();
+  ASSERT_EQ(wg.outstanding(), 0u);
+
+  auto breakdowns = ComputeStageBreakdowns(tracer);
+  int echo_roots = 0;
+  for (const StageBreakdown& b : breakdowns) {
+    EXPECT_TRUE(b.net);
+    EXPECT_TRUE(b.exact) << "trace " << b.trace_id;
+    EXPECT_EQ(b.stub + b.queue_wait + b.iosched_wait + b.proxy +
+                  b.copy_dma + b.device + b.wire + b.dispatch,
+              b.total)
+        << "trace " << b.trace_id;
+    // Echo round trips cross the wire; control RPCs (Listen/Accept) don't.
+    if (b.wire > 0) {
+      ++echo_roots;
+      EXPECT_GT(b.proxy, 0u);
+    }
+  }
+  EXPECT_EQ(echo_roots, 20);
+}
+
+TEST(NetAttributionTest, DroppedResponsesClampAndClearExact) {
+  Tracer tracer;
+  MachineConfig config;
+  config.num_phis = 1;
+  config.nvme_capacity = MiB(64);
+  Machine machine(std::move(config));
+  tracer.Bind(&machine.sim());
+  // Every response dropped + a timeout far below the proxy's service time:
+  // the stub gives up while the proxy-side spans are still in flight, so
+  // they close outside the root span and the residual subtraction clamps.
+  CHECK_OK(Faults().Arm("rpc.drop.response", FaultSpec::EveryNth(1)));
+  RpcRetryOptions retry;
+  retry.max_attempts = 2;
+  retry.timeout = Nanoseconds(200);
+  retry.backoff = Nanoseconds(100);
+  machine.net_stub(0).set_retry_options(retry);
+
+  auto listener = RunSim(machine.sim(), machine.net_stub(0).Listen(7000, 8));
+  EXPECT_FALSE(listener.ok());
+  machine.sim().RunUntilIdle();  // drain the overrunning proxy work
+  Faults().DisarmAll();
+
+  auto breakdowns = ComputeStageBreakdowns(tracer);
+  ASSERT_FALSE(breakdowns.empty());
+  bool any_clamped = false;
+  for (const StageBreakdown& b : breakdowns) {
+    EXPECT_TRUE(b.net);
+    if (!b.exact) {
+      any_clamped = true;
+    }
+    // Clamped, never negative (the fields are unsigned: a wrapped
+    // subtraction would blow far past any simulated duration).
+    EXPECT_LE(b.stub, b.total);
+    EXPECT_LT(b.proxy, Seconds(1));
+  }
+  EXPECT_TRUE(any_clamped);
+}
+
+}  // namespace
+}  // namespace solros

@@ -1,19 +1,24 @@
 // solros_top — offline bottleneck renderer for --telemetry-out dumps.
 //
-// usage: solros_top FILE
+// usage: solros_top [--conns=K] FILE
 //
 // Accepts either a bare snapshot (TelemetrySnapshot::WriteJson) or the
 // bench wrapper {"reports":[{"label":...,"telemetry":{...}},...]} and
 // prints RenderBottleneckReport for each snapshot: one USE table per
 // retained window (utilization, mean/exclusive queue depth, peak depth,
 // ops, errors, estimated queueing delay) with the binding component
-// flagged, plus the overall verdict. Output is byte-deterministic for a
-// given input — the analyzer is pure integer arithmetic.
+// flagged, plus the overall verdict. When a report carries a "conntrack"
+// field (ConnTracker::WriteTopJson), the top connections by bytes are
+// rendered as a table; --conns=K caps the rows shown (default 8). Output
+// is byte-deterministic for a given input — the analyzer is pure integer
+// arithmetic.
 //
 // The parser covers exactly the integer-and-plain-string JSON subset those
 // writers emit; it is not a general JSON reader.
 #include <cctype>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -230,6 +235,46 @@ bool SnapshotFromJson(const JsonValue& root, TelemetrySnapshot* out) {
   return true;
 }
 
+// Renders the per-connection table from a ConnTracker::WriteTopJson value:
+// {"conns":[{"id","shard","dataplane","port","open","bytes_in","bytes_out",
+// "msgs_in","msgs_out","backlog","drops","age_ns","rtt_last_ns",
+// "rtt_avg_ns"},...],"total":N,"closed":M}.
+void RenderConns(const JsonValue& conntrack, size_t limit) {
+  const JsonValue* conns = conntrack.Find("conns");
+  if (conns == nullptr || conns->items.empty()) {
+    return;
+  }
+  size_t shown = conns->items.size() < limit ? conns->items.size() : limit;
+  std::cout << "top connections by bytes (" << shown << " of "
+            << conntrack.Number("total") << " tracked, "
+            << conntrack.Number("closed") << " closed):\n";
+  std::printf(
+      "  %6s %5s %4s %5s %6s %10s %10s %6s %6s %7s %5s %8s %8s %8s\n",
+      "conn", "shard", "dp", "port", "state", "bytes_in", "bytes_out",
+      "msg_in", "msg_out", "backlog", "drops", "age_us", "rtt_l_us",
+      "rtt_a_us");
+  for (size_t i = 0; i < shown; ++i) {
+    const JsonValue& c = conns->items[i];
+    std::printf(
+        "  %6llu %5llu %4llu %5llu %6s %10llu %10llu %6llu %6llu %7llu "
+        "%5llu %8.1f %8.1f %8.1f\n",
+        static_cast<unsigned long long>(c.Number("id")),
+        static_cast<unsigned long long>(c.Number("shard")),
+        static_cast<unsigned long long>(c.Number("dataplane")),
+        static_cast<unsigned long long>(c.Number("port")),
+        c.Number("open") != 0 ? "open" : "closed",
+        static_cast<unsigned long long>(c.Number("bytes_in")),
+        static_cast<unsigned long long>(c.Number("bytes_out")),
+        static_cast<unsigned long long>(c.Number("msgs_in")),
+        static_cast<unsigned long long>(c.Number("msgs_out")),
+        static_cast<unsigned long long>(c.Number("backlog")),
+        static_cast<unsigned long long>(c.Number("drops")),
+        static_cast<double>(c.Number("age_ns")) / 1e3,
+        static_cast<double>(c.Number("rtt_last_ns")) / 1e3,
+        static_cast<double>(c.Number("rtt_avg_ns")) / 1e3);
+  }
+}
+
 void Render(const std::string& label, const TelemetrySnapshot& snapshot) {
   if (!label.empty()) {
     std::cout << "=== " << label << " ===\n";
@@ -241,7 +286,7 @@ void Render(const std::string& label, const TelemetrySnapshot& snapshot) {
   }
 }
 
-int Run(const char* path) {
+int Run(const char* path, size_t conns_limit) {
   std::ifstream in(path);
   if (!in) {
     std::cerr << "cannot open " << path << "\n";
@@ -272,6 +317,10 @@ int Run(const char* path) {
         continue;
       }
       Render(label, snapshot);
+      if (const JsonValue* ct = entry.Find("conntrack"); ct != nullptr) {
+        RenderConns(*ct, conns_limit);
+        std::cout << "\n";
+      }
     }
     return 0;
   }
@@ -289,11 +338,26 @@ int Run(const char* path) {
 }  // namespace solros
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::cerr << "usage: solros_top FILE\n"
+  size_t conns_limit = 8;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--conns=", 0) == 0) {
+      conns_limit =
+          static_cast<size_t>(std::strtoull(arg.c_str() + 8, nullptr, 10));
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      path = nullptr;
+      break;
+    }
+  }
+  if (path == nullptr) {
+    std::cerr << "usage: solros_top [--conns=K] FILE\n"
                  "FILE is a --telemetry-out dump (bench wrapper) or a bare "
-                 "TelemetrySnapshot JSON\n";
+                 "TelemetrySnapshot JSON; --conns caps the per-connection "
+                 "rows rendered from its conntrack field (default 8)\n";
     return 2;
   }
-  return solros::Run(argv[1]);
+  return solros::Run(path, conns_limit);
 }

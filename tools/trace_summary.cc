@@ -155,6 +155,8 @@ struct Stages {
   uint64_t copy = 0;
   uint64_t iosched = 0;
   uint64_t service = 0;
+  uint64_t wire = 0;
+  uint64_t dispatch = 0;
   bool has_root = false;
 };
 
@@ -196,7 +198,8 @@ int Run(const char* path) {
     if (e.parent == 0) {
       s.total += e.dur_ns;
       s.has_root = true;
-    } else if (e.name == "rpc.queue.req" || e.name == "rpc.queue.resp") {
+    } else if (e.name == "rpc.queue.req" || e.name == "rpc.queue.resp" ||
+               e.name == "net.queue.event") {
       s.queue += e.dur_ns;
     } else if (e.name == "nvme.batch") {
       s.device += e.dur_ns;
@@ -204,20 +207,41 @@ int Run(const char* path) {
       s.copy += e.dur_ns;
     } else if (e.name == "iosched.queue") {
       s.iosched += e.dur_ns;
-    } else if (e.name == "fs.proxy.service" || e.name == "net.proxy.rpc") {
+    } else if (e.name == "fs.proxy.service" || e.name == "net.proxy.rpc" ||
+               e.name == "net.proxy.inbound" ||
+               e.name == "net.proxy.outbound" ||
+               e.name == "net.server.stack") {
       s.service += e.dur_ns;
+    } else if (e.name == "net.wire.transit") {
+      s.wire += e.dur_ns;
+    } else if (e.name == "net.stub.dispatch" ||
+               e.name == "net.server.dispatch") {
+      s.dispatch += e.dur_ns;
     }
   }
 
-  Histogram total, stub, queue, iosched, proxy, copy, device;
+  // Only requests whose subtraction needed no clamping ("exact") feed the
+  // percentile rows; clamped requests (fault retries with overlapping
+  // spans) are counted and reported as a fraction instead of silently
+  // skewing the distribution.
+  Histogram total, stub, queue, iosched, proxy, copy, device, wire,
+      dispatch;
   size_t requests = 0;
+  size_t exact_requests = 0;
   for (const auto& [trace_id, s] : by_trace) {
     if (!s.has_root) {
       continue;
     }
     ++requests;
-    uint64_t proxy_ns = ClampSub(s.service, s.device + s.copy + s.iosched);
-    uint64_t stub_ns = ClampSub(s.total, s.queue + s.service);
+    uint64_t inner = s.device + s.copy + s.iosched;
+    uint64_t named = s.queue + s.service + s.wire + s.dispatch;
+    bool exact = s.service >= inner && s.total >= named;
+    if (!exact) {
+      continue;
+    }
+    ++exact_requests;
+    uint64_t proxy_ns = ClampSub(s.service, inner);
+    uint64_t stub_ns = ClampSub(s.total, named);
     total.Record(s.total);
     stub.Record(stub_ns);
     queue.Record(s.queue);
@@ -225,6 +249,8 @@ int Run(const char* path) {
     proxy.Record(proxy_ns);
     copy.Record(s.copy);
     device.Record(s.device);
+    wire.Record(s.wire);
+    dispatch.Record(s.dispatch);
   }
   if (requests == 0 && net_inbound.count() == 0 &&
       net_outbound.count() == 0) {
@@ -235,7 +261,15 @@ int Run(const char* path) {
 
   std::cout << "trace_summary: " << requests << " traced request"
             << (requests == 1 ? "" : "s") << ", " << events.size()
-            << " spans\n\n";
+            << " spans\n";
+  if (requests > 0) {
+    std::printf("exact: %zu/%zu (%.3f) — only exact requests feed the "
+                "percentiles below\n",
+                exact_requests, requests,
+                static_cast<double>(exact_requests) /
+                    static_cast<double>(requests));
+  }
+  std::cout << "\n";
   std::cout << "  stage          count        p50         p99         max\n";
   auto row = [&](const char* name, const Histogram& h) {
     std::printf("  %-12s %7llu %s %s %s\n", name,
@@ -244,13 +278,17 @@ int Run(const char* path) {
                 FormatUs(h.ValueAtQuantile(0.99)).c_str(),
                 FormatUs(h.max()).c_str());
   };
-  if (requests > 0) {
+  if (exact_requests > 0) {
     row("stub", stub);
     row("queue_wait", queue);
     row("iosched_wait", iosched);
     row("proxy", proxy);
     row("copy_dma", copy);
     row("device", device);
+    if (wire.max() > 0 || dispatch.max() > 0) {
+      row("wire", wire);
+      row("dispatch", dispatch);
+    }
     row("total", total);
   }
   if (net_inbound.count() > 0) {
