@@ -127,15 +127,22 @@ inline const char* NetConfigName(NetConfigKind kind) {
 }
 
 // Builds a machine + the chosen server stack, runs `body(api, machine)`.
+// `net_options` turns on the data-path batching mechanisms (DESIGN.md §5.5)
+// for the Solros stub/proxy pair and the direct stacks' send coalescing;
+// defaults keep every configuration on the legacy byte-identical path.
 struct NetRig {
   std::unique_ptr<Machine> machine;
   std::unique_ptr<DirectServer> direct;  // host / phi-linux configs
   ServerSocketApi* api = nullptr;
 
-  explicit NetRig(NetConfigKind kind, int num_phis = 1) {
+  explicit NetRig(NetConfigKind kind, int num_phis = 1,
+                  const NetPathOptions& net_options = {},
+                  int proxy_shards = 0) {
     MachineConfig config;
     config.num_phis = num_phis;
     config.nvme_capacity = MiB(64);
+    config.net_options = net_options;
+    config.proxy_shards = proxy_shards;
     MaybeEnableTelemetry(config);
     machine = std::make_unique<Machine>(std::move(config));
     switch (kind) {
@@ -146,6 +153,7 @@ struct NetRig {
         DirectServer::Config dc;
         dc.stack_cpu = &machine->host_cpu();
         dc.stack_device = machine->host_device();
+        dc.net_options = net_options;
         direct = std::make_unique<DirectServer>(
             &machine->sim(), &machine->fabric(), machine->params(),
             &machine->ethernet(), dc);
@@ -159,6 +167,7 @@ struct NetRig {
         dc.bridge_cpu = &machine->host_cpu();
         dc.bridge_device = machine->host_device();
         dc.single_rx_queue = true;
+        dc.net_options = net_options;
         direct = std::make_unique<DirectServer>(
             &machine->sim(), &machine->fabric(), machine->params(),
             &machine->ethernet(), dc);
@@ -235,8 +244,9 @@ inline std::vector<StageBreakdown> MeasureNetStages(
 
 // Measures one-way streaming throughput (bytes/sec).
 inline double MeasureNetThroughput(NetConfigKind kind, uint32_t size,
-                                   int connections, int messages) {
-  NetRig rig(kind);
+                                   int connections, int messages,
+                                   const NetPathOptions& net_options = {}) {
+  NetRig rig(kind, /*num_phis=*/1, net_options);
   Machine& machine = *rig.machine;
   Spawn(machine.sim(),
         DrainServer(rig.api, 7000, connections, messages));

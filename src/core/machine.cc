@@ -35,6 +35,7 @@ Machine::Machine(MachineConfig config) : config_(std::move(config)) {
     sim_.set_telemetry(telemetry_.get());
   }
   proxy_shards_ = ResolveProxyShards(config_.proxy_shards);
+  config_.net_options = ResolveNetPathOptions(config_.net_options);
   fabric_ = std::make_unique<PcieFabric>(&sim_, params);
   host_device_ = fabric_->HostDevice(0);
 
@@ -124,7 +125,8 @@ Machine::Machine(MachineConfig config) : config_(std::move(config)) {
     tcp_proxy_ = std::make_unique<TcpProxy>(&sim_, params, host_cpu_.get(),
                                             ethernet_.get(),
                                             std::move(policy),
-                                            std::move(net_cores));
+                                            std::move(net_cores),
+                                            config_.net_options);
   }
 
   rings_.resize(config_.num_phis);
@@ -200,7 +202,7 @@ Machine::Machine(MachineConfig config) : config_(std::move(config)) {
       net_stubs_.push_back(std::make_unique<NetStub>(
           &sim_, params, phi_cpu, rings.net_request.get(),
           rings.net_response.get(), rings.inbound.get(),
-          rings.outbound.get()));
+          rings.outbound.get(), config_.net_options));
       net_stubs_.back()->set_retry_options(config_.rpc_retry);
     }
   }

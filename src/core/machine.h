@@ -35,6 +35,7 @@
 #include "src/hw/processor.h"
 #include "src/net/ethernet.h"
 #include "src/net/load_balancer.h"
+#include "src/net/net_options.h"
 #include "src/net/net_stub.h"
 #include "src/net/tcp_proxy.h"
 #include "src/nvme/nvme_device.h"
@@ -70,6 +71,12 @@ struct MachineConfig {
   bool enable_network = true;
   // Forwarding policy for shared listening sockets.
   std::unique_ptr<ForwardingPolicy> policy;  // default: round robin
+
+  // Net data-path batching (DESIGN.md §5.5): segment coalescing, vectored
+  // ring push, adaptive payload copy, DRR outbound dispatch. All default
+  // off (legacy byte-identical); the constructor overlays SOLROS_NET_*
+  // environment knobs via ResolveNetPathOptions.
+  NetPathOptions net_options;
 
   // Control-plane shards: each FsProxy/TcpProxy shard runs pinned to its
   // own dedicated host core with isolated state (cache segment, scheduler,

@@ -10,7 +10,11 @@ EthernetFabric::EthernetFabric(Simulator* sim, const HwParams& params)
     : sim_(sim),
       params_(params),
       wire_up_(sim, params.nic_bw, params.nic_wire_latency, "eth-up"),
-      wire_down_(sim, params.nic_bw, params.nic_wire_latency, "eth-down") {
+      wire_down_(sim, params.nic_bw, params.nic_wire_latency, "eth-down"),
+      c_payload_copies_(
+          MetricRegistry::Default().GetCounter("net.wire.payload_copies")),
+      c_pool_hits_(
+          MetricRegistry::Default().GetCounter("net.wire.pool_hits")) {
   if (sim->telemetry() != nullptr) {
     wire_up_.set_use_series(sim->telemetry()->GetSeries("net.wire.up"));
     wire_down_.set_use_series(sim->telemetry()->GetSeries("net.wire.down"));
@@ -24,6 +28,27 @@ void EthernetFabric::RegisterPort(uint16_t port, ServerPort* handler) {
 }
 
 void EthernetFabric::UnregisterPort(uint16_t port) { ports_.erase(port); }
+
+std::vector<uint8_t> EthernetFabric::AcquirePayload(
+    std::span<const uint8_t> data) {
+  c_payload_copies_->Increment();
+  std::vector<uint8_t> buffer;
+  if (!payload_pool_.empty()) {
+    c_pool_hits_->Increment();
+    buffer = std::move(payload_pool_.back());
+    payload_pool_.pop_back();
+    buffer.clear();
+  }
+  buffer.insert(buffer.end(), data.begin(), data.end());
+  return buffer;
+}
+
+void EthernetFabric::ReleasePayload(std::vector<uint8_t> buffer) {
+  if (payload_pool_.size() >= kPayloadPoolCap || buffer.capacity() == 0) {
+    return;  // drop: the pool is bounded so idle capacity can't accumulate
+  }
+  payload_pool_.push_back(std::move(buffer));
+}
 
 Task<void> EthernetFabric::WireToServer(uint64_t bytes) {
   co_await wire_up_.Transfer(bytes);
@@ -79,7 +104,7 @@ Task<Status> EthernetFabric::ClientSend(uint64_t conn_id,
                     "net.wire.transit", ctx);
     co_await WireToServer(data.size() + 64);
   }
-  std::vector<uint8_t> payload(data.begin(), data.end());
+  std::vector<uint8_t> payload = AcquirePayload(data);
   co_await it->second.handler->OnClientData(conn_id, std::move(payload), ctx);
   co_return OkStatus();
 }

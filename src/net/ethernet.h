@@ -22,6 +22,7 @@
 #include <span>
 #include <vector>
 
+#include "src/base/metrics.h"
 #include "src/base/status.h"
 #include "src/hw/fabric.h"
 #include "src/hw/params.h"
@@ -87,6 +88,18 @@ class EthernetFabric {
 
   uint64_t connections_opened() const { return next_conn_ - 1; }
 
+  // -- payload buffer pool ---------------------------------------------------
+  // Wire payloads used to be materialized with a fresh
+  // std::vector<uint8_t>(data.begin(), data.end()) per message — at storm
+  // scale that is one heap allocation per message on the hottest path.
+  // AcquirePayload reuses retired buffers' capacity instead; ReleasePayload
+  // returns a consumed payload (ServerPort implementations call it once
+  // they have copied the bytes onward). "net.wire.payload_copies" counts
+  // every materialization, "net.wire.pool_hits" the ones that reused a
+  // pooled buffer. No simulated time is involved either way.
+  std::vector<uint8_t> AcquirePayload(std::span<const uint8_t> data);
+  void ReleasePayload(std::vector<uint8_t> buffer);
+
  private:
   struct Conn {
     uint16_t port;
@@ -106,6 +119,11 @@ class EthernetFabric {
   std::map<uint16_t, ServerPort*> ports_;
   std::map<uint64_t, Conn> conns_;
   uint64_t next_conn_ = 1;
+  // Retired payload buffers, capacity intact (bounded; see AcquirePayload).
+  static constexpr size_t kPayloadPoolCap = 64;
+  std::vector<std::vector<uint8_t>> payload_pool_;
+  Counter* const c_payload_copies_;
+  Counter* const c_pool_hits_;
 };
 
 }  // namespace solros

@@ -12,10 +12,16 @@
 
 #include <map>
 #include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
 
 #include "src/base/metrics.h"
 #include "src/hw/params.h"
 #include "src/hw/processor.h"
+#include "src/net/net_frame.h"
+#include "src/net/net_options.h"
+#include "src/net/net_plug.h"
 #include "src/net/server_api.h"
 #include "src/rpc/messages.h"
 #include "src/rpc/rpc.h"
@@ -27,7 +33,7 @@ class NetStub : public ServerSocketApi {
  public:
   NetStub(Simulator* sim, const HwParams& params, Processor* phi_cpu,
           SimRing* rpc_request, SimRing* rpc_response, SimRing* inbound,
-          SimRing* outbound);
+          SimRing* outbound, const NetPathOptions& net_options = {});
 
   // -- ServerSocketApi --------------------------------------------------------
   Task<Result<int64_t>> Listen(uint16_t port, int backlog) override;
@@ -37,6 +43,10 @@ class NetStub : public ServerSocketApi {
   Task<Status> Close(int64_t sock) override;
 
   uint64_t events_dispatched() const { return events_; }
+  // Messages handed to per-socket recv queues by this stub instance (one
+  // per original client message, however the events were coalesced or
+  // batched on the wire) — the per-phi fairness signal fig19 reports.
+  uint64_t messages_delivered() const { return messages_delivered_; }
 
   // Retry/timeout policy applied while fault injection is armed. Net RPCs
   // mutate connection state, so only a transport timeout (outcome unknown,
@@ -71,6 +81,19 @@ class NetStub : public ServerSocketApi {
   };
 
   static Task<void> EventDispatcher(NetStub* self);
+  // Services a coalesced/batched inbound record (any record with kBatch or
+  // a non-zero segment table): splits it back into per-message deliveries
+  // so ServerApi semantics match the uncoalesced wire exactly. With
+  // drr_dispatch on, contiguous runs of data messages are delivered
+  // deficit-round-robin across sockets (per-socket order preserved).
+  // `record` stays alive in the dispatcher's frame.
+  Task<void> DispatchRecord(const std::vector<uint8_t>& record,
+                            std::optional<SimRing::DequeueStamp> stamp);
+  // Delivers one contiguous run of data messages and clears it. Views in
+  // `run` alias the record held by DispatchRecord's frame.
+  Task<void> DeliverRun(std::vector<std::pair<int64_t, NetSegmentView>>* run);
+  Task<void> DeliverMessage(int64_t sock, NetSegmentView message);
+  Task<void> HandleControlEvent(NetEvent event);
   SocketState& EnsureSocket(int64_t handle);
 
   // rpc_.Call with the stub's timeout/retry policy (see set_retry_options).
@@ -79,12 +102,17 @@ class NetStub : public ServerSocketApi {
   Simulator* sim_;
   HwParams params_;
   Processor* phi_cpu_;
+  NetPathOptions options_;
   RpcClient<NetRequest, NetResponse> rpc_;
   RpcRetryOptions retry_;
   SimRing* inbound_;
   SimRing* outbound_;
+  // Send-side staging for the outbound ring (DESIGN.md §5.5); passthrough
+  // when both staging mechanisms are off.
+  std::unique_ptr<NetPlug> plug_;
   std::map<int64_t, SocketState> sockets_;
   uint64_t events_ = 0;
+  uint64_t messages_delivered_ = 0;
   // Process counters, resolved once instead of per event/call (see
   // TcpProxy; same hoisting).
   Counter* const c_events_;

@@ -1,0 +1,67 @@
+// Adaptive payload-copy charging for the net data path (DESIGN.md §5.5).
+//
+// With NetPathOptions::adaptive_copy on, payload movement at the proxy and
+// stub is charged through the same memcpy-vs-DMA policy the rings use
+// (src/transport/adaptive_copy.h) instead of being a free host-side vector
+// copy. The cost is attributed to the copy_dma stage via a "dma.copy" span,
+// which the caller MUST emit from inside a service span of the same trace
+// (net.proxy.inbound / net.proxy.outbound) so the proxy = service - copy
+// subtraction in src/sim/attribution.cc never clamps.
+#ifndef SOLROS_SRC_NET_PAYLOAD_COPY_H_
+#define SOLROS_SRC_NET_PAYLOAD_COPY_H_
+
+#include <cstdint>
+
+#include "src/base/metrics.h"
+#include "src/hw/params.h"
+#include "src/sim/simulator.h"
+#include "src/sim/task.h"
+#include "src/sim/trace.h"
+#include "src/transport/adaptive_copy.h"
+
+namespace solros {
+
+inline Task<void> ChargeAdaptivePayloadCopy(Simulator* sim,
+                                            const HwParams& params,
+                                            uint64_t bytes,
+                                            bool initiator_is_host,
+                                            TraceContext ctx) {
+  if (bytes == 0) {
+    co_return;
+  }
+  static Counter* const memcpy_copies =
+      MetricRegistry::Default().GetCounter("net.copy.memcpy");
+  static Counter* const dma_copies =
+      MetricRegistry::Default().GetCounter("net.copy.dma");
+  (AdaptivePicksDma(params, bytes, initiator_is_host) ? dma_copies
+                                                      : memcpy_copies)
+      ->Increment();
+  ScopedSpan span(sim, "copy", "dma.copy", ctx);
+  co_await Delay(CopyTime(params, bytes, initiator_is_host,
+                          CopyPolicy::kAdaptive));
+}
+
+// Same cost model and counters, but no "dma.copy" span — for stub-side
+// copies, which run outside any taxonomy service span: a copy_dma span
+// there would make proxy = service - copy clamp on the proxy side of the
+// same trace. The time lands in the residual stub bucket instead, which
+// stays exact.
+inline Task<void> ChargeAdaptivePayloadCopyUnattributed(
+    const HwParams& params, uint64_t bytes, bool initiator_is_host) {
+  if (bytes == 0) {
+    co_return;
+  }
+  static Counter* const memcpy_copies =
+      MetricRegistry::Default().GetCounter("net.copy.memcpy");
+  static Counter* const dma_copies =
+      MetricRegistry::Default().GetCounter("net.copy.dma");
+  (AdaptivePicksDma(params, bytes, initiator_is_host) ? dma_copies
+                                                      : memcpy_copies)
+      ->Increment();
+  co_await Delay(CopyTime(params, bytes, initiator_is_host,
+                          CopyPolicy::kAdaptive));
+}
+
+}  // namespace solros
+
+#endif  // SOLROS_SRC_NET_PAYLOAD_COPY_H_

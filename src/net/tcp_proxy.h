@@ -15,8 +15,11 @@
 #ifndef SOLROS_SRC_NET_TCP_PROXY_H_
 #define SOLROS_SRC_NET_TCP_PROXY_H_
 
+#include <deque>
 #include <map>
 #include <memory>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "src/base/metrics.h"
@@ -26,11 +29,48 @@
 #include "src/net/conntrack.h"
 #include "src/net/ethernet.h"
 #include "src/net/load_balancer.h"
+#include "src/net/net_frame.h"
+#include "src/net/net_options.h"
+#include "src/net/net_plug.h"
 #include "src/rpc/messages.h"
 #include "src/rpc/rpc.h"
 #include "src/transport/sim_ring.h"
 
 namespace solros {
+
+// Pure shard-pick decision, shared by TcpProxy::PickShard and its
+// regression test. `depth(k)` reads shard k's live event-loop depth.
+// Returns the picked shard; sets *handoff when the pick overrides the
+// hash-primary. A handoff needs depth(primary) > 2*depth(lightest) + 1
+// with depth(lightest) >= 0, i.e. depth(primary) >= 2 — so a shallow
+// primary (the steady-state common case) skips the O(shards) scan
+// entirely, with behavior identical to the always-scan implementation.
+template <typename DepthFn>
+int PickShardForDepths(int primary, int count, DepthFn&& depth,
+                       bool* handoff) {
+  *handoff = false;
+  if (count <= 1) {
+    return 0;
+  }
+  const int64_t primary_depth = depth(primary);
+  if (primary_depth <= 1) {
+    return primary;
+  }
+  int lightest = 0;
+  for (int k = 1; k < count; ++k) {
+    if (depth(k) < depth(lightest)) {
+      lightest = k;
+    }
+  }
+  // Handoff only on a real imbalance: the primary is carrying more than
+  // double the lightest loop's depth. Hash placement stays the common case
+  // so connection state keeps core affinity.
+  if (primary != lightest && primary_depth > 2 * depth(lightest) + 1) {
+    *handoff = true;
+    return lightest;
+  }
+  return primary;
+}
 
 struct TcpProxyStats {
   uint64_t rpcs = 0;
@@ -56,7 +96,8 @@ class TcpProxy : public ServerPort {
   // matter how many shards drain it.
   TcpProxy(Simulator* sim, const HwParams& params, Processor* host_cpu,
            EthernetFabric* ethernet, std::unique_ptr<ForwardingPolicy> policy,
-           std::vector<Processor*> shard_cores = {});
+           std::vector<Processor*> shard_cores = {},
+           const NetPathOptions& net_options = {});
 
   // Wires one data-plane OS: its RPC rings (stub -> proxy socket calls) and
   // the inbound/outbound data rings. Starts the serving pumps.
@@ -85,11 +126,33 @@ class TcpProxy : public ServerPort {
   }
 
  private:
+  // One claimed outbound ring record plus its dequeue stamp (captured at
+  // Receive time; the DRR pump processes it later). Deliberately not an
+  // aggregate — see NetStub::RecvItem for the GCC 12 coroutine-parameter
+  // pitfall.
+  struct OutboundItem {
+    OutboundItem() = default;
+    OutboundItem(std::vector<uint8_t> r,
+                 std::optional<SimRing::DequeueStamp> s)
+        : record(std::move(r)), stamp(s) {}
+    std::vector<uint8_t> record;
+    std::optional<SimRing::DequeueStamp> stamp;
+  };
   struct DataPlane {
     uint32_t id = 0;
     SimRing* inbound = nullptr;
     SimRing* outbound = nullptr;
     std::unique_ptr<RpcServer<NetRequest, NetResponse>> rpc;
+    // Send-side staging for the inbound ring (DESIGN.md §5.5); passthrough
+    // when both staging mechanisms are off.
+    std::unique_ptr<NetPlug> plug;
+    // DRR outbound state (options.drr_dispatch): records claimed by this
+    // plane's feeder, admitted fairly by the shared pump into `work`, and
+    // serviced by this plane's worker — planes process concurrently, DRR
+    // only decides admission order.
+    std::deque<OutboundItem> drr_queue;
+    std::deque<OutboundItem> work;
+    uint64_t drr_deficit = 0;
   };
   // One event-loop shard: a dedicated core plus its USE series
   // ("net.proxy[k]"; the unsharded proxy is one shard named "net.proxy").
@@ -113,6 +176,31 @@ class TcpProxy : public ServerPort {
 
   Task<NetResponse> HandleRpc(uint32_t dataplane_id, NetRequest request);
   static Task<void> OutboundPump(TcpProxy* self, DataPlane* dataplane);
+  // DRR mode: one feeder per plane claims ring records into drr_queue; the
+  // single shared pump sweeps planes deficit-round-robin so one hot phi
+  // cannot starve the rest.
+  static Task<void> OutboundFeeder(TcpProxy* self, DataPlane* dataplane);
+  static Task<void> DrrOutboundPump(TcpProxy* self);
+  // DRR mode: services one plane's admitted records, concurrently with the
+  // other planes' workers (the pump alone would serialize every plane's
+  // shard compute and wire hops behind one loop).
+  static Task<void> DrrPlaneWorker(TcpProxy* self, DataPlane* dataplane);
+  // DRR mode: client-wire delivery of one record's messages, spawned off
+  // the worker loop so the NIC hop overlaps the next record's shard
+  // compute. Per-connection order is preserved: one worker per plane emits
+  // the trains in order and the downlink wire is FIFO with fixed latency.
+  static Task<void> DeliverTrain(
+      TcpProxy* self, uint64_t conn_id,
+      std::vector<std::pair<TraceContext, std::vector<uint8_t>>> messages);
+  // Services one outbound ring record: a legacy single-message event, a
+  // coalesced multi-segment event, or a kBatch of either.
+  Task<void> ProcessOutboundRecord(DataPlane* dataplane,
+                                   std::vector<uint8_t> record,
+                                   std::optional<SimRing::DequeueStamp> stamp);
+  // `frame` aliases the caller's record, which the caller keeps alive for
+  // the duration of the call.
+  Task<void> ProcessOutboundEvent(DataPlane* dataplane, NetFrameView frame,
+                                  std::optional<SimRing::DequeueStamp> stamp);
   Task<Status> SendEvent(uint32_t dataplane_id, const NetEvent& event,
                          std::span<const uint8_t> payload);
   // Shard for a new wire connection: connection hash, overridden by a
@@ -123,6 +211,7 @@ class TcpProxy : public ServerPort {
   HwParams params_;
   Processor* host_cpu_;
   EthernetFabric* ethernet_;
+  NetPathOptions options_;
   std::unique_ptr<ForwardingPolicy> policy_;
   // Event-loop shards; size 1 reproduces the historical single proxy loop.
   std::vector<Shard> shards_;
@@ -133,6 +222,23 @@ class TcpProxy : public ServerPort {
   int64_t next_handle_ = 1;
   TcpProxyStats stats_;
   std::unique_ptr<ConnTracker> conntrack_;
+  // DRR pump coordination: feeders bump the epoch and notify on every
+  // claimed record; the pump waits when every plane's queue is empty.
+  Condition drr_ready_;
+  Condition drr_space_;
+  // Worker coordination: the pump notifies work_ready_ on every admission,
+  // workers notify work_space_ on every claim, and drr_pump_done_ releases
+  // idle workers once every feeder has drained.
+  Condition work_ready_;
+  Condition work_space_;
+  uint64_t drr_epoch_ = 0;
+  int live_feeders_ = 0;
+  bool drr_pump_running_ = false;
+  bool drr_pump_done_ = false;
+  static constexpr size_t kDrrFeederCredit = 16;
+  // Per-plane admitted-but-unserviced bound: deep enough to keep a worker
+  // busy, shallow enough that DRR order still decides service order.
+  static constexpr size_t kWorkerBacklog = 4;
   // Process counters, resolved once at construction instead of a registry
   // map lookup per message on the hot paths (FsProxy does the same).
   Counter* const c_rpcs_;

@@ -148,6 +148,7 @@ enum class NetEventKind : uint8_t {
   kAccepted,  // new client connection on a listening socket
   kData,      // new data arrival for recv (payload follows the header)
   kPeerClosed,
+  kBatch,     // vectored push: several encoded events ride one ring record
 };
 
 struct NetEvent {
@@ -158,7 +159,12 @@ struct NetEvent {
   int64_t new_sock = -1; // for kAccepted
   uint32_t peer_addr = 0;
   uint16_t peer_port = 0;
-  uint16_t reserved2 = 0;
+  // Coalescing (GSO/GRO analogue, DESIGN.md §5.5). For kData: 0 means the
+  // payload is one message whose context is in this header (the legacy
+  // layout, bit-identical); N >= 1 means the payload starts with N
+  // NetSegment descriptors (src/net/net_frame.h) followed by their
+  // concatenated message bytes. For kBatch: the number of sub-records.
+  uint16_t segments = 0;
   // Causal trace context (see FsRequest): kData events carry the context of
   // the request they belong to, so data-ring queue waits and the stub's
   // dispatch attribute to the right trace. Zero for untraced events and for

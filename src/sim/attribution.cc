@@ -11,7 +11,7 @@ namespace {
 // Accumulators for one trace id before the subtraction step.
 struct TraceSums {
   Nanos total = 0;    // root spans (parent == 0)
-  Nanos queue = 0;    // rpc.queue.req / rpc.queue.resp / net.queue.event
+  Nanos queue = 0;    // rpc.queue.{req,resp} / net.queue.event / net.plug.wait
   Nanos service = 0;  // fs.proxy.service / net.proxy.* / net.server.stack
   Nanos device = 0;   // nvme.batch
   Nanos copy = 0;     // dma.copy
@@ -24,7 +24,7 @@ struct TraceSums {
 
 bool IsQueueSpan(std::string_view name) {
   return name == "rpc.queue.req" || name == "rpc.queue.resp" ||
-         name == "net.queue.event";
+         name == "net.queue.event" || name == "net.plug.wait";
 }
 
 bool IsServiceSpan(std::string_view name) {

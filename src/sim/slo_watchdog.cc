@@ -78,7 +78,7 @@ void SloWatchdog::OnSpanClosed(const SpanRecord& record) {
     Bucket& bucket = open_[record.trace_id];
     Nanos dur = record.end - record.begin;
     if (record.name == "rpc.queue.req" || record.name == "rpc.queue.resp" ||
-        record.name == "net.queue.event") {
+        record.name == "net.queue.event" || record.name == "net.plug.wait") {
       bucket.queue += dur;
     } else if (record.name == "iosched.queue") {
       bucket.iosched += dur;

@@ -149,6 +149,7 @@ Task<Status> SimRing::TrySend(std::span<const uint8_t> payload) {
     use_->QueueDelta(sim_->now(), +1);
   }
   ++sent_;
+  bytes_sent_ += payload.size();
   static Counter* const sends =
       MetricRegistry::Default().GetCounter("transport.ring.messages_sent");
   static Counter* const bytes =
@@ -230,6 +231,7 @@ Task<Result<std::vector<uint8_t>>> SimRing::TryReceive() {
   ring_.CopyFromRbBuf(out.data(), rb_buf, size);
   ring_.SetDone(rb_buf);
   ++received_;
+  bytes_received_ += size;
   static Counter* const recvs =
       MetricRegistry::Default().GetCounter("transport.ring.messages_received");
   recvs->Increment();

@@ -80,6 +80,10 @@ class SimRing {
   const RingBuffer& ring() const { return ring_; }
   uint64_t messages_sent() const { return sent_; }
   uint64_t messages_received() const { return received_; }
+  // Payload bytes moved through the ring; sent-received is the in-flight
+  // byte backlog (the live balancer's post-coalescing depth signal).
+  uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t bytes_received() const { return bytes_received_; }
 
   // Queue-wait attribution (only maintained while a tracer or telemetry
   // series is bound, so plain runs skip the bookkeeping): the producer
@@ -123,6 +127,8 @@ class SimRing {
   bool closed_ = false;
   uint64_t sent_ = 0;
   uint64_t received_ = 0;
+  uint64_t bytes_sent_ = 0;
+  uint64_t bytes_received_ = 0;
   // In-flight ready stamps keyed by ring slot (see last_dequeue_stamp()).
   std::unordered_map<const void*, SimTime> ready_at_;
   std::optional<DequeueStamp> last_dequeue_stamp_;

@@ -199,7 +199,7 @@ int Run(const char* path) {
       s.total += e.dur_ns;
       s.has_root = true;
     } else if (e.name == "rpc.queue.req" || e.name == "rpc.queue.resp" ||
-               e.name == "net.queue.event") {
+               e.name == "net.queue.event" || e.name == "net.plug.wait") {
       s.queue += e.dur_ns;
     } else if (e.name == "nvme.batch") {
       s.device += e.dur_ns;
